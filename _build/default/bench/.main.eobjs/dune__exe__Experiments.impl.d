@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Cpu Delay_set Drf Event Evts Final Fmt Lemma1 List Litmus_classics Machines Models Option Prog Sc Sim_config Sim_run Sim_trace Weak_ordering Workload

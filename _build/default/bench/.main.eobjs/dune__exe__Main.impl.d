@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Cpu Drf Experiments Fmt Hashtbl Instance List Litmus_classics Machines Measure Models Option Sc Sim_run Staged Sys Test Time Toolkit Workload

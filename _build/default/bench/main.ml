@@ -1,0 +1,88 @@
+(* Benchmark harness.
+
+     dune exec bench/main.exe            -- all experiments + timing benches
+     dune exec bench/main.exe -- fig1    -- one experiment
+     dune exec bench/main.exe -- bechamel
+
+   Experiments (see EXPERIMENTS.md):
+     fig1 fig2 fig3 sec6-def1 sec6-spin sweep appendix ablate
+
+   The bechamel section times the analysis algorithms themselves (one
+   Test.make per core computation), which matters for anyone scaling the
+   tools to bigger tests. *)
+
+open Bechamel
+open Toolkit
+
+let prog_of name = (Option.get (Litmus_classics.find name)).Litmus_classics.prog
+
+let timing_tests =
+  let dekker = prog_of "dekker" in
+  let iriw = prog_of "iriw" in
+  let mp_sync = prog_of "mp_sync" in
+  let lock_mutex = prog_of "lock_mutex" in
+  let handoff = Workload.fig3_handoff () in
+  let locks = Workload.critical_sections () in
+  [
+    Test.make ~name:"sc-enumerate/dekker"
+      (Staged.stage (fun () -> ignore (Sc.outcomes dekker)));
+    Test.make ~name:"sc-enumerate/iriw"
+      (Staged.stage (fun () -> ignore (Sc.outcomes iriw)));
+    Test.make ~name:"drf0-check/mp_sync"
+      (Staged.stage (fun () -> ignore (Drf.obeys mp_sync)));
+    Test.make ~name:"drf0-check/lock_mutex"
+      (Staged.stage (fun () -> ignore (Drf.obeys lock_mutex)));
+    Test.make ~name:"machine-def2/dekker"
+      (Staged.stage (fun () -> ignore (Machines.outcomes Machines.def2 dekker)));
+    Test.make ~name:"machine-wbuf/dekker"
+      (Staged.stage (fun () -> ignore (Machines.outcomes Machines.wbuf dekker)));
+    Test.make ~name:"axiomatic-sc/dekker"
+      (Staged.stage (fun () -> ignore (Models.outcomes Models.sc dekker)));
+    Test.make ~name:"sim-fig3/def2"
+      (Staged.stage (fun () -> ignore (Sim_run.run Cpu.Def2 handoff)));
+    Test.make ~name:"sim-locks/def2"
+      (Staged.stage (fun () -> ignore (Sim_run.run Cpu.Def2 locks)));
+  ]
+
+let run_bechamel () =
+  Fmt.pr "@.==== timing the analyses themselves (bechamel) ====@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:"weakord" ~fmt:"%s %s" timing_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "%-28s %12.1f ns/run@." name est
+      | Some _ | None -> Fmt.pr "%-28s (no estimate)@." name)
+    clock
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      Experiments.all ();
+      run_bechamel ()
+  | [ "fig1" ] -> Experiments.fig1 ()
+  | [ "fig2" ] -> Experiments.fig2 ()
+  | [ "fig3" ] -> Experiments.fig3 ()
+  | [ "sec6-def1" ] -> Experiments.sec6_def1 ()
+  | [ "sec6-spin" ] -> Experiments.sec6_spin ()
+  | [ "sweep" ] -> Experiments.sweep ()
+  | [ "appendix" ] -> Experiments.appendix ()
+  | [ "ablate" ] -> Experiments.ablate ()
+  | [ "bechamel" ] -> run_bechamel ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|bechamel]";
+      exit 2

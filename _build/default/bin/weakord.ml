@@ -1,0 +1,297 @@
+(* weakord: command-line front end.
+
+   - run:    execute a litmus test on the reference SC machine, the
+             abstract hardware machines, and the axiomatic models
+   - races:  DRF0/DRF1 analysis with witnesses
+   - verify: Definition 2 over the built-in corpus (or given files)
+   - sim:    timing simulation of the paper's workloads
+   - list:   what is available *)
+
+open Cmdliner
+
+(* --- shared helpers -------------------------------------------------------- *)
+
+let load_prog path =
+  if String.equal path "-" then
+    Litmus_parse.parse_string (In_channel.input_all In_channel.stdin)
+  else Litmus_parse.parse_file path
+
+let prog_or_classic name_or_path =
+  match Litmus_classics.find name_or_path with
+  | Some e -> e.Litmus_classics.prog
+  | None -> load_prog name_or_path
+
+let corpus = List.map (fun e -> e.Litmus_classics.prog) Litmus_classics.all
+
+let drf_model_conv =
+  let parse = function
+    | "drf0" -> Ok Drf.DRF0
+    | "drf1" -> Ok Drf.DRF1
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S (drf0|drf1)" s))
+  in
+  Arg.conv (parse, Drf.pp_model)
+
+let test_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TEST"
+        ~doc:
+          "A litmus file, $(b,-) for stdin, or the name of a built-in test \
+           (see $(b,weakord list)).")
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_cmd =
+  let machines_flag =
+    Arg.(
+      value & opt_all string []
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:"Machine(s) to run (default: all). Repeatable.")
+  in
+  let axiomatic_flag =
+    Arg.(value & flag & info [ "axiomatic" ] ~doc:"Also run the axiomatic models.")
+  in
+  let action test machine_names axiomatic =
+    let prog = prog_or_classic test in
+    (match Prog.validate prog with
+    | Ok () -> ()
+    | Error errs ->
+        Fmt.epr "warning: %a@." Fmt.(list ~sep:comma Prog.pp_error) errs);
+    Fmt.pr "%a@.@." Prog.pp prog;
+    let machines =
+      match machine_names with
+      | [] -> Machines.all
+      | names ->
+          List.map
+            (fun n ->
+              match Machines.find n with
+              | Some m -> m
+              | None -> Fmt.failwith "unknown machine %S" n)
+            names
+    in
+    let sc = Sc.outcomes prog in
+    Fmt.pr "SC outcomes (%d):@.%a@.@." (Final.Set.cardinal sc) Final.pp_set sc;
+    List.iter
+      (fun m ->
+        let outs = Machines.outcomes m prog in
+        let extra = Final.Set.diff outs sc in
+        Fmt.pr "%-8s %d outcomes%s%s@." (Machines.name m)
+          (Final.Set.cardinal outs)
+          (if Final.Set.is_empty extra then " (appears SC)"
+           else Fmt.str ", %d beyond SC" (Final.Set.cardinal extra))
+          (match Machines.allows_exists m prog with
+          | Some true -> "; allows 'exists'"
+          | Some false -> "; forbids 'exists'"
+          | None -> "");
+        if not (Final.Set.is_empty extra) then
+          Fmt.pr "  non-SC: %a@." Final.pp_set extra)
+      machines;
+    if axiomatic then begin
+      Fmt.pr "@.axiomatic models:@.";
+      List.iter
+        (fun m ->
+          let outs = Models.outcomes m prog in
+          Fmt.pr "%-18s %d outcomes%s@." (Models.name m)
+            (Final.Set.cardinal outs)
+            (match Models.allows_exists m prog with
+            | Some true -> "; allows 'exists'"
+            | Some false -> "; forbids 'exists'"
+            | None -> ""))
+        Models.all
+    end
+  in
+  let doc = "run a litmus test on the machines and models" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const action $ test_arg $ machines_flag $ axiomatic_flag)
+
+(* --- races ------------------------------------------------------------------ *)
+
+let races_cmd =
+  let model_flag =
+    Arg.(
+      value
+      & opt drf_model_conv Drf.DRF0
+      & info [ "model" ] ~docv:"MODEL" ~doc:"Synchronization model (drf0|drf1).")
+  in
+  let action test model =
+    let prog = prog_or_classic test in
+    Fmt.pr "%a@.@." Prog.pp prog;
+    match Drf.check ~model prog with
+    | Ok () -> Fmt.pr "The program obeys %a: no data races.@." Drf.pp_model model
+    | Error races ->
+        Fmt.pr "The program violates %a:@.%a@." Drf.pp_model model
+          Fmt.(list ~sep:cut Drf.pp_race)
+          races;
+        exit 1
+  in
+  let doc = "check a program against DRF0 or DRF1 (Definition 3)" in
+  Cmd.v (Cmd.info "races" ~doc) Term.(const action $ test_arg $ model_flag)
+
+(* --- verify ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let machine_flag =
+    Arg.(
+      value & opt string "def2"
+      & info [ "m"; "machine" ] ~docv:"NAME" ~doc:"Machine to verify.")
+  in
+  let model_flag =
+    Arg.(
+      value & opt string "drf0"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"Synchronization model (drf0|drf1).")
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Litmus files for the corpus (default: the built-in corpus).")
+  in
+  let action machine_name model_name files =
+    let machine =
+      match Machines.find machine_name with
+      | Some m -> m
+      | None -> Fmt.failwith "unknown machine %S" machine_name
+    in
+    let model =
+      match model_name with
+      | "drf0" -> Weak_ordering.drf0
+      | "drf1" -> Weak_ordering.drf1
+      | "all" -> Weak_ordering.unconstrained
+      | s -> Fmt.failwith "unknown model %S (drf0|drf1|all)" s
+    in
+    let programs =
+      match files with [] -> corpus | fs -> List.map load_prog fs
+    in
+    let report =
+      Weak_ordering.verify ~hw:(Weak_ordering.of_machine machine) ~model programs
+    in
+    Fmt.pr "%a@." Weak_ordering.pp_report report;
+    if not report.Weak_ordering.weakly_ordered then exit 1
+  in
+  let doc = "check Definition 2 over a corpus of programs" in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(const action $ machine_flag $ model_flag $ files_arg)
+
+(* --- sim -------------------------------------------------------------------- *)
+
+let workload_of_name = function
+  | "fig3" | "handoff" -> Workload.fig3_handoff ()
+  | "barrier" -> Workload.spin_barrier ()
+  | "barrier-data" -> Workload.spin_barrier ~sync_spin:false ()
+  | "locks" -> Workload.critical_sections ()
+  | "pipeline" -> Workload.pipeline ()
+  | "ticket" -> Workload.ticket_lock ()
+  | "sense-barrier" -> Workload.sense_barrier ()
+  | "sense-barrier-data" -> Workload.sense_barrier ~sync_spin:false ()
+  | s -> Fmt.failwith "unknown workload %S" s
+
+let sim_cmd =
+  let workload_flag =
+    Arg.(
+      value & opt string "fig3"
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload: fig3|barrier|barrier-data|locks|pipeline|ticket|\
+             sense-barrier|sense-barrier-data.")
+  in
+  let policy_flag =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "policy" ] ~docv:"NAME"
+          ~doc:"Policy (sc|def1|def2|def2-rs); default all. Repeatable.")
+  in
+  let net_flag =
+    Arg.(
+      value & opt int 20
+      & info [ "net" ] ~docv:"CYCLES" ~doc:"One-way network latency.")
+  in
+  let action workload_name policy_names net =
+    let w = workload_of_name workload_name in
+    let cfg = Sim_config.make ~net () in
+    let policies =
+      match policy_names with
+      | [] -> Cpu.all_policies
+      | names ->
+          List.map
+            (fun n ->
+              match
+                List.find_opt
+                  (fun p -> String.equal (Cpu.policy_name p) n)
+                  Cpu.all_policies
+              with
+              | Some p -> p
+              | None -> Fmt.failwith "unknown policy %S" n)
+            names
+    in
+    List.iter
+      (fun p ->
+        let r = Sim_run.run ~cfg p w in
+        Fmt.pr "%a@.@." Sim_run.pp r)
+      policies
+  in
+  let doc = "run a timing-simulator workload under the issue policies" in
+  Cmd.v
+    (Cmd.info "sim" ~doc)
+    Term.(const action $ workload_flag $ policy_flag $ net_flag)
+
+(* --- fences ------------------------------------------------------------------ *)
+
+let fences_cmd =
+  let action test =
+    let prog = prog_or_classic test in
+    let evts = Evts.of_prog prog in
+    let pairs = Delay_set.delay_pairs evts in
+    Fmt.pr "%a@.@." Prog.pp prog;
+    if pairs = [] then
+      Fmt.pr "The delay set is empty: no cross-processor orderings needed.@."
+    else begin
+      Fmt.pr "Delay set (%d program-order pairs to enforce):@."
+        (List.length pairs);
+      List.iter
+        (fun (a, b) ->
+          Fmt.pr "  %a before %a@." Event.pp (Evts.event evts a) Event.pp
+            (Evts.event evts b))
+        pairs;
+      let fenced = Delay_set.with_fences prog in
+      Fmt.pr "@.Fenced program:@.%s@." (Litmus_print.to_string fenced);
+      Fmt.pr "appears SC on wbuf: %b, on ooo: %b@."
+        (Machines.appears_sc Machines.wbuf fenced)
+        (Machines.appears_sc Machines.ooo fenced)
+    end
+  in
+  let doc = "Shasha-Snir delay-set analysis and fence insertion" in
+  Cmd.v (Cmd.info "fences" ~doc) Term.(const action $ test_arg)
+
+(* --- list ------------------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    Fmt.pr "built-in litmus tests:@.";
+    List.iter
+      (fun e ->
+        Fmt.pr "  %-20s %s@."
+          (Prog.name e.Litmus_classics.prog)
+          e.Litmus_classics.descr)
+      Litmus_classics.all;
+    Fmt.pr "@.machines:@.";
+    List.iter
+      (fun m -> Fmt.pr "  %-8s %s@." (Machines.name m) (Machines.descr m))
+      Machines.all;
+    Fmt.pr "@.axiomatic models:@.";
+    List.iter (fun m -> Fmt.pr "  %s@." (Models.name m)) Models.all;
+    Fmt.pr
+      "@.sim workloads: fig3 barrier barrier-data locks pipeline ticket \
+       sense-barrier sense-barrier-data@.";
+    Fmt.pr "sim policies:  %s@."
+      (String.concat " " (List.map Cpu.policy_name Cpu.all_policies))
+  in
+  let doc = "list built-in tests, machines, models and workloads" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "weak ordering, as a software/hardware contract (Adve & Hill 1990)" in
+  let info = Cmd.info "weakord" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; races_cmd; verify_cmd; sim_cmd; fences_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/model_zoo.ml: Delay_set Drf Final Fmt List Litmus_classics Machines Models Prog Weak_ordering

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Array Cpu Fmt List Sim_config Sim_run Sim_trace Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Drf Final Fmt List Litmus_parse Machines Prog Sc

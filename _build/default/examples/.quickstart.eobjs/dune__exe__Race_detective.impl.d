@@ -1,0 +1,1 @@
+examples/race_detective.ml: Drf Event Evts Exp Final Fmt Instr List Litmus_classics Machines Prog Sc

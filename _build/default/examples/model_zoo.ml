@@ -1,0 +1,84 @@
+(* The model zoo: every corpus program against every machine and axiomatic
+   model, plus the Definition 2 verification table.
+
+     dune exec examples/model_zoo.exe
+
+   This reproduces, in one screen, the paper's logical content:
+   - Figure 1 (wbuf and ooo admit the Dekker violation);
+   - Definition 3 (the DRF0 column);
+   - Definition 2 (which machines appear SC to which software);
+   - Section 6 (def1 is weakly ordered too; def2-rs needs DRF1). *)
+
+let corpus = List.map (fun e -> e.Litmus_classics.prog) Litmus_classics.all
+
+let () =
+  Fmt.pr "Does the machine allow the test's 'exists' outcome?@.@.";
+  Fmt.pr "%-20s %6s %6s %6s %6s %6s %6s %6s  %5s %5s@." "test" "sc" "wbuf"
+    "ooo" "rp3" "def1" "def2" "d2-rs" "drf0" "drf1";
+  List.iter
+    (fun e ->
+      let p = e.Litmus_classics.prog in
+      let cell m =
+        match Machines.allows_exists m p with
+        | Some true -> "yes"
+        | Some false -> "-"
+        | None -> "?"
+      in
+      Fmt.pr "%-20s %6s %6s %6s %6s %6s %6s %6s  %5b %5b@." (Prog.name p)
+        (cell Machines.sc) (cell Machines.wbuf) (cell Machines.ooo)
+        (cell Machines.rp3) (cell Machines.def1) (cell Machines.def2)
+        (cell Machines.def2_rs) (Drf.obeys p)
+        (Drf.obeys ~model:Drf.DRF1 p))
+    Litmus_classics.all;
+
+  Fmt.pr "@.Definition 2 verdicts over this corpus:@.@.";
+  let check hw model =
+    let r = Weak_ordering.verify ~hw ~model corpus in
+    Fmt.pr "  %-8s w.r.t. %-12s %s@." r.Weak_ordering.hardware
+      r.Weak_ordering.model
+      (if r.Weak_ordering.weakly_ordered then "weakly ordered"
+       else
+         Fmt.str "NOT weakly ordered (e.g. %s)"
+           (match Weak_ordering.counterexamples r with
+           | v :: _ -> Prog.name v.Weak_ordering.program
+           | [] -> "?"))
+  in
+  List.iter
+    (fun m -> check (Weak_ordering.of_machine m) Weak_ordering.drf0)
+    Machines.all;
+  check (Weak_ordering.of_machine Machines.def2_rs) Weak_ordering.drf1;
+  (* A second instance of Definition 2: fence hardware and the
+     fenced-delays model. *)
+  let fenced_corpus = corpus @ List.map Delay_set.with_fences corpus in
+  List.iter
+    (fun m ->
+      let r =
+        Weak_ordering.verify
+          ~hw:(Weak_ordering.of_machine m)
+          ~model:Weak_ordering.fenced_delays fenced_corpus
+      in
+      Fmt.pr "  %-8s w.r.t. %-12s %s@." r.Weak_ordering.hardware
+        r.Weak_ordering.model
+        (if r.Weak_ordering.weakly_ordered then "weakly ordered"
+         else "NOT weakly ordered"))
+    [ Machines.rp3; Machines.ooo; Machines.wbuf ];
+
+  Fmt.pr "@.Axiomatic models agree with the operational machines:@.@.";
+  List.iter
+    (fun e ->
+      let p = e.Litmus_classics.prog in
+      let within op ax = Final.Set.subset (op p) (ax p) in
+      Fmt.pr "  %-20s def1 %s  def2 %s@." (Prog.name p)
+        (if
+           within
+             (Machines.outcomes Machines.def1)
+             (Models.outcomes Models.def1)
+         then "ok"
+         else "VIOLATION")
+        (if
+           within
+             (Machines.outcomes Machines.def2)
+             (Models.outcomes Models.def2)
+         then "ok"
+         else "VIOLATION"))
+    Litmus_classics.all

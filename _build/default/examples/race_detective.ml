@@ -1,0 +1,123 @@
+(* Race detective: static (whole-program, Definition 3) and dynamic
+   (per-execution, Figure 2 style) data-race analysis.
+
+     dune exec examples/race_detective.exe
+
+   The scenario: a work queue protected by a lock — except one fast-path
+   read that skips the lock.  The detective finds the race, shows a
+   witnessing synchronization order, and then demonstrates the per-trace
+   analysis the paper's Figure 2 performs on idealized executions. *)
+
+open Instr
+
+(* A guarded counter with an unguarded fast-path read. *)
+let buggy =
+  Prog.make ~name:"queue_fastpath"
+    [
+      [
+        lock "m";
+        read "count" "r0";
+        store "count" (Exp.Add (Exp.Reg "r0", Exp.Const 1));
+        unlock "m";
+      ];
+      [ read "count" "fast" (* oops: no lock *) ];
+      [
+        lock "m";
+        read "count" "r2";
+        store "count" (Exp.Add (Exp.Reg "r2", Exp.Const 1));
+        unlock "m";
+      ];
+    ]
+
+let fixed =
+  Prog.make ~name:"queue_fixed"
+    [
+      [
+        lock "m";
+        read "count" "r0";
+        store "count" (Exp.Add (Exp.Reg "r0", Exp.Const 1));
+        unlock "m";
+      ];
+      [ lock "m"; read "count" "fast"; unlock "m" ];
+      [
+        lock "m";
+        read "count" "r2";
+        store "count" (Exp.Add (Exp.Reg "r2", Exp.Const 1));
+        unlock "m";
+      ];
+    ]
+
+let analyze prog =
+  Fmt.pr "=== %s ===@." (Prog.name prog);
+  (match Drf.check prog with
+  | Ok () -> Fmt.pr "No data races: the program obeys DRF0.@."
+  | Error races ->
+      let unique =
+        List.sort_uniq
+          (fun a b ->
+            compare
+              (a.Drf.e1.Event.id, a.Drf.e2.Event.id)
+              (b.Drf.e1.Event.id, b.Drf.e2.Event.id))
+          races
+      in
+      Fmt.pr "RACY: %d conflicting pair(s) can go unordered:@." (List.length unique);
+      List.iter (fun r -> Fmt.pr "  %a@." Drf.pp_race r) unique);
+  Fmt.pr "@."
+
+let () =
+  analyze buggy;
+  analyze fixed;
+
+  (* Dynamic detection, Figure 2 style: examine individual idealized
+     executions of the buggy program.  Each trace is one execution; the
+     detective reports the unordered conflicting accesses of that trace. *)
+  Fmt.pr "=== per-execution analysis of %s (Figure 2 style) ===@."
+    (Prog.name buggy);
+  let evts = Evts.of_prog buggy in
+  let shown = ref 0 in
+  Sc.iter_traces buggy (fun trace _ ->
+      if !shown < 3 then begin
+        incr shown;
+        let races = Drf.races_of_trace evts trace in
+        Fmt.pr "execution %d (completion order %a): %s@." !shown
+          Fmt.(list ~sep:(any " ") int)
+          trace
+          (if races = [] then "race-free"
+           else
+             Fmt.str "races %a"
+               Fmt.(
+                 list ~sep:comma (fun ppf (a, b) ->
+                     pf ppf "(%a, %a)" Event.pp a Event.pp b))
+               races)
+      end);
+
+  (* Consequences: Definition 2 promises SC behaviour only to race-free
+     programs.  The lock-skipping update of the classics corpus really does
+     lose an increment, and the fast-path read here can observe any count —
+     weakly ordered hardware owes it nothing. *)
+  Fmt.pr "@.=== consequences ===@.";
+  let fast_values prog hw =
+    Final.Set.fold
+      (fun f acc ->
+        match Final.reg f 1 "fast" with Some v -> v :: acc | None -> acc)
+      (hw prog) []
+    |> List.sort_uniq compare
+  in
+  Fmt.pr "fast-path read may observe (%s): sc=%a def2=%a@." (Prog.name buggy)
+    Fmt.(list ~sep:comma int)
+    (fast_values buggy Sc.outcomes)
+    Fmt.(list ~sep:comma int)
+    (fast_values buggy (Machines.outcomes Machines.def2));
+  let lock_race = Litmus_classics.lock_race.Litmus_classics.prog in
+  let counts hw =
+    Final.Set.fold (fun f acc -> Final.mem f "x" :: acc) (hw lock_race) []
+    |> List.sort_uniq compare
+  in
+  Fmt.pr "lock_race final x (an unguarded increment): sc=%a def2=%a@."
+    Fmt.(list ~sep:comma int)
+    (counts Sc.outcomes)
+    Fmt.(list ~sep:comma int)
+    (counts (Machines.outcomes Machines.def2));
+  Fmt.pr
+    "Racing code loses updates even under SC; DRF0 is the contract that@.\
+     rules such programs out, and Definition 2 only promises SC to the rest.@."

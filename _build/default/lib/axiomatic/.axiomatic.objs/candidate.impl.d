@@ -1,0 +1,1 @@
+lib/axiomatic/candidate.ml: Array Event Evts Exp Final Fmt Hashtbl Instr Iset List Option Order Prog Rel

@@ -1,0 +1,1 @@
+lib/axiomatic/candidate.mli: Evts Final Format Rel

@@ -1,0 +1,1 @@
+lib/axiomatic/models.ml: Candidate Closure Cond Event Evts Final Iset List Option Prog Rel String

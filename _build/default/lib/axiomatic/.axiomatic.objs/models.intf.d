@@ -1,0 +1,1 @@
+lib/axiomatic/models.mli: Candidate Cond Final Prog Rel

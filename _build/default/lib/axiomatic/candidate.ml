@@ -1,0 +1,293 @@
+(* Candidate executions, herd-style.
+
+   A candidate fixes, for every read, the write it reads from (rf) and, for
+   every location, a total coherence order over its writes (co).  Values are
+   then computed from rf and intra-processor register flow; candidates whose
+   value flow is cyclic (out-of-thin-air) are rejected, as are candidates
+   violating the value constraints of blocking instructions ([Await] reads
+   its expected value, [Lock] reads 0).
+
+   A read-modify-write is a single event; rf never relates an event to
+   itself, and from-read pairs between an RMW's own components are
+   excluded. *)
+
+type source = Init | From of int
+
+type t = {
+  evts : Evts.t;
+  rf : source array;  (** indexed by event id; meaningful for reads *)
+  co : Rel.t;  (** union of the per-location total orders on writes *)
+  read_value : int array;
+  write_value : int array;
+}
+
+let evts t = t.evts
+let rf t = t.rf
+let co t = t.co
+let read_value t e = t.read_value.(e)
+let write_value t e = t.write_value.(e)
+
+(* rf as a relation: write -> read. *)
+let rf_rel t =
+  let n = Evts.size t.evts in
+  let pairs = ref [] in
+  Array.iteri
+    (fun r src -> match src with From w -> pairs := (w, r) :: !pairs | Init -> ())
+    t.rf;
+  Rel.of_list n !pairs
+
+let fr t =
+  let n = Evts.size t.evts in
+  let pairs = ref [] in
+  List.iter
+    (fun r ->
+      let e = Evts.event t.evts r in
+      match e.Event.loc with
+      | None -> ()
+      | Some loc -> (
+          let later_writes =
+            match t.rf.(r) with
+            | Init -> Evts.writes_of_loc t.evts loc
+            | From w -> Iset.elements (Rel.successors t.co w)
+          in
+          List.iter
+            (fun w' -> if w' <> r then pairs := (r, w') :: !pairs)
+            later_writes))
+    (Evts.reads t.evts);
+  Rel.of_list n !pairs
+
+let com t = Rel.union (rf_rel t) (Rel.union t.co (fr t))
+
+(* --- value computation --------------------------------------------------- *)
+
+(* For each event, the registers its value expression consumes together with
+   the po-latest defining event of each. *)
+let register_bindings evts =
+  let bindings = Array.make (Evts.size evts) [] in
+  for p = 0 to Evts.num_procs evts - 1 do
+    let last_def = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        let e = Evts.event evts id in
+        bindings.(id) <-
+          List.filter_map
+            (fun r ->
+              match Hashtbl.find_opt last_def r with
+              | Some d -> Some (r, d)
+              | None -> None)
+            (Instr.source_registers e.Event.instr);
+        match Instr.target_register e.Event.instr with
+        | Some r -> Hashtbl.replace last_def r id
+        | None -> ())
+      (Evts.by_proc evts p)
+  done;
+  bindings
+
+exception Rejected
+
+(* Compute read/write values for an rf choice, or reject (value cycle or a
+   violated Await/Lock constraint).  Returns (read_value, write_value). *)
+let compute_values evts bindings init_mem rf =
+  let n = Evts.size evts in
+  (* Order events so that producers come first: def-before-use and
+     rf-source-before-read. *)
+  let order_rel =
+    let pairs = ref [] in
+    Array.iteri
+      (fun id bs -> List.iter (fun (_, d) -> pairs := (d, id) :: !pairs) bs)
+      bindings;
+    Array.iteri
+      (fun r src ->
+        match src with
+        | From w when w <> r -> pairs := (w, r) :: !pairs
+        | From _ | Init -> ())
+      rf;
+    Rel.of_list n !pairs
+  in
+  match Order.topological_sort order_rel with
+  | None -> None (* out-of-thin-air value cycle *)
+  | Some order -> (
+      let read_value = Array.make n 0 in
+      let write_value = Array.make n 0 in
+      let init_of loc =
+        match Exp.Smap.find_opt loc init_mem with Some v -> v | None -> 0
+      in
+      let env_of id extra =
+        List.fold_left
+          (fun env (r, d) -> Exp.Smap.add r read_value.(d) env)
+          (List.fold_left
+             (fun env (r, v) -> Exp.Smap.add r v env)
+             Exp.Smap.empty extra)
+          bindings.(id)
+      in
+      try
+        List.iter
+          (fun id ->
+            let e = Evts.event evts id in
+            let loc = e.Event.loc in
+            let rval () =
+              match rf.(id) with
+              | Init -> init_of (Option.get loc)
+              | From w -> write_value.(w)
+            in
+            match e.Event.instr with
+            | Instr.Load _ -> read_value.(id) <- rval ()
+            | Instr.Store { value; _ } ->
+                write_value.(id) <- Exp.eval (env_of id []) value
+            | Instr.Rmw { reg; value; _ } ->
+                let old = rval () in
+                read_value.(id) <- old;
+                write_value.(id) <- Exp.eval (env_of id [ (reg, old) ]) value
+            | Instr.Await { expect; _ } ->
+                let v = rval () in
+                if v <> expect then raise Rejected;
+                read_value.(id) <- v
+            | Instr.Lock _ ->
+                let v = rval () in
+                if v <> 0 then raise Rejected;
+                read_value.(id) <- v;
+                write_value.(id) <- 1
+            | Instr.Fence -> ())
+          order;
+        Some (read_value, write_value)
+      with Rejected -> None)
+
+(* --- enumeration ---------------------------------------------------------- *)
+
+let rec product = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let enumerate_rf evts =
+  let reads = Evts.reads evts in
+  let choices =
+    List.map
+      (fun r ->
+        let e = Evts.event evts r in
+        let loc = Option.get e.Event.loc in
+        let writers =
+          List.filter (fun w -> w <> r) (Evts.writes_of_loc evts loc)
+        in
+        List.map (fun w -> (r, From w)) writers @ [ (r, Init) ])
+      reads
+  in
+  List.map
+    (fun assignment ->
+      let rf = Array.make (Evts.size evts) Init in
+      List.iter (fun (r, src) -> rf.(r) <- src) assignment;
+      rf)
+    (product choices)
+
+let enumerate_co evts =
+  let n = Evts.size evts in
+  let per_loc =
+    List.map
+      (fun loc -> permutations (Evts.writes_of_loc evts loc))
+      (Evts.locations evts)
+  in
+  List.map
+    (fun orders ->
+      let pairs = ref [] in
+      List.iter
+        (fun order ->
+          let rec walk = function
+            | [] -> ()
+            | a :: rest ->
+                List.iter (fun b -> pairs := (a, b) :: !pairs) rest;
+                walk rest
+          in
+          walk order)
+        orders;
+      Rel.of_list n !pairs)
+    (product per_loc)
+
+let enumerate evts =
+  let bindings = register_bindings evts in
+  let init_mem = Prog.initial_memory (Evts.prog evts) in
+  let cos = enumerate_co evts in
+  List.concat_map
+    (fun rf ->
+      match compute_values evts bindings init_mem rf with
+      | None -> []
+      | Some (read_value, write_value) ->
+          List.map
+            (fun co -> { evts; rf; co; read_value; write_value })
+            cos)
+    (enumerate_rf evts)
+
+(* --- derived facts -------------------------------------------------------- *)
+
+let rmw_atomic t =
+  (* The write an RMW reads from must be its immediate co predecessor (and
+     an init-reading RMW's write must be co-minimal). *)
+  List.for_all
+    (fun id ->
+      let e = Evts.event t.evts id in
+      if not (Event.is_read e && Event.is_write e) then true
+      else
+        match t.rf.(id) with
+        | From w ->
+            Rel.mem t.co w id
+            && Iset.for_all
+                 (fun mid -> mid = id || not (Rel.mem t.co mid id))
+                 (Rel.successors t.co w)
+        | Init ->
+            (* no other write co-precedes this event's write *)
+            let loc = Option.get e.Event.loc in
+            List.for_all
+              (fun w -> w = id || not (Rel.mem t.co w id))
+              (Evts.writes_of_loc t.evts loc))
+    (Evts.accesses t.evts)
+
+let final t =
+  let prog = Evts.prog t.evts in
+  let memory =
+    List.fold_left
+      (fun m loc ->
+        match Evts.writes_of_loc t.evts loc with
+        | [] -> m
+        | writes ->
+            (* co-last write *)
+            let last =
+              List.find
+                (fun w -> List.for_all (fun w' -> w = w' || Rel.mem t.co w' w) writes)
+                writes
+            in
+            Exp.Smap.add loc t.write_value.(last) m)
+      (Prog.initial_memory prog) (Prog.locations prog)
+  in
+  let regs =
+    Array.init (Prog.num_threads prog) (fun p ->
+        List.fold_left
+          (fun env id ->
+            let e = Evts.event t.evts id in
+            match Instr.target_register e.Event.instr with
+            | Some r when Event.is_read e -> Exp.Smap.add r t.read_value.(id) env
+            | Some _ | None -> env)
+          Exp.Smap.empty (Evts.by_proc t.evts p))
+  in
+  Final.make ~memory ~regs
+
+let pp ppf t =
+  let pp_src ppf (r, src) =
+    match src with
+    | Init -> Fmt.pf ppf "e%d<-init" r
+    | From w -> Fmt.pf ppf "e%d<-e%d" r w
+  in
+  let rf_list =
+    List.map (fun r -> (r, t.rf.(r))) (Evts.reads t.evts)
+  in
+  Fmt.pf ppf "@[<v>rf: %a@,co: %a@]"
+    Fmt.(list ~sep:(any "; ") pp_src)
+    rf_list Rel.pp t.co

@@ -1,0 +1,36 @@
+(** Candidate executions (herd-style): a reads-from choice plus per-location
+    coherence orders, with values computed from the register flow.
+
+    Candidates with cyclic value flow (out-of-thin-air) are excluded, as are
+    candidates violating blocking-instruction value constraints ([Await]
+    must read its expected value, [Lock] must read 0). *)
+
+type source = Init | From of int
+
+type t
+
+val evts : t -> Evts.t
+val rf : t -> source array
+val co : t -> Rel.t
+val read_value : t -> int -> int
+val write_value : t -> int -> int
+
+val rf_rel : t -> Rel.t
+(** rf as a write→read relation. *)
+
+val fr : t -> Rel.t
+(** From-read: a read precedes every write co-after its source. *)
+
+val com : t -> Rel.t
+(** [rf ∪ co ∪ fr]. *)
+
+val enumerate : Evts.t -> t list
+(** All value-consistent candidates. *)
+
+val rmw_atomic : t -> bool
+(** Every RMW reads from its immediate co predecessor. *)
+
+val final : t -> Final.t
+(** The result: co-last write per location, last read per register. *)
+
+val pp : Format.formatter -> t -> unit

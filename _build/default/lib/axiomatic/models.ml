@@ -1,0 +1,167 @@
+(* Axiomatic memory models over candidate executions.
+
+   Each model is a predicate on candidates; the outcomes a model allows for
+   a program are the results of the candidates it accepts.  The operational
+   machines in lib/machine provide independent definitions of the same
+   models, and the test suite checks that the two agree on the corpus. *)
+
+type t = { name : string; accepts : Candidate.t -> bool }
+
+let name m = m.name
+let accepts m c = m.accepts c
+
+(* --- shared building blocks ---------------------------------------------- *)
+
+let sync_events evts =
+  Iset.of_list (Evts.syncs evts)
+
+let po_to_sync evts =
+  let syncs = sync_events evts in
+  Rel.filter (fun _ b -> Iset.mem b syncs) (Evts.po evts)
+
+let po_from_sync evts =
+  let syncs = sync_events evts in
+  Rel.filter (fun a _ -> Iset.mem a syncs) (Evts.po evts)
+
+(* Coherence (per-location SC, the paper's "writes to the same location
+   observed in the same order by all processors"): acyclic(po-loc ∪ com). *)
+let coherent cand =
+  let evts = Candidate.evts cand in
+  Closure.acyclic_union [ Evts.po_loc evts; Candidate.com cand ]
+
+(* Sync-order edges of a candidate: same-location synchronization operations
+   ordered by communication (transitively closed per location). *)
+let sync_so cand =
+  let evts = Candidate.evts cand in
+  let syncs = sync_events evts in
+  let com_sync =
+    Rel.filter
+      (fun a b ->
+        Iset.mem a syncs && Iset.mem b syncs
+        && Event.same_loc (Evts.event evts a) (Evts.event evts b))
+      (Candidate.com cand)
+  in
+  Closure.transitive_closure com_sync
+
+(* --- models ---------------------------------------------------------------- *)
+
+let sc =
+  {
+    name = "sc";
+    accepts =
+      (fun cand ->
+        let evts = Candidate.evts cand in
+        Candidate.rmw_atomic cand
+        && Closure.acyclic_union [ Evts.po evts; Candidate.com cand ]);
+  }
+
+let coherence_only =
+  {
+    name = "coherence";
+    accepts = (fun cand -> Candidate.rmw_atomic cand && coherent cand);
+  }
+
+(* Definition 1 (Dubois, Scheurich & Briggs): (1) sync operations strongly
+   ordered; (2) no access issued before all previous data accesses are
+   globally performed when a sync follows; (3) no access issued until a
+   previous sync is globally performed.  Axiomatically: program order into
+   and out of synchronization operations is globally enforced, plus
+   intra-processor dependencies, coherence and RMW atomicity. *)
+let def1 =
+  {
+    name = "def1-weak-ordering";
+    accepts =
+      (fun cand ->
+        let evts = Candidate.evts cand in
+        let ppo =
+          Rel.union (Evts.deps evts)
+            (Rel.union (po_to_sync evts) (po_from_sync evts))
+        in
+        Candidate.rmw_atomic cand && coherent cand
+        && Closure.acyclic_union [ ppo; Candidate.com cand ]);
+  }
+
+(* The Section 5.1 conditions, axiomatically.  Condition 4 enforces program
+   order out of a committed sync; condition 5 makes accesses po-before a
+   sync visible before any *subsequent same-location sync by another
+   processor* — the release edge is [po∩(A×S) ; so], not [po∩(A×S)]
+   itself.  That is exactly how Definition 2's hardware may be weaker than
+   Definition 1's. *)
+let def2 =
+  {
+    name = "def2-drf0-sufficient";
+    accepts =
+      (fun cand ->
+        let evts = Candidate.evts cand in
+        let so = sync_so cand in
+        let release = Rel.compose (po_to_sync evts) so in
+        let ghb =
+          List.fold_left Rel.union (Evts.deps evts)
+            [ po_from_sync evts; so; release ]
+        in
+        Candidate.rmw_atomic cand && coherent cand
+        && Closure.acyclic_union [ ghb; Candidate.com cand ]);
+  }
+
+(* SPARC-style total store ordering: only write-to-read program order may
+   be relaxed, and a processor may read its own buffered write early (rf
+   internal edges are not globally ordered).  The wbuf machine is an
+   implementation of this model; the test suite keeps it inside. *)
+let tso =
+  {
+    name = "tso";
+    accepts =
+      (fun cand ->
+        let evts = Candidate.evts cand in
+        let ppo =
+          Rel.filter
+            (fun a b ->
+              not
+                (Event.is_write (Evts.event evts a)
+                && Event.is_read (Evts.event evts b)
+                && not (Event.is_read (Evts.event evts a))
+                && not (Event.is_write (Evts.event evts b))))
+            (Evts.po evts)
+        in
+        let rfe =
+          Rel.filter
+            (fun a b ->
+              (Evts.event evts a).Event.proc <> (Evts.event evts b).Event.proc)
+            (Candidate.rf_rel cand)
+        in
+        let fences = Iset.of_list (Evts.fences evts) in
+        let po_fence =
+          (* fences restore all program order around them *)
+          Rel.filter
+            (fun a b -> Iset.mem a fences || Iset.mem b fences)
+            (Evts.po evts)
+        in
+        Candidate.rmw_atomic cand && coherent cand
+        && Closure.acyclic_union
+             [
+               Rel.union ppo po_fence;
+               rfe;
+               Candidate.co cand;
+               Candidate.fr cand;
+             ]);
+  }
+
+let all = [ sc; tso; coherence_only; def1; def2 ]
+
+let find n = List.find_opt (fun m -> String.equal m.name n) all
+
+(* --- running --------------------------------------------------------------- *)
+
+let candidates model prog =
+  let evts = Evts.of_prog prog in
+  List.filter model.accepts (Candidate.enumerate evts)
+
+let outcomes model prog =
+  List.fold_left
+    (fun acc cand -> Final.Set.add (Candidate.final cand) acc)
+    Final.Set.empty (candidates model prog)
+
+let allows model prog cond = Cond.satisfiable_in (outcomes model prog) cond
+
+let allows_exists model prog =
+  Option.map (allows model prog) (Prog.exists prog)

@@ -1,0 +1,47 @@
+(** Axiomatic memory models over candidate executions.
+
+    Each model is a predicate on candidates; the outcome set it assigns a
+    program is the set of results of accepted candidates.  The operational
+    machines of [lib/machine] implement the same models independently; the
+    test suite checks agreement on the corpus. *)
+
+type t
+
+val name : t -> string
+val accepts : t -> Candidate.t -> bool
+
+val sc : t
+(** Sequential consistency: RMW atomicity plus
+    [acyclic (po ∪ rf ∪ co ∪ fr)]. *)
+
+val tso : t
+(** Total store ordering: write-to-read program order relaxed, internal
+    reads-from unordered, fences restore order.  The axiomatic envelope of
+    the write-buffer machine. *)
+
+val coherence_only : t
+(** Per-location SC only — the weakest model here; useful as a lower
+    bound. *)
+
+val def1 : t
+(** Definition 1 weak ordering (Dubois/Scheurich/Briggs), rendered
+    axiomatically: dependencies, program order into and out of sync
+    operations, coherence, RMW atomicity. *)
+
+val def2 : t
+(** The Section 5.1 sufficient conditions, rendered axiomatically: the
+    release edge is [po∩(A×S); so] — accesses before a sync are only
+    ordered with respect to *subsequent same-location syncs by other
+    processors* (and what follows them), not globally. *)
+
+val all : t list
+val find : string -> t option
+
+val coherent : Candidate.t -> bool
+val sync_so : Candidate.t -> Rel.t
+(** Same-location sync operations ordered by communication. *)
+
+val candidates : t -> Prog.t -> Candidate.t list
+val outcomes : t -> Prog.t -> Final.Set.t
+val allows : t -> Prog.t -> Cond.t -> bool
+val allows_exists : t -> Prog.t -> bool option

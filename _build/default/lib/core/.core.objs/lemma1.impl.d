@@ -1,0 +1,1 @@
+lib/core/lemma1.ml: Array Candidate Event Evts Fmt Hb List Models Rel

@@ -1,0 +1,1 @@
+lib/core/lemma1.mli: Candidate Event Format Rel

@@ -1,0 +1,1 @@
+lib/core/weak_ordering.ml: Delay_set Drf Event Evts Final Fmt List Machines Models Prog Sc

@@ -1,0 +1,1 @@
+lib/core/weak_ordering.mli: Final Format Machines Models Prog

@@ -1,0 +1,69 @@
+(* Lemma 1 (Appendix A): a system is weakly ordered with respect to DRF0
+   iff for any execution E of a DRF0 program there is a happens-before
+   relation such that every read in E returns the value written by the
+   last write to the same variable ordered before it by happens-before.
+
+   We check the characterization on candidate executions: take the
+   execution's own synchronization order (derived from its communication
+   relations), build hb = (po ∪ so)+, and test each read against the
+   hb-last same-location write. *)
+
+type read_check = {
+  read : Event.t;
+  hb_last_write : int option;  (** [None] means the initial value *)
+  actual_source : Candidate.source;
+  ok : bool;
+}
+
+let hb_of_candidate cand =
+  let evts = Candidate.evts cand in
+  Hb.hb evts ~so:(Models.sync_so cand)
+
+(* The hb-maximal writes to [loc] ordered hb-before [r].  For executions of
+   DRF0 programs this set has at most one element. *)
+let hb_last_writes cand hb r =
+  let evts = Candidate.evts cand in
+  let e = Evts.event evts r in
+  match e.Event.loc with
+  | None -> []
+  | Some loc ->
+      let before =
+        List.filter
+          (fun w -> w <> r && Rel.mem hb w r)
+          (Evts.writes_of_loc evts loc)
+      in
+      List.filter
+        (fun w ->
+          not (List.exists (fun w' -> w' <> w && Rel.mem hb w w') before))
+        before
+
+let check_read cand hb r =
+  let evts = Candidate.evts cand in
+  let lasts = hb_last_writes cand hb r in
+  let actual = (Candidate.rf cand).(r) in
+  let hb_last_write, ok =
+    match lasts with
+    | [] -> (None, actual = Candidate.Init)
+    | [ w ] -> (Some w, actual = Candidate.From w)
+    | w :: _ ->
+        (* More than one hb-maximal write: the program is racy on this
+           execution; the lemma's premise fails.  Report not-ok. *)
+        (Some w, false)
+  in
+  { read = Evts.event evts r; hb_last_write; actual_source = actual; ok }
+
+let check cand =
+  let evts = Candidate.evts cand in
+  let hb = hb_of_candidate cand in
+  List.map (check_read cand hb) (Evts.reads evts)
+
+let holds cand = List.for_all (fun c -> c.ok) (check cand)
+
+let pp_read_check ppf c =
+  Fmt.pf ppf "%a: hb-last=%a actual=%s %s" Event.pp c.read
+    Fmt.(option ~none:(any "init") int)
+    c.hb_last_write
+    (match c.actual_source with
+    | Candidate.Init -> "init"
+    | Candidate.From w -> string_of_int w)
+    (if c.ok then "ok" else "MISMATCH")

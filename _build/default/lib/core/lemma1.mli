@@ -1,0 +1,21 @@
+(** Lemma 1 (Appendix A): on executions of DRF0 programs, every read
+    returns the value of the hb-last write to its location.
+
+    Checked on candidate executions, using the candidate's own
+    synchronization order to build happens-before. *)
+
+type read_check = {
+  read : Event.t;
+  hb_last_write : int option;
+  actual_source : Candidate.source;
+  ok : bool;
+}
+
+val hb_of_candidate : Candidate.t -> Rel.t
+val check : Candidate.t -> read_check list
+
+val holds : Candidate.t -> bool
+(** Every read reads its hb-last write (or the initial value when no write
+    is hb-before it). *)
+
+val pp_read_check : Format.formatter -> read_check -> unit

@@ -1,0 +1,104 @@
+(* Definition 2, executable:
+
+     "Hardware is weakly ordered with respect to a synchronization model if
+      and only if it appears sequentially consistent to all software that
+      obey the synchronization model."
+
+   A synchronization model is a predicate on programs; hardware is any
+   source of outcome sets (an abstract machine, an axiomatic model, or a
+   timing simulator's reachable results).  "Appears sequentially
+   consistent" for one program means the hardware's outcome set is included
+   in the SC outcome set.  Definition 2 itself quantifies over all
+   programs; [verify] checks it over a finite corpus and reports every
+   counterexample, which is the strongest mechanical statement available. *)
+
+type sync_model = { model_name : string; obeys : Prog.t -> bool }
+
+let drf0 = { model_name = "DRF0"; obeys = (fun p -> Drf.obeys ~model:Drf.DRF0 p) }
+let drf1 = { model_name = "DRF1"; obeys = (fun p -> Drf.obeys ~model:Drf.DRF1 p) }
+
+let unconstrained = { model_name = "all-programs"; obeys = (fun _ -> true) }
+
+(* A synchronization model for fence-based hardware (the RP3 option of
+   Section 2.1): the software's obligation is to separate every
+   Shasha-Snir delay pair with a fence.  Hardware that respects fences,
+   coherence and atomicity then appears sequentially consistent — a second
+   instance of Definition 2, with a very different contract than DRF0. *)
+let fenced_delays =
+  {
+    model_name = "fenced-delays";
+    obeys =
+      (fun prog ->
+        let evts = Evts.of_prog prog in
+        let fence_between (a, b) =
+          let ea = Evts.event evts a and eb = Evts.event evts b in
+          List.exists
+            (fun f ->
+              let ef = Evts.event evts f in
+              ef.Event.proc = ea.Event.proc
+              && ef.Event.index > ea.Event.index
+              && ef.Event.index < eb.Event.index)
+            (Evts.fences evts)
+        in
+        List.for_all fence_between (Delay_set.delay_pairs evts));
+  }
+
+type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
+
+let of_machine m =
+  { hw_name = Machines.name m; outcomes = Machines.outcomes m }
+
+let of_model m = { hw_name = Models.name m; outcomes = Models.outcomes m }
+
+let appears_sc hw prog =
+  Final.Set.subset (hw.outcomes prog) (Sc.outcomes prog)
+
+type verdict = {
+  program : Prog.t;
+  obeys_model : bool;
+  sc_appearance : bool;
+  ok : bool;  (** [obeys_model] implies [sc_appearance] *)
+}
+
+type report = {
+  hardware : string;
+  model : string;
+  verdicts : verdict list;
+  weakly_ordered : bool;  (** no counterexample in the corpus *)
+}
+
+let verify ~hw ~model corpus =
+  let verdicts =
+    List.map
+      (fun program ->
+        let obeys_model = model.obeys program in
+        let sc_appearance = appears_sc hw program in
+        { program; obeys_model; sc_appearance; ok = (not obeys_model) || sc_appearance })
+      corpus
+  in
+  {
+    hardware = hw.hw_name;
+    model = model.model_name;
+    verdicts;
+    weakly_ordered = List.for_all (fun v -> v.ok) verdicts;
+  }
+
+let counterexamples report =
+  List.filter (fun v -> not v.ok) report.verdicts
+
+(* Genuinely weaker than SC: some corpus program exhibits a non-SC outcome.
+   (A machine could trivially be weakly ordered by being SC.) *)
+let weaker_than_sc ~hw corpus =
+  List.exists (fun p -> not (appears_sc hw p)) corpus
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%-20s obeys=%-5b appears-SC=%-5b %s" (Prog.name v.program)
+    v.obeys_model v.sc_appearance
+    (if v.ok then "ok" else "COUNTEREXAMPLE")
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>hardware %s w.r.t. %s: %s@,%a@]" r.hardware r.model
+    (if r.weakly_ordered then "weakly ordered (on this corpus)"
+     else "NOT weakly ordered")
+    Fmt.(list ~sep:cut pp_verdict)
+    r.verdicts

@@ -1,0 +1,53 @@
+(** Definition 2, executable: hardware is weakly ordered with respect to a
+    synchronization model iff it appears sequentially consistent to all
+    software obeying the model.
+
+    The real definition quantifies over all programs; {!verify} checks it
+    over a finite corpus and reports each counterexample. *)
+
+type sync_model = { model_name : string; obeys : Prog.t -> bool }
+
+val drf0 : sync_model
+val drf1 : sync_model
+
+val unconstrained : sync_model
+(** Every program obeys it: being weakly ordered w.r.t. this model is being
+    sequentially consistent. *)
+
+val fenced_delays : sync_model
+(** A program obeys it iff every Shasha–Snir delay pair is separated by a
+    fence — the contract for fence-based hardware like the RP3 option or
+    the naive machines. *)
+
+type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
+
+val of_machine : Machines.t -> hardware
+val of_model : Models.t -> hardware
+
+val appears_sc : hardware -> Prog.t -> bool
+(** The hardware's outcomes for the program are a subset of the SC
+    outcomes. *)
+
+type verdict = {
+  program : Prog.t;
+  obeys_model : bool;
+  sc_appearance : bool;
+  ok : bool;
+}
+
+type report = {
+  hardware : string;
+  model : string;
+  verdicts : verdict list;
+  weakly_ordered : bool;
+}
+
+val verify : hw:hardware -> model:sync_model -> Prog.t list -> report
+val counterexamples : report -> verdict list
+
+val weaker_than_sc : hw:hardware -> Prog.t list -> bool
+(** Some corpus program exhibits a non-SC outcome: the hardware is not just
+    trivially weakly ordered by being SC. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit

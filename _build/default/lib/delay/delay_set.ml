@@ -1,0 +1,155 @@
+(* Shasha & Snir's delay-set analysis (Section 2.1's software route to
+   sequential consistency, [ShS88]).
+
+   Build the graph whose nodes are the program's events, with directed
+   program-order edges inside each thread and symmetric conflict edges
+   between different threads' accesses to a common location (not both
+   reads).  A *critical cycle* is a simple cycle in this graph that visits
+   at most two events per processor (adjacent in the cycle) and at most
+   three events per location (adjacent in the cycle).  The *delay set* is
+   the set of program-order edges of critical cycles: if the hardware
+   enforces just these orderings (e.g. with fences), every execution is
+   sequentially consistent — however weak the machine otherwise is,
+   provided it is coherent and write-atomic.
+
+   The differential tests close the loop: for random programs, inserting a
+   fence on every delay pair makes the wbuf and ooo machines appear
+   sequentially consistent. *)
+
+type cycle = int list
+
+let conflict_edges evts =
+  let n = Evts.size evts in
+  let pairs = ref [] in
+  List.iter
+    (fun (a, b) ->
+      if (Evts.event evts a).Event.proc <> (Evts.event evts b).Event.proc then begin
+        pairs := (a, b) :: (b, a) :: !pairs
+      end)
+    (Evts.conflicting_pairs evts);
+  Rel.of_list n !pairs
+
+let edges evts = Rel.union (Evts.po evts) (conflict_edges evts)
+
+(* Enumerate simple cycles: DFS from each start node, visiting only nodes
+   >= start (so each cycle is produced exactly once, anchored at its
+   minimal node), bounded by [max_len]. *)
+let simple_cycles ?(max_len = 12) evts =
+  let g = edges evts in
+  let n = Evts.size evts in
+  let cycles = ref [] in
+  let rec extend start path visited node =
+    if List.length path <= max_len then
+      Iset.iter
+        (fun next ->
+          if next = start && List.length path >= 2 then
+            cycles := List.rev path :: !cycles
+          else if next > start && not (Iset.mem next visited) then
+            extend start (next :: path) (Iset.add next visited) next)
+        (Rel.successors g node)
+  in
+  for start = 0 to n - 1 do
+    extend start [ start ] (Iset.singleton start) start
+  done;
+  !cycles
+
+(* Positions of a value in a cycle, for the adjacency side conditions. *)
+let adjacent_in_cycle cycle positions =
+  let len = List.length cycle in
+  match positions with
+  | [] | [ _ ] -> true
+  | _ ->
+      (* The positions must form one contiguous block, cyclically: the gaps
+         between consecutive positions are all 1 except a single wrap gap. *)
+      let sorted = List.sort compare positions in
+      let gaps =
+        let rec walk = function
+          | a :: (b :: _ as rest) -> (b - a) :: walk rest
+          | [ last ] -> [ List.hd sorted + len - last ]
+          | [] -> []
+        in
+        walk sorted
+      in
+      List.length (List.filter (fun g -> g <> 1) gaps) <= 1
+
+let is_critical evts cycle =
+  let arr = Array.of_list cycle in
+  let len = Array.length arr in
+  let positions_by key =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri
+      (fun i e ->
+        let k = key (Evts.event evts e) in
+        Hashtbl.replace tbl k (i :: (try Hashtbl.find tbl k with Not_found -> [])))
+      arr;
+    tbl
+  in
+  let by_proc = positions_by (fun e -> string_of_int e.Event.proc) in
+  let by_loc =
+    positions_by (fun e -> match e.Event.loc with Some l -> l | None -> "")
+  in
+  (* Length-2 "cycles" just traverse one symmetric conflict edge twice;
+     they contain no program-order edge and are not Shasha–Snir cycles. *)
+  len >= 3
+  && Hashtbl.fold
+       (fun _ ps acc ->
+         acc && List.length ps <= 2 && adjacent_in_cycle cycle ps)
+       by_proc true
+  && Hashtbl.fold
+       (fun _ ps acc ->
+         acc && List.length ps <= 3 && adjacent_in_cycle cycle ps)
+       by_loc true
+
+let critical_cycles evts =
+  List.filter (is_critical evts) (simple_cycles evts)
+
+(* The program-order edges of the critical cycles. *)
+let delay_pairs evts =
+  let po = Evts.po evts in
+  let add acc cycle =
+    let arr = Array.of_list cycle in
+    let len = Array.length arr in
+    let rec walk i acc =
+      if i >= len then acc
+      else
+        let a = arr.(i) and b = arr.((i + 1) mod len) in
+        let acc = if Rel.mem po a b then (a, b) :: acc else acc in
+        walk (i + 1) acc
+    in
+    walk 0 acc
+  in
+  List.sort_uniq compare
+    (List.fold_left add [] (critical_cycles evts))
+
+(* Insert a full fence immediately after the first element of every delay
+   pair (a full fence anywhere between the pair enforces the delay; right
+   after the source is simplest and merges overlapping pairs). *)
+let with_fences prog =
+  let evts = Evts.of_prog prog in
+  let pairs = delay_pairs evts in
+  let fence_after =
+    (* (proc, index) pairs needing a trailing fence *)
+    List.sort_uniq compare
+      (List.map
+         (fun (a, _) ->
+           let e = Evts.event evts a in
+           (e.Event.proc, e.Event.index))
+         pairs)
+  in
+  let threads =
+    List.mapi
+      (fun p instrs ->
+        List.concat
+          (List.mapi
+             (fun i instr ->
+               if List.mem (p, i) fence_after then [ instr; Instr.Fence ]
+               else [ instr ])
+             instrs))
+      (Prog.threads prog)
+  in
+  Prog.make
+    ~name:(Prog.name prog ^ "+fences")
+    ~init:(Prog.init prog)
+    ?exists:(Prog.exists prog) threads
+
+let delay_count prog = List.length (delay_pairs (Evts.of_prog prog))

@@ -1,0 +1,31 @@
+(** Shasha–Snir delay-set analysis ([ShS88], discussed in the paper's
+    Section 2.1): the static, software route to sequential consistency.
+
+    The delay set is the set of program-order pairs appearing in critical
+    cycles of the program-order ∪ conflict graph; enforcing just these
+    orderings guarantees sequential consistency on coherent, write-atomic
+    hardware. *)
+
+type cycle = int list
+(** Event ids in cycle order. *)
+
+val conflict_edges : Evts.t -> Rel.t
+(** Symmetric edges between different threads' conflicting accesses. *)
+
+val simple_cycles : ?max_len:int -> Evts.t -> cycle list
+(** All simple cycles of the combined graph, each anchored at its minimal
+    event (no rotational duplicates). *)
+
+val is_critical : Evts.t -> cycle -> bool
+(** At most two events per processor and three per location, each group
+    adjacent in the cycle. *)
+
+val critical_cycles : Evts.t -> cycle list
+
+val delay_pairs : Evts.t -> (int * int) list
+(** Program-order pairs that must be enforced (the delay set), sorted. *)
+
+val with_fences : Prog.t -> Prog.t
+(** Insert a full fence after the first element of every delay pair. *)
+
+val delay_count : Prog.t -> int

@@ -1,0 +1,1 @@
+lib/drf/drf.ml: Event Evts Fmt Hb List Sc Sync_orders

@@ -1,0 +1,1 @@
+lib/drf/drf.mli: Event Evts Format Prog Rel Sync_orders

@@ -1,0 +1,1 @@
+lib/drf/hb.ml: Array Closure Event Evts List Rel

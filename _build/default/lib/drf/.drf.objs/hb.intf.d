@@ -1,0 +1,1 @@
+lib/drf/hb.mli: Evts Rel

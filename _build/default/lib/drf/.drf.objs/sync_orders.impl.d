@@ -1,0 +1,1 @@
+lib/drf/sync_orders.ml: Array Event Evts Fmt Hashtbl List Prog Rel Sem Set String

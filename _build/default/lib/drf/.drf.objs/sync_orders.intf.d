@@ -1,0 +1,1 @@
+lib/drf/sync_orders.mli: Evts Format Prog Rel

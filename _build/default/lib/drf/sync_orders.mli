@@ -1,0 +1,20 @@
+(** Feasible per-location synchronization completion orders.
+
+    The happens-before relation of an idealized execution depends only on
+    the order in which same-location synchronization operations complete;
+    this module enumerates exactly the orders realizable by complete SC
+    executions (a memoized semantic search, so blocking [Await]/[Lock]
+    instructions correctly prune unrealizable orders). *)
+
+type t = (string * int list) list
+(** For each synchronization location (sorted by name), sync event ids in
+    completion order. *)
+
+val feasible : Prog.t -> t list
+(** All realizable synchronization orders (each appears once). *)
+
+val to_so : Evts.t -> t -> Rel.t
+(** The synchronization-order relation induced by one order choice. *)
+
+val count : Prog.t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/exec/evts.ml: Array Event Fmt Hashtbl Instr List Prog Rel

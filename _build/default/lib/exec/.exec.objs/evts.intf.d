@@ -1,0 +1,1 @@
+lib/exec/evts.mli: Event Format Prog Rel

@@ -1,0 +1,1 @@
+lib/exec/sc.ml: Array Cond Evts Final Hashtbl List Prog Sem

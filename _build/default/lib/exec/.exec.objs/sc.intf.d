@@ -1,0 +1,1 @@
+lib/exec/sc.mli: Cond Final Prog

@@ -1,0 +1,1 @@
+lib/exec/sem.ml: Array Exp Final Instr List Prog

@@ -1,0 +1,1 @@
+lib/exec/sem.mli: Exp Final Instr Prog

@@ -1,0 +1,62 @@
+(* Dynamic events: one per executed instruction.  Litmus threads are
+   straight-line, so the events of a program are static — every execution
+   performs exactly the same event set, in program order per thread.  A
+   read-modify-write is one event with both a read and a write component,
+   which matches the paper's treatment (its components commit and globally
+   perform together, Section 5.1). *)
+
+type dir = R | W | RW | F
+
+type t = {
+  id : int;  (** dense, unique across the program *)
+  proc : int;
+  index : int;  (** position within the thread *)
+  dir : dir;
+  kind : Instr.kind option;  (** [None] for fences *)
+  loc : string option;
+  instr : Instr.t;
+}
+
+let dir_of_instr = function
+  | Instr.Load _ | Instr.Await _ -> R
+  | Instr.Store _ -> W
+  | Instr.Rmw _ | Instr.Lock _ -> RW
+  | Instr.Fence -> F
+
+let of_instr ~id ~proc ~index instr =
+  {
+    id;
+    proc;
+    index;
+    dir = dir_of_instr instr;
+    kind = Instr.kind instr;
+    loc = Instr.location instr;
+    instr;
+  }
+
+let is_read e = match e.dir with R | RW -> true | W | F -> false
+let is_write e = match e.dir with W | RW -> true | R | F -> false
+let is_access e = match e.dir with F -> false | R | W | RW -> true
+let is_sync e = e.kind = Some Instr.Sync
+let is_data e = e.kind = Some Instr.Data
+let is_fence e = e.dir = F
+
+let same_loc a b =
+  match (a.loc, b.loc) with
+  | Some la, Some lb -> String.equal la lb
+  | _, _ -> false
+
+let conflicts a b =
+  (* Paper, Section 4: two accesses conflict iff they access the same
+     location and they are not both reads. *)
+  let both_reads = (not (is_write a)) && not (is_write b) in
+  is_access a && is_access b && same_loc a b && not both_reads
+
+let pp_dir ppf d =
+  Fmt.string ppf (match d with R -> "R" | W -> "W" | RW -> "RW" | F -> "F")
+
+let pp ppf e =
+  Fmt.pf ppf "e%d:P%d.%d:%a%s%a" e.id e.proc e.index pp_dir e.dir
+    (if is_sync e then "s" else "")
+    Fmt.(option string)
+    e.loc

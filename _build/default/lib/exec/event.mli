@@ -1,0 +1,38 @@
+(** Dynamic memory events of a litmus program.
+
+    Threads are straight-line, so the event set is static: every execution
+    performs the same events.  A read-modify-write is a single event with
+    both a read and a write component, matching the paper's Section 5.1
+    treatment of synchronization RMWs. *)
+
+type dir = R | W | RW | F
+
+type t = {
+  id : int;
+  proc : int;
+  index : int;
+  dir : dir;
+  kind : Instr.kind option;
+  loc : string option;
+  instr : Instr.t;
+}
+
+val of_instr : id:int -> proc:int -> index:int -> Instr.t -> t
+
+val is_read : t -> bool
+(** Has a read component (includes RMW). *)
+
+val is_write : t -> bool
+(** Has a write component (includes RMW). *)
+
+val is_access : t -> bool
+val is_sync : t -> bool
+val is_data : t -> bool
+val is_fence : t -> bool
+val same_loc : t -> t -> bool
+
+val conflicts : t -> t -> bool
+(** Paper Section 4: same location and not both reads. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_dir : Format.formatter -> dir -> unit

@@ -1,0 +1,127 @@
+(* The event structure of a program: all events, program order, and the
+   derived sets and relations every analysis needs. *)
+
+type t = {
+  prog : Prog.t;
+  events : Event.t array;
+  po : Rel.t;
+  by_proc : int list array;  (** event ids of each thread, in program order *)
+}
+
+let of_prog prog =
+  let events = ref [] in
+  let next_id = ref 0 in
+  let nprocs = Prog.num_threads prog in
+  let by_proc = Array.make nprocs [] in
+  for p = 0 to nprocs - 1 do
+    List.iteri
+      (fun index instr ->
+        let e = Event.of_instr ~id:!next_id ~proc:p ~index instr in
+        incr next_id;
+        events := e :: !events;
+        by_proc.(p) <- e.Event.id :: by_proc.(p))
+      (Prog.thread prog p)
+  done;
+  let events =
+    let a = Array.of_list (List.rev !events) in
+    Array.iteri (fun i e -> assert (e.Event.id = i)) a;
+    a
+  in
+  let by_proc = Array.map List.rev by_proc in
+  let n = Array.length events in
+  (* po relates every pair of same-thread events in program order, not just
+     adjacent ones, so it can be unioned directly into axiom checks. *)
+  let po =
+    let pairs = ref [] in
+    Array.iter
+      (fun ids ->
+        let rec walk = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter (fun b -> pairs := (a, b) :: !pairs) rest;
+              walk rest
+        in
+        walk ids)
+      by_proc;
+    Rel.of_list n !pairs
+  in
+  { prog; events; po; by_proc }
+
+let prog t = t.prog
+let events t = t.events
+let po t = t.po
+let size t = Array.length t.events
+let event t id = t.events.(id)
+let by_proc t p = t.by_proc.(p)
+let num_procs t = Array.length t.by_proc
+
+let filter_ids pred t =
+  Array.to_list t.events
+  |> List.filter pred
+  |> List.map (fun e -> e.Event.id)
+
+let reads t = filter_ids Event.is_read t
+let writes t = filter_ids Event.is_write t
+let accesses t = filter_ids Event.is_access t
+let syncs t = filter_ids Event.is_sync t
+let fences t = filter_ids Event.is_fence t
+
+let accesses_of_loc t loc =
+  filter_ids
+    (fun e -> Event.is_access e && e.Event.loc = Some loc)
+    t
+
+let writes_of_loc t loc =
+  filter_ids (fun e -> Event.is_write e && e.Event.loc = Some loc) t
+
+let syncs_of_loc t loc =
+  filter_ids (fun e -> Event.is_sync e && e.Event.loc = Some loc) t
+
+let locations t = Prog.locations t.prog
+
+let conflicting_pairs t =
+  let n = size t in
+  let pairs = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Event.conflicts t.events.(a) t.events.(b) then
+        pairs := (a, b) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let po_loc t =
+  Rel.filter (fun a b -> Event.same_loc t.events.(a) t.events.(b)) t.po
+
+(* Intra-processor data dependencies: event [b] depends on event [a] when
+   [a] assigns a register that [b]'s value expression consumes (through
+   intermediate register copies there are none: registers are written only
+   by loads/RMWs, so the def reaching [b] is the po-latest load of that
+   register before [b]). *)
+let deps t =
+  let n = size t in
+  let pairs = ref [] in
+  Array.iter
+    (fun ids ->
+      (* last_def maps register -> event id of its latest definition *)
+      let last_def = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          let e = event t id in
+          List.iter
+            (fun r ->
+              match Hashtbl.find_opt last_def r with
+              | Some d -> pairs := (d, id) :: !pairs
+              | None -> ())
+            (Instr.source_registers e.Event.instr);
+          match Instr.target_register e.Event.instr with
+          | Some r -> Hashtbl.replace last_def r id
+          | None -> ())
+        ids)
+    t.by_proc;
+  Rel.of_list n !pairs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut Event.pp)
+    (Array.to_list t.events)

@@ -1,0 +1,42 @@
+(** Event structures: the static events of a program with program order and
+    the derived sets and relations that analyses consume. *)
+
+type t
+
+val of_prog : Prog.t -> t
+val prog : t -> Prog.t
+val events : t -> Event.t array
+
+val po : t -> Rel.t
+(** Program order as a strict partial order (transitively closed within each
+    thread, empty across threads). *)
+
+val size : t -> int
+(** Number of events; event ids are [0 .. size-1]. *)
+
+val event : t -> int -> Event.t
+val by_proc : t -> int -> int list
+val num_procs : t -> int
+
+val reads : t -> int list
+val writes : t -> int list
+val accesses : t -> int list
+val syncs : t -> int list
+val fences : t -> int list
+val accesses_of_loc : t -> string -> int list
+val writes_of_loc : t -> string -> int list
+val syncs_of_loc : t -> string -> int list
+val locations : t -> string list
+
+val conflicting_pairs : t -> (int * int) list
+(** All pairs [(a, b)], [a < b], of conflicting accesses (paper Section 4:
+    same location, not both reads), including same-thread pairs. *)
+
+val po_loc : t -> Rel.t
+(** Program order restricted to same-location pairs. *)
+
+val deps : t -> Rel.t
+(** Intra-processor data dependencies: the po-latest definition of each
+    register consumed by an instruction's value expression. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(* Exhaustive enumeration of sequentially consistent executions.
+
+   An SC execution is an interleaving of the threads in which each access
+   executes atomically, in program order (Lamport's definition, as
+   instantiated in the paper's introduction).  [outcomes] computes the full
+   set of results with memoization on machine states; [iter_traces]
+   enumerates every interleaving (no memoization — exponential, intended for
+   litmus-sized programs and for cross-checking smarter analyses). *)
+
+let outcomes prog =
+  let memo : (Sem.key, Final.Set.t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec explore state =
+    let key = Sem.key_of_state state in
+    match Hashtbl.find_opt memo key with
+    | Some res -> res
+    | None ->
+        let res =
+          if Sem.all_done prog state then
+            Final.Set.singleton (Sem.final_of_state state)
+          else begin
+            let acc = ref Final.Set.empty in
+            for p = 0 to Prog.num_threads prog - 1 do
+              match Sem.step prog state p with
+              | None -> ()
+              | Some state' -> acc := Final.Set.union (explore state') !acc
+            done;
+            !acc
+          end
+        in
+        Hashtbl.add memo key res;
+        res
+  in
+  explore (Sem.initial prog)
+
+let iter_traces prog f =
+  let evts = Evts.of_prog prog in
+  let nprocs = Prog.num_threads prog in
+  (* Event ids of each thread as arrays for O(1) lookup by index. *)
+  let ids = Array.init nprocs (fun p -> Array.of_list (Evts.by_proc evts p)) in
+  let rec explore state trace =
+    if Sem.all_done prog state then
+      f (List.rev trace) (Sem.final_of_state state)
+    else
+      for p = 0 to nprocs - 1 do
+        match Sem.step prog state p with
+        | None -> ()
+        | Some state' ->
+            let fired = ids.(p).(state.Sem.threads.(p).Sem.next) in
+            explore state' (fired :: trace)
+      done
+  in
+  explore (Sem.initial prog) []
+
+let count_traces prog =
+  let n = ref 0 in
+  iter_traces prog (fun _ _ -> incr n);
+  !n
+
+let allows prog cond =
+  Cond.satisfiable_in (outcomes prog) cond
+
+let allows_exists prog =
+  match Prog.exists prog with
+  | None -> None
+  | Some c -> Some (allows prog c)

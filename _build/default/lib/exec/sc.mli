@@ -1,0 +1,18 @@
+(** Exhaustive sequentially consistent execution of litmus programs. *)
+
+val outcomes : Prog.t -> Final.Set.t
+(** The complete set of SC results, computed by memoized state-space
+    exploration. *)
+
+val iter_traces : Prog.t -> (int list -> Final.t -> unit) -> unit
+(** [iter_traces p f] calls [f trace final] for every SC interleaving, where
+    [trace] lists event ids (see {!Evts}) in execution order.  Exponential in
+    program size; use for litmus-sized programs and cross-checks only. *)
+
+val count_traces : Prog.t -> int
+
+val allows : Prog.t -> Cond.t -> bool
+(** Is the condition satisfied by some SC outcome? *)
+
+val allows_exists : Prog.t -> bool option
+(** [allows] applied to the program's own "exists" clause, if any. *)

@@ -1,0 +1,26 @@
+(** Atomic, in-program-order small-step semantics — the paper's "idealized
+    architecture" where all memory accesses execute atomically and in
+    program order. *)
+
+module Smap = Exp.Smap
+
+type thread_state = { next : int; regs : int Smap.t }
+type state = { memory : int Smap.t; threads : thread_state array }
+
+val initial : Prog.t -> state
+val read_mem : int Smap.t -> string -> int
+val thread_done : Prog.t -> state -> int -> bool
+val all_done : Prog.t -> state -> bool
+val next_instr : Prog.t -> state -> int -> Instr.t option
+
+val step : Prog.t -> state -> int -> state option
+(** [step prog s p] executes the next instruction of thread [p] atomically.
+    Returns [None] if [p] has finished, or if its next instruction is a
+    blocked [Await]/[Lock] that cannot currently succeed. *)
+
+val final_of_state : state -> Final.t
+
+type key = int array * (string * int) list * (string * int) list array
+
+val key_of_state : state -> key
+(** Canonical structural key for memoizing state exploration. *)

@@ -1,0 +1,1 @@
+lib/litmus/litmus_classics.ml: Cond Exp Instr List Prog String

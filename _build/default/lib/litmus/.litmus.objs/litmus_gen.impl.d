@@ -1,0 +1,1 @@
+lib/litmus/litmus_gen.ml: Final Instr Int64 List Printf Prog Sc

@@ -1,0 +1,1 @@
+lib/litmus/litmus_lex.ml: Fmt List Printf String

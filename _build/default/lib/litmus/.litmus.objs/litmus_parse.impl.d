@@ -1,0 +1,1 @@
+lib/litmus/litmus_parse.ml: Cond Exp Filename Format Instr List Litmus_lex Prog String

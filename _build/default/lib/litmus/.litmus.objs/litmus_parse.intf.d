@@ -1,0 +1,1 @@
+lib/litmus/litmus_parse.mli: Cond Instr Prog

@@ -1,0 +1,1 @@
+lib/litmus/litmus_print.ml: Array Buffer Cond Exp Fmt Instr List Printf Prog String

@@ -1,0 +1,1 @@
+lib/litmus/litmus_print.mli: Instr Prog

@@ -1,0 +1,456 @@
+(* A corpus of classic litmus tests, with the paper's own examples.
+
+   Each entry records what is *expected* of it: whether the program obeys
+   DRF0 (Definition 3) and whether sequential consistency allows its
+   "exists" outcome.  The expectations are asserted by the test suite
+   against the implemented checkers, and several come straight from the
+   paper's figures. *)
+
+open Instr
+
+type entry = {
+  prog : Prog.t;
+  drf0 : bool;  (** does the program obey DRF0? *)
+  sc_allows : bool;  (** does SC allow the "exists" outcome? *)
+  descr : string;
+}
+
+let reg_eq p r v = Cond.Reg_eq (p, r, v)
+
+(* --- Figure 1: Dekker-style SC violation -------------------------------- *)
+
+(* The paper's Figure 1, with "kill P" replaced by observing the other
+   flag: both registers 0 is exactly the "both processors killed" result
+   that sequential consistency forbids. *)
+let dekker =
+  {
+    prog =
+      Prog.make ~name:"dekker"
+        ~exists:(Cond.And (reg_eq 0 "r0" 0, reg_eq 1 "r1" 0))
+        [
+          [ write "x" 1; read "y" "r0" ];
+          [ write "y" 1; read "x" "r1" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "Figure 1: store buffering / Dekker; SC forbids r0=r1=0";
+  }
+
+(* Same communication pattern, but all accesses are synchronization
+   operations: trivially DRF0, so weakly ordered hardware must forbid the
+   non-SC outcome too. *)
+let dekker_sync =
+  {
+    prog =
+      Prog.make ~name:"dekker_sync"
+        ~exists:(Cond.And (reg_eq 0 "r0" 0, reg_eq 1 "r1" 0))
+        [
+          [ sync_write "x" 1; sync_read "y" "r0" ];
+          [ sync_write "y" 1; sync_read "x" "r1" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Dekker with sync accesses only: DRF0, so must stay SC";
+  }
+
+(* --- Message passing ----------------------------------------------------- *)
+
+let mp =
+  {
+    prog =
+      Prog.make ~name:"mp"
+        ~exists:(Cond.And (reg_eq 1 "r0" 1, reg_eq 1 "r1" 0))
+        [
+          [ write "x" 1; write "f" 1 ];
+          [ read "f" "r0"; read "x" "r1" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "Message passing with data flag: racy; SC forbids r0=1,r1=0";
+  }
+
+let mp_sync =
+  {
+    prog =
+      Prog.make ~name:"mp_sync"
+        ~exists:(reg_eq 1 "r1" 0)
+        [
+          [ write "x" 1; sync_write "f" 1 ];
+          [ await "f" 1; read "x" "r1" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Message passing, sync flag + await: DRF0; consumer must see x=1";
+  }
+
+(* Section 6: "spinning on a barrier count with a data read" — the data
+   spin makes it racy under DRF0 even though Definition-1 hardware happens
+   to give it SC behaviour. *)
+let mp_data_spin =
+  {
+    prog =
+      Prog.make ~name:"mp_data_spin"
+        ~exists:(reg_eq 1 "r1" 0)
+        [
+          [ write "x" 1; write "f" 1 ];
+          [ await ~kind:Data "f" 1; read "x" "r1" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "Section 6: data-read spin on a flag; a data race under DRF0";
+  }
+
+(* --- Load buffering ------------------------------------------------------ *)
+
+let lb =
+  {
+    prog =
+      Prog.make ~name:"lb"
+        ~exists:(Cond.And (reg_eq 0 "r0" 1, reg_eq 1 "r1" 1))
+        [
+          [ read "x" "r0"; write "y" 1 ];
+          [ read "y" "r1"; write "x" 1 ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "Load buffering: racy; SC forbids r0=r1=1";
+  }
+
+(* --- Independent reads of independent writes ----------------------------- *)
+
+let iriw =
+  {
+    prog =
+      Prog.make ~name:"iriw"
+        ~exists:
+          (Cond.conj
+             [
+               reg_eq 2 "r0" 1;
+               reg_eq 2 "r1" 0;
+               reg_eq 3 "r2" 1;
+               reg_eq 3 "r3" 0;
+             ])
+        [
+          [ write "x" 1 ];
+          [ write "y" 1 ];
+          [ read "x" "r0"; read "y" "r1" ];
+          [ read "y" "r2"; read "x" "r3" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "IRIW: readers disagree on the order of independent writes";
+  }
+
+let iriw_sync =
+  {
+    prog =
+      Prog.make ~name:"iriw_sync"
+        ~exists:
+          (Cond.conj
+             [
+               reg_eq 2 "r0" 1;
+               reg_eq 2 "r1" 0;
+               reg_eq 3 "r2" 1;
+               reg_eq 3 "r3" 0;
+             ])
+        [
+          [ sync_write "x" 1 ];
+          [ sync_write "y" 1 ];
+          [ sync_read "x" "r0"; sync_read "y" "r1" ];
+          [ sync_read "y" "r2"; sync_read "x" "r3" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "IRIW with sync accesses only: DRF0, must remain forbidden";
+  }
+
+(* --- Coherence ----------------------------------------------------------- *)
+
+let corr =
+  {
+    prog =
+      Prog.make ~name:"corr"
+        ~exists:(Cond.And (reg_eq 1 "r0" 1, reg_eq 1 "r1" 0))
+        [
+          [ write "x" 1 ];
+          [ read "x" "r0"; read "x" "r1" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "CoRR: same-location reads may not go backwards";
+  }
+
+let coww =
+  {
+    prog =
+      Prog.make ~name:"coww" ~exists:(Cond.Mem_eq ("x", 1))
+        [ [ write "x" 1; write "x" 2 ] ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "CoWW: program order of same-location writes is final";
+  }
+
+(* --- Locks and atomic RMW ------------------------------------------------ *)
+
+let tas_atomicity =
+  {
+    prog =
+      Prog.make ~name:"tas_atomicity"
+        ~exists:(Cond.And (reg_eq 0 "r0" 0, reg_eq 1 "r1" 0))
+        [
+          [ test_and_set "l" "r0" ];
+          [ test_and_set "l" "r1" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Two TestAndSets cannot both win: RMW atomicity";
+  }
+
+let lock_mutex =
+  {
+    prog =
+      Prog.make ~name:"lock_mutex"
+        ~exists:(Cond.Not (Cond.Mem_eq ("x", 2)))
+        [
+          [ lock "l"; read "x" "r0"; store "x" (Exp.Add (Exp.Reg "r0", Exp.Const 1)); unlock "l" ];
+          [ lock "l"; read "x" "r1"; store "x" (Exp.Add (Exp.Reg "r1", Exp.Const 1)); unlock "l" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Two lock-protected increments always sum: DRF0; x=2 in all outcomes";
+  }
+
+let lock_race =
+  {
+    prog =
+      Prog.make ~name:"lock_race"
+        ~exists:(Cond.Not (Cond.Mem_eq ("x", 2)))
+        [
+          [ lock "l"; read "x" "r0"; store "x" (Exp.Add (Exp.Reg "r0", Exp.Const 1)); unlock "l" ];
+          [ read "x" "r1"; store "x" (Exp.Add (Exp.Reg "r1", Exp.Const 1)) ];
+        ];
+    drf0 = false;
+    sc_allows = true;
+    descr = "One thread skips the lock: racy, and SC can lose an update";
+  }
+
+(* --- Figure 3: producer/consumer handoff -------------------------------- *)
+
+(* P0 writes data then Unsets s; P1 blocks acquiring s and then reads the
+   data.  s starts held (1).  DRF0 because every execution orders W(x)
+   before R(x) through the synchronization on s. *)
+let fig3_handoff =
+  {
+    prog =
+      Prog.make ~name:"fig3_handoff" ~init:[ ("s", 1) ]
+        ~exists:(reg_eq 1 "r" 0)
+        [
+          [ write "x" 1; unlock "s" ];
+          [ lock "s"; read "x" "r" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Figure 3: W(x); Unset(s) || Lock(s); R(x): DRF0 handoff";
+  }
+
+(* --- Section 4's happens-before chain ------------------------------------ *)
+
+(* The chain op(P1,x) -> S(P1,s) -> S(P2,s) -> S(P2,t) -> S(P3,t) -> op(P3,x):
+   the endpoint accesses of x are ordered purely through two different
+   synchronization locations.  Awaits pin the sync order so that *every*
+   execution orders the conflicting accesses. *)
+let hb_chain =
+  {
+    prog =
+      Prog.make ~name:"hb_chain" ~exists:(reg_eq 2 "r" 0)
+        [
+          [ write "x" 1; sync_write "s" 1 ];
+          [ await "s" 1; sync_write "t" 1 ];
+          [ await "t" 1; read "x" "r" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Section 4 chain: transitive hb through two sync locations";
+  }
+
+(* Section 6's closing example: a barrier count incremented with a sync RMW
+   but spun on with a *data* read.  DRF0 calls it racy (the data spin
+   conflicts with the sync increment), so Definition 2 promises nothing —
+   yet Definition-1 hardware, with blocking reads, happens to give it SC
+   behaviour, while the paper's new implementation does not.  "This feature
+   is not a drawback of Definition 2, but a limitation of DRF0." *)
+let barrier_data_spin =
+  {
+    prog =
+      Prog.make ~name:"barrier_data_spin" ~exists:(reg_eq 1 "r1" 0)
+        [
+          [ write "x" 1; fetch_and_add "b" "r0" 1 ];
+          [ await ~kind:Data "b" 1; read "x" "r1" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "Section 6: sync-incremented barrier count spun on with data reads";
+  }
+
+(* A program that is DRF0 but not DRF1: the only happens-before path runs
+   through a *read-only* synchronization operation acting as a release.
+   P0's sync Test of s (awaiting 0) must complete before P1's sync write of
+   1 in every complete execution, so DRF0's completion-order so orders
+   W(x) before R(x); DRF1's release→acquire so1 drops the read→write edge
+   and calls the program racy.  Consequently the base def2 machine keeps it
+   SC while the read-sync-relaxed refinement does not — the exact software
+   cost of the Section 6 optimization. *)
+let read_sync_release =
+  {
+    prog =
+      Prog.make ~name:"read_sync_release" ~exists:(reg_eq 1 "r1" 0)
+        [
+          [ write "x" 1; await "s" 0 ];
+          [ sync_write "s" 1; read "x" "r1" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "DRF0 but not DRF1: a read-only sync operation as a release";
+  }
+
+(* --- Two-plus-two writes --------------------------------------------------- *)
+
+let two_plus_two_w =
+  {
+    prog =
+      Prog.make ~name:"2+2w"
+        ~exists:(Cond.And (Cond.Mem_eq ("x", 1), Cond.Mem_eq ("y", 1)))
+        [
+          [ write "x" 1; write "y" 2 ];
+          [ write "y" 1; write "x" 2 ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "2+2W: criss-crossed write pairs; SC forbids both losing";
+  }
+
+let two_plus_two_w_sync =
+  {
+    prog =
+      Prog.make ~name:"2+2w_sync"
+        ~exists:(Cond.And (Cond.Mem_eq ("x", 1), Cond.Mem_eq ("y", 1)))
+        [
+          [ sync_write "x" 1; sync_write "y" 2 ];
+          [ sync_write "y" 1; sync_write "x" 2 ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "2+2W with sync writes only: DRF0, must stay forbidden";
+  }
+
+(* --- R: write racing a write-read pair ------------------------------------ *)
+
+let r_test =
+  {
+    prog =
+      Prog.make ~name:"r"
+        ~exists:(Cond.And (Cond.Mem_eq ("y", 2), reg_eq 1 "r" 0))
+        [
+          [ write "x" 1; write "y" 1 ];
+          [ write "y" 2; read "x" "r" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "R: if P1's write of y loses, its read must see x";
+  }
+
+(* --- FADD as a release ------------------------------------------------------ *)
+
+(* The barrier pattern done right: the counter is incremented with a sync
+   fetch-and-add and awaited with a sync read, so the data handoff is
+   ordered through the counter in every execution — DRF0, unlike
+   [barrier_data_spin]. *)
+let fadd_release =
+  {
+    prog =
+      Prog.make ~name:"fadd_release" ~exists:(reg_eq 1 "r1" 0)
+        [
+          [ write "x" 1; fetch_and_add "c" "r0" 1 ];
+          [ await "c" 1; read "x" "r1" ];
+        ];
+    drf0 = true;
+    sc_allows = false;
+    descr = "Sync FADD as release, sync await as acquire: DRF0 barrier";
+  }
+
+(* --- Write-to-read causality --------------------------------------------- *)
+
+let wrc =
+  {
+    prog =
+      Prog.make ~name:"wrc"
+        ~exists:(Cond.And (reg_eq 2 "r1" 1, reg_eq 2 "r2" 0))
+        [
+          [ write "x" 1 ];
+          [ read "x" "r0"; store "y" (Exp.Reg "r0") ];
+          [ read "y" "r1"; read "x" "r2" ];
+        ];
+    drf0 = false;
+    sc_allows = false;
+    descr = "WRC: causality through a forwarded value";
+  }
+
+let all =
+  [
+    dekker;
+    dekker_sync;
+    mp;
+    mp_sync;
+    mp_data_spin;
+    lb;
+    iriw;
+    iriw_sync;
+    corr;
+    coww;
+    tas_atomicity;
+    lock_mutex;
+    lock_race;
+    fig3_handoff;
+    hb_chain;
+    barrier_data_spin;
+    read_sync_release;
+    two_plus_two_w;
+    two_plus_two_w_sync;
+    r_test;
+    fadd_release;
+    wrc;
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.equal (Prog.name e.prog) name) all
+
+let names = List.map (fun e -> Prog.name e.prog) all
+
+(* --- Figure 2 reconstructions --------------------------------------------- *)
+
+(* The paper's Figure 2 depicts two executions on the idealized
+   architecture: (a) obeys DRF0 — all conflicting accesses ordered by
+   happens-before, through chains of synchronization operations — and (b)
+   violates it (P0's accesses conflict with P1's write unordered, and two
+   writes conflict unordered).  The published figure's exact event layout
+   is ambiguous in our source text, so these programs reconstruct the same
+   structure; the per-trace checks in the benches analyze their idealized
+   executions exactly as the figure does. *)
+
+let fig2a_execution =
+  Prog.make ~name:"fig2a"
+    [
+      [ write "x" 1; sync_write "a" 1 ];
+      [ await "a" 1; read "x" "r1"; sync_write "b" 1 ];
+      [ await "b" 1; write "x" 2 ];
+    ]
+
+let fig2b_execution =
+  Prog.make ~name:"fig2b"
+    [
+      [ read "y" "r0"; write "x" 1 ];
+      [ write "y" 1 ];
+      [ write "z" 1; sync_write "b" 1 ];
+      [ await "b" 1; read "x" "r3" ];
+      [ write "z" 2 ];
+    ]

@@ -1,0 +1,64 @@
+(** Classic litmus tests, including the paper's figures, with expected
+    verdicts asserted by the test suite. *)
+
+type entry = {
+  prog : Prog.t;
+  drf0 : bool;  (** does the program obey DRF0 (Definition 3)? *)
+  sc_allows : bool;  (** does SC allow the program's "exists" outcome? *)
+  descr : string;
+}
+
+val dekker : entry
+(** Figure 1: store buffering; SC forbids both-read-0. *)
+
+val dekker_sync : entry
+val mp : entry
+val mp_sync : entry
+
+val mp_data_spin : entry
+(** Section 6: spinning on a flag with a data read — racy under DRF0. *)
+
+val lb : entry
+val iriw : entry
+val iriw_sync : entry
+val corr : entry
+val coww : entry
+val tas_atomicity : entry
+val lock_mutex : entry
+val lock_race : entry
+
+val fig3_handoff : entry
+(** Figure 3: [W(x); Unset(s)] handing off to [Lock(s); R(x)]. *)
+
+val hb_chain : entry
+(** Section 4's transitive happens-before chain through two sync
+    locations. *)
+
+val barrier_data_spin : entry
+(** Section 6's closing example: a sync-incremented barrier count spun on
+    with data reads — racy under DRF0, yet SC on Definition-1 hardware. *)
+
+val read_sync_release : entry
+(** DRF0 but not DRF1: the only happens-before path runs through a
+    read-only synchronization operation acting as a release. *)
+
+val two_plus_two_w : entry
+val two_plus_two_w_sync : entry
+val r_test : entry
+
+val fadd_release : entry
+(** The barrier pattern done right: sync FADD release, sync await acquire —
+    DRF0, unlike {!barrier_data_spin}. *)
+
+val wrc : entry
+
+val all : entry list
+val find : string -> entry option
+val names : string list
+
+val fig2a_execution : Prog.t
+(** Reconstruction of Figure 2(a): every conflicting access ordered by
+    happens-before through synchronization chains. *)
+
+val fig2b_execution : Prog.t
+(** Reconstruction of Figure 2(b): conflicting accesses left unordered. *)

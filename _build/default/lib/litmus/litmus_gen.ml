@@ -1,0 +1,113 @@
+(* Random litmus-program generation, for differential testing.
+
+   The point is to test the paper's theorems on programs nobody wrote by
+   hand: DRF0 programs must appear SC on the def1/def2 machines, the
+   sync-order DRF0 checker must agree with the literal Definition 3, the
+   axiomatic SC model must agree with the operational interleaver, and the
+   operational machines must stay within their axiomatic envelopes.
+
+   Programs are kept small (the analyses are exhaustive) and are built from
+   a deterministic splittable PRNG so failures are reproducible from the
+   integer seed alone.  Blocking instructions ([Await]/[Lock]) are
+   generated only in value patterns guaranteed to complete in at least one
+   interleaving (an await for [v] requires some thread to write [v] to that
+   location first), keeping deadlock-only programs rare but not impossible
+   — exhaustive analyses handle those anyway. *)
+
+type config = {
+  max_threads : int;
+  max_instrs : int;  (** per thread *)
+  num_locs : int;
+  num_sync_locs : int;
+  allow_rmw : bool;
+  allow_await : bool;
+}
+
+let default_config =
+  {
+    max_threads = 3;
+    max_instrs = 3;
+    num_locs = 2;
+    num_sync_locs = 2;
+    allow_rmw = true;
+    allow_await = true;
+  }
+
+(* A tiny deterministic PRNG (SplitMix64-style) so generation depends only
+   on the seed, not on global state. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int";
+    Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+  let bool t = int t 2 = 0
+  let pick t xs = List.nth xs (int t (List.length xs))
+end
+
+let data_loc i = Printf.sprintf "x%d" i
+let sync_loc i = Printf.sprintf "s%d" i
+
+(* Values written to a location are drawn from a small palette so that
+   awaits have a real chance to find their expected value. *)
+let gen_value rng = 1 + Rng.int rng 2
+
+let gen_instr cfg rng ~proc ~idx =
+  let reg = Printf.sprintf "r%d_%d" proc idx in
+  let dloc () = data_loc (Rng.int rng cfg.num_locs) in
+  let sloc () = sync_loc (Rng.int rng cfg.num_sync_locs) in
+  let choices =
+    [ `Data_read; `Data_write; `Sync_read; `Sync_write ]
+    @ (if cfg.allow_rmw then [ `Rmw ] else [])
+    @ if cfg.allow_await then [ `Await; `Await_data ] else []
+  in
+  match Rng.pick rng choices with
+  | `Data_read -> Instr.read (dloc ()) reg
+  | `Data_write -> Instr.write (dloc ()) (gen_value rng)
+  | `Sync_read -> Instr.sync_read (sloc ()) reg
+  | `Sync_write -> Instr.sync_write (sloc ()) (gen_value rng)
+  | `Rmw ->
+      if Rng.bool rng then Instr.test_and_set (sloc ()) reg
+      else Instr.fetch_and_add (sloc ()) reg 1
+  | `Await -> Instr.await (sloc ()) (gen_value rng)
+  | `Await_data ->
+      (* The Section 6 idiom: a data-read spin on a location others write
+         (racy under DRF0 — exactly the behaviours the theorems must
+         distinguish). *)
+      Instr.await ~kind:Instr.Data (dloc ()) (gen_value rng)
+
+let generate ?(config = default_config) seed =
+  let rng = Rng.make seed in
+  let nthreads = 2 + Rng.int rng (config.max_threads - 1) in
+  let threads =
+    List.init nthreads (fun proc ->
+        let n = 1 + Rng.int rng config.max_instrs in
+        List.init n (fun idx -> gen_instr config rng ~proc ~idx))
+  in
+  Prog.make ~name:(Printf.sprintf "gen%d" seed) threads
+
+(* Some generated programs deadlock in every interleaving (an await whose
+   value is never written).  They have no complete executions, so every
+   "for all executions" claim holds vacuously; filter them out when a test
+   needs live programs. *)
+let has_complete_execution prog = not (Final.Set.is_empty (Sc.outcomes prog))
+
+let generate_live ?(config = default_config) ?(max_attempts = 50) seed =
+  let rec go i =
+    if i >= max_attempts then None
+    else
+      let prog = generate ~config (seed + (1000003 * i)) in
+      if has_complete_execution prog then Some prog else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,26 @@
+(** Random litmus-program generation for differential testing.
+
+    Deterministic in the seed: the same seed always yields the same
+    program, so any failing property is reproducible from one integer. *)
+
+type config = {
+  max_threads : int;
+  max_instrs : int;
+  num_locs : int;
+  num_sync_locs : int;
+  allow_rmw : bool;
+  allow_await : bool;
+}
+
+val default_config : config
+
+val generate : ?config:config -> int -> Prog.t
+(** Generate program number [seed]. *)
+
+val has_complete_execution : Prog.t -> bool
+(** At least one SC interleaving runs to completion (no universal
+    deadlock). *)
+
+val generate_live : ?config:config -> ?max_attempts:int -> int -> Prog.t option
+(** Like {!generate}, but retries (deterministically) until the program has
+    a complete execution. *)

@@ -1,0 +1,108 @@
+(* Tokenizer for the litmus text format.  The format is line-structured; this
+   lexer handles the tokens within a line segment. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | ASSIGN  (** [:=] *)
+  | COLON
+  | EQ
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | BAR
+  | SEMI
+  | AND  (** [/\ ] *)
+  | OR  (** [\/] *)
+  | NOT  (** [~] *)
+  | PLUS
+  | MINUS
+
+exception Lex_error of string
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "%d" n
+  | IDENT s -> Fmt.string ppf s
+  | ASSIGN -> Fmt.string ppf ":="
+  | COLON -> Fmt.string ppf ":"
+  | EQ -> Fmt.string ppf "="
+  | LPAR -> Fmt.string ppf "("
+  | RPAR -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | BAR -> Fmt.string ppf "|"
+  | SEMI -> Fmt.string ppf ";"
+  | AND -> Fmt.string ppf "/\\"
+  | OR -> Fmt.string ppf "\\/"
+  | NOT -> Fmt.string ppf "~"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then scan (i + 1) acc
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done;
+        scan !j (INT (int_of_string (String.sub s i (!j - i))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        scan !j (IDENT (String.sub s i (!j - i)) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | ":=" -> scan (i + 2) (ASSIGN :: acc)
+        | "/\\" -> scan (i + 2) (AND :: acc)
+        | "\\/" -> scan (i + 2) (OR :: acc)
+        | _ -> (
+            match c with
+            | ':' -> scan (i + 1) (COLON :: acc)
+            | '=' -> scan (i + 1) (EQ :: acc)
+            | '(' -> scan (i + 1) (LPAR :: acc)
+            | ')' -> scan (i + 1) (RPAR :: acc)
+            | '{' -> scan (i + 1) (LBRACE :: acc)
+            | '}' -> scan (i + 1) (RBRACE :: acc)
+            | '|' -> scan (i + 1) (BAR :: acc)
+            | ';' -> scan (i + 1) (SEMI :: acc)
+            | '~' -> scan (i + 1) (NOT :: acc)
+            | '+' -> scan (i + 1) (PLUS :: acc)
+            | '-' ->
+                (* A minus immediately before a digit is a negative literal. *)
+                if i + 1 < n && is_digit s.[i + 1] then begin
+                  let j = ref (i + 1) in
+                  while !j < n && is_digit s.[!j] do
+                    incr j
+                  done;
+                  scan !j
+                    (INT (-int_of_string (String.sub s (i + 1) (!j - i - 1)))
+                    :: acc)
+                end
+                else scan (i + 1) (MINUS :: acc)
+            | _ ->
+                raise
+                  (Lex_error (Printf.sprintf "unexpected character %C in %S" c s)))
+  in
+  scan 0 []
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line

@@ -1,0 +1,31 @@
+(** Tokenizer for the litmus text format. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | ASSIGN
+  | COLON
+  | EQ
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | BAR
+  | SEMI
+  | AND
+  | OR
+  | NOT
+  | PLUS
+  | MINUS
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error on an unrecognized character. *)
+
+val strip_comment : string -> string
+(** Remove a trailing [# ...] comment. *)
+
+val is_ident_char : char -> bool
+
+val pp_token : Format.formatter -> token -> unit

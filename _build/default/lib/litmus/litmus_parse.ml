@@ -1,0 +1,320 @@
+(* Parser for the litmus text format.
+
+   A test looks like:
+
+     name SB                       # optional; defaults to "anon"
+     { x=0; y=0 }                  # optional initial memory
+     P0          | P1          ;   # header fixes the thread count
+     W x 1       | W y 1       ;
+     r0 := R y   | r1 := R x   ;
+     exists (0:r0=0 /\ 1:r1=0)     # optional
+
+   Instruction cells:
+     W loc exp        data write        Ws loc exp       sync write
+     r := R loc       data read         r := Rs loc      sync read (Test)
+     r := RMW loc exp sync RMW          r := RMWd loc exp  data RMW
+     r := TAS loc     TestAndSet        r := FADD loc n  fetch-and-add
+     Await loc n      sync spin-read    r := Await loc n
+     Awaitd loc n     data spin-read (Section 6's barrier-count data spin)
+     Lock loc         blocking TestAndSet
+     Unlock loc       sync write of 0 (Unset)
+     Fence            full local barrier
+     (empty)          no instruction
+
+   Conditions:  cond := disj; disj := conj (\/ conj)*; conj := atom (/\ atom)*;
+   atom := ~atom | (cond) | P:reg = int | loc = int | true.  Thread ids in
+   conditions may be written [0:r0] or [P0:r0]. *)
+
+open Litmus_lex
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- token-stream helpers ---------------------------------------------- *)
+
+let expect_ident = function
+  | IDENT s :: rest -> (s, rest)
+  | t :: _ -> fail "expected identifier, found %a" pp_token t
+  | [] -> fail "expected identifier, found end of input"
+
+let expect_int = function
+  | INT n :: rest -> (n, rest)
+  | t :: _ -> fail "expected integer, found %a" pp_token t
+  | [] -> fail "expected integer, found end of input"
+
+let expect tok toks =
+  match toks with
+  | t :: rest when t = tok -> rest
+  | t :: _ -> fail "expected %a, found %a" pp_token tok pp_token t
+  | [] -> fail "expected %a, found end of input" pp_token tok
+
+let expect_end what = function
+  | [] -> ()
+  | t :: _ -> fail "trailing %a after %s" pp_token t what
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec parse_exp toks =
+  let atom, toks = parse_exp_atom toks in
+  parse_exp_rest atom toks
+
+and parse_exp_atom = function
+  | INT n :: rest -> (Exp.Const n, rest)
+  | IDENT r :: rest -> (Exp.Reg r, rest)
+  | LPAR :: rest ->
+      let e, rest = parse_exp rest in
+      (e, expect RPAR rest)
+  | t :: _ -> fail "expected expression, found %a" pp_token t
+  | [] -> fail "expected expression, found end of input"
+
+and parse_exp_rest acc = function
+  | PLUS :: rest ->
+      let e, rest = parse_exp_atom rest in
+      parse_exp_rest (Exp.Add (acc, e)) rest
+  | MINUS :: rest ->
+      let e, rest = parse_exp_atom rest in
+      parse_exp_rest (Exp.Sub (acc, e)) rest
+  | rest -> (acc, rest)
+
+(* --- instructions ------------------------------------------------------- *)
+
+let parse_op_without_target toks =
+  match toks with
+  | IDENT "W" :: rest ->
+      let loc, rest = expect_ident rest in
+      let value, rest = parse_exp rest in
+      (Instr.Store { kind = Instr.Data; loc; value }, rest)
+  | IDENT "Ws" :: rest ->
+      let loc, rest = expect_ident rest in
+      let value, rest = parse_exp rest in
+      (Instr.Store { kind = Instr.Sync; loc; value }, rest)
+  | IDENT "Await" :: rest ->
+      let loc, rest = expect_ident rest in
+      let expect_v, rest = expect_int rest in
+      (Instr.await ~kind:Instr.Sync loc expect_v, rest)
+  | IDENT "Awaitd" :: rest ->
+      let loc, rest = expect_ident rest in
+      let expect_v, rest = expect_int rest in
+      (Instr.await ~kind:Instr.Data loc expect_v, rest)
+  | IDENT "Lock" :: rest ->
+      let loc, rest = expect_ident rest in
+      (Instr.lock loc, rest)
+  | IDENT "Unlock" :: rest ->
+      let loc, rest = expect_ident rest in
+      (Instr.unlock loc, rest)
+  | IDENT "Fence" :: rest -> (Instr.Fence, rest)
+  | t :: _ -> fail "unknown instruction starting with %a" pp_token t
+  | [] -> fail "empty instruction"
+
+let parse_op_with_target reg toks =
+  match toks with
+  | IDENT "R" :: rest ->
+      let loc, rest = expect_ident rest in
+      (Instr.Load { kind = Instr.Data; loc; reg }, rest)
+  | IDENT "Rs" :: rest ->
+      let loc, rest = expect_ident rest in
+      (Instr.Load { kind = Instr.Sync; loc; reg }, rest)
+  | IDENT "RMW" :: rest ->
+      let loc, rest = expect_ident rest in
+      let value, rest = parse_exp rest in
+      (Instr.Rmw { kind = Instr.Sync; loc; reg; value }, rest)
+  | IDENT "RMWd" :: rest ->
+      let loc, rest = expect_ident rest in
+      let value, rest = parse_exp rest in
+      (Instr.Rmw { kind = Instr.Data; loc; reg; value }, rest)
+  | IDENT "TAS" :: rest ->
+      let loc, rest = expect_ident rest in
+      (Instr.test_and_set loc reg, rest)
+  | IDENT "FADD" :: rest ->
+      let loc, rest = expect_ident rest in
+      let n, rest = expect_int rest in
+      (Instr.fetch_and_add loc reg n, rest)
+  | IDENT "Await" :: rest ->
+      let loc, rest = expect_ident rest in
+      let expect_v, rest = expect_int rest in
+      (Instr.await ~kind:Instr.Sync ~reg loc expect_v, rest)
+  | IDENT "Awaitd" :: rest ->
+      let loc, rest = expect_ident rest in
+      let expect_v, rest = expect_int rest in
+      (Instr.await ~kind:Instr.Data ~reg loc expect_v, rest)
+  | t :: _ -> fail "unknown instruction %a after %s :=" pp_token t reg
+  | [] -> fail "missing instruction after %s :=" reg
+
+let parse_instr toks =
+  match toks with
+  | IDENT reg :: ASSIGN :: rest -> parse_op_with_target reg rest
+  | _ -> parse_op_without_target toks
+
+let parse_cell s =
+  match tokenize s with
+  | [] -> None
+  | toks ->
+      let i, rest = parse_instr toks in
+      expect_end "instruction" rest;
+      Some i
+
+(* --- conditions --------------------------------------------------------- *)
+
+let thread_id_of_string s =
+  (* Accept both "0" (via INT) and "P0" (via IDENT). *)
+  if String.length s >= 2 && s.[0] = 'P' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some p -> Some p
+    | None -> None
+  else None
+
+let rec parse_cond toks =
+  let c, toks = parse_conj toks in
+  match toks with
+  | OR :: rest ->
+      let c', rest = parse_cond rest in
+      (Cond.Or (c, c'), rest)
+  | _ -> (c, toks)
+
+and parse_conj toks =
+  let c, toks = parse_catom toks in
+  match toks with
+  | AND :: rest ->
+      let c', rest = parse_conj rest in
+      (Cond.And (c, c'), rest)
+  | _ -> (c, toks)
+
+and parse_catom = function
+  | NOT :: rest ->
+      let c, rest = parse_catom rest in
+      (Cond.Not c, rest)
+  | LPAR :: rest ->
+      let c, rest = parse_cond rest in
+      (c, expect RPAR rest)
+  | IDENT "true" :: rest -> (Cond.True, rest)
+  | INT p :: COLON :: IDENT r :: EQ :: rest ->
+      let v, rest = expect_int rest in
+      (Cond.Reg_eq (p, r, v), rest)
+  | IDENT s :: COLON :: IDENT r :: EQ :: rest -> (
+      match thread_id_of_string s with
+      | Some p ->
+          let v, rest = expect_int rest in
+          (Cond.Reg_eq (p, r, v), rest)
+      | None -> fail "bad thread id %s in condition" s)
+  | IDENT loc :: EQ :: rest ->
+      let v, rest = expect_int rest in
+      (Cond.Mem_eq (loc, v), rest)
+  | t :: _ -> fail "unexpected %a in condition" pp_token t
+  | [] -> fail "unexpected end of condition"
+
+let parse_condition s =
+  let c, rest = parse_cond (tokenize s) in
+  expect_end "condition" rest;
+  c
+
+(* --- init block --------------------------------------------------------- *)
+
+let parse_init toks =
+  let rec bindings acc = function
+    | RBRACE :: rest ->
+        expect_end "init block" rest;
+        List.rev acc
+    | IDENT loc :: EQ :: rest ->
+        let v, rest = expect_int rest in
+        let rest = match rest with SEMI :: r -> r | r -> r in
+        bindings ((loc, v) :: acc) rest
+    | t :: _ -> fail "unexpected %a in init block" pp_token t
+    | [] -> fail "unterminated init block"
+  in
+  match toks with
+  | LBRACE :: rest -> bindings [] rest
+  | _ -> fail "init block must start with {"
+
+(* --- whole files -------------------------------------------------------- *)
+
+let split_cells line =
+  String.split_on_char '|' line
+
+let is_blank s = String.trim s = ""
+
+let starts_with_word w line =
+  let line = String.trim line in
+  String.length line >= String.length w
+  && String.sub line 0 (String.length w) = w
+  && (String.length line = String.length w
+     || not (Litmus_lex.is_ident_char line.[String.length w]))
+
+let drop_word w line =
+  let line = String.trim line in
+  String.trim (String.sub line (String.length w) (String.length line - String.length w))
+
+let parse_string ?(name = "anon") text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map Litmus_lex.strip_comment
+    |> List.filter (fun l -> not (is_blank l))
+  in
+  let name, lines =
+    match lines with
+    | l :: rest when starts_with_word "name" l -> (drop_word "name" l, rest)
+    | _ -> (name, lines)
+  in
+  let init, lines =
+    match lines with
+    | l :: rest when String.length (String.trim l) > 0 && (String.trim l).[0] = '{'
+      ->
+        (parse_init (tokenize l), rest)
+    | _ -> ([], lines)
+  in
+  let header, lines =
+    match lines with
+    | l :: rest when String.contains l '|' || starts_with_word "P0" l ->
+        (split_cells l, rest)
+    | _ -> fail "missing thread header row (e.g. \"P0 | P1 ;\")"
+  in
+  let strip_semi s =
+    let s = String.trim s in
+    if String.length s > 0 && s.[String.length s - 1] = ';' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  let nthreads = List.length (List.map strip_semi header) in
+  let body, cond_lines =
+    let rec split acc = function
+      | [] -> (List.rev acc, [])
+      | l :: rest when starts_with_word "exists" l -> (List.rev acc, l :: rest)
+      | l :: rest -> split (l :: acc) rest
+    in
+    split [] lines
+  in
+  let rows =
+    List.map
+      (fun line ->
+        let cells = List.map strip_semi (split_cells line) in
+        let cells =
+          if List.length cells > nthreads then
+            fail "row has %d cells but header declares %d threads"
+              (List.length cells) nthreads
+          else
+            cells
+            @ List.init (nthreads - List.length cells) (fun _ -> "")
+        in
+        List.map parse_cell cells)
+      body
+  in
+  let threads =
+    List.init nthreads (fun p ->
+        List.filter_map (fun row -> List.nth row p) rows)
+  in
+  let exists =
+    match cond_lines with
+    | [] -> None
+    | l :: rest ->
+        expect_end "file" (List.concat_map tokenize rest);
+        Some (parse_condition (drop_word "exists" l))
+  in
+  Prog.make ~name ~init ?exists threads
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text

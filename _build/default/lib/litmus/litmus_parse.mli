@@ -1,0 +1,33 @@
+(** Parser for the litmus text format.
+
+    A test file looks like:
+    {v
+    name SB
+    { x=0; y=0 }
+    P0          | P1          ;
+    W x 1       | W y 1       ;
+    r0 := R y   | r1 := R x   ;
+    exists (0:r0=0 /\ 1:r1=0)
+    v}
+
+    Instruction cells: [W loc exp] (data write), [Ws loc exp] (sync write),
+    [r := R loc] / [r := Rs loc] (data/sync read), [r := RMW loc exp] /
+    [r := RMWd loc exp], [r := TAS loc], [r := FADD loc n],
+    [Await loc n] / [r := Await loc n] / [Awaitd loc n], [Lock loc],
+    [Unlock loc], [Fence], or empty.  [#] starts a comment. *)
+
+exception Parse_error of string
+
+val parse_string : ?name:string -> string -> Prog.t
+(** Parse a whole test.  [name] is the fallback if the text has no [name]
+    line.
+    @raise Parse_error or {!Litmus_lex.Lex_error} on malformed input. *)
+
+val parse_file : string -> Prog.t
+(** Parse a file; the default name is the file's basename. *)
+
+val parse_condition : string -> Cond.t
+(** Parse just a condition, e.g. ["0:r0=0 /\\ x=1"]. *)
+
+val parse_cell : string -> Instr.t option
+(** Parse one instruction cell; [None] for a blank cell. *)

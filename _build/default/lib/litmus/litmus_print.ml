@@ -1,0 +1,58 @@
+(* Printing programs back into the litmus text format.  [parse (print p)]
+   reproduces [p] up to syntactic sugar (e.g. [TAS] prints as its [RMW]
+   desugaring); the round-trip is checked in the test suite. *)
+
+let exp_to_string e = Fmt.str "%a" Exp.pp e
+
+let cell_of_instr = function
+  | Instr.Store { kind = Instr.Data; loc; value } ->
+      Printf.sprintf "W %s %s" loc (exp_to_string value)
+  | Instr.Store { kind = Instr.Sync; loc; value } ->
+      Printf.sprintf "Ws %s %s" loc (exp_to_string value)
+  | Instr.Load { kind = Instr.Data; loc; reg } ->
+      Printf.sprintf "%s := R %s" reg loc
+  | Instr.Load { kind = Instr.Sync; loc; reg } ->
+      Printf.sprintf "%s := Rs %s" reg loc
+  | Instr.Rmw { kind; loc; reg; value } ->
+      Printf.sprintf "%s := RMW%s %s %s" reg
+        (match kind with Instr.Sync -> "" | Instr.Data -> "d")
+        loc (exp_to_string value)
+  | Instr.Await { kind; loc; expect; reg } ->
+      let prefix = match reg with Some r -> r ^ " := " | None -> "" in
+      Printf.sprintf "%sAwait%s %s %d" prefix
+        (match kind with Instr.Sync -> "" | Instr.Data -> "d")
+        loc expect
+  | Instr.Lock { loc } -> Printf.sprintf "Lock %s" loc
+  | Instr.Fence -> "Fence"
+
+let to_string prog =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" (Prog.name prog));
+  (match Prog.init prog with
+  | [] -> ()
+  | init ->
+      let bindings =
+        String.concat "; "
+          (List.map (fun (l, v) -> Printf.sprintf "%s=%d" l v) init)
+      in
+      Buffer.add_string buf (Printf.sprintf "{ %s }\n" bindings));
+  let n = Prog.num_threads prog in
+  let header =
+    String.concat " | " (List.init n (fun p -> Printf.sprintf "P%d" p))
+  in
+  Buffer.add_string buf (header ^ " ;\n");
+  let threads = Array.of_list (Prog.threads prog) in
+  let rows = Array.fold_left (fun m t -> max m (List.length t)) 0 threads in
+  for row = 0 to rows - 1 do
+    let cells =
+      List.init n (fun p ->
+          match List.nth_opt threads.(p) row with
+          | Some i -> cell_of_instr i
+          | None -> "")
+    in
+    Buffer.add_string buf (String.concat " | " cells ^ " ;\n")
+  done;
+  (match Prog.exists prog with
+  | Some c -> Buffer.add_string buf (Fmt.str "exists %a\n" Cond.pp c)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Printing programs in the litmus text format (inverse of
+    {!Litmus_parse}). *)
+
+val cell_of_instr : Instr.t -> string
+val to_string : Prog.t -> string

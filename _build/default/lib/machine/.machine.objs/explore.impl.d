@@ -1,0 +1,1 @@
+lib/machine/explore.ml: Cond Final Hashtbl List Machine_sig Option Prog Sc

@@ -1,0 +1,1 @@
+lib/machine/explore.mli: Cond Final Machine_sig Prog

@@ -1,0 +1,1 @@
+lib/machine/m_def1.ml: Array Exp Final Fun Instr List Marshal Prog String

@@ -1,0 +1,1 @@
+lib/machine/m_def2.ml: Array Exp Final Fun Instr List Marshal Prog String

@@ -1,0 +1,1 @@
+lib/machine/m_ooo.ml: Array Exp Final Fun Instr List Marshal Prog String

@@ -1,0 +1,1 @@
+lib/machine/m_rc.ml: Array Exp Final Fun Instr List Marshal Prog String

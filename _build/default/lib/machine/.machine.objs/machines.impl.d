@@ -1,0 +1,1 @@
+lib/machine/machines.ml: Cond Explore Final List M_def1 M_def2 M_ooo M_rc M_rp3 M_wbuf Option Prog Sc String

@@ -1,0 +1,37 @@
+(* Exhaustive exploration of an abstract machine: memoized DFS computing the
+   complete set of outcomes a machine allows for a program. *)
+
+module Make (M : Machine_sig.MACHINE) = struct
+  let outcomes prog =
+    let memo : (string, Final.Set.t) Hashtbl.t = Hashtbl.create 4096 in
+    let rec explore state =
+      let k = M.key state in
+      match Hashtbl.find_opt memo k with
+      | Some res -> res
+      | None ->
+          (* Mark before recursing: machine graphs are acyclic by
+             construction (every transition makes progress), but guard
+             against accidental cycles by treating revisits as empty. *)
+          Hashtbl.add memo k Final.Set.empty;
+          let res =
+            match M.final prog state with
+            | Some f -> Final.Set.singleton f
+            | None ->
+                List.fold_left
+                  (fun acc s -> Final.Set.union (explore s) acc)
+                  Final.Set.empty (M.successors prog state)
+          in
+          Hashtbl.replace memo k res;
+          res
+    in
+    explore (M.initial prog)
+
+  let allows prog cond = Cond.satisfiable_in (outcomes prog) cond
+
+  let allows_exists prog =
+    Option.map (allows prog) (Prog.exists prog)
+
+  (* A machine [appears sequentially consistent] to a program when every
+     outcome it allows is also an SC outcome (Definition 2's "appears"). *)
+  let appears_sc prog = Final.Set.subset (outcomes prog) (Sc.outcomes prog)
+end

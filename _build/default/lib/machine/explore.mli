@@ -1,0 +1,11 @@
+(** Memoized exhaustive exploration of abstract machines. *)
+
+module Make (M : Machine_sig.MACHINE) : sig
+  val outcomes : Prog.t -> Final.Set.t
+  val allows : Prog.t -> Cond.t -> bool
+  val allows_exists : Prog.t -> bool option
+
+  val appears_sc : Prog.t -> bool
+  (** Every machine outcome is an SC outcome (Definition 2's "appears
+      sequentially consistent" for one program). *)
+end

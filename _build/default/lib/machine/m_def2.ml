@@ -1,0 +1,273 @@
+(* The paper's implementation (Sections 5.1–5.3) as an abstract machine —
+   weakly ordered with respect to DRF0 by Definition 2, yet violating
+   conditions 2 and 3 of Definition 1.
+
+   The machine separates a synchronization operation's *commit* (its atomic
+   update of memory, at issue) from the *global performance* of the data
+   writes issued before it.  A processor never stalls for its own pending
+   writes: committing a sync operation S on location l while writes are
+   pending instead places a *reservation* on l (the reserve bit of Section
+   5.3), recording a watermark — the youngest pending write at commit time
+   (the paper's "more dynamic solution" for distinguishing accesses
+   generated before S from those after).  A later synchronization operation
+   on l by another processor blocks until every reserved write up to the
+   watermark is globally performed — condition 5.  Reads block, so
+   condition 5's "all reads of Pi before S are committed" holds at issue.
+
+   [read_only_syncs_reserve] selects between the base implementation (all
+   sync operations are treated as writes and place reservations) and the
+   Section 6 refinement in which read-only synchronization operations do
+   not order the issuing processor's previous accesses (they still *honour*
+   reservations — the acquire side — but do not place them). *)
+
+module Smap = Exp.Smap
+
+module type CONFIG = sig
+  val machine_name : string
+
+  val read_only_syncs_reserve : bool
+end
+
+module Make (C : CONFIG) = struct
+  type pending = { wloc : string; wval : int; seq : int }
+  type resv = { rproc : int; watermark : int }
+
+  type proc = {
+    next : int;
+    regs : int Smap.t;
+    pending : pending list;  (** issue order, oldest first *)
+    nseq : int;  (** next write sequence number *)
+  }
+
+  type state = {
+    memory : int Smap.t;
+    procs : proc array;
+    resvs : (string * resv list) list;  (** sorted by location *)
+  }
+
+  let name = C.machine_name
+
+  let initial prog =
+    {
+      memory = Prog.initial_memory prog;
+      procs =
+        Array.init (Prog.num_threads prog) (fun _ ->
+            { next = 0; regs = Smap.empty; pending = []; nseq = 0 });
+      resvs = [];
+    }
+
+  let read_mem memory loc =
+    match Smap.find_opt loc memory with Some v -> v | None -> 0
+
+  let forwarded pending loc =
+    List.fold_left
+      (fun acc pw -> if String.equal pw.wloc loc then Some pw.wval else acc)
+      None pending
+
+  let visible st p loc =
+    match forwarded st.procs.(p).pending loc with
+    | Some v -> v
+    | None -> read_mem st.memory loc
+
+  (* Drop satisfied reservations: a reservation stands only while its
+     processor still has pending writes at or below the watermark. *)
+  let cleanup st =
+    let live r =
+      List.exists
+        (fun pw -> pw.seq <= r.watermark)
+        st.procs.(r.rproc).pending
+    in
+    let resvs =
+      List.filter_map
+        (fun (l, rs) ->
+          match List.filter live rs with [] -> None | rs -> Some (l, rs))
+        st.resvs
+    in
+    { st with resvs }
+
+  let blocked_by_reservation st p loc =
+    match List.assoc_opt loc st.resvs with
+    | None -> false
+    | Some rs -> List.exists (fun r -> r.rproc <> p) rs
+
+  (* Place (or refresh) [p]'s reservation on [loc], if it has pending
+     writes. *)
+  let reserve st p loc =
+    match st.procs.(p).pending with
+    | [] -> st
+    | pending ->
+        let watermark =
+          List.fold_left (fun m pw -> max m pw.seq) min_int pending
+        in
+        let mine = { rproc = p; watermark } in
+        let rec update = function
+          | [] -> [ (loc, [ mine ]) ]
+          | (l, rs) :: rest when String.equal l loc ->
+              let rs = mine :: List.filter (fun r -> r.rproc <> p) rs in
+              let rs = List.sort (fun a b -> compare a.rproc b.rproc) rs in
+              (l, rs) :: rest
+          | entry :: rest -> entry :: update rest
+        in
+        let resvs =
+          if List.mem_assoc loc st.resvs then update st.resvs
+          else List.sort (fun (a, _) (b, _) -> String.compare a b)
+              ((loc, [ mine ]) :: st.resvs)
+        in
+        { st with resvs }
+
+  let with_proc st p proc =
+    let procs = Array.copy st.procs in
+    procs.(p) <- proc;
+    { st with procs }
+
+  let advance ?(regs = fun r -> r) ?(pending = fun w -> w) ?(nseq = fun n -> n)
+      st p =
+    let pr = st.procs.(p) in
+    with_proc st p
+      {
+        next = pr.next + 1;
+        regs = regs pr.regs;
+        pending = pending pr.pending;
+        nseq = nseq pr.nseq;
+      }
+
+  (* Commit a synchronization operation: check foreign reservations, update
+     memory atomically, optionally place our own reservation. *)
+  let commit_sync st p loc ~reserves ~update =
+    if blocked_by_reservation st p loc then []
+    else
+      match update (read_mem st.memory loc) with
+      | None -> []
+      | Some (new_mem_value, regs) ->
+          let st =
+            match new_mem_value with
+            | Some v -> { st with memory = Smap.add loc v st.memory }
+            | None -> st
+          in
+          let st = advance ~regs st p in
+          let st = if reserves then reserve st p loc else st in
+          [ cleanup st ]
+
+  let issue prog st p =
+    let pr = st.procs.(p) in
+    match List.nth_opt (Prog.thread prog p) pr.next with
+    | None -> []
+    | Some instr -> (
+        match instr with
+        | Instr.Load { kind = Instr.Data; loc; reg } ->
+            let v = visible st p loc in
+            [ advance ~regs:(Smap.add reg v) st p ]
+        | Instr.Store { kind = Instr.Data; loc; value } ->
+            let v = Exp.eval pr.regs value in
+            [
+              advance
+                ~pending:(fun w ->
+                  w @ [ { wloc = loc; wval = v; seq = pr.nseq } ])
+                ~nseq:(fun n -> n + 1)
+                st p;
+            ]
+        | Instr.Await { kind = Instr.Data; loc; expect; reg } ->
+            if visible st p loc = expect then
+              let regs =
+                match reg with Some r -> Smap.add r expect | None -> fun x -> x
+              in
+              [ advance ~regs st p ]
+            else []
+        | Instr.Load { kind = Instr.Sync; loc; reg } ->
+            commit_sync st p loc ~reserves:C.read_only_syncs_reserve
+              ~update:(fun v -> Some (None, Smap.add reg v))
+        | Instr.Await { kind = Instr.Sync; loc; expect; reg } ->
+            commit_sync st p loc ~reserves:C.read_only_syncs_reserve
+              ~update:(fun v ->
+                if v <> expect then None
+                else
+                  let regs =
+                    match reg with
+                    | Some r -> Smap.add r expect
+                    | None -> fun x -> x
+                  in
+                  Some (None, regs))
+        | Instr.Store { kind = Instr.Sync; loc; value } ->
+            let v = Exp.eval pr.regs value in
+            commit_sync st p loc ~reserves:true ~update:(fun _ ->
+                Some (Some v, fun r -> r))
+        | Instr.Rmw { loc; reg; value; _ } ->
+            commit_sync st p loc ~reserves:true ~update:(fun old ->
+                let regs = Smap.add reg old pr.regs in
+                let v = Exp.eval regs value in
+                Some (Some v, fun _ -> regs))
+        | Instr.Lock { loc } ->
+            commit_sync st p loc ~reserves:true ~update:(fun v ->
+                if v <> 0 then None else Some (Some 1, fun r -> r))
+        | Instr.Fence -> if pr.pending = [] then [ cleanup (advance st p) ] else [])
+
+  (* Globally perform a pending write; same-location writes of a processor
+     leave in issue order. *)
+  let perform st p =
+    let pr = st.procs.(p) in
+    let rec candidates seen_locs before acc = function
+      | [] -> acc
+      | pw :: rest ->
+          let acc =
+            if List.mem pw.wloc seen_locs then acc
+            else begin
+              let st' =
+                { st with memory = Smap.add pw.wloc pw.wval st.memory }
+              in
+              let st' =
+                with_proc st' p { pr with pending = List.rev_append before rest }
+              in
+              cleanup st' :: acc
+            end
+          in
+          candidates (pw.wloc :: seen_locs) (pw :: before) acc rest
+    in
+    candidates [] [] [] pr.pending
+
+  let successors prog st =
+    let acc = ref [] in
+    for p = Array.length st.procs - 1 downto 0 do
+      acc := issue prog st p @ perform st p @ !acc
+    done;
+    !acc
+
+  let final prog st =
+    let complete =
+      Array.to_list st.procs
+      |> List.mapi (fun p pr ->
+             pr.pending = [] && pr.next >= List.length (Prog.thread prog p))
+      |> List.for_all Fun.id
+    in
+    if not complete then None
+    else
+      Some
+        (Final.make ~memory:st.memory
+           ~regs:(Array.map (fun pr -> pr.regs) st.procs))
+
+  let key st =
+    let canon =
+      ( Smap.bindings st.memory,
+        Array.map
+          (fun pr ->
+            ( pr.next,
+              Smap.bindings pr.regs,
+              List.map (fun w -> (w.wloc, w.wval, w.seq)) pr.pending,
+              pr.nseq ))
+          st.procs,
+        List.map
+          (fun (l, rs) ->
+            (l, List.map (fun r -> (r.rproc, r.watermark)) rs))
+          st.resvs )
+    in
+    Marshal.to_string canon []
+end
+
+module Base = Make (struct
+  let machine_name = "def2"
+  let read_only_syncs_reserve = true
+end)
+
+module Read_sync_relaxed = Make (struct
+  let machine_name = "def2-rs"
+  let read_only_syncs_reserve = false
+end)

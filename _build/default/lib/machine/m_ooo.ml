@@ -1,0 +1,151 @@
+(* An out-of-order machine: every access executes atomically against a
+   single memory, but a processor may execute its instructions in any order
+   that respects (a) register dependencies (true, anti and output — the
+   "simple interlock logic" of Figure 1's caption), (b) program order
+   between same-location accesses, and (c) fences.
+
+   This models Figure 1's general-interconnection-network configurations,
+   where accesses issued in program order reach memory modules in a
+   different order.  Synchronization operations receive no special
+   treatment — naive hardware — so the machine is not weakly ordered with
+   respect to anything; it exists to demonstrate the violations of
+   Figure 1. *)
+
+module Smap = Exp.Smap
+
+type proc = { executed : int; regs : int Smap.t }  (** [executed] is a bitmask *)
+
+type state = { memory : int Smap.t; procs : proc array }
+
+let name = "ooo"
+
+(* Per-thread precedence masks: preds.(p).(j) is the bitmask of indices that
+   must execute before instruction j of thread p. *)
+let preds_of_prog prog =
+  Array.init (Prog.num_threads prog) (fun p ->
+      let instrs = Array.of_list (Prog.thread prog p) in
+      let n = Array.length instrs in
+      Array.init n (fun j ->
+          let ij = instrs.(j) in
+          let mask = ref 0 in
+          for i = 0 to j - 1 do
+            let ii = instrs.(i) in
+            let same_loc =
+              match (Instr.location ii, Instr.location ij) with
+              | Some a, Some b -> String.equal a b
+              | _, _ -> false
+            in
+            let fence = ii = Instr.Fence || ij = Instr.Fence in
+            let true_dep =
+              match Instr.target_register ii with
+              | Some r -> List.mem r (Instr.source_registers ij)
+              | None -> false
+            in
+            let anti_dep =
+              match Instr.target_register ij with
+              | Some r -> List.mem r (Instr.source_registers ii)
+              | None -> false
+            in
+            let output_dep =
+              match (Instr.target_register ii, Instr.target_register ij) with
+              | Some a, Some b -> String.equal a b
+              | _, _ -> false
+            in
+            if same_loc || fence || true_dep || anti_dep || output_dep then
+              mask := !mask lor (1 lsl i)
+          done;
+          !mask))
+
+(* The masks depend only on the program; cache them across calls. *)
+let preds_cache : (Prog.t * int array array) option ref = ref None
+
+let preds prog =
+  match !preds_cache with
+  | Some (p, masks) when p == prog -> masks
+  | Some _ | None ->
+      let masks = preds_of_prog prog in
+      preds_cache := Some (prog, masks);
+      masks
+
+let initial prog =
+  {
+    memory = Prog.initial_memory prog;
+    procs =
+      Array.init (Prog.num_threads prog) (fun _ ->
+          { executed = 0; regs = Smap.empty });
+  }
+
+let read_mem memory loc =
+  match Smap.find_opt loc memory with Some v -> v | None -> 0
+
+let with_proc st p proc =
+  let procs = Array.copy st.procs in
+  procs.(p) <- proc;
+  { st with procs }
+
+let execute prog st p j =
+  let pr = st.procs.(p) in
+  let instr = List.nth (Prog.thread prog p) j in
+  let mark regs = { executed = pr.executed lor (1 lsl j); regs } in
+  match instr with
+  | Instr.Load { loc; reg; _ } ->
+      let v = read_mem st.memory loc in
+      Some (with_proc st p (mark (Smap.add reg v pr.regs)))
+  | Instr.Store { loc; value; _ } ->
+      let v = Exp.eval pr.regs value in
+      Some (with_proc { st with memory = Smap.add loc v st.memory } p (mark pr.regs))
+  | Instr.Rmw { loc; reg; value; _ } ->
+      let old = read_mem st.memory loc in
+      let regs = Smap.add reg old pr.regs in
+      let v = Exp.eval regs value in
+      Some (with_proc { st with memory = Smap.add loc v st.memory } p (mark regs))
+  | Instr.Await { loc; expect; reg; _ } ->
+      if read_mem st.memory loc = expect then
+        let regs =
+          match reg with Some r -> Smap.add r expect pr.regs | None -> pr.regs
+        in
+        Some (with_proc st p (mark regs))
+      else None
+  | Instr.Lock { loc } ->
+      if read_mem st.memory loc = 0 then
+        Some (with_proc { st with memory = Smap.add loc 1 st.memory } p (mark pr.regs))
+      else None
+  | Instr.Fence -> Some (with_proc st p (mark pr.regs))
+
+let successors prog st =
+  let masks = preds prog in
+  let acc = ref [] in
+  for p = Array.length st.procs - 1 downto 0 do
+    let pr = st.procs.(p) in
+    let n = Array.length masks.(p) in
+    for j = n - 1 downto 0 do
+      let not_done = pr.executed land (1 lsl j) = 0 in
+      let ready = masks.(p).(j) land lnot pr.executed = 0 in
+      if not_done && ready then
+        match execute prog st p j with
+        | Some st' -> acc := st' :: !acc
+        | None -> ()
+    done
+  done;
+  !acc
+
+let final prog st =
+  let masks = preds prog in
+  let complete =
+    Array.to_list st.procs
+    |> List.mapi (fun p pr ->
+           pr.executed = (1 lsl Array.length masks.(p)) - 1)
+    |> List.for_all Fun.id
+  in
+  if not complete then None
+  else
+    Some
+      (Final.make ~memory:st.memory
+         ~regs:(Array.map (fun pr -> pr.regs) st.procs))
+
+let key st =
+  let canon =
+    ( Smap.bindings st.memory,
+      Array.map (fun pr -> (pr.executed, Smap.bindings pr.regs)) st.procs )
+  in
+  Marshal.to_string canon []

@@ -1,0 +1,126 @@
+(* A write-buffer machine: each processor has a FIFO store buffer that
+   drains to a single atomic memory at arbitrary times, and reads are
+   allowed to pass buffered writes (with forwarding from the processor's
+   own buffer).
+
+   This is Figure 1's shared-bus configuration: "the execution is possible
+   if ... reads are allowed to pass writes in write buffers".  The machine
+   is deliberately naive about synchronization — sync loads and stores go
+   through the same buffer, which is why it is *not* weakly ordered with
+   respect to DRF0 (atomic RMWs and fences drain the buffer, as on real
+   TSO-like hardware). *)
+
+module Smap = Exp.Smap
+
+type proc = {
+  next : int;
+  regs : int Smap.t;
+  wbuf : (string * int) list;  (** oldest first *)
+}
+
+type state = { memory : int Smap.t; procs : proc array }
+
+let name = "wbuf"
+
+let initial prog =
+  {
+    memory = Prog.initial_memory prog;
+    procs =
+      Array.init (Prog.num_threads prog) (fun _ ->
+          { next = 0; regs = Smap.empty; wbuf = [] });
+  }
+
+let read_mem memory loc =
+  match Smap.find_opt loc memory with Some v -> v | None -> 0
+
+(* Newest buffered write to [loc], if any. *)
+let forwarded wbuf loc =
+  List.fold_left
+    (fun acc (l, v) -> if String.equal l loc then Some v else acc)
+    None wbuf
+
+let visible st p loc =
+  match forwarded st.procs.(p).wbuf loc with
+  | Some v -> v
+  | None -> read_mem st.memory loc
+
+let with_proc st p proc =
+  let procs = Array.copy st.procs in
+  procs.(p) <- proc;
+  { st with procs }
+
+let advance ?(regs = fun r -> r) ?(wbuf = fun b -> b) st p =
+  let pr = st.procs.(p) in
+  with_proc st p { next = pr.next + 1; regs = regs pr.regs; wbuf = wbuf pr.wbuf }
+
+let issue prog st p =
+  let pr = st.procs.(p) in
+  match List.nth_opt (Prog.thread prog p) pr.next with
+  | None -> []
+  | Some instr -> (
+      match instr with
+      | Instr.Load { loc; reg; _ } ->
+          let v = visible st p loc in
+          [ advance ~regs:(Smap.add reg v) st p ]
+      | Instr.Store { loc; value; _ } ->
+          let v = Exp.eval pr.regs value in
+          [ advance ~wbuf:(fun b -> b @ [ (loc, v) ]) st p ]
+      | Instr.Await { loc; expect; reg; _ } ->
+          if visible st p loc = expect then
+            let regs =
+              match reg with Some r -> Smap.add r expect | None -> fun x -> x
+            in
+            [ advance ~regs st p ]
+          else []
+      | Instr.Rmw { loc; reg; value; _ } ->
+          if pr.wbuf <> [] then []
+          else begin
+            let old = read_mem st.memory loc in
+            let regs = Smap.add reg old pr.regs in
+            let v = Exp.eval regs value in
+            let st = { st with memory = Smap.add loc v st.memory } in
+            [ advance ~regs:(fun _ -> regs) st p ]
+          end
+      | Instr.Lock { loc } ->
+          if pr.wbuf = [] && read_mem st.memory loc = 0 then begin
+            let st = { st with memory = Smap.add loc 1 st.memory } in
+            [ advance st p ]
+          end
+          else []
+      | Instr.Fence -> if pr.wbuf = [] then [ advance st p ] else [])
+
+let drain st p =
+  match st.procs.(p).wbuf with
+  | [] -> []
+  | (loc, v) :: rest ->
+      let st = { st with memory = Smap.add loc v st.memory } in
+      [ with_proc st p { (st.procs.(p)) with wbuf = rest } ]
+
+let successors prog st =
+  let acc = ref [] in
+  for p = Array.length st.procs - 1 downto 0 do
+    acc := issue prog st p @ drain st p @ !acc
+  done;
+  !acc
+
+let final prog st =
+  let complete =
+    Array.to_list st.procs
+    |> List.mapi (fun p pr ->
+           pr.wbuf = [] && pr.next >= List.length (Prog.thread prog p))
+    |> List.for_all Fun.id
+  in
+  if not complete then None
+  else
+    Some
+      (Final.make ~memory:st.memory
+         ~regs:(Array.map (fun pr -> pr.regs) st.procs))
+
+let key st =
+  let canon =
+    ( Smap.bindings st.memory,
+      Array.map
+        (fun pr -> (pr.next, Smap.bindings pr.regs, pr.wbuf))
+        st.procs )
+  in
+  Marshal.to_string canon []

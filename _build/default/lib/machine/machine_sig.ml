@@ -1,0 +1,25 @@
+(* The interface of an abstract hardware machine: a nondeterministic labeled
+   transition system whose complete runs define the outcomes the hardware
+   allows for a program.  [Explore] turns any machine into an exhaustive
+   outcome-set computation. *)
+
+module type MACHINE = sig
+  type state
+
+  val name : string
+
+  val initial : Prog.t -> state
+
+  val successors : Prog.t -> state -> state list
+  (** All states reachable in one step.  The empty list on a non-final state
+      means the machine is stuck (e.g. all threads blocked on awaits);
+      such runs produce no outcome. *)
+
+  val final : Prog.t -> state -> Final.t option
+  (** [Some f] iff the state is a complete run (all threads finished, all
+      buffered effects drained). *)
+
+  val key : state -> string
+  (** A canonical encoding for memoization: equal keys must mean the same
+      set of future behaviours. *)
+end

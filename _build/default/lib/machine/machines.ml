@@ -1,0 +1,98 @@
+(* Registry of abstract hardware machines with a uniform interface. *)
+
+module Wbuf_x = Explore.Make (M_wbuf)
+module Ooo_x = Explore.Make (M_ooo)
+module Def1_x = Explore.Make (M_def1)
+module Def2_x = Explore.Make (M_def2.Base)
+module Def2_rs_x = Explore.Make (M_def2.Read_sync_relaxed)
+module Rp3_x = Explore.Make (M_rp3)
+module Rc_x = Explore.Make (M_rc)
+
+type t = {
+  name : string;
+  descr : string;
+  outcomes : Prog.t -> Final.Set.t;
+}
+
+let name m = m.name
+let descr m = m.descr
+let outcomes m prog = m.outcomes prog
+
+let sc =
+  {
+    name = "sc";
+    descr = "sequentially consistent reference machine (atomic, in order)";
+    outcomes = Sc.outcomes;
+  }
+
+let wbuf =
+  {
+    name = "wbuf";
+    descr =
+      "FIFO write buffers with read bypass — Figure 1's bus configurations";
+    outcomes = Wbuf_x.outcomes;
+  }
+
+let ooo =
+  {
+    name = "ooo";
+    descr =
+      "out-of-order issue with register interlocks — Figure 1's network \
+       configurations";
+    outcomes = Ooo_x.outcomes;
+  }
+
+let def1 =
+  {
+    name = "def1";
+    descr =
+      "Definition-1 weak ordering (Dubois/Scheurich/Briggs): syncs stall \
+       for previous accesses and vice versa";
+    outcomes = Def1_x.outcomes;
+  }
+
+let def2 =
+  {
+    name = "def2";
+    descr =
+      "the paper's implementation (Section 5.3): sync ops commit without \
+       stalling; reservations delay other processors' syncs (condition 5)";
+    outcomes = Def2_x.outcomes;
+  }
+
+let def2_rs =
+  {
+    name = "def2-rs";
+    descr =
+      "Section 6 refinement of def2: read-only sync ops do not place \
+       reservations";
+    outcomes = Def2_rs_x.outcomes;
+  }
+
+let rp3 =
+  {
+    name = "rp3";
+    descr =
+      "RP3 fence option (Section 2.1): syncs travel like data; only an \
+       explicit fence waits for outstanding acknowledgements";
+    outcomes = Rp3_x.outcomes;
+  }
+
+let rc =
+  {
+    name = "rc";
+    descr =
+      "release consistency: releases drain the issuer's pending accesses; \
+       acquires do not wait (weakly ordered w.r.t. DRF1)";
+    outcomes = Rc_x.outcomes;
+  }
+
+let all = [ sc; wbuf; ooo; def1; def2; def2_rs; rp3; rc ]
+
+let find n = List.find_opt (fun m -> String.equal m.name n) all
+
+let allows m prog cond = Cond.satisfiable_in (outcomes m prog) cond
+
+let allows_exists m prog = Option.map (allows m prog) (Prog.exists prog)
+
+let appears_sc m prog = Final.Set.subset (outcomes m prog) (Sc.outcomes prog)

@@ -1,0 +1,56 @@
+(** Registry of abstract hardware machines.
+
+    Each machine assigns a program the exhaustive set of outcomes it can
+    produce, computed by memoized search of a nondeterministic operational
+    model. *)
+
+type t
+
+val name : t -> string
+val descr : t -> string
+val outcomes : t -> Prog.t -> Final.Set.t
+
+val sc : t
+(** Atomic, in-program-order reference machine. *)
+
+val wbuf : t
+(** Per-processor FIFO write buffers with read bypass and forwarding
+    (Figure 1's bus configurations).  Not weakly ordered w.r.t. DRF0. *)
+
+val ooo : t
+(** Out-of-order issue constrained only by register interlocks,
+    same-location order and fences (Figure 1's network configurations). *)
+
+val def1 : t
+(** Definition-1 weak ordering: a sync operation waits for all previous
+    accesses to be globally performed, and nothing issues past a sync. *)
+
+val def2 : t
+(** The paper's Section 5.1/5.3 implementation: syncs commit without
+    waiting for the issuing processor's pending writes; other processors'
+    syncs on the same location wait instead (reservations / condition 5). *)
+
+val def2_rs : t
+(** [def2] with the Section-6 read-only-sync refinement. *)
+
+val rp3 : t
+(** The RP3 fence option (Section 2.1): synchronization is invisible to
+    the hardware; only explicit fences wait for outstanding
+    acknowledgements.  Weakly ordered w.r.t. the fenced-delays model, not
+    DRF0. *)
+
+val rc : t
+(** Release consistency: a release waits for the issuer's previous
+    accesses; an acquire does not.  Weakly ordered w.r.t. DRF1 — the
+    "other synchronization models" direction the paper's conclusions
+    anticipate. *)
+
+val all : t list
+val find : string -> t option
+
+val allows : t -> Prog.t -> Cond.t -> bool
+val allows_exists : t -> Prog.t -> bool option
+
+val appears_sc : t -> Prog.t -> bool
+(** Definition 2's "appears sequentially consistent", for one program:
+    the machine's outcomes are a subset of the SC outcomes. *)

@@ -1,0 +1,1 @@
+lib/program/cond.ml: Final Fmt List

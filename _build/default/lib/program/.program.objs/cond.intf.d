@@ -1,0 +1,1 @@
+lib/program/cond.mli: Final Format

@@ -1,0 +1,1 @@
+lib/program/exp.ml: Fmt Map String

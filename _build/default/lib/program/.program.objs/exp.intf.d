@@ -1,0 +1,1 @@
+lib/program/exp.mli: Format Map

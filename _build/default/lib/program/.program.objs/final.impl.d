@@ -1,0 +1,1 @@
+lib/program/final.ml: Array Exp Fmt Set

@@ -1,0 +1,1 @@
+lib/program/final.mli: Exp Format Set

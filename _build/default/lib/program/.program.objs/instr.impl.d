@@ -1,0 +1,1 @@
+lib/program/instr.ml: Exp Fmt List Option String

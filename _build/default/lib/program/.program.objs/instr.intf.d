@@ -1,0 +1,1 @@
+lib/program/instr.mli: Exp Format

@@ -1,0 +1,1 @@
+lib/program/prog.ml: Array Cond Exp Fmt Hashtbl Instr List String

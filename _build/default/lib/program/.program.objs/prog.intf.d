@@ -1,0 +1,1 @@
+lib/program/prog.mli: Cond Exp Format Instr

@@ -1,0 +1,39 @@
+(* Final-state predicates: the "exists" clause of a litmus test. *)
+
+type t =
+  | True
+  | Reg_eq of int * string * int  (** thread id, register, expected value *)
+  | Mem_eq of string * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec eval final = function
+  | True -> true
+  | Reg_eq (p, r, v) -> (
+      match Final.reg final p r with Some v' -> v' = v | None -> false)
+  | Mem_eq (loc, v) -> Final.mem final loc = v
+  | Not c -> not (eval final c)
+  | And (a, b) -> eval final a && eval final b
+  | Or (a, b) -> eval final a || eval final b
+
+let conj = function
+  | [] -> True
+  | c :: cs -> List.fold_left (fun acc c -> And (acc, c)) c cs
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | Reg_eq (p, r, v) -> Fmt.pf ppf "P%d:%s=%d" p r v
+  | Mem_eq (loc, v) -> Fmt.pf ppf "%s=%d" loc v
+  | Not c -> Fmt.pf ppf "~(%a)" pp c
+  | And (a, b) -> Fmt.pf ppf "(%a /\\ %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a \\/ %a)" pp a pp b
+
+let rec registers = function
+  | True | Mem_eq _ -> []
+  | Reg_eq (p, r, _) -> [ (p, r) ]
+  | Not c -> registers c
+  | And (a, b) | Or (a, b) -> registers a @ registers b
+
+let satisfiable_in finals c = Final.Set.exists (fun f -> eval f c) finals
+let holds_in_all finals c = Final.Set.for_all (fun f -> eval f c) finals

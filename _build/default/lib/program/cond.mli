@@ -1,0 +1,26 @@
+(** Final-state predicates — the "exists" clause of a litmus test. *)
+
+type t =
+  | True
+  | Reg_eq of int * string * int
+      (** [Reg_eq (p, r, v)]: register [r] of thread [p] ended with [v]. *)
+  | Mem_eq of string * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val eval : Final.t -> t -> bool
+(** An unassigned register satisfies no [Reg_eq]. *)
+
+val conj : t list -> t
+(** Conjunction of a list; [True] for the empty list. *)
+
+val registers : t -> (int * string) list
+(** The (thread, register) pairs the condition mentions. *)
+
+val satisfiable_in : Final.Set.t -> t -> bool
+(** Does some outcome in the set satisfy the condition? *)
+
+val holds_in_all : Final.Set.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

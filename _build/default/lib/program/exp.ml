@@ -1,0 +1,40 @@
+(* Value expressions appearing on the right-hand side of stores and inside
+   read-modify-write operations.  Registers are thread-local string names. *)
+
+type t =
+  | Const of int
+  | Reg of string
+  | Add of t * t
+  | Sub of t * t
+
+module Smap = Map.Make (String)
+
+exception Unbound_register of string
+
+let rec eval env = function
+  | Const v -> v
+  | Reg r -> (
+      match Smap.find_opt r env with
+      | Some v -> v
+      | None -> raise (Unbound_register r))
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+
+let rec registers = function
+  | Const _ -> []
+  | Reg r -> [ r ]
+  | Add (a, b) | Sub (a, b) -> registers a @ registers b
+
+let rec pp ppf = function
+  | Const v -> Fmt.int ppf v
+  | Reg r -> Fmt.string ppf r
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Reg x, Reg y -> String.equal x y
+  | Add (a1, b1), Add (a2, b2) | Sub (a1, b1), Sub (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | (Const _ | Reg _ | Add _ | Sub _), _ -> false

@@ -1,0 +1,21 @@
+(** Value expressions for store values and read-modify-write updates. *)
+
+type t =
+  | Const of int
+  | Reg of string  (** thread-local register *)
+  | Add of t * t
+  | Sub of t * t
+
+module Smap : Map.S with type key = string
+
+exception Unbound_register of string
+
+val eval : int Smap.t -> t -> int
+(** Evaluate under a register environment.
+    @raise Unbound_register if a register is not bound. *)
+
+val registers : t -> string list
+(** Registers mentioned, with duplicates, in left-to-right order. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,27 @@
+(** Final states (outcomes) of litmus-program executions.
+
+    An outcome is the paper's notion of execution "result": the values
+    returned by all reads (recorded in per-thread register files) together
+    with the final state of memory. *)
+
+module Smap = Exp.Smap
+
+type t = { memory : int Smap.t; regs : int Smap.t array }
+
+val make : memory:int Smap.t -> regs:int Smap.t array -> t
+val num_threads : t -> int
+
+val mem : t -> string -> int
+(** Final memory value of a location; unwritten locations read 0. *)
+
+val reg : t -> int -> string -> int option
+(** [reg t p r] is the final value of register [r] of thread [p], or [None]
+    if the register was never assigned or [p] is out of range. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,133 @@
+(* The instruction set of litmus programs.
+
+   Following the paper (Section 4), every memory operation is either a
+   *data* operation or a *synchronization* operation, and a synchronization
+   operation accesses exactly one memory location.  Synchronization
+   operations come in three flavours distinguished in Section 6: read-only
+   (e.g. Test), write-only (e.g. Unset), and read-write (e.g. TestAndSet).
+   That classification is what the DRF1 refinement keys on.
+
+   [Fence] is not part of the paper's model; it is provided for the abstract
+   hardware machines (a full local ordering barrier) and is rejected by the
+   DRF0 checker's well-formedness pass when one asks for paper-strict
+   programs. *)
+
+type kind = Data | Sync
+
+type t =
+  | Load of { kind : kind; loc : string; reg : string }
+      (** [reg := mem[loc]] *)
+  | Store of { kind : kind; loc : string; value : Exp.t }
+      (** [mem[loc] := value] *)
+  | Rmw of { kind : kind; loc : string; reg : string; value : Exp.t }
+      (** Atomically [reg := mem[loc]; mem[loc] := value], where [value] may
+          mention [reg] (bound to the old contents).  [TestAndSet s r] is
+          [Rmw {loc = s; reg = r; value = Const 1}]. *)
+  | Await of { kind : kind; loc : string; expect : int; reg : string option }
+      (** Spin-read until [mem[loc] = expect], abstracted to its final,
+          successful read: the instruction blocks until the location holds
+          [expect].  With [kind = Data] this is exactly the "spinning on a
+          barrier count with a data read" idiom of Section 6 — a data race
+          under DRF0. *)
+  | Lock of { loc : string }
+      (** Blocking TestAndSet: spin until [mem[loc] = 0], then atomically set
+          it to 1.  Always a synchronization read-modify-write. *)
+  | Fence  (** Full local ordering barrier; not a memory access. *)
+
+let load ?(kind = Data) loc reg = Load { kind; loc; reg }
+let store ?(kind = Data) loc value = Store { kind; loc; value }
+let read loc reg = Load { kind = Data; loc; reg }
+let write loc v = Store { kind = Data; loc; value = Exp.Const v }
+let sync_read loc reg = Load { kind = Sync; loc; reg }
+let sync_write loc v = Store { kind = Sync; loc; value = Exp.Const v }
+let test_and_set loc reg = Rmw { kind = Sync; loc; reg; value = Exp.Const 1 }
+let unset loc = Store { kind = Sync; loc; value = Exp.Const 0 }
+
+let fetch_and_add loc reg n =
+  Rmw { kind = Sync; loc; reg; value = Exp.Add (Exp.Reg reg, Exp.Const n) }
+
+let await ?(kind = Sync) ?reg loc expect = Await { kind; loc; expect; reg }
+let lock loc = Lock { loc }
+let unlock loc = Store { kind = Sync; loc; value = Exp.Const 0 }
+
+let kind = function
+  | Load { kind; _ } | Store { kind; _ } | Rmw { kind; _ } | Await { kind; _ }
+    ->
+      Some kind
+  | Lock _ -> Some Sync
+  | Fence -> None
+
+let is_sync i = kind i = Some Sync
+let is_data i = kind i = Some Data
+let is_access i = kind i <> None
+
+let is_read = function
+  | Load _ | Rmw _ | Await _ | Lock _ -> true
+  | Store _ | Fence -> false
+
+let is_write = function
+  | Store _ | Rmw _ | Lock _ -> true
+  | Load _ | Await _ | Fence -> false
+
+let is_blocking = function
+  | Await _ | Lock _ -> true
+  | Load _ | Store _ | Rmw _ | Fence -> false
+
+let location = function
+  | Load { loc; _ }
+  | Store { loc; _ }
+  | Rmw { loc; _ }
+  | Await { loc; _ }
+  | Lock { loc } ->
+      Some loc
+  | Fence -> None
+
+let target_register = function
+  | Load { reg; _ } | Rmw { reg; _ } -> Some reg
+  | Await { reg; _ } -> reg
+  | Store _ | Lock _ | Fence -> None
+
+let source_registers = function
+  | Store { value; _ } -> Exp.registers value
+  | Rmw { reg; value; _ } ->
+      (* [reg] is bound to the old value, so it is not a source. *)
+      List.filter (fun r -> not (String.equal r reg)) (Exp.registers value)
+  | Load _ | Await _ | Lock _ | Fence -> []
+
+let pp_kind ppf = function
+  | Data -> Fmt.string ppf "data"
+  | Sync -> Fmt.string ppf "sync"
+
+let pp ppf = function
+  | Load { kind = Data; loc; reg } -> Fmt.pf ppf "%s := R %s" reg loc
+  | Load { kind = Sync; loc; reg } -> Fmt.pf ppf "%s := Rs %s" reg loc
+  | Store { kind = Data; loc; value } -> Fmt.pf ppf "W %s %a" loc Exp.pp value
+  | Store { kind = Sync; loc; value } -> Fmt.pf ppf "Ws %s %a" loc Exp.pp value
+  | Rmw { kind; loc; reg; value } ->
+      Fmt.pf ppf "%s := RMW%s %s %a" reg
+        (match kind with Sync -> "" | Data -> "d")
+        loc Exp.pp value
+  | Await { kind; loc; expect; reg } ->
+      Fmt.pf ppf "%aAwait%s %s %d"
+        Fmt.(option (fmt "%s := "))
+        reg
+        (match kind with Sync -> "" | Data -> "d")
+        loc expect
+  | Lock { loc } -> Fmt.pf ppf "Lock %s" loc
+  | Fence -> Fmt.string ppf "Fence"
+
+let equal a b =
+  match (a, b) with
+  | Load x, Load y ->
+      x.kind = y.kind && String.equal x.loc y.loc && String.equal x.reg y.reg
+  | Store x, Store y ->
+      x.kind = y.kind && String.equal x.loc y.loc && Exp.equal x.value y.value
+  | Rmw x, Rmw y ->
+      x.kind = y.kind && String.equal x.loc y.loc
+      && String.equal x.reg y.reg && Exp.equal x.value y.value
+  | Await x, Await y ->
+      x.kind = y.kind && String.equal x.loc y.loc && x.expect = y.expect
+      && Option.equal String.equal x.reg y.reg
+  | Lock x, Lock y -> String.equal x.loc y.loc
+  | Fence, Fence -> true
+  | (Load _ | Store _ | Rmw _ | Await _ | Lock _ | Fence), _ -> false

@@ -1,0 +1,85 @@
+(** Instructions of litmus programs.
+
+    Memory operations are classified as data or synchronization following the
+    paper's Section 4; a synchronization operation accesses exactly one
+    location and is recognizable as such by the hardware. *)
+
+type kind = Data | Sync
+
+type t =
+  | Load of { kind : kind; loc : string; reg : string }
+  | Store of { kind : kind; loc : string; value : Exp.t }
+  | Rmw of { kind : kind; loc : string; reg : string; value : Exp.t }
+      (** Atomic read-modify-write: [reg := mem[loc]; mem[loc] := value]
+          where [value] may mention [reg] (the old contents). *)
+  | Await of { kind : kind; loc : string; expect : int; reg : string option }
+      (** Spin-read until [mem[loc] = expect], abstracted to its final
+          successful read.  [kind = Data] models Section 6's "spinning on a
+          barrier count with a data read". *)
+  | Lock of { loc : string }
+      (** Blocking TestAndSet: spin until [mem[loc] = 0], then set it to 1.
+          Always a synchronization RMW. *)
+  | Fence  (** Full local barrier; an extension beyond the paper's model. *)
+
+(** {1 Constructors} *)
+
+val load : ?kind:kind -> string -> string -> t
+val store : ?kind:kind -> string -> Exp.t -> t
+
+val read : string -> string -> t
+(** Data read: [read loc reg]. *)
+
+val write : string -> int -> t
+(** Data write of a constant. *)
+
+val sync_read : string -> string -> t
+(** Read-only synchronization operation, e.g. [Test]. *)
+
+val sync_write : string -> int -> t
+(** Write-only synchronization operation, e.g. [Set]. *)
+
+val unset : string -> t
+(** [Unset loc] = synchronization write of 0. *)
+
+val test_and_set : string -> string -> t
+(** [test_and_set loc reg]: atomically [reg := mem[loc]; mem[loc] := 1]. *)
+
+val fetch_and_add : string -> string -> int -> t
+
+val await : ?kind:kind -> ?reg:string -> string -> int -> t
+(** [await loc expect] blocks until [mem[loc] = expect]; synchronization by
+    default. *)
+
+val lock : string -> t
+val unlock : string -> t
+(** [unlock loc] is a synchronization write of 0 ([Unset]). *)
+
+(** {1 Classification} *)
+
+val kind : t -> kind option
+(** [None] for [Fence]. *)
+
+val is_sync : t -> bool
+val is_data : t -> bool
+
+val is_access : t -> bool
+(** [true] for anything but [Fence]. *)
+
+val is_read : t -> bool
+(** Includes the read component of an RMW. *)
+
+val is_write : t -> bool
+(** Includes the write component of an RMW. *)
+
+val is_blocking : t -> bool
+(** [Await] and [Lock]. *)
+
+val location : t -> string option
+val target_register : t -> string option
+
+val source_registers : t -> string list
+(** Registers whose values the instruction consumes. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,161 @@
+(* Litmus programs: a name, initial memory values, one straight-line
+   instruction list per thread, and an optional "exists" condition naming
+   the outcome of interest. *)
+
+module Smap = Exp.Smap
+
+type t = {
+  name : string;
+  init : (string * int) list;
+  threads : Instr.t list array;
+  exists : Cond.t option;
+}
+
+let make ~name ?(init = []) ?exists threads =
+  { name; init; threads = Array.of_list threads; exists }
+
+let name t = t.name
+let num_threads t = Array.length t.threads
+let thread t p = t.threads.(p)
+let threads t = Array.to_list t.threads
+let exists t = t.exists
+let init t = t.init
+
+let initial_memory t =
+  List.fold_left (fun m (loc, v) -> Smap.add loc v m) Smap.empty t.init
+
+let locations t =
+  let add_instr acc i =
+    match Instr.location i with Some l -> l :: acc | None -> acc
+  in
+  let from_threads =
+    Array.fold_left (List.fold_left add_instr) [] t.threads
+  in
+  let from_init = List.map fst t.init in
+  List.sort_uniq String.compare (from_init @ from_threads)
+
+let num_instrs t =
+  Array.fold_left (fun n is -> n + List.length is) 0 t.threads
+
+let sync_locations t =
+  let add_instr acc i =
+    match (Instr.is_sync i, Instr.location i) with
+    | true, Some l -> l :: acc
+    | _, _ -> acc
+  in
+  List.sort_uniq String.compare
+    (Array.fold_left (List.fold_left add_instr) [] t.threads)
+
+type error =
+  | Duplicate_init of string
+  | Unassigned_register of int * string  (** used before any load sets it *)
+  | Bad_condition_thread of int
+  | Fence_not_in_paper_model of int  (** thread containing a fence *)
+  | Mixed_sync_data_location of string
+      (** a location accessed both by sync and data operations *)
+
+let pp_error ppf = function
+  | Duplicate_init loc -> Fmt.pf ppf "location %s initialized twice" loc
+  | Unassigned_register (p, r) ->
+      Fmt.pf ppf "thread %d uses register %s before any load assigns it" p r
+  | Bad_condition_thread p ->
+      Fmt.pf ppf "condition mentions nonexistent thread %d" p
+  | Fence_not_in_paper_model p ->
+      Fmt.pf ppf "thread %d contains a fence (outside the paper's model)" p
+  | Mixed_sync_data_location loc ->
+      Fmt.pf ppf
+        "location %s is accessed by both sync and data operations" loc
+
+let check_thread_registers p instrs errors =
+  let step (assigned, errors) i =
+    let errors =
+      List.fold_left
+        (fun errors r ->
+          if List.mem r assigned then errors
+          else Unassigned_register (p, r) :: errors)
+        errors (Instr.source_registers i)
+    in
+    let assigned =
+      match Instr.target_register i with
+      | Some r -> r :: assigned
+      | None -> assigned
+    in
+    (assigned, errors)
+  in
+  snd (List.fold_left step ([], errors) instrs)
+
+let validate ?(paper_strict = false) t =
+  let errors = [] in
+  let errors =
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun errors (loc, _) ->
+        if Hashtbl.mem seen loc then Duplicate_init loc :: errors
+        else begin
+          Hashtbl.add seen loc ();
+          errors
+        end)
+      errors t.init
+  in
+  let errors =
+    let acc = ref errors in
+    Array.iteri
+      (fun p instrs -> acc := check_thread_registers p instrs !acc)
+      t.threads;
+    !acc
+  in
+  let errors =
+    match t.exists with
+    | None -> errors
+    | Some c ->
+        List.fold_left
+          (fun errors (p, _) ->
+            if p < 0 || p >= num_threads t then Bad_condition_thread p :: errors
+            else errors)
+          errors (Cond.registers c)
+  in
+  let errors =
+    if not paper_strict then errors
+    else begin
+      let acc = ref errors in
+      Array.iteri
+        (fun p instrs ->
+          if List.exists (fun i -> i = Instr.Fence) instrs then
+            acc := Fence_not_in_paper_model p :: !acc)
+        t.threads;
+      let sync = sync_locations t in
+      let data =
+        let add_instr l i =
+          match (Instr.is_data i, Instr.location i) with
+          | true, Some loc -> loc :: l
+          | _, _ -> l
+        in
+        List.sort_uniq String.compare
+          (Array.fold_left (List.fold_left add_instr) [] t.threads)
+      in
+      List.iter
+        (fun loc ->
+          if List.mem loc data then
+            acc := Mixed_sync_data_location loc :: !acc)
+        sync;
+      !acc
+    end
+  in
+  match errors with [] -> Ok () | _ -> Error (List.rev errors)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s" t.name;
+  if t.init <> [] then
+    Fmt.pf ppf "@,{ %a }"
+      Fmt.(list ~sep:(any "; ") (fun ppf (l, v) -> pf ppf "%s=%d" l v))
+      t.init;
+  Array.iteri
+    (fun p instrs ->
+      Fmt.pf ppf "@,P%d: @[<v>%a@]" p
+        Fmt.(list ~sep:cut Instr.pp)
+        instrs)
+    t.threads;
+  (match t.exists with
+  | Some c -> Fmt.pf ppf "@,exists %a" Cond.pp c
+  | None -> ());
+  Fmt.pf ppf "@]"

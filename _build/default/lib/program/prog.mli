@@ -1,0 +1,53 @@
+(** Litmus programs: initial memory, straight-line threads, and an optional
+    "exists" condition describing the outcome of interest. *)
+
+type t
+
+val make :
+  name:string ->
+  ?init:(string * int) list ->
+  ?exists:Cond.t ->
+  Instr.t list list ->
+  t
+(** [make ~name ~init ~exists threads].  Locations absent from [init] start
+    at 0. *)
+
+val name : t -> string
+val num_threads : t -> int
+
+val thread : t -> int -> Instr.t list
+(** @raise Invalid_argument on a bad index. *)
+
+val threads : t -> Instr.t list list
+val exists : t -> Cond.t option
+val init : t -> (string * int) list
+
+val initial_memory : t -> int Exp.Smap.t
+(** Initial memory as a map (only explicitly initialized locations). *)
+
+val locations : t -> string list
+(** All locations mentioned, sorted, without duplicates. *)
+
+val sync_locations : t -> string list
+(** Locations touched by at least one synchronization operation. *)
+
+val num_instrs : t -> int
+
+(** {1 Validation} *)
+
+type error =
+  | Duplicate_init of string
+  | Unassigned_register of int * string
+  | Bad_condition_thread of int
+  | Fence_not_in_paper_model of int
+  | Mixed_sync_data_location of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : ?paper_strict:bool -> t -> (unit, error list) result
+(** Well-formedness.  With [~paper_strict:true], additionally reject fences
+    and locations used both for data and synchronization (the paper's DRF0
+    discussion keeps the two separate; mixing them is legal for our machines
+    but makes examples confusing). *)
+
+val pp : Format.formatter -> t -> unit

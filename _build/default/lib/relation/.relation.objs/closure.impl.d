@@ -1,0 +1,1 @@
+lib/relation/closure.ml: Array Iset List Rel

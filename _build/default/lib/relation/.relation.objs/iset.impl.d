@@ -1,0 +1,1 @@
+lib/relation/iset.ml: Fmt Int Set

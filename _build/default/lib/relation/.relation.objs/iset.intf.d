@@ -1,0 +1,1 @@
+lib/relation/iset.mli: Format Set

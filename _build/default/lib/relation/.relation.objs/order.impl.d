@@ -1,0 +1,1 @@
+lib/relation/order.ml: Array Closure Iset List Rel

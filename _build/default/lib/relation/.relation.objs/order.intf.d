@@ -1,0 +1,1 @@
+lib/relation/order.mli: Iset Rel

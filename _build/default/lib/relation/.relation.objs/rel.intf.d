@@ -1,0 +1,1 @@
+lib/relation/rel.mli: Format Iset

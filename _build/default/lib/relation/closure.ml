@@ -1,0 +1,105 @@
+(* Transitive-closure algorithms and cycle detection.
+
+   Two independent closure implementations are provided — set-propagation
+   (worklist) and Warshall — and the test suite checks they agree; this
+   guards the foundation everything else rests on. *)
+
+let transitive_closure rel =
+  let n = Rel.size rel in
+  (* succ.(a) accumulates everything reachable from [a] in >= 1 step. *)
+  let succ = Array.init n (fun a -> Rel.successors rel a) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for a = 0 to n - 1 do
+      let extended =
+        Iset.fold (fun b acc -> Iset.union succ.(b) acc) succ.(a) succ.(a)
+      in
+      if not (Iset.equal extended succ.(a)) then begin
+        succ.(a) <- extended;
+        changed := true
+      end
+    done
+  done;
+  let pairs = ref [] in
+  Array.iteri
+    (fun a s -> Iset.iter (fun b -> pairs := (a, b) :: !pairs) s)
+    succ;
+  Rel.of_list n !pairs
+
+let transitive_closure_warshall rel =
+  let n = Rel.size rel in
+  let reach = Array.make_matrix n n false in
+  Rel.iter (fun a b -> reach.(a).(b) <- true) rel;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if reach.(i).(j) then pairs := (i, j) :: !pairs
+    done
+  done;
+  Rel.of_list n !pairs
+
+let reflexive_transitive_closure rel =
+  Rel.union (transitive_closure rel) (Rel.identity (Rel.size rel))
+
+let is_acyclic rel =
+  (* DFS with three colours; a back edge is a cycle. *)
+  let n = Rel.size rel in
+  let colour = Array.make n `White in
+  let exception Cycle in
+  let rec visit a =
+    match colour.(a) with
+    | `Grey -> raise Cycle
+    | `Black -> ()
+    | `White ->
+        colour.(a) <- `Grey;
+        Iset.iter visit (Rel.successors rel a);
+        colour.(a) <- `Black
+  in
+  try
+    for a = 0 to n - 1 do
+      visit a
+    done;
+    true
+  with Cycle -> false
+
+let find_cycle rel =
+  let n = Rel.size rel in
+  let colour = Array.make n `White in
+  let exception Found of int list in
+  (* [path] is the current DFS stack, most recent first. *)
+  let rec visit path a =
+    match colour.(a) with
+    | `Black -> ()
+    | `Grey ->
+        (* [a] is on the stack: the cycle is the prefix of [path] up to and
+           including the earlier occurrence of [a]. *)
+        let rec take acc = function
+          | [] -> acc
+          | b :: rest -> if b = a then b :: acc else take (b :: acc) rest
+        in
+        raise (Found (take [] path))
+    | `White ->
+        colour.(a) <- `Grey;
+        Iset.iter (visit (a :: path)) (Rel.successors rel a);
+        colour.(a) <- `Black
+  in
+  try
+    for a = 0 to n - 1 do
+      visit [] a
+    done;
+    None
+  with Found cycle -> Some cycle
+
+let acyclic_union rels =
+  match rels with
+  | [] -> invalid_arg "Closure.acyclic_union: empty list"
+  | r :: rest -> is_acyclic (List.fold_left Rel.union r rest)

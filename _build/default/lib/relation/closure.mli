@@ -1,0 +1,25 @@
+(** Transitive closures and cycle detection over {!Rel.t}. *)
+
+val transitive_closure : Rel.t -> Rel.t
+(** Irreflexive-in-input transitive closure [r+] (worklist algorithm).  Note
+    that if the input has a cycle, the result relates cycle members to
+    themselves. *)
+
+val transitive_closure_warshall : Rel.t -> Rel.t
+(** Same specification as {!transitive_closure}, computed with Warshall's
+    algorithm.  Kept as an independent implementation for cross-checking. *)
+
+val reflexive_transitive_closure : Rel.t -> Rel.t
+(** [r* = r+ ∪ id]. *)
+
+val is_acyclic : Rel.t -> bool
+(** [true] iff the relation, viewed as a directed graph, has no cycle
+    (self-loops count as cycles). *)
+
+val find_cycle : Rel.t -> int list option
+(** A witness cycle [[a1; ...; ak]] with edges [a1->a2->...->ak->a1], if any. *)
+
+val acyclic_union : Rel.t list -> bool
+(** [acyclic_union rs] is [is_acyclic (union of rs)].  This is the form in
+    which axiomatic memory-model constraints are stated.
+    @raise Invalid_argument on the empty list. *)

@@ -1,0 +1,10 @@
+(* Integer sets used to represent adjacency in finite relations. *)
+
+include Set.Make (Int)
+
+let of_range lo hi =
+  let rec loop acc i = if i > hi then acc else loop (add i acc) (i + 1) in
+  loop empty lo
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",@ ") int) (elements s)

@@ -1,0 +1,12 @@
+(** Finite sets of non-negative integers (event identifiers).
+
+    This is [Set.Make (Int)] extended with a few convenience functions; it is
+    the adjacency representation used by {!Rel}. *)
+
+include Set.S with type elt = int
+
+val of_range : int -> int -> t
+(** [of_range lo hi] is the set [{lo, lo+1, ..., hi}]; empty if [lo > hi]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print as [{a, b, c}]. *)

@@ -1,0 +1,88 @@
+(* Orders derived from relations: topological sorts, linear extensions, and
+   the consistency test of Shasha & Snir used throughout the paper's
+   appendices ("two relations are consistent iff their union extends to a
+   total order"). *)
+
+let topological_sort rel =
+  let n = Rel.size rel in
+  let indegree = Array.make n 0 in
+  Rel.iter (fun _ b -> indegree.(b) <- indegree.(b) + 1) rel;
+  (* Smallest-first queue keeps the output deterministic. *)
+  let ready = ref Iset.empty in
+  for a = 0 to n - 1 do
+    if indegree.(a) = 0 then ready := Iset.add a !ready
+  done;
+  let rec loop acc produced =
+    match Iset.min_elt_opt !ready with
+    | None -> if produced = n then Some (List.rev acc) else None
+    | Some a ->
+        ready := Iset.remove a !ready;
+        Iset.iter
+          (fun b ->
+            indegree.(b) <- indegree.(b) - 1;
+            if indegree.(b) = 0 then ready := Iset.add b !ready)
+          (Rel.successors rel a);
+        loop (a :: acc) (produced + 1)
+  in
+  loop [] 0
+
+let linear_extensions rel =
+  let n = Rel.size rel in
+  let indegree = Array.make n 0 in
+  Rel.iter (fun _ b -> indegree.(b) <- indegree.(b) + 1) rel;
+  let initial_ready =
+    let s = ref Iset.empty in
+    for a = 0 to n - 1 do
+      if indegree.(a) = 0 then s := Iset.add a !s
+    done;
+    !s
+  in
+  (* Depth-first enumeration over choices of the next minimal element.  The
+     indegree array is mutated and restored around each choice. *)
+  let rec extend acc produced ready k =
+    if produced = n then k (List.rev acc)
+    else
+      Iset.iter
+        (fun a ->
+          let newly_ready = ref (Iset.remove a ready) in
+          Iset.iter
+            (fun b ->
+              indegree.(b) <- indegree.(b) - 1;
+              if indegree.(b) = 0 then newly_ready := Iset.add b !newly_ready)
+            (Rel.successors rel a);
+          extend (a :: acc) (produced + 1) !newly_ready k;
+          Iset.iter
+            (fun b -> indegree.(b) <- indegree.(b) + 1)
+            (Rel.successors rel a))
+        ready
+  in
+  fun k -> extend [] 0 initial_ready k
+
+let linear_extensions_list rel =
+  let acc = ref [] in
+  linear_extensions rel (fun order -> acc := order :: !acc);
+  List.rev !acc
+
+let count_linear_extensions rel =
+  let n = ref 0 in
+  linear_extensions rel (fun _ -> incr n);
+  !n
+
+let of_total_order size order =
+  let rec pairs acc = function
+    | [] | [ _ ] -> acc
+    | a :: rest ->
+        (* Add all pairs, not just adjacent ones, so the result is already
+           transitively closed. *)
+        pairs (List.map (fun c -> (a, c)) rest @ acc) rest
+  in
+  Rel.of_list size (pairs [] order)
+
+let consistent a b = Closure.is_acyclic (Rel.union a b)
+
+let is_total_order_on rel events =
+  let ordered a b = Rel.mem rel a b || Rel.mem rel b a in
+  Closure.is_acyclic (Rel.restrict rel ~keep:(fun e -> Iset.mem e events))
+  && Iset.for_all
+       (fun a -> Iset.for_all (fun b -> a = b || ordered a b) events)
+       events

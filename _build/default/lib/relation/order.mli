@@ -1,0 +1,27 @@
+(** Topological sorts, linear extensions and order consistency. *)
+
+val topological_sort : Rel.t -> int list option
+(** A deterministic (smallest-eligible-first) topological sort of the whole
+    universe, or [None] if the relation is cyclic. *)
+
+val linear_extensions : Rel.t -> (int list -> unit) -> unit
+(** [linear_extensions r k] calls [k] once for every total order of the
+    universe consistent with [r].  If [r] is cyclic, [k] is never called. *)
+
+val linear_extensions_list : Rel.t -> int list list
+(** All linear extensions, materialized.  Use only on small universes. *)
+
+val count_linear_extensions : Rel.t -> int
+
+val of_total_order : int -> int list -> Rel.t
+(** [of_total_order n order] is the strict total order relation placing
+    elements as listed.  Elements of the universe missing from [order] are
+    unrelated. *)
+
+val consistent : Rel.t -> Rel.t -> bool
+(** Shasha–Snir consistency: [A] and [B] are consistent iff [A ∪ B] can be
+    extended to a total order, i.e. iff [A ∪ B] is acyclic. *)
+
+val is_total_order_on : Rel.t -> Iset.t -> bool
+(** [is_total_order_on r s] holds iff [r] restricted to [s] is acyclic and
+    relates every two distinct elements of [s] one way or the other. *)

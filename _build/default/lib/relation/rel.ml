@@ -1,0 +1,140 @@
+(* Finite binary relations over the universe {0, ..., size-1}.
+
+   The representation is a persistent array-of-sets: [succ.(a)] is the set of
+   all [b] with [(a, b)] in the relation.  All operations are persistent; the
+   underlying arrays are copied before mutation.  Relations in this project
+   are litmus-test sized (tens of events), so the O(n) copies are cheap and
+   the simplicity is worth it. *)
+
+type t = { size : int; succ : Iset.t array }
+
+let create size =
+  if size < 0 then invalid_arg "Rel.create: negative size";
+  { size; succ = Array.make size Iset.empty }
+
+let size t = t.size
+
+let check_event t a =
+  if a < 0 || a >= t.size then
+    invalid_arg (Printf.sprintf "Rel: event %d outside universe [0,%d)" a t.size)
+
+let mem t a b =
+  check_event t a;
+  check_event t b;
+  Iset.mem b t.succ.(a)
+
+let add t a b =
+  check_event t a;
+  check_event t b;
+  if Iset.mem b t.succ.(a) then t
+  else begin
+    let succ = Array.copy t.succ in
+    succ.(a) <- Iset.add b succ.(a);
+    { t with succ }
+  end
+
+let remove t a b =
+  check_event t a;
+  check_event t b;
+  if not (Iset.mem b t.succ.(a)) then t
+  else begin
+    let succ = Array.copy t.succ in
+    succ.(a) <- Iset.remove b succ.(a);
+    { t with succ }
+  end
+
+let of_list size pairs =
+  let succ = Array.make size Iset.empty in
+  let add_pair (a, b) =
+    if a < 0 || a >= size || b < 0 || b >= size then
+      invalid_arg "Rel.of_list: pair outside universe";
+    succ.(a) <- Iset.add b succ.(a)
+  in
+  List.iter add_pair pairs;
+  { size; succ }
+
+let successors t a =
+  check_event t a;
+  t.succ.(a)
+
+let fold f t acc =
+  let fold_from a s acc = Iset.fold (fun b acc -> f a b acc) s acc in
+  let acc = ref acc in
+  Array.iteri (fun a s -> acc := fold_from a s !acc) t.succ;
+  !acc
+
+let iter f t = fold (fun a b () -> f a b) t ()
+
+let to_list t = List.rev (fold (fun a b acc -> (a, b) :: acc) t [])
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+let is_empty t = Array.for_all Iset.is_empty t.succ
+
+let check_same_size t u op =
+  if t.size <> u.size then
+    invalid_arg (Printf.sprintf "Rel.%s: universes differ (%d vs %d)" op t.size u.size)
+
+let map2 op name t u =
+  check_same_size t u name;
+  { size = t.size; succ = Array.init t.size (fun a -> op t.succ.(a) u.succ.(a)) }
+
+let union t u = map2 Iset.union "union" t u
+let inter t u = map2 Iset.inter "inter" t u
+let diff t u = map2 Iset.diff "diff" t u
+
+let subset t u =
+  check_same_size t u "subset";
+  let ok = ref true in
+  Array.iteri (fun a s -> if not (Iset.subset s u.succ.(a)) then ok := false) t.succ;
+  !ok
+
+let equal t u = subset t u && subset u t
+
+let inverse t =
+  let succ = Array.make t.size Iset.empty in
+  iter (fun a b -> succ.(b) <- Iset.add a succ.(b)) t;
+  { size = t.size; succ }
+
+let compose t u =
+  check_same_size t u "compose";
+  let succ =
+    Array.init t.size (fun a ->
+        Iset.fold (fun b acc -> Iset.union u.succ.(b) acc) t.succ.(a) Iset.empty)
+  in
+  { size = t.size; succ }
+
+let restrict t ~keep =
+  let succ =
+    Array.init t.size (fun a ->
+        if keep a then Iset.filter keep t.succ.(a) else Iset.empty)
+  in
+  { size = t.size; succ }
+
+let filter f t =
+  let succ =
+    Array.init t.size (fun a -> Iset.filter (fun b -> f a b) t.succ.(a))
+  in
+  { size = t.size; succ }
+
+let cross t xs ys =
+  let ys = Iset.filter (fun y -> y < t.size && y >= 0) ys in
+  let succ = Array.copy t.succ in
+  Iset.iter
+    (fun x ->
+      check_event t x;
+      succ.(x) <- Iset.union ys succ.(x))
+    xs;
+  { t with succ }
+
+let identity size =
+  { size; succ = Array.init size (fun a -> Iset.singleton a) }
+
+let is_irreflexive t =
+  let ok = ref true in
+  Array.iteri (fun a s -> if Iset.mem a s then ok := false) t.succ;
+  !ok
+
+let pp ppf t =
+  let pp_pair ppf (a, b) = Fmt.pf ppf "%d->%d" a b in
+  Fmt.pf ppf "@[<hov 1>[%a]@]" Fmt.(list ~sep:(any ";@ ") pp_pair) (to_list t)

@@ -1,0 +1,73 @@
+(** Finite binary relations over a fixed universe [{0, ..., size-1}].
+
+    Events in this project (memory operations of a litmus test) are numbered
+    densely from 0, so every relation carries its universe size and all
+    binary operations require equal sizes.  All operations are persistent. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty relation over universe size [n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val size : t -> int
+(** Universe size. *)
+
+val mem : t -> int -> int -> bool
+(** [mem t a b] is [true] iff [(a, b)] is in the relation.
+    @raise Invalid_argument if [a] or [b] is outside the universe. *)
+
+val add : t -> int -> int -> t
+(** Add one pair. *)
+
+val remove : t -> int -> int -> t
+(** Remove one pair (no-op if absent). *)
+
+val of_list : int -> (int * int) list -> t
+(** [of_list n pairs] builds a relation over universe size [n]. *)
+
+val successors : t -> int -> Iset.t
+(** [successors t a] is [{b | (a, b) in t}]. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> int -> unit) -> t -> unit
+
+val to_list : t -> (int * int) list
+(** All pairs, sorted by first then second component. *)
+
+val cardinal : t -> int
+(** Number of pairs. *)
+
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** Set difference of pair sets. *)
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+val inverse : t -> t
+(** [(a, b)] becomes [(b, a)]. *)
+
+val compose : t -> t -> t
+(** [compose t u] contains [(a, c)] iff there is [b] with [(a, b)] in [t]
+    and [(b, c)] in [u]. *)
+
+val restrict : t -> keep:(int -> bool) -> t
+(** Keep only pairs whose both endpoints satisfy [keep]. *)
+
+val filter : (int -> int -> bool) -> t -> t
+(** Keep only pairs [(a, b)] with [f a b]. *)
+
+val cross : t -> Iset.t -> Iset.t -> t
+(** [cross t xs ys] adds the full product [xs * ys] to [t]. *)
+
+val identity : int -> t
+(** The identity relation over universe size [n]. *)
+
+val is_irreflexive : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Engine Proto Sim_config Sim_trace Workload

@@ -1,0 +1,1 @@
+lib/sim/proto.ml: Array Engine Exp Hashtbl Iset List Queue Sim_config

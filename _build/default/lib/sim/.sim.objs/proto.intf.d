@@ -1,0 +1,1 @@
+lib/sim/proto.mli: Engine Sim_config

@@ -1,0 +1,1 @@
+lib/sim/sim_run.ml: Array Cpu Engine Fmt List Option Proto Sim_config Sim_trace String Workload

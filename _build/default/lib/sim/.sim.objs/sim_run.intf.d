@@ -1,0 +1,1 @@
+lib/sim/sim_run.mli: Cpu Format Sim_config Sim_trace Workload

@@ -1,0 +1,1 @@
+lib/sim/sim_trace.ml: Array Bytes Fmt Format Hashtbl List String

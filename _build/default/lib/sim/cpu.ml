@@ -1,0 +1,256 @@
+(* Processor models: interpret a workload thread on top of the coherence
+   protocol under one of four issue policies.
+
+   - [Sc]: every access (data or sync) is globally performed before the
+     next issues — Lamport-conservative hardware.
+   - [Def1]: Definition-1 weak ordering.  Data reads block; data writes
+     overlap.  A synchronization operation waits for the counter to read
+     zero before issuing (condition 2) and is globally performed before
+     anything later issues (condition 3).
+   - [Def2]: the paper's Section 5.3 implementation.  A synchronization
+     operation only waits to *commit* (procure the line and modify it);
+     if the counter is positive at commit, the line is reserved, shifting
+     the stall to the *next* processor that synchronizes on the location.
+   - [Def2_rs]: [Def2] plus the Section 6 refinement — read-only sync
+     operations are ordinary coherent reads (cacheable shared) and place no
+     reservation, so sync-read spinning is not serialized. *)
+
+type policy = Sc | Def1 | Def2 | Def2_rs | Def2_noresv
+
+let policy_name = function
+  | Sc -> "sc"
+  | Def1 -> "def1"
+  | Def2 -> "def2"
+  | Def2_rs -> "def2-rs"
+  | Def2_noresv -> "def2-noresv"
+
+let all_policies = [ Sc; Def1; Def2; Def2_rs ]
+
+(* [Def2_noresv] is the deliberately broken ablation: the Section 5.3
+   implementation *without* reserve bits.  It violates condition 5 and the
+   trace checker (and the consumer's stale reads) catch it; it is excluded
+   from [all_policies]. *)
+let ablation_policies = [ Def2_noresv ]
+
+type obs = {
+  o_proc : int;
+  o_tag : string;
+  o_loc : string;
+  o_value : int;
+  o_time : int;
+}
+
+type proc_stats = {
+  mutable finish : int;  (** cycle at which the thread's last op completed *)
+  mutable drained : int;  (** cycle at which its counter last read zero *)
+  mutable stall_pre_sync : int;
+      (** waiting for the counter before issuing a sync (Def1 cond. 2) *)
+  mutable stall_sync_gp : int;
+      (** waiting for a sync to be globally performed (Def1 cond. 3 / SC) *)
+  mutable stall_acquire : int;
+      (** waiting for a sync to commit: line acquisition, including remote
+          reservations (Def2 cond. 5 shifts stalls here) *)
+  mutable stall_read : int;  (** read-miss latency *)
+  mutable spin_iters : int;
+  mutable lock_retries : int;
+}
+
+let fresh_stats () =
+  {
+    finish = 0;
+    drained = 0;
+    stall_pre_sync = 0;
+    stall_sync_gp = 0;
+    stall_acquire = 0;
+    stall_read = 0;
+    spin_iters = 0;
+    lock_retries = 0;
+  }
+
+type ctx = {
+  cfg : Sim_config.t;
+  eng : Engine.t;
+  proto : Proto.t;
+  policy : policy;
+  stats : proc_stats array;
+  mutable observations : obs list;
+  mutable trace : Sim_trace.ev list;
+  op_seq : int array;  (** per-processor operation sequence numbers *)
+}
+
+(* Record an operation in the trace at its generation point; commit and
+   globally-performed times are filled in by the protocol callbacks. *)
+let record ctx proc ~sync ~reads ~writes loc =
+  let eidx = ctx.op_seq.(proc) in
+  ctx.op_seq.(proc) <- eidx + 1;
+  let ev =
+    Sim_trace.make ~ep:proc ~eidx ~sync ~reads ~writes ~eloc:loc
+      ~egen:(Engine.now ctx.eng)
+  in
+  ctx.trace <- ev :: ctx.trace;
+  ev
+
+let observe ctx proc tag loc value =
+  ctx.observations <-
+    { o_proc = proc; o_tag = tag; o_loc = loc; o_value = value; o_time = Engine.now ctx.eng }
+    :: ctx.observations
+
+(* --- policy-specific wrappers -------------------------------------------- *)
+
+let data_read ctx proc loc k =
+  let t0 = Engine.now ctx.eng in
+  let ev = record ctx proc ~sync:false ~reads:true ~writes:false loc in
+  Proto.read ctx.proto ~proc ~loc
+    ~on_gp:(fun () -> ev.Sim_trace.egp <- Engine.now ctx.eng)
+    ~k:(fun v ->
+      ev.Sim_trace.ecommit <- Engine.now ctx.eng;
+      ctx.stats.(proc).stall_read <-
+        ctx.stats.(proc).stall_read + (Engine.now ctx.eng - t0);
+      k v)
+
+(* Data write: SC waits for global performance; the weak policies move on
+   as soon as the write is handed to the memory system. *)
+let data_write ctx proc loc value k =
+  let ev = record ctx proc ~sync:false ~reads:false ~writes:true loc in
+  let on_commit _ = ev.Sim_trace.ecommit <- Engine.now ctx.eng in
+  let on_gp () = ev.Sim_trace.egp <- Engine.now ctx.eng in
+  match ctx.policy with
+  | Sc ->
+      let t0 = Engine.now ctx.eng in
+      Proto.modify ctx.proto ~proc ~loc ~f:(fun _ -> value) ~on_gp
+        ~on_commit:(fun old ->
+          on_commit old;
+          Proto.when_counter_zero ctx.proto proc (fun () ->
+              ctx.stats.(proc).stall_sync_gp <-
+                ctx.stats.(proc).stall_sync_gp + (Engine.now ctx.eng - t0);
+              k ()))
+  | Def1 | Def2 | Def2_rs | Def2_noresv ->
+      Proto.modify ctx.proto ~proc ~loc ~f:(fun _ -> value) ~on_gp ~on_commit;
+      Engine.schedule ctx.eng ~delay:1 k
+
+(* A synchronization operation that acquires the line exclusive (sync
+   write, TAS, FADD — and, for Def2 base, sync reads too).  [reads] and
+   [writes] record the *architectural* classification for the trace.
+   [k old] runs when the policy lets the processor continue. *)
+let sync_modify ctx proc loc ~reads ~writes f k =
+  let st = ctx.stats.(proc) in
+  let ev = record ctx proc ~sync:true ~reads ~writes loc in
+  let on_gp () = ev.Sim_trace.egp <- Engine.now ctx.eng in
+  let commit () = ev.Sim_trace.ecommit <- Engine.now ctx.eng in
+  match ctx.policy with
+  | Sc ->
+      let t0 = Engine.now ctx.eng in
+      Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
+          commit ();
+          Proto.when_counter_zero ctx.proto proc (fun () ->
+              st.stall_sync_gp <- st.stall_sync_gp + (Engine.now ctx.eng - t0);
+              k old))
+  | Def1 ->
+      let t0 = Engine.now ctx.eng in
+      Proto.when_counter_zero ctx.proto proc (fun () ->
+          st.stall_pre_sync <- st.stall_pre_sync + (Engine.now ctx.eng - t0);
+          let t1 = Engine.now ctx.eng in
+          Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
+              commit ();
+              Proto.when_counter_zero ctx.proto proc (fun () ->
+                  st.stall_sync_gp <-
+                    st.stall_sync_gp + (Engine.now ctx.eng - t1);
+                  k old)))
+  | Def2 | Def2_rs | Def2_noresv ->
+      let t0 = Engine.now ctx.eng in
+      Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
+          commit ();
+          st.stall_acquire <- st.stall_acquire + (Engine.now ctx.eng - t0);
+          if ctx.policy <> Def2_noresv then
+            Proto.reserve_if_outstanding ctx.proto ~proc ~loc;
+          k old)
+
+(* A read-only synchronization operation. *)
+let sync_read ctx proc loc k =
+  let st = ctx.stats.(proc) in
+  let plain_read stall_field =
+    let t0 = Engine.now ctx.eng in
+    let ev = record ctx proc ~sync:true ~reads:true ~writes:false loc in
+    Proto.read ctx.proto ~proc ~loc
+      ~on_gp:(fun () -> ev.Sim_trace.egp <- Engine.now ctx.eng)
+      ~k:(fun v ->
+        ev.Sim_trace.ecommit <- Engine.now ctx.eng;
+        let stalled =
+          max 0 (Engine.now ctx.eng - t0 - ctx.cfg.Sim_config.cache_hit)
+        in
+        (match stall_field with
+        | `Gp -> st.stall_sync_gp <- st.stall_sync_gp + stalled
+        | `Acquire -> st.stall_acquire <- st.stall_acquire + stalled);
+        k v)
+  in
+  match ctx.policy with
+  | Sc -> plain_read `Gp
+  | Def1 ->
+      let t0 = Engine.now ctx.eng in
+      Proto.when_counter_zero ctx.proto proc (fun () ->
+          st.stall_pre_sync <- st.stall_pre_sync + (Engine.now ctx.eng - t0);
+          plain_read `Gp)
+  | Def2 | Def2_noresv ->
+      (* Base implementation: all sync operations are treated as writes by
+         the coherence protocol — even a Test acquires the line exclusive
+         and is serialized (the Section 6 performance complaint). *)
+      sync_modify ctx proc loc ~reads:true ~writes:false (fun v -> v) k
+  | Def2_rs ->
+      (* Refinement: a read-only sync is a coherent read; it honours
+         reservations at the owner (acquire side) but places none. *)
+      plain_read `Acquire
+
+(* --- the interpreter -------------------------------------------------------- *)
+
+let spin_delay ctx k =
+  Engine.schedule ctx.eng ~delay:ctx.cfg.Sim_config.spin_interval k
+
+let rec exec_op ctx proc op k =
+  let st = ctx.stats.(proc) in
+  match op with
+  | Workload.Work n -> Engine.schedule ctx.eng ~delay:n k
+  | Workload.Read { loc; tag } ->
+      data_read ctx proc loc (fun v ->
+          (match tag with Some tg -> observe ctx proc tg loc v | None -> ());
+          k ())
+  | Workload.Write { loc; value } -> data_write ctx proc loc value k
+  | Workload.Sync_read { loc; tag } ->
+      sync_read ctx proc loc (fun v ->
+          (match tag with Some tg -> observe ctx proc tg loc v | None -> ());
+          k ())
+  | Workload.Sync_write { loc; value } ->
+      sync_modify ctx proc loc ~reads:false ~writes:true (fun _ -> value)
+        (fun _ -> k ())
+  | Workload.Tas { loc; tag } ->
+      sync_modify ctx proc loc ~reads:true ~writes:true (fun _ -> 1) (fun old ->
+          (match tag with Some tg -> observe ctx proc tg loc old | None -> ());
+          k ())
+  | Workload.Fadd { loc; n } ->
+      sync_modify ctx proc loc ~reads:true ~writes:true (fun v -> v + n)
+        (fun _ -> k ())
+  | Workload.Spin_until { loc; expect; sync } ->
+      let rec iter () =
+        st.spin_iters <- st.spin_iters + 1;
+        let check v = if v = expect then k () else spin_delay ctx iter in
+        if sync then sync_read ctx proc loc check
+        else data_read ctx proc loc check
+      in
+      iter ()
+  | Workload.Lock { loc } ->
+      let rec attempt () =
+        sync_modify ctx proc loc ~reads:true ~writes:true
+          (fun v -> if v = 0 then 1 else v)
+          (fun old ->
+            if old = 0 then k ()
+            else begin
+              st.lock_retries <- st.lock_retries + 1;
+              spin_delay ctx attempt
+            end)
+      in
+      attempt ()
+  | Workload.Unlock { loc } -> exec_op ctx proc (Workload.Sync_write { loc; value = 0 }) k
+
+let rec exec_thread ctx proc ops k =
+  match ops with
+  | [] -> k ()
+  | op :: rest -> exec_op ctx proc op (fun () -> exec_thread ctx proc rest k)

@@ -1,0 +1,57 @@
+(** Processor issue policies interpreting workload threads over the
+    coherence protocol. *)
+
+type policy =
+  | Sc
+  | Def1
+  | Def2
+  | Def2_rs
+  | Def2_noresv
+      (** deliberately broken ablation: Section 5.3 without reserve bits;
+          violates condition 5 (kept out of {!all_policies}) *)
+
+val policy_name : policy -> string
+
+val all_policies : policy list
+(** The four correct policies. *)
+
+val ablation_policies : policy list
+
+type obs = {
+  o_proc : int;
+  o_tag : string;
+  o_loc : string;
+  o_value : int;
+  o_time : int;
+}
+
+type proc_stats = {
+  mutable finish : int;
+  mutable drained : int;
+  mutable stall_pre_sync : int;
+      (** cycles waiting for the counter before a sync issues (Def1) *)
+  mutable stall_sync_gp : int;
+      (** cycles waiting for global performance after a sync (Def1/SC) *)
+  mutable stall_acquire : int;
+      (** cycles waiting for a sync to commit, incl. remote reservations *)
+  mutable stall_read : int;
+  mutable spin_iters : int;
+  mutable lock_retries : int;
+}
+
+val fresh_stats : unit -> proc_stats
+
+type ctx = {
+  cfg : Sim_config.t;
+  eng : Engine.t;
+  proto : Proto.t;
+  policy : policy;
+  stats : proc_stats array;
+  mutable observations : obs list;
+  mutable trace : Sim_trace.ev list;
+  op_seq : int array;
+}
+
+val exec_thread : ctx -> int -> Workload.op list -> (unit -> unit) -> unit
+(** Run a thread's operations in order; the continuation fires when the
+    last completes (by the policy's notion of completion). *)

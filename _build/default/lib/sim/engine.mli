@@ -1,0 +1,20 @@
+(** Deterministic discrete-event simulation engine. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run the thunk [delay] cycles from now; ties run in insertion order.
+    @raise Invalid_argument on negative delay. *)
+
+val executed : t -> int
+(** Number of events executed so far. *)
+
+exception Out_of_time
+
+val run : ?limit:int -> t -> unit
+(** Drain the queue.
+    @raise Out_of_time if simulated time exceeds [limit] (default 10^7) —
+    the safety net against livelock. *)

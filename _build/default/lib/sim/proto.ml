@@ -1,0 +1,412 @@
+(* The cache-coherence substrate of Sections 5.2–5.3: a directory-based,
+   write-back invalidation protocol over a general interconnection network.
+
+   - Every processor has a private cache (unbounded: locations are lines,
+     one word per line, no evictions).
+   - The directory keeps a full map per line (Uncached / Shared sharers /
+     Exclusive owner) and serializes transactions per line.
+   - On a write miss to a Shared line, the data is forwarded to the
+     requester *in parallel* with the invalidations (the paper's protocol);
+     invalidation acks return to the directory, which then sends its ack to
+     the writer: the write *commits* when it modifies the local copy and is
+     *globally performed* when the directory's ack arrives.
+   - Every processor keeps the RP3-style counter of outstanding accesses:
+     incremented on a miss; decremented when a read's line arrives, when a
+     write's line arrives already exclusive (no other copies), or when the
+     directory's ack arrives for a write to a previously-shared line.
+   - Reserve bits (Section 5.3): a policy may reserve a line after
+     committing a synchronization operation while the counter is positive.
+     While a line is reserved its owner defers all foreign requests for it
+     until the counter reads zero (the paper keeps reserved lines from
+     being flushed; we defer service, which subsumes that).  All reserve
+     bits clear when the counter reads zero, and the deferred queue is then
+     serviced — the paper's "queue of stalled requests". *)
+
+module Smap = Exp.Smap
+
+type line_state = I | S | M
+
+type line = {
+  mutable lstate : line_state;
+  mutable lvalue : int;
+  mutable reserved : bool;
+  mutable gp_waiters : (unit -> unit) list option;
+      (** [Some ws] while a write to this line by its current owner is not
+          yet globally performed; [None] otherwise.  Readers of the line
+          (the owner reading its own dirty copy) are globally performed
+          only once the write is — the paper's definition of a read being
+          globally performed. *)
+}
+
+type dir_state = Uncached | Shared of Iset.t | Exclusive of int
+
+type dentry = {
+  mutable dstate : dir_state;
+  mutable mem : int;
+  mutable busy : bool;
+  waiting : (unit -> unit) Queue.t;  (** requests serialized per line *)
+  mutable last_delivery : int;
+      (** latest scheduled delivery time of any message about this line *)
+}
+
+type pstate = {
+  lines : (string, line) Hashtbl.t;
+  mutable counter : int;
+  mutable zero_waiters : (unit -> unit) list;
+  inflight : (string, (unit -> unit) Queue.t) Hashtbl.t;
+      (** lines with an outstanding transaction; queued thunks retry after
+          the line arrives *)
+  mutable deferred : (unit -> unit) list;
+      (** foreign requests deferred by reserved lines *)
+}
+
+type stats = {
+  mutable messages : int;
+  mutable invalidations : int;
+  mutable deferrals : int;  (** requests delayed by a reserve bit *)
+}
+
+type t = {
+  cfg : Sim_config.t;
+  eng : Engine.t;
+  procs : pstate array;
+  dir : (string, dentry) Hashtbl.t;
+  init : int Smap.t;
+  stats : stats;
+}
+
+let create ?(init = []) cfg eng =
+  {
+    cfg;
+    eng;
+    procs =
+      Array.init cfg.Sim_config.nprocs (fun _ ->
+          {
+            lines = Hashtbl.create 16;
+            counter = 0;
+            zero_waiters = [];
+            inflight = Hashtbl.create 4;
+            deferred = [];
+          });
+    dir = Hashtbl.create 16;
+    init = List.fold_left (fun m (l, v) -> Smap.add l v m) Smap.empty init;
+    stats = { messages = 0; invalidations = 0; deferrals = 0 };
+  }
+
+let stats t = t.stats
+let counter t p = t.procs.(p).counter
+
+let line_of t p loc =
+  let ps = t.procs.(p) in
+  match Hashtbl.find_opt ps.lines loc with
+  | Some l -> l
+  | None ->
+      let l = { lstate = I; lvalue = 0; reserved = false; gp_waiters = None } in
+      Hashtbl.add ps.lines loc l;
+      l
+
+let dentry_of t loc =
+  match Hashtbl.find_opt t.dir loc with
+  | Some d -> d
+  | None ->
+      let mem = match Smap.find_opt loc t.init with Some v -> v | None -> 0 in
+      let d =
+        {
+          dstate = Uncached;
+          mem;
+          busy = false;
+          waiting = Queue.create ();
+          last_delivery = 0;
+        }
+      in
+      Hashtbl.add t.dir loc d;
+      d
+
+(* A network hop.  With [net_jitter] set, each message gets a
+   deterministic pseudo-random extra delay: the "general interconnection
+   network" of the paper, where messages between unrelated lines may be
+   arbitrarily reordered.  Messages concerning one line, however, are
+   delivered in send order — the protocol (like real directory protocols
+   without transient states) relies on per-line point-to-point ordering;
+   without it a stale invalidation can destroy a re-acquired copy. *)
+let send t loc f =
+  t.stats.messages <- t.stats.messages + 1;
+  let jitter =
+    let j = t.cfg.Sim_config.net_jitter in
+    if j <= 0 then 0 else (t.stats.messages * 2654435761) land 0x3FFFFFFF mod j
+  in
+  let d = dentry_of t loc in
+  let deliver_at =
+    max
+      (Engine.now t.eng + t.cfg.Sim_config.net + jitter)
+      (d.last_delivery + 1)
+  in
+  d.last_delivery <- deliver_at;
+  Engine.schedule t.eng ~delay:(deliver_at - Engine.now t.eng) f
+
+let after_hit t f = Engine.schedule t.eng ~delay:t.cfg.Sim_config.cache_hit f
+
+(* Run [k] once every write to this line is globally performed
+   (immediately if none is pending). *)
+let when_line_gp t l k =
+  match l.gp_waiters with
+  | None -> Engine.schedule t.eng ~delay:0 k
+  | Some ws -> l.gp_waiters <- Some (k :: ws)
+
+let resolve_line_gp t l =
+  match l.gp_waiters with
+  | None -> ()
+  | Some ws ->
+      l.gp_waiters <- None;
+      List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) (List.rev ws)
+
+(* --- counter maintenance -------------------------------------------------- *)
+
+let incr_counter t p = t.procs.(p).counter <- t.procs.(p).counter + 1
+
+let decr_counter t p =
+  let ps = t.procs.(p) in
+  assert (ps.counter > 0);
+  ps.counter <- ps.counter - 1;
+  if ps.counter = 0 then begin
+    (* All reserve bits are reset when the counter reads zero... *)
+    Hashtbl.iter (fun _ l -> l.reserved <- false) ps.lines;
+    (* ...pending processor stalls resume... *)
+    let ws = ps.zero_waiters in
+    ps.zero_waiters <- [];
+    List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) ws;
+    (* ...and the queue of stalled foreign requests is serviced. *)
+    let ds = List.rev ps.deferred in
+    ps.deferred <- [];
+    List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) ds
+  end
+
+let when_counter_zero t p k =
+  let ps = t.procs.(p) in
+  if ps.counter = 0 then Engine.schedule t.eng ~delay:0 k
+  else ps.zero_waiters <- k :: ps.zero_waiters
+
+let reserve_if_outstanding t ~proc ~loc =
+  let ps = t.procs.(proc) in
+  if ps.counter > 0 then begin
+    let l = line_of t proc loc in
+    l.reserved <- true
+  end
+
+(* Defer a foreign request at [owner] until its counter reads zero. *)
+let defer t owner k =
+  t.stats.deferrals <- t.stats.deferrals + 1;
+  let ps = t.procs.(owner) in
+  if ps.counter = 0 then Engine.schedule t.eng ~delay:0 k
+  else ps.deferred <- k :: ps.deferred
+
+(* --- directory -------------------------------------------------------------- *)
+
+let dir_next t loc =
+  let d = dentry_of t loc in
+  match Queue.take_opt d.waiting with
+  | None -> d.busy <- false
+  | Some req ->
+      d.busy <- true;
+      Engine.schedule t.eng ~delay:t.cfg.Sim_config.dir_occupancy req
+
+let dir_submit t loc req =
+  let d = dentry_of t loc in
+  Queue.add req d.waiting;
+  if not d.busy then dir_next t loc
+
+(* Service a GetS (read miss).  [deliver v] runs at the requester when the
+   line arrives. *)
+let rec dir_gets t ~proc ~loc ~deliver =
+  let d = dentry_of t loc in
+  match d.dstate with
+  | Uncached | Shared _ ->
+      let sharers =
+        match d.dstate with Shared s -> s | Uncached | Exclusive _ -> Iset.empty
+      in
+      d.dstate <- Shared (Iset.add proc sharers);
+      let v = d.mem in
+      send t loc (fun () -> deliver v);
+      dir_next t loc
+  | Exclusive owner ->
+      (* Forward to the owner; the owner downgrades, sends the line to the
+         requester directly, and copies back to the directory. *)
+      send t loc (fun () ->
+          owner_service t ~owner ~loc (fun () ->
+              let l = line_of t owner loc in
+              l.lstate <- S;
+              let v = l.lvalue in
+              send t loc (fun () -> deliver v);
+              send t loc (fun () ->
+                  d.mem <- v;
+                  d.dstate <- Shared (Iset.of_list [ owner; proc ]);
+                  dir_next t loc)))
+
+(* Service a GetX (write miss / upgrade).  [deliver v ~gp] runs at the
+   requester with the line value; [gp] is true when the write is globally
+   performed on arrival.  [on_gp] runs when the directory's ack arrives
+   (only when [gp] was false). *)
+and dir_getx t ~proc ~loc ~deliver ~on_gp =
+  let d = dentry_of t loc in
+  match d.dstate with
+  | Uncached ->
+      d.dstate <- Exclusive proc;
+      let v = d.mem in
+      send t loc (fun () -> deliver v ~gp:true);
+      dir_next t loc
+  | Shared sharers ->
+      let others = Iset.remove proc sharers in
+      d.dstate <- Exclusive proc;
+      let v = d.mem in
+      if Iset.is_empty others then begin
+        send t loc (fun () -> deliver v ~gp:true);
+        dir_next t loc
+      end
+      else begin
+        (* Forward the line in parallel with the invalidations. *)
+        send t loc (fun () -> deliver v ~gp:false);
+        let acks = ref (Iset.cardinal others) in
+        Iset.iter
+          (fun sh ->
+            send t loc (fun () ->
+                t.stats.invalidations <- t.stats.invalidations + 1;
+                let l = line_of t sh loc in
+                l.lstate <- I;
+                (* ack back to the directory *)
+                send t loc (fun () ->
+                    decr acks;
+                    if !acks = 0 then begin
+                      send t loc (fun () -> on_gp ());
+                      dir_next t loc
+                    end)))
+          others
+      end
+  | Exclusive owner when owner = proc ->
+      (* Stale request: the requester already owns the line (can happen if
+         it re-requested during in-flight state changes; not expected with
+         per-line inflight tracking, but handled for robustness). *)
+      let v = d.mem in
+      send t loc (fun () -> deliver v ~gp:true);
+      dir_next t loc
+  | Exclusive owner ->
+      send t loc (fun () ->
+          owner_service t ~owner ~loc (fun () ->
+              t.stats.invalidations <- t.stats.invalidations + 1;
+              let l = line_of t owner loc in
+              l.lstate <- I;
+              let v = l.lvalue in
+              send t loc (fun () -> deliver v ~gp:false);
+              (* Owner acks the directory, which acks the writer. *)
+              send t loc (fun () ->
+                  d.mem <- v;
+                  d.dstate <- Exclusive proc;
+                  send t loc (fun () -> on_gp ());
+                  dir_next t loc)))
+
+(* Run [k] at [owner] now, or defer it if the line is reserved (Section
+   5.3: a reserved line is never given up before the counter reads zero). *)
+and owner_service t ~owner ~loc k =
+  let l = line_of t owner loc in
+  if l.reserved then defer t owner k else k ()
+
+(* --- processor-facing API --------------------------------------------------- *)
+
+(* Serialize accesses of one processor to one in-flight line. *)
+let with_line_free t p loc k =
+  let ps = t.procs.(p) in
+  match Hashtbl.find_opt ps.inflight loc with
+  | Some q -> Queue.add k q
+  | None -> k ()
+
+let mark_inflight t p loc =
+  let ps = t.procs.(p) in
+  Hashtbl.replace ps.inflight loc (Queue.create ())
+
+let release_inflight t p loc =
+  let ps = t.procs.(p) in
+  match Hashtbl.find_opt ps.inflight loc with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove ps.inflight loc;
+      Queue.iter (fun k -> Engine.schedule t.eng ~delay:0 k) q
+
+let read ?(on_gp = fun () -> ()) t ~proc ~loc ~k =
+  with_line_free t proc loc (fun () ->
+      let l = line_of t proc loc in
+      match l.lstate with
+      | S | M ->
+          after_hit t (fun () ->
+              k l.lvalue;
+              (* Reading one's own dirty, not-yet-performed write: the read
+                 is globally performed only when the write is. *)
+              when_line_gp t l on_gp)
+      | I ->
+          mark_inflight t proc loc;
+          incr_counter t proc;
+          send t loc (fun () ->
+              dir_submit t loc (fun () ->
+                  dir_gets t ~proc ~loc ~deliver:(fun v ->
+                      l.lstate <- S;
+                      l.lvalue <- v;
+                      decr_counter t proc;
+                      release_inflight t proc loc;
+                      k v;
+                      (* A line served by the directory or a previous owner
+                         only carries globally performed writes (directory
+                         transactions are serialized per line). *)
+                      on_gp ()))))
+
+let modify ?(on_gp = fun () -> ()) t ~proc ~loc ~f ~on_commit =
+  with_line_free t proc loc (fun () ->
+      let l = line_of t proc loc in
+      match l.lstate with
+      | M ->
+          let old = l.lvalue in
+          l.lvalue <- f old;
+          after_hit t (fun () ->
+              on_commit old;
+              (* No other cache holds the line, but stale copies may still
+                 await invalidation from the transaction that procured it:
+                 this write is globally performed when that one is. *)
+              when_line_gp t l on_gp)
+      | S | I ->
+          mark_inflight t proc loc;
+          incr_counter t proc;
+          send t loc (fun () ->
+              dir_submit t loc (fun () ->
+                  dir_getx t ~proc ~loc
+                    ~deliver:(fun v ~gp ->
+                      l.lstate <- M;
+                      let old = v in
+                      l.lvalue <- f old;
+                      release_inflight t proc loc;
+                      on_commit old;
+                      if gp then begin
+                        decr_counter t proc;
+                        on_gp ()
+                      end
+                      else l.gp_waiters <- Some [])
+                    ~on_gp:(fun () ->
+                      decr_counter t proc;
+                      on_gp ();
+                      resolve_line_gp t l))))
+
+let line_state t p loc =
+  match Hashtbl.find_opt t.procs.(p).lines loc with
+  | None -> I
+  | Some l -> l.lstate
+
+let line_reserved t p loc =
+  match Hashtbl.find_opt t.procs.(p).lines loc with
+  | None -> false
+  | Some l -> l.reserved
+
+let memory_value t loc = (dentry_of t loc).mem
+
+(* The coherent value of a location at quiescence: the owner's copy if the
+   line is exclusive somewhere, the directory's otherwise. *)
+let settled_value t loc =
+  let d = dentry_of t loc in
+  match d.dstate with
+  | Exclusive owner -> (line_of t owner loc).lvalue
+  | Uncached | Shared _ -> d.mem

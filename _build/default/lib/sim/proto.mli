@@ -1,0 +1,60 @@
+(** The directory-based write-back invalidation protocol of Sections
+    5.2–5.3, with RP3-style outstanding-access counters and reserve bits.
+
+    Timing, not semantics: nondeterminism is resolved deterministically by
+    the engine, so one run explores one schedule.  The abstract machines in
+    [lib/machine] cover the full behaviour space; this simulator measures
+    stalls, messages and cycles. *)
+
+type t
+
+type line_state = I | S | M
+
+type stats = {
+  mutable messages : int;
+  mutable invalidations : int;
+  mutable deferrals : int;
+}
+
+val create : ?init:(string * int) list -> Sim_config.t -> Engine.t -> t
+val stats : t -> stats
+
+val counter : t -> int -> int
+(** Outstanding accesses of a processor (the Section 5.3 counter). *)
+
+val when_counter_zero : t -> int -> (unit -> unit) -> unit
+(** Run the thunk when the processor's counter reads zero (immediately if
+    it already does). *)
+
+val reserve_if_outstanding : t -> proc:int -> loc:string -> unit
+(** Set the reserve bit on the processor's copy of [loc] if its counter is
+    positive (call after committing a synchronization operation). *)
+
+val read :
+  ?on_gp:(unit -> unit) -> t -> proc:int -> loc:string -> k:(int -> unit) -> unit
+(** Blocking read: [k v] runs when the value is bound (cache hit, or line
+    arrival on a miss) — the read's commit.  [on_gp] runs when the read is
+    globally performed: its value is bound and the write that produced the
+    value is globally performed (later than [k] only when a processor reads
+    its own not-yet-performed write). *)
+
+val modify :
+  ?on_gp:(unit -> unit) ->
+  t ->
+  proc:int ->
+  loc:string ->
+  f:(int -> int) ->
+  on_commit:(int -> unit) ->
+  unit
+(** Acquire the line exclusive and apply [f] to it; [on_commit old] runs at
+    the commit point (local modification) and [on_gp] when the write is
+    globally performed (at commit for an exclusive hit; at the directory's
+    ack otherwise).  Writes are [modify ~f:(fun _ -> v)]; atomic RMWs pass
+    a genuine function. *)
+
+val line_state : t -> int -> string -> line_state
+val line_reserved : t -> int -> string -> bool
+val memory_value : t -> string -> int
+
+val settled_value : t -> string -> int
+(** The coherent value of a location once the system is quiescent. *)

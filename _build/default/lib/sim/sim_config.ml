@@ -1,0 +1,34 @@
+(* Simulator parameters.  Latencies are in processor cycles.  Locations act
+   as whole cache lines (one word per line: no false sharing), and caches
+   are unbounded (no evictions — the paper expects reserve-bit flushes to
+   be "fairly rare"; we make them impossible and say so in DESIGN.md). *)
+
+type t = {
+  nprocs : int;
+  cache_hit : int;  (** latency of a local cache hit *)
+  net : int;  (** one-way network hop latency (processor <-> directory) *)
+  net_jitter : int;
+      (** per-message deterministic latency variation in [0, net_jitter):
+          a general interconnection network delivers messages with varying
+          delays, so messages between the same endpoints may be reordered *)
+  dir_occupancy : int;  (** directory processing time per message *)
+  spin_interval : int;  (** cycles between spin-loop iterations *)
+}
+
+let default =
+  {
+    nprocs = 2;
+    cache_hit = 1;
+    net = 20;
+    net_jitter = 0;
+    dir_occupancy = 4;
+    spin_interval = 2;
+  }
+
+let make ?(nprocs = 2) ?(cache_hit = 1) ?(net = 20) ?(net_jitter = 0)
+    ?(dir_occupancy = 4) ?(spin_interval = 2) () =
+  { nprocs; cache_hit; net; net_jitter; dir_occupancy; spin_interval }
+
+let pp ppf c =
+  Fmt.pf ppf "nprocs=%d net=%d dir=%d hit=%d" c.nprocs c.net c.dir_occupancy
+    c.cache_hit

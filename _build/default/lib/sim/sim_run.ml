@@ -1,0 +1,106 @@
+(* Top-level simulator runs: wire a workload to the protocol under a
+   policy, drain the event queue, and report statistics, observations and
+   final memory values. *)
+
+type result = {
+  policy : Cpu.policy;
+  workload : string;
+  total_cycles : int;  (** completion of the last thread *)
+  proc_stats : Cpu.proc_stats array;
+  observations : Cpu.obs list;  (** in observation order *)
+  finals : (string * int) list;  (** settled value of every location touched *)
+  messages : int;
+  invalidations : int;
+  deferrals : int;
+  events : int;
+  trace : Sim_trace.ev list;  (** per-operation trace, in generation order *)
+}
+
+let locations_of workload =
+  let add acc = function
+    | Workload.Read { loc; _ }
+    | Workload.Write { loc; _ }
+    | Workload.Sync_read { loc; _ }
+    | Workload.Sync_write { loc; _ }
+    | Workload.Tas { loc; _ }
+    | Workload.Fadd { loc; _ }
+    | Workload.Spin_until { loc; _ }
+    | Workload.Lock { loc }
+    | Workload.Unlock { loc } ->
+        loc :: acc
+    | Workload.Work _ -> acc
+  in
+  let from_threads =
+    List.concat_map (List.fold_left add []) workload.Workload.threads
+  in
+  List.sort_uniq String.compare
+    (List.map fst workload.Workload.init @ from_threads)
+
+let run ?cfg ?(limit = 10_000_000) policy workload =
+  let nprocs = Workload.num_threads workload in
+  let cfg =
+    match cfg with
+    | Some c -> { c with Sim_config.nprocs }
+    | None -> Sim_config.make ~nprocs ()
+  in
+  let eng = Engine.create () in
+  let proto = Proto.create ~init:workload.Workload.init cfg eng in
+  let ctx =
+    {
+      Cpu.cfg;
+      eng;
+      proto;
+      policy;
+      stats = Array.init nprocs (fun _ -> Cpu.fresh_stats ());
+      observations = [];
+      trace = [];
+      op_seq = Array.make nprocs 0;
+    }
+  in
+  List.iteri
+    (fun p ops ->
+      Engine.schedule eng ~delay:0 (fun () ->
+          Cpu.exec_thread ctx p ops (fun () ->
+              ctx.Cpu.stats.(p).Cpu.finish <- Engine.now eng;
+              Proto.when_counter_zero proto p (fun () ->
+                  ctx.Cpu.stats.(p).Cpu.drained <- Engine.now eng))))
+    workload.Workload.threads;
+  Engine.run ~limit eng;
+  let total_cycles =
+    Array.fold_left (fun m s -> max m s.Cpu.finish) 0 ctx.Cpu.stats
+  in
+  let stats = Proto.stats proto in
+  {
+    policy;
+    workload = workload.Workload.name;
+    total_cycles;
+    proc_stats = ctx.Cpu.stats;
+    observations = List.rev ctx.Cpu.observations;
+    finals =
+      List.map (fun loc -> (loc, Proto.settled_value proto loc)) (locations_of workload);
+    messages = stats.Proto.messages;
+    invalidations = stats.Proto.invalidations;
+    deferrals = stats.Proto.deferrals;
+    events = Engine.executed eng;
+    trace = List.rev ctx.Cpu.trace;
+  }
+
+let observation result tag =
+  List.find_opt (fun o -> String.equal o.Cpu.o_tag tag) result.observations
+  |> Option.map (fun o -> o.Cpu.o_value)
+
+let final result loc = List.assoc_opt loc result.finals
+
+let pp_proc_stats ppf (p, s) =
+  Fmt.pf ppf
+    "P%d: finish=%d drained=%d pre-sync=%d sync-gp=%d acquire=%d read=%d \
+     spins=%d retries=%d"
+    p s.Cpu.finish s.Cpu.drained s.Cpu.stall_pre_sync s.Cpu.stall_sync_gp
+    s.Cpu.stall_acquire s.Cpu.stall_read s.Cpu.spin_iters s.Cpu.lock_retries
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%s under %s: %d cycles, %d msgs, %d invals, %d deferrals@,%a@]"
+    r.workload (Cpu.policy_name r.policy) r.total_cycles r.messages
+    r.invalidations r.deferrals
+    Fmt.(list ~sep:cut pp_proc_stats)
+    (Array.to_list (Array.mapi (fun i s -> (i, s)) r.proc_stats))

@@ -1,0 +1,29 @@
+(** Running workloads on the timing simulator. *)
+
+type result = {
+  policy : Cpu.policy;
+  workload : string;
+  total_cycles : int;
+  proc_stats : Cpu.proc_stats array;
+  observations : Cpu.obs list;
+  finals : (string * int) list;
+  messages : int;
+  invalidations : int;
+  deferrals : int;
+  events : int;
+  trace : Sim_trace.ev list;
+}
+
+val run : ?cfg:Sim_config.t -> ?limit:int -> Cpu.policy -> Workload.t -> result
+(** Deterministic: same inputs, same result.  [cfg.nprocs] is overridden by
+    the workload's thread count.
+    @raise Engine.Out_of_time if simulated time exceeds [limit]. *)
+
+val observation : result -> string -> int option
+(** Value recorded under a tag, if the tagged read executed. *)
+
+val final : result -> string -> int option
+(** Settled value of a location. *)
+
+val pp : Format.formatter -> result -> unit
+val pp_proc_stats : Format.formatter -> int * Cpu.proc_stats -> unit

@@ -1,0 +1,205 @@
+(* Execution traces of the timing simulator, and a mechanical check of the
+   Section 5.1 sufficient conditions over them.
+
+   Every memory operation a processor performs is recorded with its
+   generation time (when the processor produced it), commit time, and
+   globally-performed time.  The checker then validates, on the actual run:
+
+   - condition 2: writes to the same location are totally ordered by their
+     commit times;
+   - condition 3: synchronization operations to the same location commit in
+     a total order and are globally performed in that same order;
+   - condition 4: no access is generated before all program-earlier
+     synchronization operations of its processor have committed;
+   - condition 5: once a synchronization operation S by Pi has committed,
+     no other processor's synchronization operation on the same location
+     commits until all Pi reads before S have committed and all Pi writes
+     before S are globally performed.
+
+   Condition 1 (intra-processor dependencies) is structural in the
+   processor model — operations execute in program order per thread — and
+   has no per-event content to check. *)
+
+type ev = {
+  ep : int;  (** processor *)
+  eidx : int;  (** per-processor operation sequence number *)
+  sync : bool;
+  reads : bool;
+  writes : bool;
+  eloc : string;
+  egen : int;  (** generation time *)
+  mutable ecommit : int;  (** -1 until committed *)
+  mutable egp : int;  (** -1 until globally performed *)
+}
+
+let make ~ep ~eidx ~sync ~reads ~writes ~eloc ~egen =
+  { ep; eidx; sync; reads; writes; eloc; egen; ecommit = -1; egp = -1 }
+
+let pp_ev ppf e =
+  Fmt.pf ppf "P%d#%d %s%s%s %s gen=%d commit=%d gp=%d" e.ep e.eidx
+    (if e.sync then "S" else "")
+    (if e.reads then "R" else "")
+    (if e.writes then "W" else "")
+    e.eloc e.egen e.ecommit e.egp
+
+type violation = { condition : int; message : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "condition %d: %s" v.condition v.message
+
+let violation condition fmt =
+  Format.kasprintf (fun message -> { condition; message }) fmt
+
+let by_loc evs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find tbl e.eloc with Not_found -> [] in
+      Hashtbl.replace tbl e.eloc (e :: cur))
+    evs;
+  Hashtbl.fold (fun loc es acc -> (loc, List.rev es) :: acc) tbl []
+
+let completed evs = List.filter (fun e -> e.ecommit >= 0) evs
+
+let check_condition2 evs =
+  let writes = List.filter (fun e -> e.writes) (completed evs) in
+  List.concat_map
+    (fun (loc, es) ->
+      (* Same-processor ties are ordered by program order (retries released
+         from one in-flight transaction execute back-to-back); only ties
+         between different processors would leave the order undefined. *)
+      let sorted = List.sort (fun a b -> compare a.ecommit b.ecommit) es in
+      let rec dups = function
+        | a :: (b :: _ as rest) ->
+            if a.ecommit = b.ecommit && a.ep <> b.ep then
+              violation 2 "writes to %s commit simultaneously (%a / %a)" loc
+                pp_ev a pp_ev b
+              :: dups rest
+            else dups rest
+        | [] | [ _ ] -> []
+      in
+      dups sorted)
+    (by_loc writes)
+
+let check_condition3 evs =
+  (* Ties in commit time leave the total order free to break them either
+     way (e.g. a spin read hitting a stale copy in the same cycle a foreign
+     sync write commits), so only strict commit inequalities constrain the
+     global-performance order. *)
+  let syncs = List.filter (fun e -> e.sync) (completed evs) in
+  List.concat_map
+    (fun (loc, es) ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if
+                a.ecommit < b.ecommit
+                && a.egp >= 0
+                && b.egp >= 0
+                && a.egp > b.egp
+              then
+                Some
+                  (violation 3
+                     "syncs on %s globally perform out of commit order (%a / %a)"
+                     loc pp_ev a pp_ev b)
+              else None)
+            es)
+        es)
+    (by_loc syncs)
+
+let check_condition4 evs =
+  let evs = completed evs in
+  List.concat_map
+    (fun e ->
+      List.filter_map
+        (fun s ->
+          if
+            s.ep = e.ep && s.sync
+            && s.eidx < e.eidx
+            && s.ecommit >= 0
+            && e.egen < s.ecommit
+          then
+            Some
+              (violation 4 "%a generated before earlier sync committed (%a)"
+                 pp_ev e pp_ev s)
+          else None)
+        evs)
+    evs
+
+let check_condition5 evs =
+  let evs = completed evs in
+  let syncs = List.filter (fun e -> e.sync) evs in
+  let check_pair s s' =
+    (* s by Pi commits before s' (another processor, same location): the
+       reads of Pi before s must have committed, and its writes before s
+       must be globally performed, by s'.commit. *)
+    List.filter_map
+      (fun o ->
+        if o.ep <> s.ep || o.eidx >= s.eidx then None
+        else if o.reads && o.ecommit > s'.ecommit then
+          Some
+            (violation 5 "%a not committed before foreign sync %a" pp_ev o
+               pp_ev s')
+        else if o.writes && (o.egp < 0 || o.egp > s'.ecommit) then
+          Some
+            (violation 5 "%a not globally performed before foreign sync %a"
+               pp_ev o pp_ev s')
+        else None)
+      evs
+  in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun s' ->
+          if
+            s'.ep <> s.ep
+            && String.equal s'.eloc s.eloc
+            && s.ecommit < s'.ecommit
+          then check_pair s s'
+          else [])
+        syncs)
+    syncs
+
+let check_all evs =
+  check_condition2 evs @ check_condition3 evs @ check_condition4 evs
+  @ check_condition5 evs
+
+(* --- timeline rendering ------------------------------------------------------ *)
+
+(* A compact per-processor text timeline: each operation paints the span
+   from its generation to its commit ('.' = idle, '-' = an operation in
+   flight), with a letter at the commit column: r/w for data reads/writes,
+   S for synchronization operations, and '!' overprinting the point where
+   a sync's global performance lags its commit. *)
+let pp_timeline ?(width = 72) ppf evs =
+  let evs = completed evs in
+  match evs with
+  | [] -> Fmt.pf ppf "(empty trace)@."
+  | _ ->
+      let tmax =
+        List.fold_left (fun m e -> max m (max e.ecommit e.egp)) 1 evs
+      in
+      let nprocs = 1 + List.fold_left (fun m e -> max m e.ep) 0 evs in
+      let col t = min (width - 1) (t * width / (tmax + 1)) in
+      let rows = Array.init nprocs (fun _ -> Bytes.make width '.') in
+      List.iter
+        (fun e ->
+          let row = rows.(e.ep) in
+          let c0 = col e.egen and c1 = col e.ecommit in
+          for c = c0 to c1 - 1 do
+            if Bytes.get row c = '.' then Bytes.set row c '-'
+          done;
+          let letter =
+            if e.sync then 'S' else if e.writes then 'w' else 'r'
+          in
+          Bytes.set row c1 letter;
+          if e.sync && e.egp > e.ecommit then begin
+            let cg = col e.egp in
+            if Bytes.get rows.(e.ep) cg = '.' then Bytes.set row cg '!'
+          end)
+        evs;
+      Array.iteri
+        (fun p row -> Fmt.pf ppf "P%d |%s|@." p (Bytes.to_string row))
+        rows;
+      Fmt.pf ppf "    0%*d cycles@." (width - 1) tmax

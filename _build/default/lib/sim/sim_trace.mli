@@ -1,0 +1,43 @@
+(** Per-operation traces of simulator runs and a mechanical check of the
+    Section 5.1 sufficient conditions on them. *)
+
+type ev = {
+  ep : int;
+  eidx : int;
+  sync : bool;
+  reads : bool;
+  writes : bool;
+  eloc : string;
+  egen : int;
+  mutable ecommit : int;
+  mutable egp : int;
+}
+
+val make :
+  ep:int ->
+  eidx:int ->
+  sync:bool ->
+  reads:bool ->
+  writes:bool ->
+  eloc:string ->
+  egen:int ->
+  ev
+
+val pp_ev : Format.formatter -> ev -> unit
+
+type violation = { condition : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_condition2 : ev list -> violation list
+val check_condition3 : ev list -> violation list
+val check_condition4 : ev list -> violation list
+val check_condition5 : ev list -> violation list
+
+val check_all : ev list -> violation list
+(** All four checkable conditions (condition 1 is structural). *)
+
+val pp_timeline : ?width:int -> Format.formatter -> ev list -> unit
+(** Compact per-processor text timeline of a run: '-' spans an operation
+    from generation to commit; r/w/S mark commits; '!' marks a sync whose
+    global performance lags its commit. *)

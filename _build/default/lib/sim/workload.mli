@@ -1,0 +1,54 @@
+(** Timing workloads for the simulator, with generators for the paper's
+    scenarios. *)
+
+type op =
+  | Read of { loc : string; tag : string option }
+      (** blocking data read; [tag] records the observed value *)
+  | Write of { loc : string; value : int }  (** non-blocking data write *)
+  | Sync_read of { loc : string; tag : string option }
+  | Sync_write of { loc : string; value : int }
+  | Tas of { loc : string; tag : string option }
+      (** one TestAndSet attempt (no retry) *)
+  | Fadd of { loc : string; n : int }
+  | Spin_until of { loc : string; expect : int; sync : bool }
+  | Lock of { loc : string }  (** TestAndSet loop until acquired *)
+  | Unlock of { loc : string }
+  | Work of int  (** local computation, in cycles *)
+
+type t = {
+  name : string;
+  init : (string * int) list;
+  threads : op list list;
+}
+
+val read : ?tag:string -> string -> op
+val write : string -> int -> op
+val sync_read : ?tag:string -> string -> op
+val sync_write : string -> int -> op
+val tas : ?tag:string -> string -> op
+val fadd : string -> int -> op
+val spin : ?sync:bool -> string -> int -> op
+val lock : string -> op
+val unlock : string -> op
+val work : int -> op
+
+val fig3_handoff :
+  ?work_before:int -> ?work_after:int -> ?consumer_delay:int -> unit -> t
+(** Figure 3: [W(x) ... Unset(s)] producing for [TestAndSet(s) ... R(x)]. *)
+
+val spin_barrier : ?nprocs:int -> ?stagger:int -> ?sync_spin:bool -> unit -> t
+(** Section 6: central counter barrier; [sync_spin] chooses sync-read
+    spinning (serialized by base def2) vs data-read spinning. *)
+
+val critical_sections :
+  ?nprocs:int -> ?rounds:int -> ?work_in:int -> ?work_out:int -> unit -> t
+
+val pipeline : ?nprocs:int -> ?batch:int -> ?work_cycles:int -> unit -> t
+
+val ticket_lock : ?nprocs:int -> ?work_in:int -> ?work_out:int -> unit -> t
+(** FADD-based ticket lock: explicit FIFO, no TestAndSet ping-pong. *)
+
+val sense_barrier : ?nprocs:int -> ?rounds:int -> ?sync_spin:bool -> unit -> t
+(** Centralized sense-reversing barrier with a static coordinator. *)
+
+val num_threads : t -> int

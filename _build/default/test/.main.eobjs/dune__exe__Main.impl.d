@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_axiomatic Test_core Test_delay Test_differential Test_drf Test_exec Test_litmus Test_machine Test_program Test_relation Test_sim

@@ -1,0 +1,1 @@
+test/test_axiomatic.ml: Alcotest Array Candidate Delay_set Evts Exp Final Instr Iset List Litmus_classics Machines Models Option Order Printf Prog Rel Sc

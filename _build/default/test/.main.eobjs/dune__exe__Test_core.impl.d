@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Candidate Evts Lemma1 List Litmus_classics Machines Models Prog Weak_ordering

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Delay_set Event Evts Final Instr List Litmus_classics Litmus_gen Machines Prog Rel Sc String

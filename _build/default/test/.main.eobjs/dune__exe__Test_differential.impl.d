@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Delay_set Drf Final Fmt Instr Lemma1 List Litmus_gen Litmus_parse Litmus_print Machines Models Printf Prog Sc

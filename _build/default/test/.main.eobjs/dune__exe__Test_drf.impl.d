@@ -1,0 +1,1 @@
+test/test_drf.ml: Alcotest Drf Event Evts Hb Instr List Litmus_classics Printf Prog QCheck QCheck_alcotest Rel Sc String Sync_orders

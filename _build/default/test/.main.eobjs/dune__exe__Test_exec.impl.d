@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Evts Exp Final Instr List Litmus_classics Option Prog QCheck QCheck_alcotest Rel Sc

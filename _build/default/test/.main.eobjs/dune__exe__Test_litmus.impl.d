@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Array Cond Drf Exp Filename Final Fmt Instr List Litmus_classics Litmus_lex Litmus_parse Litmus_print Machines Option Printf Prog Sc Sys

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cond Delay_set Drf Exp Final Instr List Litmus_classics Machines Option Printf Prog Sc Weak_ordering

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Cond Exp Final Fmt Instr List Litmus_classics Prog

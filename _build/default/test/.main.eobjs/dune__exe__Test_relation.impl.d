@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Closure Iset List Option Order Printf QCheck QCheck_alcotest Rel String

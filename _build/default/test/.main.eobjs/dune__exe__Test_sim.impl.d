@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine List Printf Proto Sim_config Sim_run Sim_trace Workload

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "weakord"
+    [
+      Test_relation.suite;
+      Test_program.suite;
+      Test_litmus.suite;
+      Test_litmus.file_suite;
+      Test_exec.suite;
+      Test_drf.suite;
+      Test_axiomatic.suite;
+      Test_machine.suite;
+      Test_sim.suite;
+      Test_differential.suite;
+      Test_delay.suite;
+      Test_core.suite;
+    ]

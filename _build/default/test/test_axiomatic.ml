@@ -1,0 +1,238 @@
+(* Tests for candidate executions and axiomatic models. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prog_of e = e.Litmus_classics.prog
+
+(* --- Candidate enumeration ------------------------------------------------ *)
+
+let test_candidate_counts () =
+  (* One write and one read on x: the read takes the write or init, and co
+     is trivial: 2 candidates. *)
+  let p =
+    Prog.make ~name:"wr" [ [ Instr.write "x" 1 ]; [ Instr.read "x" "r" ] ]
+  in
+  let evts = Evts.of_prog p in
+  check_int "2 candidates" 2 (List.length (Candidate.enumerate evts))
+
+let test_candidate_values_flow () =
+  (* P0 writes 1; P1 reads it into r and writes r+1 elsewhere. *)
+  let p =
+    Prog.make ~name:"flow"
+      [
+        [ Instr.write "x" 1 ];
+        [ Instr.read "x" "r"; Instr.store "y" (Exp.Add (Exp.Reg "r", Exp.Const 1)) ];
+      ]
+  in
+  let evts = Evts.of_prog p in
+  let cands = Candidate.enumerate evts in
+  (* Candidate where the read takes the write: y's write value must be 2. *)
+  let found =
+    List.exists
+      (fun c ->
+        (Candidate.rf c).(1) = Candidate.From 0 && Candidate.write_value c 2 = 2)
+      cands
+  in
+  check "value flows through rf" true found
+
+let test_await_constrains_candidates () =
+  (* Await f 1 can only read a write of 1; reading init (0) is rejected. *)
+  let p =
+    Prog.make ~name:"aw" [ [ Instr.write "f" 1 ]; [ Instr.await "f" 1 ] ]
+  in
+  let evts = Evts.of_prog p in
+  let cands = Candidate.enumerate evts in
+  check_int "only the rf=From candidate" 1 (List.length cands);
+  check "reads the write" true ((Candidate.rf (List.hd cands)).(1) = Candidate.From 0)
+
+let test_oota_rejected () =
+  (* r0 := R x; W y r0 || r1 := R y; W x r1 with both reads taking the other
+     thread's write is an out-of-thin-air cycle; no such candidate exists. *)
+  let p =
+    Prog.make ~name:"oota"
+      [
+        [ Instr.read "x" "r0"; Instr.store "y" (Exp.Reg "r0") ];
+        [ Instr.read "y" "r1"; Instr.store "x" (Exp.Reg "r1") ];
+      ]
+  in
+  let evts = Evts.of_prog p in
+  let cyclic =
+    List.exists
+      (fun c ->
+        (Candidate.rf c).(0) = Candidate.From 3
+        && (Candidate.rf c).(2) = Candidate.From 1)
+      (Candidate.enumerate evts)
+  in
+  check "no rf cycle candidate" false cyclic
+
+let test_fr_derivation () =
+  let p =
+    Prog.make ~name:"fr" [ [ Instr.write "x" 1 ]; [ Instr.read "x" "r" ] ]
+  in
+  let evts = Evts.of_prog p in
+  let init_reader =
+    List.find
+      (fun c -> (Candidate.rf c).(1) = Candidate.Init)
+      (Candidate.enumerate evts)
+  in
+  (* Reading init, the read is fr-before the write. *)
+  check "fr edge" true (Rel.mem (Candidate.fr init_reader) 1 0)
+
+let test_rmw_atomicity_flag () =
+  let p = prog_of Litmus_classics.tas_atomicity in
+  let evts = Evts.of_prog p in
+  let atomics = List.filter Candidate.rmw_atomic (Candidate.enumerate evts) in
+  (* The two TAS events: one must read init and the other must read the
+     first's write; both co orders appear, so exactly 2 atomic candidates. *)
+  check_int "2 atomic candidates" 2 (List.length atomics)
+
+(* --- Models ----------------------------------------------------------------- *)
+
+let test_sc_agrees_with_operational () =
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      check
+        (Printf.sprintf "%s axiomatic sc = operational sc" (Prog.name p))
+        true
+        (Final.Set.equal (Models.outcomes Models.sc p) (Sc.outcomes p)))
+    Litmus_classics.all
+
+let test_model_strength_chain () =
+  (* SC ⊆ def1 ⊆ def2 ⊆ coherence-only, outcome-wise, on every program. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      let o m = Models.outcomes m p in
+      let name = Prog.name p in
+      check (name ^ ": sc <= def1") true (Final.Set.subset (o Models.sc) (o Models.def1));
+      check (name ^ ": def1 <= def2") true
+        (Final.Set.subset (o Models.def1) (o Models.def2));
+      check (name ^ ": def2 <= coherence") true
+        (Final.Set.subset (o Models.def2) (o Models.coherence_only)))
+    Litmus_classics.all
+
+let test_def1_def2_sc_for_drf0 () =
+  (* The paper's claims: def1 hardware is weakly ordered w.r.t. DRF0
+     (Section 6), and def2 satisfies the Section 5.1 conditions, so both
+     must appear SC to every DRF0 corpus program. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      if e.Litmus_classics.drf0 then begin
+        check
+          (Prog.name p ^ ": def1 appears SC")
+          true
+          (Final.Set.subset (Models.outcomes Models.def1 p) (Sc.outcomes p));
+        check
+          (Prog.name p ^ ": def2 appears SC")
+          true
+          (Final.Set.subset (Models.outcomes Models.def2 p) (Sc.outcomes p))
+      end)
+    Litmus_classics.all
+
+let test_def2_weaker_than_def1 () =
+  (* Figure 3's point, at the model level: there is a racy program (the
+     barrier data spin) where def1 stays SC but def2 does not. *)
+  let p = prog_of Litmus_classics.barrier_data_spin in
+  let sc = Sc.outcomes p in
+  check "def2 shows non-SC outcome" false
+    (Final.Set.subset (Models.outcomes Models.def2 p) sc);
+  check "dekker weak under both" true
+    (Models.allows Models.def1 (prog_of Litmus_classics.dekker)
+       (Option.get (Prog.exists (prog_of Litmus_classics.dekker))))
+
+let test_tso_envelope () =
+  (* TSO relaxes exactly write-to-read order: Dekker allowed, MP / LB /
+     IRIW forbidden; and the write-buffer machine lives inside it. *)
+  let allows m e =
+    Option.get (Models.allows_exists m (prog_of e))
+  in
+  check "tso allows dekker" true (allows Models.tso Litmus_classics.dekker);
+  check "tso forbids mp" false (allows Models.tso Litmus_classics.mp);
+  check "tso forbids lb" false (allows Models.tso Litmus_classics.lb);
+  check "tso forbids iriw" false (allows Models.tso Litmus_classics.iriw);
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      check
+        (Prog.name p ^ ": wbuf within tso")
+        true
+        (Final.Set.subset
+           (Machines.outcomes Machines.wbuf p)
+           (Models.outcomes Models.tso p));
+      check
+        (Prog.name p ^ ": sc within tso")
+        true
+        (Final.Set.subset (Models.outcomes Models.sc p) (Models.outcomes Models.tso p)))
+    Litmus_classics.all
+
+let test_fences_strengthen_tso () =
+  (* The fenced Dekker is SC under TSO. *)
+  let fenced = Delay_set.with_fences (prog_of Litmus_classics.dekker) in
+  check "fenced dekker forbidden under tso" false
+    (Option.get (Models.allows_exists Models.tso fenced))
+
+let test_coherence_forbids_corr () =
+  let p = prog_of Litmus_classics.corr in
+  check "coherence forbids CoRR" false
+    (Option.get (Models.allows_exists Models.coherence_only p))
+
+let test_operational_within_axiomatic () =
+  (* The operational def1/def2 machines are implementations of the
+     axiomatic models: their outcomes must be included. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      check
+        (Prog.name p ^ ": def1 machine within axioms")
+        true
+        (Final.Set.subset
+           (Machines.outcomes Machines.def1 p)
+           (Models.outcomes Models.def1 p));
+      check
+        (Prog.name p ^ ": def2 machine within axioms")
+        true
+        (Final.Set.subset
+           (Machines.outcomes Machines.def2 p)
+           (Models.outcomes Models.def2 p)))
+    Litmus_classics.all
+
+let test_sync_so_total_per_location () =
+  (* In every SC candidate of dekker_sync, the sync ops per location are
+     totally ordered by sync_so. *)
+  let p = prog_of Litmus_classics.dekker_sync in
+  let evts = Evts.of_prog p in
+  List.iter
+    (fun c ->
+      if Models.accepts Models.sc c then begin
+        let so = Models.sync_so c in
+        List.iter
+          (fun loc ->
+            let syncs = Iset.of_list (Evts.syncs_of_loc evts loc) in
+            check "total" true (Order.is_total_order_on so syncs))
+          (Prog.locations p)
+      end)
+    (Candidate.enumerate evts)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "axiomatic",
+    [
+      t "candidate counts" test_candidate_counts;
+      t "values flow through rf" test_candidate_values_flow;
+      t "await constrains rf" test_await_constrains_candidates;
+      t "out-of-thin-air rejected" test_oota_rejected;
+      t "fr derivation" test_fr_derivation;
+      t "rmw atomicity flag" test_rmw_atomicity_flag;
+      t "axiomatic sc = operational sc" test_sc_agrees_with_operational;
+      t "model strength chain" test_model_strength_chain;
+      t "def1/def2 appear SC to DRF0 programs" test_def1_def2_sc_for_drf0;
+      t "def2 weaker than def1 on racy program" test_def2_weaker_than_def1;
+      t "TSO envelope" test_tso_envelope;
+      t "fences strengthen TSO" test_fences_strengthen_tso;
+      t "coherence forbids CoRR" test_coherence_forbids_corr;
+      t "operational machines within axioms" test_operational_within_axiomatic;
+      t "sync order total per location" test_sync_so_total_per_location;
+    ] )

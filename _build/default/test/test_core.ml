@@ -1,0 +1,150 @@
+(* Tests for the weak-ordering contract (Definition 2) and Lemma 1. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let corpus = List.map (fun e -> e.Litmus_classics.prog) Litmus_classics.all
+
+(* --- sync models ------------------------------------------------------------ *)
+
+let test_models_membership () =
+  let dekker = Litmus_classics.dekker.Litmus_classics.prog in
+  let mp_sync = Litmus_classics.mp_sync.Litmus_classics.prog in
+  check "dekker not DRF0" false (Weak_ordering.drf0.Weak_ordering.obeys dekker);
+  check "mp_sync DRF0" true (Weak_ordering.drf0.Weak_ordering.obeys mp_sync);
+  check "everything unconstrained" true
+    (Weak_ordering.unconstrained.Weak_ordering.obeys dekker)
+
+(* --- appears_sc --------------------------------------------------------------- *)
+
+let test_appears_sc () =
+  let hw = Weak_ordering.of_machine Machines.def2 in
+  check "def2 appears SC to mp_sync" true
+    (Weak_ordering.appears_sc hw (Litmus_classics.mp_sync.Litmus_classics.prog));
+  check "def2 does not appear SC to dekker" false
+    (Weak_ordering.appears_sc hw (Litmus_classics.dekker.Litmus_classics.prog));
+  let sc_hw = Weak_ordering.of_machine Machines.sc in
+  List.iter
+    (fun p ->
+      check
+        (Prog.name p ^ ": sc machine appears SC")
+        true
+        (Weak_ordering.appears_sc sc_hw p))
+    corpus
+
+(* --- verify ------------------------------------------------------------------- *)
+
+let test_verify_report_structure () =
+  let r =
+    Weak_ordering.verify
+      ~hw:(Weak_ordering.of_machine Machines.def2)
+      ~model:Weak_ordering.drf0 corpus
+  in
+  check_int "one verdict per program" (List.length corpus)
+    (List.length r.Weak_ordering.verdicts);
+  check "weakly ordered" true r.Weak_ordering.weakly_ordered;
+  check "no counterexamples" true (Weak_ordering.counterexamples r = []);
+  (* The verdicts' ok field is the implication. *)
+  List.iter
+    (fun v ->
+      check "ok = obeys implies appears" true
+        (v.Weak_ordering.ok
+        = ((not v.Weak_ordering.obeys_model) || v.Weak_ordering.sc_appearance)))
+    r.Weak_ordering.verdicts
+
+let test_verify_finds_counterexamples () =
+  let r =
+    Weak_ordering.verify
+      ~hw:(Weak_ordering.of_machine Machines.wbuf)
+      ~model:Weak_ordering.drf0 corpus
+  in
+  check "wbuf fails" false r.Weak_ordering.weakly_ordered;
+  let ces = Weak_ordering.counterexamples r in
+  check "counterexamples listed" true (ces <> []);
+  (* Every counterexample is a DRF0 program with a non-SC outcome. *)
+  List.iter
+    (fun v ->
+      check "obeys model" true v.Weak_ordering.obeys_model;
+      check "not SC" false v.Weak_ordering.sc_appearance)
+    ces
+
+let test_verify_unconstrained_is_sc_test () =
+  (* Weak ordering w.r.t. all-programs is exactly sequential consistency. *)
+  let r m =
+    (Weak_ordering.verify
+       ~hw:(Weak_ordering.of_machine m)
+       ~model:Weak_ordering.unconstrained corpus)
+      .Weak_ordering.weakly_ordered
+  in
+  check "sc machine passes" true (r Machines.sc);
+  check "def2 fails" false (r Machines.def2)
+
+let test_weaker_than_sc () =
+  check "def2 weaker than SC" true
+    (Weak_ordering.weaker_than_sc
+       ~hw:(Weak_ordering.of_machine Machines.def2)
+       corpus);
+  check "sc machine not weaker" false
+    (Weak_ordering.weaker_than_sc ~hw:(Weak_ordering.of_machine Machines.sc) corpus)
+
+let test_verify_axiomatic_hardware () =
+  (* Axiomatic models plug into the same contract via of_model. *)
+  let r =
+    Weak_ordering.verify
+      ~hw:(Weak_ordering.of_model Models.def2)
+      ~model:Weak_ordering.drf0 corpus
+  in
+  check "axiomatic def2 weakly ordered" true r.Weak_ordering.weakly_ordered
+
+(* --- Lemma 1 ------------------------------------------------------------------ *)
+
+let test_lemma1_sc_candidates_of_drf0 () =
+  List.iter
+    (fun e ->
+      let p = e.Litmus_classics.prog in
+      if e.Litmus_classics.drf0 then
+        List.iter
+          (fun cand ->
+            check
+              (Prog.name p ^ ": lemma 1 on SC candidate")
+              true (Lemma1.holds cand))
+          (Models.candidates Models.sc p))
+    Litmus_classics.all
+
+let test_lemma1_fails_on_weak_candidate_of_racy_program () =
+  (* mp's stale-read candidate (reads f=1 but x=0) violates the hb-last-write
+     characterization: the candidate is def2-acceptable but not SC. *)
+  let p = Litmus_classics.mp.Litmus_classics.prog in
+  let weak =
+    List.filter
+      (fun c -> Models.accepts Models.def2 c && not (Models.accepts Models.sc c))
+      (Candidate.enumerate (Evts.of_prog p))
+  in
+  check "weak candidates exist" true (weak <> []);
+  check "some weak candidate fails lemma 1" true
+    (List.exists (fun c -> not (Lemma1.holds c)) weak)
+
+let test_lemma1_read_checks_details () =
+  let p = Litmus_classics.mp_sync.Litmus_classics.prog in
+  match Models.candidates Models.sc p with
+  | [ cand ] ->
+      let checks = Lemma1.check cand in
+      check_int "one check per read" 2 (List.length checks);
+      List.iter (fun c -> check "each ok" true c.Lemma1.ok) checks
+  | other -> Alcotest.failf "expected 1 candidate, got %d" (List.length other)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "core",
+    [
+      t "sync model membership" test_models_membership;
+      t "appears_sc" test_appears_sc;
+      t "verify report structure" test_verify_report_structure;
+      t "verify finds counterexamples" test_verify_finds_counterexamples;
+      t "unconstrained model = SC test" test_verify_unconstrained_is_sc_test;
+      t "weaker_than_sc" test_weaker_than_sc;
+      t "axiomatic hardware verifies" test_verify_axiomatic_hardware;
+      t "lemma 1 on SC candidates of DRF0 corpus" test_lemma1_sc_candidates_of_drf0;
+      t "lemma 1 fails on weak racy candidate" test_lemma1_fails_on_weak_candidate_of_racy_program;
+      t "lemma 1 read checks" test_lemma1_read_checks_details;
+    ] )

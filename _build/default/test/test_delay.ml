@@ -1,0 +1,123 @@
+(* Tests for the Shasha–Snir delay-set analysis. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prog_of e = e.Litmus_classics.prog
+let evts_of e = Evts.of_prog (prog_of e)
+
+let test_conflict_edges_symmetric () =
+  let evts = evts_of Litmus_classics.dekker in
+  let c = Delay_set.conflict_edges evts in
+  Rel.iter (fun a b -> check "symmetric" true (Rel.mem c b a)) c;
+  (* Same-thread pairs never appear. *)
+  Rel.iter
+    (fun a b ->
+      check "cross-processor" true
+        ((Evts.event evts a).Event.proc <> (Evts.event evts b).Event.proc))
+    c
+
+let test_dekker_delays () =
+  (* Both W->R program-order pairs are delays. *)
+  let pairs = Delay_set.delay_pairs (evts_of Litmus_classics.dekker) in
+  Alcotest.(check (list (pair int int))) "both pairs" [ (0, 1); (2, 3) ] pairs
+
+let test_corr_delay () =
+  (* CoRR's cycle is R->R->W: one program-order pair. *)
+  check_int "one delay" 1
+    (List.length (Delay_set.delay_pairs (evts_of Litmus_classics.corr)))
+
+let test_no_delays_for_local_programs () =
+  check_int "coww" 0 (Delay_set.delay_count (prog_of Litmus_classics.coww));
+  check_int "tas" 0
+    (Delay_set.delay_count (prog_of Litmus_classics.tas_atomicity));
+  let single =
+    Prog.make ~name:"single" [ [ Instr.write "x" 1; Instr.read "y" "r" ] ]
+  in
+  check_int "single thread" 0 (Delay_set.delay_count single)
+
+let test_critical_cycle_shape () =
+  let evts = evts_of Litmus_classics.dekker in
+  let cycles = Delay_set.critical_cycles evts in
+  check "at least one critical cycle" true (cycles <> []);
+  List.iter
+    (fun cycle ->
+      (* Each critical cycle alternates between the two processors' pairs. *)
+      check "length 4 in dekker" true (List.length cycle = 4))
+    cycles
+
+let test_iriw_critical () =
+  (* IRIW's critical cycle spans all four processors. *)
+  let cycles = Delay_set.critical_cycles (evts_of Litmus_classics.iriw) in
+  check "a 6-node cycle exists" true
+    (List.exists (fun c -> List.length c = 6) cycles)
+
+let test_fences_inserted () =
+  let fenced = Delay_set.with_fences (prog_of Litmus_classics.dekker) in
+  let count_fences p =
+    List.fold_left
+      (fun n t ->
+        n + List.length (List.filter (fun i -> i = Instr.Fence) t))
+      0 (Prog.threads p)
+  in
+  check_int "two fences" 2 (count_fences fenced);
+  check "name annotated" true
+    (String.equal (Prog.name fenced) "dekker+fences")
+
+let test_fenced_corpus_sc_on_naive_machines () =
+  List.iter
+    (fun e ->
+      let fenced = Delay_set.with_fences (prog_of e) in
+      check
+        (Prog.name (prog_of e) ^ " fenced SC on wbuf")
+        true
+        (Machines.appears_sc Machines.wbuf fenced);
+      check
+        (Prog.name (prog_of e) ^ " fenced SC on ooo")
+        true
+        (Machines.appears_sc Machines.ooo fenced))
+    Litmus_classics.all
+
+let test_fenced_random_programs_sc () =
+  (* The Shasha–Snir theorem, differentially: enforcing the delay set makes
+     even the weakest machines sequentially consistent. *)
+  List.iter
+    (fun seed ->
+      match Litmus_gen.generate_live seed with
+      | None -> ()
+      | Some p ->
+          let fenced = Delay_set.with_fences p in
+          if not (Machines.appears_sc Machines.ooo fenced) then
+            Alcotest.failf "ooo not SC after fencing:@.%a" Prog.pp p;
+          if not (Machines.appears_sc Machines.wbuf fenced) then
+            Alcotest.failf "wbuf not SC after fencing:@.%a" Prog.pp p)
+    (List.init 120 (fun i -> (11 * i) + 3))
+
+let test_fencing_preserves_sc_outcomes () =
+  (* Fences never change what is SC-possible: only the weak machines are
+     constrained. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      let fenced = Delay_set.with_fences p in
+      check
+        (Prog.name p ^ " same SC outcomes")
+        true
+        (Final.Set.equal (Sc.outcomes p) (Sc.outcomes fenced)))
+    Litmus_classics.all
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "delay",
+    [
+      t "conflict edges symmetric" test_conflict_edges_symmetric;
+      t "dekker delay pairs" test_dekker_delays;
+      t "corr delay pair" test_corr_delay;
+      t "local programs need no delays" test_no_delays_for_local_programs;
+      t "critical cycle shape" test_critical_cycle_shape;
+      t "iriw critical cycle" test_iriw_critical;
+      t "fences inserted" test_fences_inserted;
+      t "fenced corpus SC on naive machines" test_fenced_corpus_sc_on_naive_machines;
+      t "fenced random programs SC (ShS88 theorem)" test_fenced_random_programs_sc;
+      t "fencing preserves SC outcomes" test_fencing_preserves_sc_outcomes;
+    ] )

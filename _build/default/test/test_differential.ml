@@ -1,0 +1,203 @@
+(* Differential testing on randomly generated programs.
+
+   These are the repository's strongest checks: the paper's central theorem
+   and every pair of independent implementations are tested against each
+   other on programs nobody wrote by hand.  All generation is deterministic
+   in the seed, so a failure message's seed reproduces the program. *)
+
+let seeds = List.init 250 (fun i -> 7 * i)
+
+let bigger_config =
+  {
+    Litmus_gen.default_config with
+    Litmus_gen.max_threads = 4;
+    max_instrs = 4;
+    num_locs = 3;
+  }
+
+(* Two corpora: a large one of small programs (cheap enough for the
+   exponential literal checker) and a smaller one of bigger programs for
+   the polynomially-checkable properties. *)
+let small_programs =
+  List.filter_map (fun seed -> Litmus_gen.generate_live seed) seeds
+
+let big_programs =
+  List.filter_map
+    (fun seed -> Litmus_gen.generate_live ~config:bigger_config (seed + 1))
+    (List.init 40 (fun i -> 13 * i))
+
+let live_programs = small_programs @ big_programs
+
+let check_on corpus name pred =
+  List.iter
+    (fun prog ->
+      if not (pred prog) then
+        Alcotest.failf "%s fails on %s:@.%a" name (Prog.name prog) Prog.pp prog)
+    corpus
+
+let check_all name pred = check_on live_programs name pred
+
+(* --- the paper's theorem on random programs -------------------------------- *)
+
+let test_drf0_implies_sc_on_def1 () =
+  check_all "DRF0 => def1 appears SC" (fun p ->
+      (not (Drf.obeys p)) || Machines.appears_sc Machines.def1 p)
+
+let test_drf0_implies_sc_on_def2 () =
+  check_all "DRF0 => def2 appears SC" (fun p ->
+      (not (Drf.obeys p)) || Machines.appears_sc Machines.def2 p)
+
+let test_drf1_implies_sc_on_def2_rs () =
+  check_all "DRF1 => def2-rs appears SC" (fun p ->
+      (not (Drf.obeys ~model:Drf.DRF1 p))
+      || Machines.appears_sc Machines.def2_rs p)
+
+let test_drf1_implies_sc_on_rc () =
+  check_all "DRF1 => rc appears SC" (fun p ->
+      (not (Drf.obeys ~model:Drf.DRF1 p)) || Machines.appears_sc Machines.rc p)
+
+(* --- independent implementations agree -------------------------------------- *)
+
+let test_axiomatic_sc_equals_operational () =
+  check_all "axiomatic SC = operational SC" (fun p ->
+      Final.Set.equal (Models.outcomes Models.sc p) (Sc.outcomes p))
+
+let test_drf_checker_equals_naive () =
+  check_on small_programs "sync-order DRF0 checker = literal Definition 3"
+    (fun p -> Drf.obeys p = Drf.obeys_naive p)
+
+let test_drf1_checker_equals_naive () =
+  check_on small_programs "sync-order DRF1 checker = literal Definition 3"
+    (fun p -> Drf.obeys ~model:Drf.DRF1 p = Drf.obeys_naive ~model:Drf.DRF1 p)
+
+let test_wbuf_within_tso () =
+  check_all "wbuf machine within TSO axioms" (fun p ->
+      Final.Set.subset
+        (Machines.outcomes Machines.wbuf p)
+        (Models.outcomes Models.tso p))
+
+let test_machines_within_axioms () =
+  check_all "def1 machine within def1 axioms" (fun p ->
+      Final.Set.subset
+        (Machines.outcomes Machines.def1 p)
+        (Models.outcomes Models.def1 p));
+  check_all "def2 machine within def2 axioms" (fun p ->
+      Final.Set.subset
+        (Machines.outcomes Machines.def2 p)
+        (Models.outcomes Models.def2 p))
+
+(* --- structural sanity -------------------------------------------------------- *)
+
+let test_sc_within_all_machines () =
+  List.iter
+    (fun m ->
+      check_all
+        (Printf.sprintf "SC within %s" (Machines.name m))
+        (fun p -> Final.Set.subset (Sc.outcomes p) (Machines.outcomes m p)))
+    Machines.all
+
+let test_machine_hierarchy () =
+  (* def1 is strictly more constrained than def2 (def2 only relaxes): every
+     def1 outcome is a def2 outcome. *)
+  check_all "def1 outcomes within def2 outcomes" (fun p ->
+      Final.Set.subset
+        (Machines.outcomes Machines.def1 p)
+        (Machines.outcomes Machines.def2 p));
+  check_all "def2 outcomes within def2-rs outcomes" (fun p ->
+      Final.Set.subset
+        (Machines.outcomes Machines.def2 p)
+        (Machines.outcomes Machines.def2_rs p))
+
+let test_model_hierarchy () =
+  check_all "sc within def1 axioms" (fun p ->
+      Final.Set.subset (Models.outcomes Models.sc p) (Models.outcomes Models.def1 p));
+  check_all "def1 axioms within def2 axioms" (fun p ->
+      Final.Set.subset
+        (Models.outcomes Models.def1 p)
+        (Models.outcomes Models.def2 p));
+  check_all "def2 axioms within coherence" (fun p ->
+      Final.Set.subset
+        (Models.outcomes Models.def2 p)
+        (Models.outcomes Models.coherence_only p))
+
+let test_drf1_weaker_than_drf0 () =
+  check_all "DRF1-clean implies DRF0-clean" (fun p ->
+      (not (Drf.obeys ~model:Drf.DRF1 p)) || Drf.obeys p)
+
+let test_lemma1_on_drf0_programs () =
+  check_all "Lemma 1 on def2 candidates of DRF0 programs" (fun p ->
+      (not (Drf.obeys p))
+      || List.for_all Lemma1.holds (Models.candidates Models.def2 p))
+
+let test_print_parse_roundtrip_random () =
+  (* The litmus printer and parser are exact inverses on every generated
+     program (including fenced variants, which exercise the Fence cell). *)
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun p ->
+          let p' = Litmus_parse.parse_string (Litmus_print.to_string p) in
+          if
+            not
+              (List.for_all2
+                 (List.for_all2 Instr.equal)
+                 (Prog.threads p) (Prog.threads p'))
+          then Alcotest.failf "round-trip broke %s:@.%a" (Prog.name p) Prog.pp p)
+        [ prog; Delay_set.with_fences prog ])
+    live_programs
+
+let test_generator_determinism () =
+  List.iter
+    (fun seed ->
+      let a = Litmus_gen.generate seed and b = Litmus_gen.generate seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d deterministic" seed)
+        true
+        (List.for_all2
+           (List.for_all2 Instr.equal)
+           (Prog.threads a) (Prog.threads b)))
+    [ 0; 1; 42; 1000 ]
+
+let test_generated_programs_validate () =
+  List.iter
+    (fun prog ->
+      match Prog.validate prog with
+      | Ok () -> ()
+      | Error ((Prog.Unassigned_register _ :: _ | _) as es) ->
+          (* Generated registers are always fresh loads, so the only errors
+             would be real bugs. *)
+          Alcotest.failf "%s: %a" (Prog.name prog)
+            Fmt.(list ~sep:comma Prog.pp_error)
+            es)
+    live_programs
+
+let test_corpus_size () =
+  (* The filter should keep most generated programs. *)
+  Alcotest.(check bool)
+    "at least 200 live programs" true
+    (List.length live_programs >= 200)
+
+let suite =
+  let t name f = Alcotest.test_case name `Slow f in
+  let tq name f = Alcotest.test_case name `Quick f in
+  ( "differential",
+    [
+      tq "generator determinism" test_generator_determinism;
+      t "print/parse round-trip on random programs" test_print_parse_roundtrip_random;
+      tq "generated programs validate" test_generated_programs_validate;
+      tq "live corpus size" test_corpus_size;
+      t "DRF0 => def1 appears SC" test_drf0_implies_sc_on_def1;
+      t "DRF0 => def2 appears SC" test_drf0_implies_sc_on_def2;
+      t "DRF1 => def2-rs appears SC" test_drf1_implies_sc_on_def2_rs;
+      t "DRF1 => rc appears SC" test_drf1_implies_sc_on_rc;
+      t "axiomatic SC = operational SC" test_axiomatic_sc_equals_operational;
+      t "DRF0 checker = naive" test_drf_checker_equals_naive;
+      t "DRF1 checker = naive" test_drf1_checker_equals_naive;
+      t "machines within axioms" test_machines_within_axioms;
+      t "wbuf within TSO axioms" test_wbuf_within_tso;
+      t "SC within all machines" test_sc_within_all_machines;
+      t "machine hierarchy" test_machine_hierarchy;
+      t "model hierarchy" test_model_hierarchy;
+      t "DRF1-clean implies DRF0-clean" test_drf1_weaker_than_drf0;
+      t "Lemma 1 on random DRF0 programs" test_lemma1_on_drf0_programs;
+    ] )

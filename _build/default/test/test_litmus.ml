@@ -1,0 +1,240 @@
+(* Tests for the litmus text format: lexer, parser, printer, round trips. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Lexer --------------------------------------------------------------- *)
+
+let test_lexer_basic () =
+  let open Litmus_lex in
+  let toks = tokenize (strip_comment "r0 := R x ; # stripped first") in
+  check "tokens" true
+    (match toks with
+    | IDENT "r0" :: ASSIGN :: IDENT "R" :: IDENT "x" :: SEMI :: _ -> true
+    | _ -> false)
+
+let test_lexer_negative () =
+  let open Litmus_lex in
+  check "negative literal" true (tokenize "-5" = [ INT (-5) ]);
+  check "minus operator" true (tokenize "a - 5" = [ IDENT "a"; MINUS; INT 5 ])
+
+let test_lexer_connectives () =
+  let open Litmus_lex in
+  check "and/or" true (tokenize "/\\ \\/ ~" = [ AND; OR; NOT ])
+
+let test_lexer_error () =
+  check "bad char raises" true
+    (try
+       ignore (Litmus_lex.tokenize "a @ b");
+       false
+     with Litmus_lex.Lex_error _ -> true)
+
+let test_strip_comment () =
+  Alcotest.(check string)
+    "comment stripped" "W x 1 "
+    (Litmus_lex.strip_comment "W x 1 # write x")
+
+(* --- Cell parsing -------------------------------------------------------- *)
+
+let cell s = Option.get (Litmus_parse.parse_cell s)
+
+let test_parse_cells () =
+  let open Instr in
+  check "data write" true (equal (cell "W x 1") (write "x" 1));
+  check "sync write" true (equal (cell "Ws s 0") (unlock "s"));
+  check "data read" true (equal (cell "r := R x") (read "x" "r"));
+  check "sync read" true (equal (cell "r := Rs s") (sync_read "s" "r"));
+  check "tas" true (equal (cell "r := TAS l") (test_and_set "l" "r"));
+  check "fadd" true (equal (cell "r := FADD c 1") (fetch_and_add "c" "r" 1));
+  check "await" true (equal (cell "Await f 1") (await "f" 1));
+  check "await with reg" true
+    (equal (cell "r := Await f 1") (await ~reg:"r" "f" 1));
+  check "data await" true (equal (cell "Awaitd f 1") (await ~kind:Data "f" 1));
+  check "lock" true (equal (cell "Lock l") (lock "l"));
+  check "unlock" true (equal (cell "Unlock l") (unlock "l"));
+  check "fence" true (equal (cell "Fence") Fence);
+  check "write of expression" true
+    (equal (cell "W y (r + 1)") (store "y" (Exp.Add (Exp.Reg "r", Exp.Const 1))));
+  check "empty cell" true (Litmus_parse.parse_cell "   " = None)
+
+let test_parse_cell_errors () =
+  let bad s =
+    try
+      ignore (Litmus_parse.parse_cell s);
+      false
+    with Litmus_parse.Parse_error _ -> true
+  in
+  check "unknown op" true (bad "Q x 1");
+  check "trailing junk" true (bad "W x 1 2");
+  check "missing operand" true (bad "r := R")
+
+(* --- Conditions ---------------------------------------------------------- *)
+
+let test_parse_condition () =
+  let c = Litmus_parse.parse_condition "0:r0=0 /\\ P1:r1=0 \\/ ~(x=1)" in
+  (* Or binds weaker than and. *)
+  check "structure" true
+    (match c with
+    | Cond.Or (Cond.And (Cond.Reg_eq (0, "r0", 0), Cond.Reg_eq (1, "r1", 0)), Cond.Not (Cond.Mem_eq ("x", 1))) -> true
+    | _ -> false)
+
+(* --- Whole files --------------------------------------------------------- *)
+
+let sb_text =
+  {|
+name SB
+{ x=0; y=0 }
+P0          | P1          ;
+W x 1       | W y 1       ;
+r0 := R y   | r1 := R x   ;
+exists (0:r0=0 /\ 1:r1=0)
+|}
+
+let test_parse_file_structure () =
+  let p = Litmus_parse.parse_string sb_text in
+  Alcotest.(check string) "name" "SB" (Prog.name p);
+  check_int "threads" 2 (Prog.num_threads p);
+  check_int "instrs" 4 (Prog.num_instrs p);
+  check "init" true (Prog.init p = [ ("x", 0); ("y", 0) ]);
+  check "exists parsed" true (Prog.exists p <> None)
+
+let test_parsed_equals_classic () =
+  let p = Litmus_parse.parse_string sb_text in
+  let q = Litmus_classics.dekker.Litmus_classics.prog in
+  (* Same instruction lists (names differ). *)
+  check "threads equal" true
+    (List.for_all2 (List.for_all2 Instr.equal) (Prog.threads p) (Prog.threads q))
+
+let test_ragged_rows () =
+  let text = "P0 | P1 ;\nW x 1 | ;\nW y 1 | r := R x ;\n" in
+  let p = Litmus_parse.parse_string text in
+  check_int "P0 has 2" 2 (List.length (Prog.thread p 0));
+  check_int "P1 has 1" 1 (List.length (Prog.thread p 1))
+
+let test_comments_and_blanks () =
+  let text = "# header comment\nname T\n\nP0 ;\nW x 1 ; # store\n" in
+  let p = Litmus_parse.parse_string text in
+  check_int "one instr" 1 (Prog.num_instrs p)
+
+let test_parse_errors () =
+  let bad text =
+    try
+      ignore (Litmus_parse.parse_string text);
+      false
+    with Litmus_parse.Parse_error _ -> true
+  in
+  check "missing header" true (bad "W x 1 ;\n");
+  check "too many cells" true (bad "P0 ;\nW x 1 | W y 1 ;\n")
+
+(* --- Round trips --------------------------------------------------------- *)
+
+let test_roundtrip_classics () =
+  List.iter
+    (fun e ->
+      let p = e.Litmus_classics.prog in
+      let p' = Litmus_parse.parse_string (Litmus_print.to_string p) in
+      check
+        (Printf.sprintf "roundtrip %s threads" (Prog.name p))
+        true
+        (List.for_all2 (List.for_all2 Instr.equal) (Prog.threads p)
+           (Prog.threads p'));
+      check
+        (Printf.sprintf "roundtrip %s init" (Prog.name p))
+        true
+        (Prog.init p = Prog.init p');
+      (* Conditions round-trip up to printing: compare evaluation on all SC
+         outcomes rather than syntax. *)
+      match (Prog.exists p, Prog.exists p') with
+      | None, None -> ()
+      | Some c, Some c' ->
+          let outcomes = Sc.outcomes p in
+          Final.Set.iter
+            (fun f ->
+              check
+                (Printf.sprintf "roundtrip %s cond" (Prog.name p))
+                true
+                (Cond.eval f c = Cond.eval f c'))
+            outcomes
+      | _, _ -> Alcotest.fail "condition lost in round trip")
+    Litmus_classics.all
+
+let test_classics_validate () =
+  List.iter
+    (fun e ->
+      let p = e.Litmus_classics.prog in
+      match Prog.validate p with
+      | Ok () -> ()
+      | Error errs ->
+          Alcotest.failf "%s: %a" (Prog.name p)
+            Fmt.(list ~sep:comma Prog.pp_error)
+            errs)
+    Litmus_classics.all
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "litmus",
+    [
+      t "lexer basics" test_lexer_basic;
+      t "lexer negative numbers" test_lexer_negative;
+      t "lexer connectives" test_lexer_connectives;
+      t "lexer error" test_lexer_error;
+      t "comment stripping" test_strip_comment;
+      t "cell parsing" test_parse_cells;
+      t "cell parse errors" test_parse_cell_errors;
+      t "condition parsing" test_parse_condition;
+      t "file structure" test_parse_file_structure;
+      t "parsed SB = classic dekker" test_parsed_equals_classic;
+      t "ragged rows" test_ragged_rows;
+      t "comments and blanks" test_comments_and_blanks;
+      t "parse errors" test_parse_errors;
+      t "classics round-trip" test_roundtrip_classics;
+      t "classics validate" test_classics_validate;
+    ] )
+
+(* --- files on disk --------------------------------------------------------- *)
+
+let litmus_dir =
+  (* dune runs the suite from test/; direct invocations may start at the
+     repository root. *)
+  List.find Sys.file_exists [ "../examples/litmus"; "examples/litmus" ]
+
+let test_parse_shipped_files () =
+  let files = Sys.readdir litmus_dir in
+  Array.sort compare files;
+  let parsed =
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+    |> List.map (fun f -> Litmus_parse.parse_file (Filename.concat litmus_dir f))
+  in
+  check_int "four shipped tests" 4 (List.length parsed);
+  List.iter
+    (fun p ->
+      match Prog.validate p with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s: %a" (Prog.name p)
+            Fmt.(list ~sep:comma Prog.pp_error)
+            es)
+    parsed
+
+let test_shipped_files_verdicts () =
+  let by name =
+    let path = Filename.concat litmus_dir (name ^ ".litmus") in
+    Litmus_parse.parse_file path
+  in
+  check "sb racy" false (Drf.obeys (by "sb"));
+  check "mp_sync clean" true (Drf.obeys (by "mp_sync"));
+  check "handoff clean" true (Drf.obeys (by "handoff"));
+  check "chain clean" true (Drf.obeys (by "chain"));
+  check "sb exists allowed weakly" true
+    (Option.get (Machines.allows_exists Machines.wbuf (by "sb")));
+  check "chain exists forbidden on def2" false
+    (Option.get (Machines.allows_exists Machines.def2 (by "chain")))
+
+let file_suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "litmus-files",
+    [
+      t "shipped files parse and validate" test_parse_shipped_files;
+      t "shipped files verdicts" test_shipped_files_verdicts;
+    ] )

@@ -1,0 +1,265 @@
+(* Tests for the abstract hardware machines. *)
+
+let check = Alcotest.(check bool)
+
+let prog_of e = e.Litmus_classics.prog
+let allows m e = Option.get (Machines.allows_exists m (prog_of e))
+
+(* --- Figure 1: the SC violation on relaxed configurations ----------------- *)
+
+let test_fig1_wbuf_allows_dekker () =
+  check "write buffers admit the Figure 1 violation" true
+    (allows Machines.wbuf Litmus_classics.dekker)
+
+let test_fig1_ooo_allows_dekker () =
+  check "out-of-order issue admits the Figure 1 violation" true
+    (allows Machines.ooo Litmus_classics.dekker)
+
+let test_fig1_sc_forbids () =
+  check "the SC machine forbids it" false
+    (allows Machines.sc Litmus_classics.dekker)
+
+let test_wbuf_is_not_weakly_ordered () =
+  (* Naive write-buffer hardware buffers sync accesses too, so even the
+     all-sync Dekker (a DRF0 program) misbehaves: wbuf is not weakly
+     ordered w.r.t. DRF0.  This is why Figure 1 motivates making
+     synchronization visible to hardware. *)
+  check "wbuf breaks dekker_sync" true
+    (allows Machines.wbuf Litmus_classics.dekker_sync);
+  check "hence not appears-SC" false
+    (Machines.appears_sc Machines.wbuf (prog_of Litmus_classics.dekker_sync))
+
+(* --- SC containment -------------------------------------------------------- *)
+
+let test_all_machines_contain_sc () =
+  (* Every machine can execute fully in order: SC outcomes are included in
+     every machine's outcome set. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      let sc = Sc.outcomes p in
+      List.iter
+        (fun m ->
+          check
+            (Printf.sprintf "%s: sc <= %s" (Prog.name p) (Machines.name m))
+            true
+            (Final.Set.subset sc (Machines.outcomes m p)))
+        Machines.all)
+    Litmus_classics.all
+
+(* --- Weak ordering w.r.t. DRF0 (Definition 2) ------------------------------ *)
+
+let test_def1_def2_appear_sc_on_drf0 () =
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      if e.Litmus_classics.drf0 then
+        List.iter
+          (fun m ->
+            check
+              (Printf.sprintf "%s appears SC on %s" (Machines.name m)
+                 (Prog.name p))
+              true (Machines.appears_sc m p))
+          [ Machines.def1; Machines.def2 ])
+    Litmus_classics.all
+
+let test_def2_rs_appears_sc_on_drf1 () =
+  (* The read-sync-relaxed machine is weakly ordered w.r.t. DRF1, not DRF0:
+     it must appear SC exactly to the DRF1 programs of the corpus. *)
+  List.iter
+    (fun e ->
+      let p = prog_of e in
+      if Drf.obeys ~model:Drf.DRF1 p then
+        check
+          (Printf.sprintf "def2-rs appears SC on %s" (Prog.name p))
+          true
+          (Machines.appears_sc Machines.def2_rs p))
+    Litmus_classics.all
+
+let test_def2_rs_breaks_drf0_only_program () =
+  let p = prog_of Litmus_classics.read_sync_release in
+  check "def2 keeps read_sync_release SC" true
+    (Machines.appears_sc Machines.def2 p);
+  check "def2-rs does not" false (Machines.appears_sc Machines.def2_rs p)
+
+let test_machines_weak_on_racy_programs () =
+  (* def1 and def2 are genuinely weaker than SC: the racy Dekker shows
+     non-SC outcomes on both. *)
+  check "def1 weak on dekker" true (allows Machines.def1 Litmus_classics.dekker);
+  check "def2 weak on dekker" true (allows Machines.def2 Litmus_classics.dekker)
+
+(* --- The Section 6 separation --------------------------------------------- *)
+
+let test_barrier_spin_separates_def1_def2 () =
+  (* "Spinning on a barrier count with a data read": Definition-1 hardware
+     (blocking reads, syncs fully ordered) gives it SC behaviour even though
+     it races; the paper's new implementation does not. *)
+  check "def1 forbids stale read" false
+    (allows Machines.def1 Litmus_classics.barrier_data_spin);
+  check "def2 allows stale read" true
+    (allows Machines.def2 Litmus_classics.barrier_data_spin)
+
+(* --- Mechanics -------------------------------------------------------------- *)
+
+let test_def2_handoff_without_stalling_p0 () =
+  (* fig3_handoff must be deterministic on def2: the consumer always sees
+     the produced value, reservations notwithstanding. *)
+  let p = prog_of Litmus_classics.fig3_handoff in
+  let outs = Machines.outcomes Machines.def2 p in
+  check "single outcome" true (Final.Set.cardinal outs = 1);
+  check "consumer sees data" true
+    (Final.Set.for_all (fun f -> Final.reg f 1 "r" = Some 1) outs)
+
+let test_wbuf_forwarding () =
+  (* A processor must see its own buffered write. *)
+  let p =
+    Prog.make ~name:"fwd"
+      [ [ Instr.write "x" 1; Instr.read "x" "r" ] ]
+  in
+  let outs = Machines.outcomes Machines.wbuf p in
+  check "own write forwarded" true
+    (Final.Set.for_all (fun f -> Final.reg f 0 "r" = Some 1) outs)
+
+let test_ooo_respects_dependencies () =
+  (* r := R x; W y r cannot produce y=1 unless x was 1 to read. *)
+  let p =
+    Prog.make ~name:"dep"
+      [ [ Instr.read "x" "r"; Instr.store "y" (Exp.Reg "r") ] ]
+  in
+  let outs = Machines.outcomes Machines.ooo p in
+  check "dependency respected" true
+    (Final.Set.for_all (fun f -> Final.mem f "y" = 0) outs)
+
+let test_ooo_same_location_order () =
+  check "CoRR holds on ooo" false (allows Machines.ooo Litmus_classics.corr)
+
+let test_rmw_atomic_on_all_machines () =
+  List.iter
+    (fun m ->
+      check
+        (Machines.name m ^ " keeps TAS atomic")
+        false
+        (allows m Litmus_classics.tas_atomicity))
+    Machines.all
+
+let test_lock_mutex_on_def_machines () =
+  (* Lock-protected increments sum correctly on every weakly ordered
+     machine (a DRF0 program). *)
+  List.iter
+    (fun m ->
+      let outs =
+        Machines.outcomes m (prog_of Litmus_classics.lock_mutex)
+      in
+      check
+        (Machines.name m ^ " lock mutex correct")
+        true
+        (Final.Set.for_all (fun f -> Final.mem f "x" = 2) outs))
+    [ Machines.def1; Machines.def2; Machines.def2_rs ]
+
+(* --- RP3 and the fenced-delays model ---------------------------------------- *)
+
+let test_rp3_is_naive_about_syncs () =
+  (* The RP3 option carries synchronization like data: even the all-sync
+     Dekker misbehaves, so rp3 is not weakly ordered w.r.t. DRF0. *)
+  check "rp3 allows dekker" true (allows Machines.rp3 Litmus_classics.dekker);
+  check "rp3 allows dekker_sync" true
+    (allows Machines.rp3 Litmus_classics.dekker_sync);
+  let corpus = List.map prog_of Litmus_classics.all in
+  let r =
+    Weak_ordering.verify
+      ~hw:(Weak_ordering.of_machine Machines.rp3)
+      ~model:Weak_ordering.drf0 corpus
+  in
+  check "not weakly ordered w.r.t. DRF0" false r.Weak_ordering.weakly_ordered
+
+let test_fence_machines_weakly_ordered_wrt_fenced_delays () =
+  (* The second instance of Definition 2: fence-respecting hardware is
+     weakly ordered with respect to the fenced-delays model (every
+     Shasha-Snir delay pair separated by a fence). *)
+  let corpus = List.map prog_of Litmus_classics.all in
+  let fenced = List.map Delay_set.with_fences corpus in
+  List.iter
+    (fun m ->
+      let r =
+        Weak_ordering.verify
+          ~hw:(Weak_ordering.of_machine m)
+          ~model:Weak_ordering.fenced_delays (corpus @ fenced)
+      in
+      check
+        (Machines.name m ^ " weakly ordered w.r.t. fenced-delays")
+        true r.Weak_ordering.weakly_ordered)
+    [ Machines.rp3; Machines.ooo; Machines.wbuf ]
+
+let test_release_consistency_contract () =
+  (* Release consistency's contract is DRF1: weakly ordered w.r.t. DRF1,
+     not DRF0 (read-only releases are not honoured), and genuinely weaker
+     than SC. *)
+  let corpus = List.map prog_of Litmus_classics.all in
+  let verdict model =
+    (Weak_ordering.verify
+       ~hw:(Weak_ordering.of_machine Machines.rc)
+       ~model corpus)
+      .Weak_ordering.weakly_ordered
+  in
+  check "rc not WO w.r.t. DRF0" false (verdict Weak_ordering.drf0);
+  check "rc WO w.r.t. DRF1" true (verdict Weak_ordering.drf1);
+  check "rc weaker than SC" true
+    (Weak_ordering.weaker_than_sc ~hw:(Weak_ordering.of_machine Machines.rc) corpus);
+  check "rc breaks the DRF0-only program" false
+    (Machines.appears_sc Machines.rc
+       (prog_of Litmus_classics.read_sync_release))
+
+let test_fenced_delays_obeys () =
+  check "unfenced dekker does not obey" false
+    (Weak_ordering.fenced_delays.Weak_ordering.obeys
+       (prog_of Litmus_classics.dekker));
+  check "fenced dekker obeys" true
+    (Weak_ordering.fenced_delays.Weak_ordering.obeys
+       (Delay_set.with_fences (prog_of Litmus_classics.dekker)));
+  check "empty delay set obeys trivially" true
+    (Weak_ordering.fenced_delays.Weak_ordering.obeys
+       (prog_of Litmus_classics.coww))
+
+let test_fences_restore_sc_on_wbuf () =
+  (* Dekker with fences between the write and the read is SC on wbuf. *)
+  let p =
+    Prog.make ~name:"dekker_fenced"
+      ~exists:
+        (Cond.And (Cond.Reg_eq (0, "r0", 0), Cond.Reg_eq (1, "r1", 0)))
+      [
+        [ Instr.write "x" 1; Instr.Fence; Instr.read "y" "r0" ];
+        [ Instr.write "y" 1; Instr.Fence; Instr.read "x" "r1" ];
+      ]
+  in
+  check "fences forbid the violation" false
+    (Option.get (Machines.allows_exists Machines.wbuf p));
+  check "and on ooo too" false
+    (Option.get (Machines.allows_exists Machines.ooo p))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "machine",
+    [
+      t "fig1: wbuf admits violation" test_fig1_wbuf_allows_dekker;
+      t "fig1: ooo admits violation" test_fig1_ooo_allows_dekker;
+      t "fig1: sc forbids violation" test_fig1_sc_forbids;
+      t "wbuf not weakly ordered" test_wbuf_is_not_weakly_ordered;
+      t "all machines contain SC" test_all_machines_contain_sc;
+      t "def1/def2 appear SC on DRF0 corpus" test_def1_def2_appear_sc_on_drf0;
+      t "def2-rs appears SC on DRF1 corpus" test_def2_rs_appears_sc_on_drf1;
+      t "def2-rs breaks DRF0-only program" test_def2_rs_breaks_drf0_only_program;
+      t "def machines weak on races" test_machines_weak_on_racy_programs;
+      t "barrier spin separates def1/def2" test_barrier_spin_separates_def1_def2;
+      t "def2 handoff works" test_def2_handoff_without_stalling_p0;
+      t "wbuf store forwarding" test_wbuf_forwarding;
+      t "ooo dependencies" test_ooo_respects_dependencies;
+      t "ooo same-location order" test_ooo_same_location_order;
+      t "RMW atomic everywhere" test_rmw_atomic_on_all_machines;
+      t "lock mutex on weak machines" test_lock_mutex_on_def_machines;
+      t "fences restore SC" test_fences_restore_sc_on_wbuf;
+      t "rp3 is naive about syncs" test_rp3_is_naive_about_syncs;
+      t "fence machines WO w.r.t. fenced-delays"
+        test_fence_machines_weakly_ordered_wrt_fenced_delays;
+      t "release consistency contract (DRF1)" test_release_consistency_contract;
+      t "fenced-delays membership" test_fenced_delays_obeys;
+    ] )

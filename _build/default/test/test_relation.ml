@@ -1,0 +1,225 @@
+(* Unit and property tests for the relation library. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rel_of n pairs = Rel.of_list n pairs
+
+(* --- Rel ----------------------------------------------------------------- *)
+
+let test_basic_ops () =
+  let r = rel_of 4 [ (0, 1); (1, 2) ] in
+  check "mem 0 1" true (Rel.mem r 0 1);
+  check "not mem 1 0" false (Rel.mem r 1 0);
+  check_int "cardinal" 2 (Rel.cardinal r);
+  let r' = Rel.add r 2 3 in
+  check_int "add grows" 3 (Rel.cardinal r');
+  check_int "add is persistent" 2 (Rel.cardinal r);
+  let r'' = Rel.remove r' 2 3 in
+  check "remove round-trip" true (Rel.equal r r'')
+
+let test_add_idempotent () =
+  let r = rel_of 3 [ (0, 1) ] in
+  check "physical no-op" true (Rel.add r 0 1 == r)
+
+let test_union_inter_diff () =
+  let a = rel_of 3 [ (0, 1); (1, 2) ] in
+  let b = rel_of 3 [ (1, 2); (2, 0) ] in
+  check_int "union" 3 (Rel.cardinal (Rel.union a b));
+  check_int "inter" 1 (Rel.cardinal (Rel.inter a b));
+  check_int "diff" 1 (Rel.cardinal (Rel.diff a b));
+  check "subset inter" true (Rel.subset (Rel.inter a b) a)
+
+let test_compose () =
+  let a = rel_of 4 [ (0, 1); (1, 2) ] in
+  let b = rel_of 4 [ (1, 3); (2, 3) ] in
+  let c = Rel.compose a b in
+  check "0 composes to 3" true (Rel.mem c 0 3);
+  check "1 composes to 3" true (Rel.mem c 1 3);
+  check_int "only two pairs" 2 (Rel.cardinal c)
+
+let test_inverse () =
+  let a = rel_of 3 [ (0, 1); (0, 2) ] in
+  let i = Rel.inverse a in
+  check "inverted" true (Rel.mem i 1 0 && Rel.mem i 2 0);
+  check "involution" true (Rel.equal a (Rel.inverse i))
+
+let test_restrict_filter () =
+  let a = rel_of 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let r = Rel.restrict a ~keep:(fun e -> e <> 2) in
+  check_int "restrict drops pairs touching 2" 1 (Rel.cardinal r);
+  let f = Rel.filter (fun x y -> y - x > 1) a in
+  check "filter none" true (Rel.is_empty f)
+
+let test_cross () =
+  let a = Rel.create 4 in
+  let c = Rel.cross a (Iset.of_list [ 0; 1 ]) (Iset.of_list [ 2; 3 ]) in
+  check_int "product size" 4 (Rel.cardinal c)
+
+let test_universe_check () =
+  let a = rel_of 2 [ (0, 1) ] in
+  Alcotest.check_raises "oob add" (Invalid_argument "Rel: event 5 outside universe [0,2)")
+    (fun () -> ignore (Rel.add a 5 0))
+
+(* --- Closure ------------------------------------------------------------- *)
+
+let test_closure_chain () =
+  let r = rel_of 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Closure.transitive_closure r in
+  check "0->3" true (Rel.mem c 0 3);
+  check_int "6 pairs" 6 (Rel.cardinal c)
+
+let test_closure_agrees_with_warshall () =
+  let r = rel_of 6 [ (0, 1); (1, 2); (3, 4); (4, 0); (2, 5) ] in
+  check "two algorithms agree" true
+    (Rel.equal (Closure.transitive_closure r) (Closure.transitive_closure_warshall r))
+
+let test_acyclic () =
+  let dag = rel_of 3 [ (0, 1); (1, 2); (0, 2) ] in
+  check "dag acyclic" true (Closure.is_acyclic dag);
+  let cyc = rel_of 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check "cycle found" false (Closure.is_acyclic cyc);
+  let self = rel_of 2 [ (1, 1) ] in
+  check "self-loop is a cycle" false (Closure.is_acyclic self)
+
+let test_find_cycle () =
+  let cyc = rel_of 4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  match Closure.find_cycle cyc with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+      (* Each consecutive pair (and the wrap-around) must be an edge. *)
+      let ok =
+        let arr = Array.of_list cycle in
+        let n = Array.length arr in
+        let edges_ok = ref (n > 0) in
+        for i = 0 to n - 1 do
+          if not (Rel.mem cyc arr.(i) arr.((i + 1) mod n)) then
+            edges_ok := false
+        done;
+        !edges_ok
+      in
+      check "witness is a real cycle" true ok
+
+(* --- Order --------------------------------------------------------------- *)
+
+let test_topo_sort () =
+  let r = rel_of 4 [ (3, 1); (1, 0); (0, 2) ] in
+  (match Order.topological_sort r with
+  | None -> Alcotest.fail "expected a sort"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i e -> pos.(e) <- i) order;
+      check "3 before 1" true (pos.(3) < pos.(1));
+      check "1 before 0" true (pos.(1) < pos.(0));
+      check "0 before 2" true (pos.(0) < pos.(2)));
+  let cyc = rel_of 2 [ (0, 1); (1, 0) ] in
+  check "cycle has no sort" true (Order.topological_sort cyc = None)
+
+let test_linear_extensions_count () =
+  (* An empty order over n elements has n! linear extensions. *)
+  check_int "3! extensions" 6 (Order.count_linear_extensions (Rel.create 3));
+  (* A chain has exactly one. *)
+  let chain = rel_of 3 [ (0, 1); (1, 2) ] in
+  check_int "chain" 1 (Order.count_linear_extensions chain);
+  (* Two independent chains of lengths 2 and 2: C(4,2) = 6. *)
+  let two = rel_of 4 [ (0, 1); (2, 3) ] in
+  check_int "interleavings" 6 (Order.count_linear_extensions two)
+
+let test_linear_extensions_respect_order () =
+  let r = rel_of 4 [ (0, 1); (2, 3) ] in
+  Order.linear_extensions r (fun order ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i e -> pos.(e) <- i) order;
+      check "0<1" true (pos.(0) < pos.(1));
+      check "2<3" true (pos.(2) < pos.(3)))
+
+let test_of_total_order () =
+  let r = Order.of_total_order 3 [ 2; 0; 1 ] in
+  check "2 before 0" true (Rel.mem r 2 0);
+  check "2 before 1" true (Rel.mem r 2 1);
+  check "0 before 1" true (Rel.mem r 0 1);
+  check "total on universe" true
+    (Order.is_total_order_on r (Iset.of_range 0 2))
+
+let test_consistent () =
+  let a = rel_of 3 [ (0, 1) ] in
+  let b = rel_of 3 [ (1, 2) ] in
+  check "chains consistent" true (Order.consistent a b);
+  let c = rel_of 3 [ (1, 0) ] in
+  check "opposite inconsistent" false (Order.consistent a c)
+
+(* --- Properties ---------------------------------------------------------- *)
+
+let arbitrary_rel n =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound (n * 2))
+        (pair (int_bound (n - 1)) (int_bound (n - 1))))
+  in
+  QCheck.make
+    ~print:(fun pairs ->
+      String.concat ";"
+        (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) pairs))
+    gen
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"transitive closure is idempotent" ~count:200
+    (arbitrary_rel 7)
+    (fun pairs ->
+      let r = Closure.transitive_closure (rel_of 7 pairs) in
+      Rel.equal r (Closure.transitive_closure r))
+
+let prop_closure_algorithms_agree =
+  QCheck.Test.make ~name:"worklist and Warshall closures agree" ~count:200
+    (arbitrary_rel 7)
+    (fun pairs ->
+      let r = rel_of 7 pairs in
+      Rel.equal
+        (Closure.transitive_closure r)
+        (Closure.transitive_closure_warshall r))
+
+let prop_topo_iff_acyclic =
+  QCheck.Test.make ~name:"topological sort exists iff acyclic" ~count:200
+    (arbitrary_rel 6)
+    (fun pairs ->
+      let r = rel_of 6 pairs in
+      Closure.is_acyclic r = Option.is_some (Order.topological_sort r))
+
+let prop_extension_contains_order =
+  QCheck.Test.make ~name:"every linear extension contains the order" ~count:50
+    (arbitrary_rel 5)
+    (fun pairs ->
+      let r = rel_of 5 pairs in
+      let ok = ref true in
+      Order.linear_extensions r (fun order ->
+          let total = Order.of_total_order 5 order in
+          if not (Rel.subset (Rel.filter (fun a b -> a <> b) r) total) then
+            ok := false);
+      !ok)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "relation",
+    [
+      t "basic ops" test_basic_ops;
+      t "add idempotent" test_add_idempotent;
+      t "union/inter/diff" test_union_inter_diff;
+      t "compose" test_compose;
+      t "inverse" test_inverse;
+      t "restrict/filter" test_restrict_filter;
+      t "cross" test_cross;
+      t "universe checks" test_universe_check;
+      t "closure chain" test_closure_chain;
+      t "closure agrees with warshall" test_closure_agrees_with_warshall;
+      t "acyclicity" test_acyclic;
+      t "find cycle witness" test_find_cycle;
+      t "topological sort" test_topo_sort;
+      t "linear extension counts" test_linear_extensions_count;
+      t "linear extensions respect order" test_linear_extensions_respect_order;
+      t "of_total_order" test_of_total_order;
+      t "consistency (ShS88)" test_consistent;
+      QCheck_alcotest.to_alcotest prop_closure_idempotent;
+      QCheck_alcotest.to_alcotest prop_closure_algorithms_agree;
+      QCheck_alcotest.to_alcotest prop_topo_iff_acyclic;
+      QCheck_alcotest.to_alcotest prop_extension_contains_order;
+    ] )
