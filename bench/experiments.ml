@@ -346,6 +346,63 @@ let ablate () =
     (Option.get (Machines.allows_exists Machines.def1 p))
     (Option.get (Machines.allows_exists Machines.def2 p))
 
+(* --- fault-injection degradation curve ----------------------------------------- *)
+
+(* Performance degrades gracefully as the interconnect gets worse: scale the
+   chaos profile's event rates from 0 to full strength and plot completion
+   time and recovery traffic.  The protocol must absorb every intensity —
+   zero wedged runs — with cost, not correctness, as the casualty. *)
+let degrade () =
+  hr "Degradation under interconnect faults (chaos profile, seeds 0-9)";
+  let workloads =
+    [
+      ("fig3", fun () -> Workload.fig3_handoff ());
+      ("locks", fun () -> Workload.critical_sections ());
+      ("barrier", fun () -> Workload.spin_barrier ());
+    ]
+  in
+  let intensities = [ 0; 125; 250; 500; 750; 1000 ] in
+  let seeds = 10 in
+  let wedged = ref 0 in
+  List.iter
+    (fun (name, mk) ->
+      Fmt.pr "@.  %s (def2, mean over %d seeds):@." name seeds;
+      Fmt.pr "    %9s %8s %12s %7s %7s %6s@." "intensity" "cycles" "retransmits"
+        "nacks" "dups" "spins";
+      List.iter
+        (fun permille ->
+          let profile = Fault.scale Fault.chaos ~permille in
+          let cyc = ref 0
+          and retr = ref 0
+          and nacks = ref 0
+          and dups = ref 0
+          and spins = ref 0 in
+          for seed = 0 to seeds - 1 do
+            let cfg =
+              Sim_config.make ~faults:profile ~fault_seed:seed ()
+            in
+            match Sim_run.try_run ~cfg Cpu.Def2 (mk ()) with
+            | Error f ->
+                incr wedged;
+                Fmt.pr "    WEDGED at intensity %d seed %d: %s@." permille seed
+                  (Sim_run.failure_kind f)
+            | Ok r ->
+                cyc := !cyc + r.Sim_run.total_cycles;
+                retr := !retr + r.Sim_run.retransmits;
+                nacks := !nacks + r.Sim_run.nacks;
+                dups := !dups + r.Sim_run.dups_suppressed;
+                spins :=
+                  !spins
+                  + Array.fold_left
+                      (fun a s -> a + s.Cpu.spin_iters)
+                      0 r.Sim_run.proc_stats
+          done;
+          Fmt.pr "    %9d %8d %12d %7d %7d %6d@." permille (!cyc / seeds)
+            (!retr / seeds) (!nacks / seeds) (!dups / seeds) (!spins / seeds))
+        intensities)
+    workloads;
+  Fmt.pr "@.  wedged runs across the whole sweep: %d (must be 0)@." !wedged
+
 let all () =
   fig1 ();
   fig2 ();
@@ -354,4 +411,5 @@ let all () =
   sec6_spin ();
   sweep ();
   appendix ();
-  ablate ()
+  ablate ();
+  degrade ()

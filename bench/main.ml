@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- bechamel
 
    Experiments (see EXPERIMENTS.md):
-     fig1 fig2 fig3 sec6-def1 sec6-spin sweep appendix ablate
+     fig1 fig2 fig3 sec6-def1 sec6-spin sweep appendix ablate degrade
 
    The bechamel section times the analysis algorithms themselves (one
    Test.make per core computation), which matters for anyone scaling the
@@ -81,8 +81,10 @@ let () =
   | [ "sweep" ] -> Experiments.sweep ()
   | [ "appendix" ] -> Experiments.appendix ()
   | [ "ablate" ] -> Experiments.ablate ()
+  | [ "degrade" ] -> Experiments.degrade ()
   | [ "bechamel" ] -> run_bechamel ()
   | _ ->
       prerr_endline
-        "usage: main.exe [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|bechamel]";
+        "usage: main.exe \
+         [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|degrade|bechamel]";
       exit 2

@@ -5,16 +5,32 @@
    - races:  DRF0/DRF1 analysis with witnesses
    - verify: Definition 2 over the built-in corpus (or given files)
    - sim:    timing simulation of the paper's workloads
-   - list:   what is available *)
+   - faults: seeded fault-injection campaigns on the protocol simulator
+   - list:   what is available
+
+   Exit codes: 0 success; 1 a check ran and failed (race, counterexample,
+   fault-campaign failure); 2 parse failure or unreadable input. *)
 
 open Cmdliner
 
 (* --- shared helpers -------------------------------------------------------- *)
 
+(* Parse failures exit 2 with a located, compiler-style report; the
+   campaign and verification commands reserve exit 1 for "the check ran
+   and failed". *)
 let load_prog path =
-  if String.equal path "-" then
-    Litmus_parse.parse_string (In_channel.input_all In_channel.stdin)
-  else Litmus_parse.parse_file path
+  try
+    if String.equal path "-" then
+      Litmus_parse.parse_string (In_channel.input_all In_channel.stdin)
+    else Litmus_parse.parse_file path
+  with
+  | Litmus_parse.Parse_error { line; col; msg } ->
+      let file = if String.equal path "-" then "<stdin>" else path in
+      Fmt.epr "%s:%d:%d: parse error: %s@." file line col msg;
+      exit 2
+  | Sys_error e ->
+      Fmt.epr "weakord: %s@." e;
+      exit 2
 
 let prog_or_classic name_or_path =
   match Litmus_classics.find name_or_path with
@@ -188,6 +204,13 @@ let workload_of_name = function
   | "sense-barrier-data" -> Workload.sense_barrier ~sync_spin:false ()
   | s -> Fmt.failwith "unknown workload %S" s
 
+let policy_of_name n =
+  match
+    List.find_opt (fun p -> String.equal (Cpu.policy_name p) n) Cpu.all_policies
+  with
+  | Some p -> p
+  | None -> Fmt.failwith "unknown policy %S" n
+
 let sim_cmd =
   let workload_flag =
     Arg.(
@@ -214,17 +237,7 @@ let sim_cmd =
     let policies =
       match policy_names with
       | [] -> Cpu.all_policies
-      | names ->
-          List.map
-            (fun n ->
-              match
-                List.find_opt
-                  (fun p -> String.equal (Cpu.policy_name p) n)
-                  Cpu.all_policies
-              with
-              | Some p -> p
-              | None -> Fmt.failwith "unknown policy %S" n)
-            names
+      | names -> List.map policy_of_name names
     in
     List.iter
       (fun p ->
@@ -236,6 +249,144 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc)
     Term.(const action $ workload_flag $ policy_flag $ net_flag)
+
+(* --- faults ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let seeds_flag =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Fault schedules per scenario (seeds 0..N-1).")
+  in
+  let scenario_flag =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Fault scenario (none|delay|drop|dup|chaos); default: every \
+             faulty one. Repeatable.")
+  in
+  let policy_flag =
+    Arg.(
+      value & opt string "def2"
+      & info [ "p"; "policy" ] ~docv:"NAME"
+          ~doc:"Issue policy under test (sc|def1|def2|def2-rs).")
+  in
+  let intensity_flag =
+    Arg.(
+      value & opt int 1000
+      & info [ "intensity" ] ~docv:"PERMILLE"
+          ~doc:"Scale the scenario's fault rates (1000 = full strength).")
+  in
+  let tests_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TEST"
+          ~doc:
+            "Litmus files or built-in test names (default: the built-in \
+             corpus).")
+  in
+  let action seeds scenario_names policy_name intensity tests =
+    let policy = policy_of_name policy_name in
+    let progs =
+      match tests with
+      | [] ->
+          (* One concrete schedule runs per seed, so the corpus default
+             excludes read_sync_release: its [await s 0] legitimately spins
+             forever on schedules where the other thread's [Set(s,1)] wins
+             the race — a program property, not a protocol wedge. *)
+          List.filter_map
+            (fun e ->
+              let p = e.Litmus_classics.prog in
+              if String.equal (Prog.name p) "read_sync_release" then None
+              else Some p)
+            Litmus_classics.all
+      | ts -> List.map prog_or_classic ts
+    in
+    let scenarios =
+      match scenario_names with
+      | [] -> List.filter (fun (n, _) -> n <> "none") Fault.scenarios
+      | names ->
+          List.map
+            (fun n ->
+              match Fault.scenario n with
+              | Some p -> (n, p)
+              | None ->
+                  Fmt.failwith "unknown scenario %S (%s)" n
+                    (String.concat "|" Fault.scenario_names))
+            names
+    in
+    let failures = ref 0 in
+    Fmt.pr
+      "fault campaign: %d program(s) x %d scenario(s) x %d seed(s), policy \
+       %s, intensity %d/1000@.@."
+      (List.length progs) (List.length scenarios) seeds
+      (Cpu.policy_name policy) intensity;
+    List.iter
+      (fun (sname, profile) ->
+        let profile = Fault.scale profile ~permille:intensity in
+        let ok = ref 0
+        and retr = ref 0
+        and nacks = ref 0
+        and dups = ref 0
+        and maxc = ref 0 in
+        List.iter
+          (fun prog ->
+            let drf0 =
+              match Drf.check ~model:Drf.DRF0 prog with
+              | Ok () -> true
+              | Error _ -> false
+            in
+            let sc = lazy (Sc.outcomes prog) in
+            for seed = 0 to seeds - 1 do
+              let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
+              match Sim_litmus.try_run ~cfg policy prog with
+              | Error f ->
+                  incr failures;
+                  Fmt.pr "FAIL %-22s %-6s seed %-3d %s@." (Prog.name prog)
+                    sname seed (Sim_run.failure_kind f)
+              | Ok r ->
+                  retr := !retr + r.Sim_litmus.retransmits;
+                  nacks := !nacks + r.Sim_litmus.nacks;
+                  dups := !dups + r.Sim_litmus.dups_suppressed;
+                  maxc := max !maxc r.Sim_litmus.total_cycles;
+                  if
+                    drf0
+                    && not
+                         (Sim_litmus.in_set prog r.Sim_litmus.final
+                            (Lazy.force sc))
+                  then begin
+                    incr failures;
+                    Fmt.pr "FAIL %-22s %-6s seed %-3d non-SC outcome %a@."
+                      (Prog.name prog) sname seed Final.pp r.Sim_litmus.final
+                  end
+                  else incr ok
+            done)
+          progs;
+        Fmt.pr
+          "%-6s %4d ok, max %7d cycles, %5d retransmits, %4d nacks, %4d \
+           dups suppressed@."
+          sname !ok !maxc !retr !nacks !dups)
+      scenarios;
+    if !failures > 0 then begin
+      Fmt.pr "@.%d failing run(s).@." !failures;
+      exit 1
+    end
+    else
+      Fmt.pr
+        "@.every fault schedule terminated, passed the sanitizer, and \
+         produced a model-allowed outcome.@."
+  in
+  let doc =
+    "run seeded fault-injection campaigns over the litmus corpus on the \
+     protocol simulator"
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(
+      const action $ seeds_flag $ scenario_flag $ policy_flag $ intensity_flag
+      $ tests_arg)
 
 (* --- fences ------------------------------------------------------------------ *)
 
@@ -294,4 +445,15 @@ let list_cmd =
 let () =
   let doc = "weak ordering, as a software/hardware contract (Adve & Hill 1990)" in
   let info = Cmd.info "weakord" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; races_cmd; verify_cmd; sim_cmd; fences_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            races_cmd;
+            verify_cmd;
+            sim_cmd;
+            faults_cmd;
+            fences_cmd;
+            list_cmd;
+          ]))

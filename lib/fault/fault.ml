@@ -1,0 +1,153 @@
+(* Deterministic, seed-driven fault schedules for the simulator's
+   interconnect.  The paper's Section 5.2 setting is a "general
+   interconnection network"; real instances of those lose, duplicate and
+   arbitrarily delay messages.  This module is the adversary: given a seed
+   and an intensity profile it answers, for each message the protocol
+   sends, "what does the network do to this one?" — a latency spike, some
+   number of transient losses (each recovered by a link-level retransmit),
+   and/or a duplicated delivery.
+
+   Everything is integer arithmetic on a splitmix64 stream, so a schedule
+   is a pure function of (seed, message index): the same seed always
+   produces the same faults, and any failing campaign run is reproducible
+   from one integer. *)
+
+type profile = {
+  spike_permille : int;  (** chance (out of 1000) of a latency spike *)
+  max_spike : int;  (** spike magnitude drawn from [1, max_spike] *)
+  drop_permille : int;  (** chance of losing a delivery attempt *)
+  max_drops : int;  (** bound on consecutive losses of one message *)
+  dup_permille : int;  (** chance of delivering a message twice *)
+}
+
+let quiet =
+  {
+    spike_permille = 0;
+    max_spike = 0;
+    drop_permille = 0;
+    max_drops = 0;
+    dup_permille = 0;
+  }
+
+let delay_storm =
+  { quiet with spike_permille = 300; max_spike = 120 }
+
+let lossy = { quiet with drop_permille = 150; max_drops = 3 }
+
+let duplicating = { quiet with dup_permille = 200 }
+
+let chaos =
+  {
+    spike_permille = 200;
+    max_spike = 80;
+    drop_permille = 100;
+    max_drops = 3;
+    dup_permille = 100;
+  }
+
+let scenarios =
+  [
+    ("none", quiet);
+    ("delay", delay_storm);
+    ("drop", lossy);
+    ("dup", duplicating);
+    ("chaos", chaos);
+  ]
+
+let scenario name = List.assoc_opt name scenarios
+let scenario_names = List.map fst scenarios
+
+(* Scale a profile's event rates to [permille]/1000 of their value — the
+   degradation-curve knob: [scale chaos ~permille:500] is half-intensity
+   chaos. *)
+let scale p ~permille =
+  let s r = r * permille / 1000 in
+  {
+    p with
+    spike_permille = s p.spike_permille;
+    drop_permille = s p.drop_permille;
+    dup_permille = s p.dup_permille;
+  }
+
+let pp_profile ppf p =
+  Fmt.pf ppf "spike=%d‰(≤%d) drop=%d‰(≤%d) dup=%d‰" p.spike_permille
+    p.max_spike p.drop_permille p.max_drops p.dup_permille
+
+(* --- the deterministic stream ---------------------------------------------- *)
+
+type decision = {
+  extra_delay : int;  (** latency spike added to the message's flight time *)
+  drops : int;  (** transient losses before the copy that gets through *)
+  duplicate : bool;  (** deliver a second, redundant copy *)
+}
+
+let benign = { extra_delay = 0; drops = 0; duplicate = false }
+
+type counts = {
+  mutable n_messages : int;
+  mutable n_spikes : int;
+  mutable n_drops : int;  (** total lost delivery attempts *)
+  mutable n_dups : int;
+}
+
+type t = { profile : profile; mutable state : int64; counts : counts }
+
+let create ?(profile = chaos) seed =
+  {
+    profile;
+    (* Avoid the all-zeros fixed point and decorrelate small seeds. *)
+    state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L;
+    counts = { n_messages = 0; n_spikes = 0; n_drops = 0; n_dups = 0 };
+  }
+
+let counts t = t.counts
+let profile t = t.profile
+
+(* splitmix64: the standard 64-bit mixer; high quality, tiny, stateless in
+   the increment. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A uniform draw in [0, bound). *)
+let draw t bound =
+  if bound <= 0 then 0
+  else
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    r mod bound
+
+let flip t permille = permille > 0 && draw t 1000 < permille
+
+let decide t =
+  let p = t.profile in
+  t.counts.n_messages <- t.counts.n_messages + 1;
+  let extra_delay =
+    if flip t p.spike_permille then begin
+      t.counts.n_spikes <- t.counts.n_spikes + 1;
+      1 + draw t (max 1 p.max_spike)
+    end
+    else 0
+  in
+  let drops =
+    let rec losses k =
+      if k >= p.max_drops then k
+      else if flip t p.drop_permille then losses (k + 1)
+      else k
+    in
+    let d = losses 0 in
+    t.counts.n_drops <- t.counts.n_drops + d;
+    d
+  in
+  let duplicate =
+    let dup = flip t p.dup_permille in
+    if dup then t.counts.n_dups <- t.counts.n_dups + 1;
+    dup
+  in
+  { extra_delay; drops; duplicate }
+
+let pp_counts ppf c =
+  Fmt.pf ppf "msgs=%d spikes=%d drops=%d dups=%d" c.n_messages c.n_spikes
+    c.n_drops c.n_dups

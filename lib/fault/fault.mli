@@ -1,0 +1,67 @@
+(** Deterministic, seed-driven fault schedules for the simulated
+    interconnect.
+
+    A [t] is a pure function of its seed: the [n]-th call to {!decide}
+    always returns the same answer for the same seed and profile, so every
+    fault campaign run is reproducible from one integer.  The module knows
+    nothing about the simulator; the transport layer ([Net] in [lib/sim])
+    asks it what the network does to each message and implements the
+    consequences (retransmission, deduplication, reordering buffers). *)
+
+type profile = {
+  spike_permille : int;  (** chance (out of 1000) of a latency spike *)
+  max_spike : int;  (** spike magnitude drawn from [1, max_spike] *)
+  drop_permille : int;  (** chance of losing a delivery attempt *)
+  max_drops : int;  (** bound on consecutive losses of one message *)
+  dup_permille : int;  (** chance of delivering a message twice *)
+}
+
+val quiet : profile
+(** No faults; the transport behaves like the seed network. *)
+
+val delay_storm : profile
+val lossy : profile
+val duplicating : profile
+val chaos : profile
+(** All fault kinds at once. *)
+
+val scenarios : (string * profile) list
+(** The named scenarios: none, delay, drop, dup, chaos. *)
+
+val scenario : string -> profile option
+(** Look up a named scenario. *)
+
+val scenario_names : string list
+
+val scale : profile -> permille:int -> profile
+(** Scale the event rates: the degradation-curve intensity knob. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+
+type decision = {
+  extra_delay : int;  (** latency spike added to the message's flight time *)
+  drops : int;  (** transient losses before the copy that gets through *)
+  duplicate : bool;  (** deliver a second, redundant copy *)
+}
+
+val benign : decision
+(** The no-fault decision. *)
+
+type counts = {
+  mutable n_messages : int;
+  mutable n_spikes : int;
+  mutable n_drops : int;
+  mutable n_dups : int;
+}
+
+type t
+
+val create : ?profile:profile -> int -> t
+(** [create ~profile seed]. *)
+
+val decide : t -> decision
+(** The fate of the next message. *)
+
+val counts : t -> counts
+val profile : t -> profile
+val pp_counts : Format.formatter -> counts -> unit

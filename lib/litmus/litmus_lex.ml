@@ -19,7 +19,11 @@ type token =
   | PLUS
   | MINUS
 
-exception Lex_error of string
+exception Lex_error of { pos : int; msg : string }
+(* [pos] is the 0-based character index in the string given to [tokenize]. *)
+
+let lex_fail pos fmt =
+  Format.kasprintf (fun msg -> raise (Lex_error { pos; msg })) fmt
 
 let pp_token ppf = function
   | INT n -> Fmt.pf ppf "%d" n
@@ -57,7 +61,10 @@ let tokenize s =
         while !j < n && is_digit s.[!j] do
           incr j
         done;
-        scan !j (INT (int_of_string (String.sub s i (!j - i))) :: acc)
+        let lit = String.sub s i (!j - i) in
+        match int_of_string_opt lit with
+        | Some v -> scan !j (INT v :: acc)
+        | None -> lex_fail i "integer literal %s does not fit in an int" lit
       end
       else if is_ident_start c then begin
         let j = ref i in
@@ -91,14 +98,15 @@ let tokenize s =
                   while !j < n && is_digit s.[!j] do
                     incr j
                   done;
-                  scan !j
-                    (INT (-int_of_string (String.sub s (i + 1) (!j - i - 1)))
-                    :: acc)
+                  let lit = String.sub s (i + 1) (!j - i - 1) in
+                  match int_of_string_opt lit with
+                  | Some v -> scan !j (INT (-v) :: acc)
+                  | None ->
+                      lex_fail i "integer literal -%s does not fit in an int"
+                        lit
                 end
                 else scan (i + 1) (MINUS :: acc)
-            | _ ->
-                raise
-                  (Lex_error (Printf.sprintf "unexpected character %C in %S" c s)))
+            | _ -> lex_fail i "unexpected character %C" c)
   in
   scan 0 []
 

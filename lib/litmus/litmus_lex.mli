@@ -18,10 +18,13 @@ type token =
   | PLUS
   | MINUS
 
-exception Lex_error of string
+exception Lex_error of { pos : int; msg : string }
+(** [pos] is the 0-based character index, within the string given to
+    {!tokenize}, at which the error was detected. *)
 
 val tokenize : string -> token list
-(** @raise Lex_error on an unrecognized character. *)
+(** @raise Lex_error on an unrecognized character or an out-of-range
+    integer literal. *)
 
 val strip_comment : string -> string
 (** Remove a trailing [# ...] comment. *)

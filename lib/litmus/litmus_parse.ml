@@ -27,9 +27,28 @@
 
 open Litmus_lex
 
-exception Parse_error of string
+exception Parse_error of { line : int; col : int; msg : string }
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+(* Inner parsing functions operate on token lists and know nothing about
+   positions; they raise with line 0 / col 0 and [located] below patches in
+   the real coordinates at the line/cell level.  Columns are 1-based;
+   [line = 0] means "position unknown" (only possible through the
+   token-level entry points [parse_cell] / [parse_condition]). *)
+
+let fail fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error { line = 0; col = 0; msg })) fmt
+
+let fail_at ~line ~col fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error { line; col; msg })) fmt
+
+(* Run [f], attributing any un-located parse error (and any lexer error) to
+   the source region that starts at [line]/[col].  A lexer error's character
+   offset is relative to the tokenized substring, so it lands exactly. *)
+let located ~line ~col f =
+  try f () with
+  | Parse_error { line = 0; col = 0; msg } -> raise (Parse_error { line; col; msg })
+  | Litmus_lex.Lex_error { pos; msg } ->
+      raise (Parse_error { line; col = col + pos; msg })
 
 (* --- token-stream helpers ---------------------------------------------- *)
 
@@ -146,13 +165,15 @@ let parse_instr toks =
   | IDENT reg :: ASSIGN :: rest -> parse_op_with_target reg rest
   | _ -> parse_op_without_target toks
 
-let parse_cell s =
-  match tokenize s with
+let parse_cell_toks = function
   | [] -> None
   | toks ->
       let i, rest = parse_instr toks in
       expect_end "instruction" rest;
       Some i
+
+let parse_cell s =
+  located ~line:0 ~col:1 (fun () -> parse_cell_toks (tokenize s))
 
 (* --- conditions --------------------------------------------------------- *)
 
@@ -203,10 +224,13 @@ and parse_catom = function
   | t :: _ -> fail "unexpected %a in condition" pp_token t
   | [] -> fail "unexpected end of condition"
 
-let parse_condition s =
-  let c, rest = parse_cond (tokenize s) in
+let parse_condition_toks toks =
+  let c, rest = parse_cond toks in
   expect_end "condition" rest;
   c
+
+let parse_condition s =
+  located ~line:0 ~col:1 (fun () -> parse_condition_toks (tokenize s))
 
 (* --- init block --------------------------------------------------------- *)
 
@@ -231,7 +255,27 @@ let parse_init toks =
 let split_cells line =
   String.split_on_char '|' line
 
+(* Each cell paired with the 1-based column at which it starts in the
+   original line — the '|' separators are one character wide, so the
+   offsets survive [String.split_on_char]. *)
+let split_cells_cols line =
+  let _, rev =
+    List.fold_left
+      (fun (col, acc) cell ->
+        (col + String.length cell + 1, (col, cell) :: acc))
+      (1, []) (split_cells line)
+  in
+  List.rev rev
+
 let is_blank s = String.trim s = ""
+
+let leading_ws s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\r') do
+    incr i
+  done;
+  !i
 
 let starts_with_word w line =
   let line = String.trim line in
@@ -244,29 +288,42 @@ let drop_word w line =
   let line = String.trim line in
   String.trim (String.sub line (String.length w) (String.length line - String.length w))
 
+(* [drop_word] plus the 1-based column in the original line at which the
+   remainder starts, for error attribution. *)
+let drop_word_col w line =
+  let start = leading_ws line + String.length w in
+  let rest = String.sub line start (String.length line - start) in
+  (String.trim rest, start + leading_ws rest + 1)
+
 let parse_string ?(name = "anon") text =
+  let raw_lines = String.split_on_char '\n' text in
+  let last_line = List.length raw_lines in
+  (* Number lines before dropping blanks, so errors report positions in the
+     original text. *)
   let lines =
-    String.split_on_char '\n' text
-    |> List.map Litmus_lex.strip_comment
-    |> List.filter (fun l -> not (is_blank l))
+    List.mapi (fun i l -> (i + 1, Litmus_lex.strip_comment l)) raw_lines
+    |> List.filter (fun (_, l) -> not (is_blank l))
   in
+  let here = function (ln, _) :: _ -> ln | [] -> last_line in
   let name, lines =
     match lines with
-    | l :: rest when starts_with_word "name" l -> (drop_word "name" l, rest)
+    | (_, l) :: rest when starts_with_word "name" l -> (drop_word "name" l, rest)
     | _ -> (name, lines)
   in
   let init, lines =
     match lines with
-    | l :: rest when String.length (String.trim l) > 0 && (String.trim l).[0] = '{'
-      ->
-        (parse_init (tokenize l), rest)
+    | (ln, l) :: rest
+      when String.length (String.trim l) > 0 && (String.trim l).[0] = '{' ->
+        (located ~line:ln ~col:1 (fun () -> parse_init (tokenize l)), rest)
     | _ -> ([], lines)
   in
   let header, lines =
     match lines with
-    | l :: rest when String.contains l '|' || starts_with_word "P0" l ->
+    | (_, l) :: rest when String.contains l '|' || starts_with_word "P0" l ->
         (split_cells l, rest)
-    | _ -> fail "missing thread header row (e.g. \"P0 | P1 ;\")"
+    | _ ->
+        fail_at ~line:(here lines) ~col:1
+          "missing thread header row (e.g. \"P0 | P1 ;\")"
   in
   let strip_semi s =
     let s = String.trim s in
@@ -278,24 +335,31 @@ let parse_string ?(name = "anon") text =
   let body, cond_lines =
     let rec split acc = function
       | [] -> (List.rev acc, [])
-      | l :: rest when starts_with_word "exists" l -> (List.rev acc, l :: rest)
+      | (_, l) :: _ as rest when starts_with_word "exists" l ->
+          (List.rev acc, rest)
       | l :: rest -> split (l :: acc) rest
     in
     split [] lines
   in
   let rows =
     List.map
-      (fun line ->
-        let cells = List.map strip_semi (split_cells line) in
+      (fun (ln, line) ->
+        let cells = split_cells_cols line in
         let cells =
           if List.length cells > nthreads then
-            fail "row has %d cells but header declares %d threads"
+            fail_at ~line:ln ~col:1
+              "row has %d cells but header declares %d threads"
               (List.length cells) nthreads
           else
             cells
-            @ List.init (nthreads - List.length cells) (fun _ -> "")
+            @ List.init (nthreads - List.length cells) (fun _ -> (1, ""))
         in
-        List.map parse_cell cells)
+        List.map
+          (fun (col, cell) ->
+            let cell' = strip_semi cell in
+            located ~line:ln ~col:(col + leading_ws cell) (fun () ->
+                parse_cell_toks (tokenize cell')))
+          cells)
       body
   in
   let threads =
@@ -305,9 +369,16 @@ let parse_string ?(name = "anon") text =
   let exists =
     match cond_lines with
     | [] -> None
-    | l :: rest ->
-        expect_end "file" (List.concat_map tokenize rest);
-        Some (parse_condition (drop_word "exists" l))
+    | (ln, l) :: rest ->
+        (match rest with
+        | [] -> ()
+        | (ln', l') :: _ ->
+            fail_at ~line:ln' ~col:(leading_ws l' + 1)
+              "unexpected content after the exists condition");
+        let cond_str, col = drop_word_col "exists" l in
+        Some
+          (located ~line:ln ~col (fun () ->
+               parse_condition_toks (tokenize cond_str)))
   in
   Prog.make ~name ~init ?exists threads
 

@@ -16,18 +16,32 @@
     [Await loc n] / [r := Await loc n] / [Awaitd loc n], [Lock loc],
     [Unlock loc], [Fence], or empty.  [#] starts a comment. *)
 
-exception Parse_error of string
+exception Parse_error of { line : int; col : int; msg : string }
+(** Malformed input.  [line] and [col] are 1-based positions in the parsed
+    text; [msg] names what was found and, where applicable, what was
+    expected instead.  [line = 0] means the position is unknown (only
+    possible through the sub-term entry points {!parse_condition} and
+    {!parse_cell}, which parse bare strings with no line context).
+
+    This is the only exception any entry point below raises on bad input:
+    lexer errors ({!Litmus_lex.Lex_error}) are caught and re-raised as
+    [Parse_error] with the character offset folded into [col]. *)
 
 val parse_string : ?name:string -> string -> Prog.t
 (** Parse a whole test.  [name] is the fallback if the text has no [name]
     line.
-    @raise Parse_error or {!Litmus_lex.Lex_error} on malformed input. *)
+    @raise Parse_error on malformed input, with the line/column of the
+    offending cell or token. *)
 
 val parse_file : string -> Prog.t
-(** Parse a file; the default name is the file's basename. *)
+(** Parse a file; the default name is the file's basename.
+    @raise Parse_error on malformed input
+    @raise Sys_error if the file cannot be read *)
 
 val parse_condition : string -> Cond.t
-(** Parse just a condition, e.g. ["0:r0=0 /\\ x=1"]. *)
+(** Parse just a condition, e.g. ["0:r0=0 /\\ x=1"].
+    @raise Parse_error on malformed input (with [line = 0]). *)
 
 val parse_cell : string -> Instr.t option
-(** Parse one instruction cell; [None] for a blank cell. *)
+(** Parse one instruction cell; [None] for a blank cell.
+    @raise Parse_error on malformed input (with [line = 0]). *)

@@ -1,14 +1,32 @@
 (* Exhaustive exploration of an abstract machine: memoized DFS computing the
    complete set of outcomes a machine allows for a program. *)
 
+type 'a bounded = Complete of 'a | Partial of 'a
+
+let bounded_value = function Complete v | Partial v -> v
+let is_complete = function Complete _ -> true | Partial _ -> false
+
 module Make (M : Machine_sig.MACHINE) = struct
-  let outcomes prog =
+  (* The worker: [fuel] bounds the number of distinct states expanded.
+     When the budget runs out a state's successors are simply not explored
+     (contributing the empty set), so a [Partial] result is always a
+     subset of the complete outcome set — exploration only ever *cuts*
+     branches, never invents outcomes. *)
+  let outcomes_fuelled ~fuel prog =
     let memo : (string, Final.Set.t) Hashtbl.t = Hashtbl.create 4096 in
+    let remaining = ref fuel in
+    let cut = ref false in
     let rec explore state =
       let k = M.key state in
       match Hashtbl.find_opt memo k with
       | Some res -> res
+      | None when !remaining = 0 ->
+          (* Budget exhausted: stop expanding.  Do not memoize — the state
+             was not actually explored. *)
+          cut := true;
+          Final.Set.empty
       | None ->
+          decr remaining;
           (* Mark before recursing: machine graphs are acyclic by
              construction (every transition makes progress), but guard
              against accidental cycles by treating revisits as empty. *)
@@ -24,7 +42,14 @@ module Make (M : Machine_sig.MACHINE) = struct
           Hashtbl.replace memo k res;
           res
     in
-    explore (M.initial prog)
+    let res = explore (M.initial prog) in
+    if !cut then Partial res else Complete res
+
+  let outcomes prog = bounded_value (outcomes_fuelled ~fuel:(-1) prog)
+
+  let outcomes_bounded ~fuel prog =
+    if fuel < 0 then invalid_arg "Explore.outcomes_bounded: negative fuel";
+    outcomes_fuelled ~fuel prog
 
   let allows prog cond = Cond.satisfiable_in (outcomes prog) cond
 

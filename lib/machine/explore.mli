@@ -1,7 +1,22 @@
 (** Memoized exhaustive exploration of abstract machines. *)
 
+type 'a bounded = Complete of 'a | Partial of 'a
+(** [Partial] means the fuel budget ran out: the carried set is a sound
+    subset of the complete outcome set (exploration only cuts branches). *)
+
+val bounded_value : 'a bounded -> 'a
+val is_complete : 'a bounded -> bool
+
 module Make (M : Machine_sig.MACHINE) : sig
   val outcomes : Prog.t -> Final.Set.t
+
+  val outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t bounded
+  (** Explore at most [fuel] distinct states; always terminates and never
+      raises on well-formed programs.  Returns [Complete s] when the state
+      graph fit in the budget (then [s] equals {!outcomes}), [Partial s]
+      otherwise, with [s] a subset of the complete set.
+      @raise Invalid_argument on negative [fuel]. *)
+
   val allows : Prog.t -> Cond.t -> bool
   val allows_exists : Prog.t -> bool option
 

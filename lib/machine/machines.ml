@@ -12,17 +12,22 @@ type t = {
   name : string;
   descr : string;
   outcomes : Prog.t -> Final.Set.t;
+  outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t Explore.bounded;
 }
 
 let name m = m.name
 let descr m = m.descr
 let outcomes m prog = m.outcomes prog
+let outcomes_bounded m ~fuel prog = m.outcomes_bounded ~fuel prog
 
 let sc =
   {
     name = "sc";
     descr = "sequentially consistent reference machine (atomic, in order)";
     outcomes = Sc.outcomes;
+    outcomes_bounded =
+      (* interleaving enumeration, not a Machine_sig DFS: always complete *)
+      (fun ~fuel:_ prog -> Explore.Complete (Sc.outcomes prog));
   }
 
 let wbuf =
@@ -31,6 +36,7 @@ let wbuf =
     descr =
       "FIFO write buffers with read bypass — Figure 1's bus configurations";
     outcomes = Wbuf_x.outcomes;
+    outcomes_bounded = Wbuf_x.outcomes_bounded;
   }
 
 let ooo =
@@ -40,6 +46,7 @@ let ooo =
       "out-of-order issue with register interlocks — Figure 1's network \
        configurations";
     outcomes = Ooo_x.outcomes;
+    outcomes_bounded = Ooo_x.outcomes_bounded;
   }
 
 let def1 =
@@ -49,6 +56,7 @@ let def1 =
       "Definition-1 weak ordering (Dubois/Scheurich/Briggs): syncs stall \
        for previous accesses and vice versa";
     outcomes = Def1_x.outcomes;
+    outcomes_bounded = Def1_x.outcomes_bounded;
   }
 
 let def2 =
@@ -58,6 +66,7 @@ let def2 =
       "the paper's implementation (Section 5.3): sync ops commit without \
        stalling; reservations delay other processors' syncs (condition 5)";
     outcomes = Def2_x.outcomes;
+    outcomes_bounded = Def2_x.outcomes_bounded;
   }
 
 let def2_rs =
@@ -67,6 +76,7 @@ let def2_rs =
       "Section 6 refinement of def2: read-only sync ops do not place \
        reservations";
     outcomes = Def2_rs_x.outcomes;
+    outcomes_bounded = Def2_rs_x.outcomes_bounded;
   }
 
 let rp3 =
@@ -76,6 +86,7 @@ let rp3 =
       "RP3 fence option (Section 2.1): syncs travel like data; only an \
        explicit fence waits for outstanding acknowledgements";
     outcomes = Rp3_x.outcomes;
+    outcomes_bounded = Rp3_x.outcomes_bounded;
   }
 
 let rc =
@@ -85,6 +96,7 @@ let rc =
       "release consistency: releases drain the issuer's pending accesses; \
        acquires do not wait (weakly ordered w.r.t. DRF1)";
     outcomes = Rc_x.outcomes;
+    outcomes_bounded = Rc_x.outcomes_bounded;
   }
 
 let all = [ sc; wbuf; ooo; def1; def2; def2_rs; rp3; rc ]

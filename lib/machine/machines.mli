@@ -10,6 +10,12 @@ val name : t -> string
 val descr : t -> string
 val outcomes : t -> Prog.t -> Final.Set.t
 
+val outcomes_bounded : t -> fuel:int -> Prog.t -> Final.Set.t Explore.bounded
+(** Fuel-bounded exploration: expand at most [fuel] distinct states.
+    Always terminates; [Partial] carries a sound subset of the complete
+    outcome set.  (The [sc] reference machine enumerates interleavings
+    directly and always reports [Complete].) *)
+
 val sc : t
 (** Atomic, in-program-order reference machine. *)
 

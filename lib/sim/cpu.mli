@@ -55,3 +55,30 @@ type ctx = {
 val exec_thread : ctx -> int -> Workload.op list -> (unit -> unit) -> unit
 (** Run a thread's operations in order; the continuation fires when the
     last completes (by the policy's notion of completion). *)
+
+(** {1 Per-operation wrappers}
+
+    The policy-aware building blocks behind [exec_thread], exposed for
+    other interpreters (e.g. [Sim_litmus], which runs [Prog.t] litmus
+    tests on the timing simulator). *)
+
+val data_read : ctx -> int -> string -> (int -> unit) -> unit
+val data_write : ctx -> int -> string -> int -> (unit -> unit) -> unit
+
+val sync_modify :
+  ctx ->
+  int ->
+  string ->
+  reads:bool ->
+  writes:bool ->
+  (int -> int) ->
+  (int -> unit) ->
+  unit
+(** Synchronization RMW: acquire the line exclusive, apply the function;
+    the continuation receives the old value when the policy lets the
+    processor continue. *)
+
+val sync_read : ctx -> int -> string -> (int -> unit) -> unit
+
+val spin_delay : ctx -> (unit -> unit) -> unit
+(** One spin-loop backoff interval. *)

@@ -1,0 +1,35 @@
+(** Reliable, per-line-ordered message transport over an unreliable wire.
+
+    The protocol above this layer sees exactly-once, in-send-order delivery
+    per line; underneath, the wire may spike latencies, lose attempts
+    (recovered by retransmission with exponential backoff) and duplicate
+    copies (discarded by sequence number), all driven by a deterministic
+    seeded fault schedule.  With no fault profile configured the layer
+    reproduces the seed simulator's timing exactly. *)
+
+type t
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable retransmits : int;  (** lost attempts recovered by backoff *)
+  mutable dups_suppressed : int;  (** duplicate copies discarded by seq id *)
+  mutable reorders : int;  (** messages held to restore per-line order *)
+}
+
+val create : Sim_config.t -> Engine.t -> t
+
+val send : t -> line:string -> (unit -> unit) -> unit
+(** Send a message concerning [line]; the thunk runs at the receiver when
+    the message is (finally) delivered. *)
+
+val line_quiescent : t -> string -> bool
+(** No message concerning the line is still in flight. *)
+
+val set_monitor : t -> (unit -> unit) -> unit
+(** Install a hook that runs after each delivered message's effects —
+    where the coherence sanitizer attaches. *)
+
+val stats : t -> stats
+val fault_counts : t -> Fault.counts option
+val pp_stats : Format.formatter -> stats -> unit

@@ -19,10 +19,30 @@
      While a line is reserved its owner defers all foreign requests for it
      until the counter reads zero (the paper keeps reserved lines from
      being flushed; we defer service, which subsumes that).  All reserve
-     bits clear when the counter reads zero, and the deferred queue is then
-     serviced — the paper's "queue of stalled requests". *)
+     bits clear when the counter reads zero — the paper's coarse rule —
+     and, more precisely, each reservation clears as soon as the accesses
+     that were outstanding when it was placed (the sync's *previous*
+     accesses) have globally performed; the deferred queue is then
+     serviced — the paper's "queue of stalled requests".  The refinement
+     matters for liveness: two processors alternating sync operations on
+     each other's reserved lines (dekker, iriw, all-sync variants) would
+     otherwise defer each other forever.
+
+   Resilience (this file plus [Net] and [Sim_sanitizer]): messages travel
+   over a transport that survives injected faults — loss (retransmission
+   with exponential backoff), duplication (sequence-number dedup) and
+   arbitrary delay (per-line reorder buffering).  Above that, every miss is
+   a tracked *transaction* with a deadline that escalates to a wedge report
+   ([Stuck]) instead of hanging silently, and a directory line that stays
+   busy too long NACKs newly arriving requests so the requester retries
+   with backoff rather than queueing behind a stall.  A bounded journal of
+   recent protocol events feeds the diagnostic dump. *)
 
 module Smap = Exp.Smap
+
+exception Stuck of string
+(** A transaction exceeded its escalated deadline: the protocol is wedged.
+    The payload is a full diagnostic dump. *)
 
 type line_state = I | S | M
 
@@ -30,6 +50,14 @@ type line = {
   mutable lstate : line_state;
   mutable lvalue : int;
   mutable reserved : bool;
+  mutable resv_deps : Iset.t;
+      (** transactions that were outstanding when the reservation was
+          placed (the accesses *previous* to the reserving sync, in the
+          sense of Section 5.1); the reservation clears when they have all
+          globally performed — Section 5.3's counter-zero rule is the
+          coarse version and remains as a backstop, but clearing per
+          reservation keeps sync-heavy programs (dekker, iriw with sync
+          accesses) from deadlocking on mutual reservations *)
   mutable gp_waiters : (unit -> unit) list option;
       (** [Some ws] while a write to this line by its current owner is not
           yet globally performed; [None] otherwise.  Readers of the line
@@ -44,9 +72,9 @@ type dentry = {
   mutable dstate : dir_state;
   mutable mem : int;
   mutable busy : bool;
+  mutable busy_since : int;
+      (** when the transaction now holding the line started *)
   waiting : (unit -> unit) Queue.t;  (** requests serialized per line *)
-  mutable last_delivery : int;
-      (** latest scheduled delivery time of any message about this line *)
 }
 
 type pstate = {
@@ -56,29 +84,59 @@ type pstate = {
   inflight : (string, (unit -> unit) Queue.t) Hashtbl.t;
       (** lines with an outstanding transaction; queued thunks retry after
           the line arrives *)
-  mutable deferred : (unit -> unit) list;
-      (** foreign requests deferred by reserved lines *)
+  mutable deferred : (string * (unit -> unit)) list;
+      (** foreign requests deferred by reserved lines, keyed by line *)
+}
+
+(* A tracked miss: from issue until the access is globally performed.  The
+   transport retransmits individual messages; this is the end-to-end
+   safety net (and the NACK retry counter). *)
+type txn = {
+  txid : int;
+  tproc : int;
+  tloc : string;
+  twrite : bool;
+  tstart : int;
+  mutable topen : bool;
+  mutable tnacks : int;
+  mutable textensions : int;
 }
 
 type stats = {
   mutable messages : int;
   mutable invalidations : int;
   mutable deferrals : int;  (** requests delayed by a reserve bit *)
+  mutable nacks : int;  (** requests bounced off a busy directory line *)
+  mutable txn_timeouts : int;  (** transaction deadline extensions *)
 }
 
 type t = {
   cfg : Sim_config.t;
   eng : Engine.t;
+  net : Net.t;
   procs : pstate array;
   dir : (string, dentry) Hashtbl.t;
   init : int Smap.t;
   stats : stats;
+  txns : (int, txn) Hashtbl.t;
+  mutable next_txid : int;
+  journal : string Queue.t;  (** bounded tail of protocol events *)
 }
+
+let journal_cap = 64
+
+let journal t fmt =
+  Format.kasprintf
+    (fun s ->
+      if Queue.length t.journal >= journal_cap then ignore (Queue.pop t.journal);
+      Queue.add (Printf.sprintf "[%6d] %s" (Engine.now t.eng) s) t.journal)
+    fmt
 
 let create ?(init = []) cfg eng =
   {
     cfg;
     eng;
+    net = Net.create cfg eng;
     procs =
       Array.init cfg.Sim_config.nprocs (fun _ ->
           {
@@ -90,18 +148,34 @@ let create ?(init = []) cfg eng =
           });
     dir = Hashtbl.create 16;
     init = List.fold_left (fun m (l, v) -> Smap.add l v m) Smap.empty init;
-    stats = { messages = 0; invalidations = 0; deferrals = 0 };
+    stats =
+      { messages = 0; invalidations = 0; deferrals = 0; nacks = 0; txn_timeouts = 0 };
+    txns = Hashtbl.create 16;
+    next_txid = 0;
+    journal = Queue.create ();
   }
 
 let stats t = t.stats
+let net t = t.net
 let counter t p = t.procs.(p).counter
+let nprocs t = t.cfg.Sim_config.nprocs
+
+let set_monitor t f = Net.set_monitor t.net f
 
 let line_of t p loc =
   let ps = t.procs.(p) in
   match Hashtbl.find_opt ps.lines loc with
   | Some l -> l
   | None ->
-      let l = { lstate = I; lvalue = 0; reserved = false; gp_waiters = None } in
+      let l =
+        {
+          lstate = I;
+          lvalue = 0;
+          reserved = false;
+          resv_deps = Iset.empty;
+          gp_waiters = None;
+        }
+      in
       Hashtbl.add ps.lines loc l;
       l
 
@@ -115,34 +189,20 @@ let dentry_of t loc =
           dstate = Uncached;
           mem;
           busy = false;
+          busy_since = 0;
           waiting = Queue.create ();
-          last_delivery = 0;
         }
       in
       Hashtbl.add t.dir loc d;
       d
 
-(* A network hop.  With [net_jitter] set, each message gets a
-   deterministic pseudo-random extra delay: the "general interconnection
-   network" of the paper, where messages between unrelated lines may be
-   arbitrarily reordered.  Messages concerning one line, however, are
-   delivered in send order — the protocol (like real directory protocols
-   without transient states) relies on per-line point-to-point ordering;
-   without it a stale invalidation can destroy a re-acquired copy. *)
+(* A network hop, via the reliable transport (sequence numbers, reorder
+   buffering, retransmission, dedup — see [Net]).  Messages concerning one
+   line are delivered in send order; the protocol (like real directory
+   protocols without transient states) relies on that. *)
 let send t loc f =
   t.stats.messages <- t.stats.messages + 1;
-  let jitter =
-    let j = t.cfg.Sim_config.net_jitter in
-    if j <= 0 then 0 else (t.stats.messages * 2654435761) land 0x3FFFFFFF mod j
-  in
-  let d = dentry_of t loc in
-  let deliver_at =
-    max
-      (Engine.now t.eng + t.cfg.Sim_config.net + jitter)
-      (d.last_delivery + 1)
-  in
-  d.last_delivery <- deliver_at;
-  Engine.schedule t.eng ~delay:(deliver_at - Engine.now t.eng) f
+  Net.send t.net ~line:loc f
 
 let after_hit t f = Engine.schedule t.eng ~delay:t.cfg.Sim_config.cache_hit f
 
@@ -160,17 +220,203 @@ let resolve_line_gp t l =
       l.gp_waiters <- None;
       List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) (List.rev ws)
 
+(* --- diagnostics ----------------------------------------------------------- *)
+
+let pp_line_state ppf = function
+  | I -> Fmt.string ppf "I"
+  | S -> Fmt.string ppf "S"
+  | M -> Fmt.string ppf "M"
+
+let pp_dir_state ppf = function
+  | Uncached -> Fmt.string ppf "Uncached"
+  | Shared s ->
+      Fmt.pf ppf "Shared{%a}" Fmt.(list ~sep:comma int) (Iset.elements s)
+  | Exclusive p -> Fmt.pf ppf "Exclusive P%d" p
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "=== protocol diagnostic dump (t=%d) ===@." (Engine.now t.eng);
+  Fmt.pf ppf "directory:@.";
+  let dirs =
+    Hashtbl.fold (fun loc d acc -> (loc, d) :: acc) t.dir []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (loc, d) ->
+      Fmt.pf ppf "  %-8s %a mem=%d%s%s@." loc pp_dir_state d.dstate d.mem
+        (if d.busy then
+           Printf.sprintf " BUSY(since=%d, for %d)" d.busy_since
+             (Engine.now t.eng - d.busy_since)
+         else "")
+        (if Queue.is_empty d.waiting then ""
+         else Printf.sprintf " queued=%d" (Queue.length d.waiting)))
+    dirs;
+  Fmt.pf ppf "caches:@.";
+  Array.iteri
+    (fun p ps ->
+      Fmt.pf ppf "  P%d: counter=%d deferred=%d zero-waiters=%d@." p ps.counter
+        (List.length ps.deferred)
+        (List.length ps.zero_waiters);
+      let lines =
+        Hashtbl.fold (fun loc l acc -> (loc, l) :: acc) ps.lines []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (loc, l) ->
+          if l.lstate <> I || l.reserved then
+            Fmt.pf ppf "    %-8s %a=%d%s%s@." loc pp_line_state l.lstate
+              l.lvalue
+              (if l.reserved then
+                 Printf.sprintf " RESERVED{deps=%s}"
+                   (String.concat ","
+                      (List.map string_of_int (Iset.elements l.resv_deps)))
+               else "")
+              (match l.gp_waiters with
+              | Some ws -> Printf.sprintf " gp-pending(%d)" (List.length ws)
+              | None -> ""))
+        lines)
+    t.procs;
+  let opened = Hashtbl.fold (fun _ tx acc -> tx :: acc) t.txns [] in
+  Fmt.pf ppf "in-flight transactions (%d):@." (List.length opened);
+  List.iter
+    (fun tx ->
+      Fmt.pf ppf "  txn %d: P%d %s %s, started=%d (age %d), nacks=%d, \
+                  deadline extensions=%d@."
+        tx.txid tx.tproc
+        (if tx.twrite then "write" else "read")
+        tx.tloc tx.tstart
+        (Engine.now t.eng - tx.tstart)
+        tx.tnacks tx.textensions)
+    (List.sort (fun a b -> compare a.txid b.txid) opened);
+  Fmt.pf ppf "transport: %a@." Net.pp_stats (Net.stats t.net);
+  (match Net.fault_counts t.net with
+  | Some c -> Fmt.pf ppf "injected faults: %a@." Fault.pp_counts c
+  | None -> ());
+  Fmt.pf ppf "recent protocol events (oldest first):@.";
+  Queue.iter (fun line -> Fmt.pf ppf "  %s@." line) t.journal;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* --- introspection (for the sanitizer) -------------------------------------- *)
+
+type line_view = { lv_state : line_state; lv_value : int; lv_reserved : bool }
+
+let dir_lines t =
+  Hashtbl.fold (fun loc d acc -> (loc, d.dstate) :: acc) t.dir []
+
+let cached_lines t p =
+  Hashtbl.fold
+    (fun loc l acc ->
+      (loc, { lv_state = l.lstate; lv_value = l.lvalue; lv_reserved = l.reserved })
+      :: acc)
+    t.procs.(p).lines []
+
+let memory_value t loc = (dentry_of t loc).mem
+
+let deferred_count t p = List.length t.procs.(p).deferred
+
+let open_txns t =
+  Hashtbl.fold (fun _ tx acc -> (tx.txid, tx.tproc, tx.tloc) :: acc) t.txns []
+
+let line_quiescent t loc =
+  (match Hashtbl.find_opt t.dir loc with
+  | None -> true
+  | Some d -> (not d.busy) && Queue.is_empty d.waiting)
+  && Net.line_quiescent t.net loc
+  && Array.for_all (fun ps -> not (Hashtbl.mem ps.inflight loc)) t.procs
+
+(* --- transactions ------------------------------------------------------------ *)
+
+let open_txn t ~proc ~loc ~write =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  let tx =
+    {
+      txid;
+      tproc = proc;
+      tloc = loc;
+      twrite = write;
+      tstart = Engine.now t.eng;
+      topen = true;
+      tnacks = 0;
+      textensions = 0;
+    }
+  in
+  Hashtbl.add t.txns txid tx;
+  journal t "P%d %s miss on %s -> txn %d" proc
+    (if write then "write" else "read")
+    loc txid;
+  (* The end-to-end deadline: while the transport is still retrying the
+     deadline extends with exponential backoff; a transaction that blows
+     through every extension is wedged, and we say so loudly instead of
+     spinning forever. *)
+  let rec watch delay =
+    Engine.schedule t.eng ~delay (fun () ->
+        if tx.topen then begin
+          t.stats.txn_timeouts <- t.stats.txn_timeouts + 1;
+          tx.textensions <- tx.textensions + 1;
+          journal t "txn %d deadline passed (extension %d, next in %d)"
+            tx.txid tx.textensions (delay * 2);
+          if tx.textensions > t.cfg.Sim_config.max_txn_extensions then
+            raise
+              (Stuck
+                 (Printf.sprintf
+                    "transaction %d (P%d %s %s) exceeded its deadline after \
+                     %d extensions\n%s"
+                    tx.txid tx.tproc
+                    (if tx.twrite then "write" else "read")
+                    tx.tloc tx.textensions (dump t)))
+          else watch (delay * 2)
+        end)
+  in
+  watch t.cfg.Sim_config.txn_timeout;
+  tx
+
+(* Release the deferred foreign requests for [loc] held at [proc]. *)
+let release_deferred t proc loc =
+  let ps = t.procs.(proc) in
+  let mine, rest = List.partition (fun (l, _) -> l = loc) ps.deferred in
+  ps.deferred <- rest;
+  List.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) (List.rev mine)
+
+let close_txn t tx =
+  tx.topen <- false;
+  Hashtbl.remove t.txns tx.txid;
+  (* Reservations placed while this access was outstanding may now have
+     seen all their previous accesses globally performed: clear them (and
+     service their stalled requests) as soon as that happens, rather than
+     waiting for the full counter to read zero — mutual reservations
+     between sync-heavy processors would otherwise never drain. *)
+  Hashtbl.iter
+    (fun loc l ->
+      if l.reserved && Iset.mem tx.txid l.resv_deps then begin
+        l.resv_deps <- Iset.remove tx.txid l.resv_deps;
+        if Iset.is_empty l.resv_deps then begin
+          l.reserved <- false;
+          release_deferred t tx.tproc loc
+        end
+      end)
+    t.procs.(tx.tproc).lines
+
 (* --- counter maintenance -------------------------------------------------- *)
 
 let incr_counter t p = t.procs.(p).counter <- t.procs.(p).counter + 1
 
 let decr_counter t p =
   let ps = t.procs.(p) in
-  assert (ps.counter > 0);
+  if ps.counter <= 0 then
+    raise
+      (Stuck
+         (Printf.sprintf "counter underflow at P%d\n%s" p (dump t)));
   ps.counter <- ps.counter - 1;
   if ps.counter = 0 then begin
     (* All reserve bits are reset when the counter reads zero... *)
-    Hashtbl.iter (fun _ l -> l.reserved <- false) ps.lines;
+    Hashtbl.iter
+      (fun _ l ->
+        l.reserved <- false;
+        l.resv_deps <- Iset.empty)
+      ps.lines;
     (* ...pending processor stalls resume... *)
     let ws = ps.zero_waiters in
     ps.zero_waiters <- [];
@@ -178,7 +424,7 @@ let decr_counter t p =
     (* ...and the queue of stalled foreign requests is serviced. *)
     let ds = List.rev ps.deferred in
     ps.deferred <- [];
-    List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) ds
+    List.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) ds
   end
 
 let when_counter_zero t p k =
@@ -190,15 +436,26 @@ let reserve_if_outstanding t ~proc ~loc =
   let ps = t.procs.(proc) in
   if ps.counter > 0 then begin
     let l = line_of t proc loc in
-    l.reserved <- true
+    l.reserved <- true;
+    (* The accesses previous to this sync that are not yet globally
+       performed: exactly the processor's open transactions right now
+       (later accesses have not issued yet — threads are driven by
+       continuations). *)
+    l.resv_deps <-
+      Hashtbl.fold
+        (fun txid tx acc -> if tx.tproc = proc then Iset.add txid acc else acc)
+        t.txns Iset.empty
   end
 
-(* Defer a foreign request at [owner] until its counter reads zero. *)
-let defer t owner k =
+(* Defer a foreign request for [loc] at [owner] until the reservation
+   clears (its previous accesses globally perform, or the counter reads
+   zero). *)
+let defer t owner loc k =
   t.stats.deferrals <- t.stats.deferrals + 1;
+  journal t "foreign request for %s deferred at P%d (reserved line)" loc owner;
   let ps = t.procs.(owner) in
   if ps.counter = 0 then Engine.schedule t.eng ~delay:0 k
-  else ps.deferred <- k :: ps.deferred
+  else ps.deferred <- (loc, k) :: ps.deferred
 
 (* --- directory -------------------------------------------------------------- *)
 
@@ -208,17 +465,42 @@ let dir_next t loc =
   | None -> d.busy <- false
   | Some req ->
       d.busy <- true;
+      d.busy_since <- Engine.now t.eng;
       Engine.schedule t.eng ~delay:t.cfg.Sim_config.dir_occupancy req
 
-let dir_submit t loc req =
+(* Admit a request to the per-line serialization queue — unless the line
+   has been busy past the NACK threshold (a long stall, e.g. a reservation
+   held under fault-delayed writes), in which case bounce it back: the
+   requester retries with exponential backoff, and after [max_nacks]
+   bounces it queues unconditionally, so nobody starves. *)
+let rec dir_submit ?txn t loc req =
   let d = dentry_of t loc in
-  Queue.add req d.waiting;
-  if not d.busy then dir_next t loc
+  let stalled =
+    d.busy && Engine.now t.eng - d.busy_since > t.cfg.Sim_config.nack_threshold
+  in
+  match txn with
+  | Some tx when stalled && tx.tnacks < t.cfg.Sim_config.max_nacks ->
+      tx.tnacks <- tx.tnacks + 1;
+      t.stats.nacks <- t.stats.nacks + 1;
+      journal t "NACK txn %d (dir %s busy for %d)" tx.txid loc
+        (Engine.now t.eng - d.busy_since);
+      let backoff =
+        t.cfg.Sim_config.nack_backoff * (1 lsl (tx.tnacks - 1))
+      in
+      (* NACK message back to the requester, which waits out the backoff
+         and re-sends the request. *)
+      send t loc (fun () ->
+          Engine.schedule t.eng ~delay:backoff (fun () ->
+              send t loc (fun () -> dir_submit ?txn t loc req)))
+  | _ ->
+      Queue.add req d.waiting;
+      if not d.busy then dir_next t loc
 
 (* Service a GetS (read miss).  [deliver v] runs at the requester when the
    line arrives. *)
 let rec dir_gets t ~proc ~loc ~deliver =
   let d = dentry_of t loc in
+  journal t "dir %s: GetS from P%d (%a)" loc proc pp_dir_state d.dstate;
   match d.dstate with
   | Uncached | Shared _ ->
       let sharers =
@@ -248,6 +530,7 @@ let rec dir_gets t ~proc ~loc ~deliver =
    (only when [gp] was false). *)
 and dir_getx t ~proc ~loc ~deliver ~on_gp =
   let d = dentry_of t loc in
+  journal t "dir %s: GetX from P%d (%a)" loc proc pp_dir_state d.dstate;
   match d.dstate with
   | Uncached ->
       d.dstate <- Exclusive proc;
@@ -271,14 +554,24 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
             send t loc (fun () ->
                 t.stats.invalidations <- t.stats.invalidations + 1;
                 let l = line_of t sh loc in
-                l.lstate <- I;
-                (* ack back to the directory *)
-                send t loc (fun () ->
-                    decr acks;
-                    if !acks = 0 then begin
-                      send t loc (fun () -> on_gp ());
-                      dir_next t loc
-                    end)))
+                (* [Skip_invalidation] is the sanitizer's mutation: the
+                   sharer acks without dropping its copy, silently breaking
+                   single-writer.  [Forget_ack] applies the invalidation
+                   but never acks, wedging the directory for the watchdog
+                   to catch. *)
+                (match t.cfg.Sim_config.mutation with
+                | Sim_config.Skip_invalidation -> ()
+                | Sim_config.No_mutation | Sim_config.Forget_ack ->
+                    l.lstate <- I);
+                journal t "invalidate %s at P%d" loc sh;
+                if t.cfg.Sim_config.mutation <> Sim_config.Forget_ack then
+                  (* ack back to the directory *)
+                  send t loc (fun () ->
+                      decr acks;
+                      if !acks = 0 then begin
+                        send t loc (fun () -> on_gp ());
+                        dir_next t loc
+                      end)))
           others
       end
   | Exclusive owner when owner = proc ->
@@ -295,6 +588,7 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
               let l = line_of t owner loc in
               l.lstate <- I;
               let v = l.lvalue in
+              journal t "invalidate owner %s at P%d" loc owner;
               send t loc (fun () -> deliver v ~gp:false);
               (* Owner acks the directory, which acks the writer. *)
               send t loc (fun () ->
@@ -307,7 +601,7 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
    5.3: a reserved line is never given up before the counter reads zero). *)
 and owner_service t ~owner ~loc k =
   let l = line_of t owner loc in
-  if l.reserved then defer t owner k else k ()
+  if l.reserved then defer t owner loc k else k ()
 
 (* --- processor-facing API --------------------------------------------------- *)
 
@@ -343,11 +637,13 @@ let read ?(on_gp = fun () -> ()) t ~proc ~loc ~k =
       | I ->
           mark_inflight t proc loc;
           incr_counter t proc;
+          let tx = open_txn t ~proc ~loc ~write:false in
           send t loc (fun () ->
-              dir_submit t loc (fun () ->
+              dir_submit ~txn:tx t loc (fun () ->
                   dir_gets t ~proc ~loc ~deliver:(fun v ->
                       l.lstate <- S;
                       l.lvalue <- v;
+                      close_txn t tx;
                       decr_counter t proc;
                       release_inflight t proc loc;
                       k v;
@@ -372,21 +668,35 @@ let modify ?(on_gp = fun () -> ()) t ~proc ~loc ~f ~on_commit =
       | S | I ->
           mark_inflight t proc loc;
           incr_counter t proc;
+          let tx = open_txn t ~proc ~loc ~write:true in
           send t loc (fun () ->
-              dir_submit t loc (fun () ->
+              dir_submit ~txn:tx t loc (fun () ->
                   dir_getx t ~proc ~loc
                     ~deliver:(fun v ~gp ->
                       l.lstate <- M;
                       let old = v in
                       l.lvalue <- f old;
-                      release_inflight t proc loc;
-                      on_commit old;
                       if gp then begin
+                        (* Globally performed on arrival: the access leaves
+                           the outstanding count *before* the processor
+                           continues, so a sync commit sees only genuinely
+                           previous accesses in the counter.  (Counting the
+                           op itself would let two processors reserve their
+                           own sync lines against each other and deadlock —
+                           e.g. dekker with sync reads under Def2.) *)
+                        close_txn t tx;
                         decr_counter t proc;
+                        release_inflight t proc loc;
+                        on_commit old;
                         on_gp ()
                       end
-                      else l.gp_waiters <- Some [])
+                      else begin
+                        l.gp_waiters <- Some [];
+                        release_inflight t proc loc;
+                        on_commit old
+                      end)
                     ~on_gp:(fun () ->
+                      close_txn t tx;
                       decr_counter t proc;
                       on_gp ();
                       resolve_line_gp t l))))
@@ -400,8 +710,6 @@ let line_reserved t p loc =
   match Hashtbl.find_opt t.procs.(p).lines loc with
   | None -> false
   | Some l -> l.reserved
-
-let memory_value t loc = (dentry_of t loc).mem
 
 (* The coherent value of a location at quiescence: the owner's copy if the
    line is exclusive somewhere, the directory's otherwise. *)

@@ -4,20 +4,35 @@
     Timing, not semantics: nondeterminism is resolved deterministically by
     the engine, so one run explores one schedule.  The abstract machines in
     [lib/machine] cover the full behaviour space; this simulator measures
-    stalls, messages and cycles. *)
+    stalls, messages and cycles.
+
+    Messages travel over the reliable transport in [Net], which survives
+    injected interconnect faults.  Above it, every miss is a tracked
+    transaction with an escalating deadline ([Stuck] when exceeded — the
+    protocol never hangs silently), and requests bounced off a long-busy
+    directory line retry with exponential backoff (NACK-and-retry). *)
 
 type t
 
+exception Stuck of string
+(** The protocol is wedged (a transaction blew through every deadline
+    extension, or an invariant such as counter non-negativity broke).  The
+    payload is the full diagnostic dump. *)
+
 type line_state = I | S | M
+type dir_state = Uncached | Shared of Iset.t | Exclusive of int
 
 type stats = {
   mutable messages : int;
   mutable invalidations : int;
   mutable deferrals : int;
+  mutable nacks : int;  (** requests bounced off a busy directory line *)
+  mutable txn_timeouts : int;  (** transaction deadline extensions *)
 }
 
 val create : ?init:(string * int) list -> Sim_config.t -> Engine.t -> t
 val stats : t -> stats
+val net : t -> Net.t
 
 val counter : t -> int -> int
 (** Outstanding accesses of a processor (the Section 5.3 counter). *)
@@ -58,3 +73,33 @@ val memory_value : t -> string -> int
 
 val settled_value : t -> string -> int
 (** The coherent value of a location once the system is quiescent. *)
+
+(** {1 Monitoring and introspection}
+
+    Used by [Sim_sanitizer] (invariant checks after every protocol state
+    change) and by the watchdog's diagnostic dumps. *)
+
+val set_monitor : t -> (unit -> unit) -> unit
+(** Install a hook that runs after each delivered message's effects. *)
+
+type line_view = { lv_state : line_state; lv_value : int; lv_reserved : bool }
+
+val nprocs : t -> int
+val dir_lines : t -> (string * dir_state) list
+val cached_lines : t -> int -> (string * line_view) list
+val deferred_count : t -> int -> int
+
+val open_txns : t -> (int * int * string) list
+(** In-flight transactions as [(txid, proc, loc)]. *)
+
+val line_quiescent : t -> string -> bool
+(** No transaction, queued request or in-flight message concerns the line:
+    its directory state and cached copies must agree. *)
+
+val dump : t -> string
+(** Multi-line diagnostic dump: per-line directory state, cache contents,
+    counters, in-flight transactions, transport statistics and the tail of
+    the protocol event journal. *)
+
+val pp_line_state : Format.formatter -> line_state -> unit
+val pp_dir_state : Format.formatter -> dir_state -> unit

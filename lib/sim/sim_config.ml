@@ -3,6 +3,17 @@
    are unbounded (no evictions — the paper expects reserve-bit flushes to
    be "fairly rare"; we make them impossible and say so in DESIGN.md). *)
 
+(* Deliberate protocol mutations for testing the sanitizer and watchdog:
+   each breaks exactly one protocol rule so the monitors must catch it. *)
+type mutation =
+  | No_mutation
+  | Skip_invalidation
+      (** sharers acknowledge invalidations without applying them: a stale
+          shared copy survives a foreign write (breaks single-writer) *)
+  | Forget_ack
+      (** a sharer applies an invalidation but never acknowledges it: the
+          directory waits forever (wedges the line) *)
+
 type t = {
   nprocs : int;
   cache_hit : int;  (** latency of a local cache hit *)
@@ -13,6 +24,28 @@ type t = {
           delays, so messages between the same endpoints may be reordered *)
   dir_occupancy : int;  (** directory processing time per message *)
   spin_interval : int;  (** cycles between spin-loop iterations *)
+  (* --- the resilience layer ------------------------------------------- *)
+  faults : Fault.profile option;
+      (** inject seed-driven interconnect faults (see [lib/fault]) *)
+  fault_seed : int;
+  rto : int;
+      (** base link-layer retransmission timeout; doubles per consecutive
+          loss of the same message (exponential backoff) *)
+  nack_threshold : int;
+      (** a directory line busy longer than this NACKs newly arriving
+          requests instead of queueing them *)
+  nack_backoff : int;
+      (** requester back-off after the first NACK; doubles per retry *)
+  max_nacks : int;
+      (** retries before a request is queued unconditionally (no
+          starvation) *)
+  txn_timeout : int;
+      (** per-transaction deadline; extended (doubling) while the
+          transport retries, escalating to a wedge report when exceeded
+          [max_txn_extensions] times *)
+  max_txn_extensions : int;
+  sanitize : bool;  (** run the coherence sanitizer after every delivery *)
+  mutation : mutation;  (** deliberate protocol bug, for monitor tests *)
 }
 
 let default =
@@ -23,12 +56,46 @@ let default =
     net_jitter = 0;
     dir_occupancy = 4;
     spin_interval = 2;
+    faults = None;
+    fault_seed = 0;
+    rto = 60;
+    nack_threshold = 400;
+    nack_backoff = 40;
+    max_nacks = 4;
+    txn_timeout = 5000;
+    max_txn_extensions = 8;
+    sanitize = true;
+    mutation = No_mutation;
   }
 
 let make ?(nprocs = 2) ?(cache_hit = 1) ?(net = 20) ?(net_jitter = 0)
-    ?(dir_occupancy = 4) ?(spin_interval = 2) () =
-  { nprocs; cache_hit; net; net_jitter; dir_occupancy; spin_interval }
+    ?(dir_occupancy = 4) ?(spin_interval = 2) ?faults ?(fault_seed = 0)
+    ?(rto = 60) ?(nack_threshold = 400) ?(nack_backoff = 40) ?(max_nacks = 4)
+    ?(txn_timeout = 5000) ?(max_txn_extensions = 8) ?(sanitize = true)
+    ?(mutation = No_mutation) () =
+  {
+    nprocs;
+    cache_hit;
+    net;
+    net_jitter;
+    dir_occupancy;
+    spin_interval;
+    faults;
+    fault_seed;
+    rto;
+    nack_threshold;
+    nack_backoff;
+    max_nacks;
+    txn_timeout;
+    max_txn_extensions;
+    sanitize;
+    mutation;
+  }
 
 let pp ppf c =
-  Fmt.pf ppf "nprocs=%d net=%d dir=%d hit=%d" c.nprocs c.net c.dir_occupancy
+  Fmt.pf ppf "nprocs=%d net=%d dir=%d hit=%d%a" c.nprocs c.net c.dir_occupancy
     c.cache_hit
+    (fun ppf -> function
+      | None -> ()
+      | Some p -> Fmt.pf ppf " faults[seed=%d %a]" c.fault_seed Fault.pp_profile p)
+    c.faults

@@ -1,0 +1,41 @@
+(** Running litmus programs ([Prog.t]) on the timing simulator.
+
+    The same corpus that drives the abstract machines runs on the protocol
+    simulator — under fault injection, the observed outcome must still be
+    one the corresponding model allows. *)
+
+type run = {
+  final : Final.t;  (** settled memory + per-thread register files *)
+  total_cycles : int;
+  messages : int;
+  retransmits : int;
+  nacks : int;
+  txn_timeouts : int;
+  dups_suppressed : int;
+  reorders : int;
+  sanitizer_checks : int;
+  spin_iters : int;
+}
+
+val run : ?cfg:Sim_config.t -> ?limit:int -> Cpu.policy -> Prog.t -> run
+(** Deterministic; [cfg.nprocs] is overridden by the program's thread
+    count.
+    @raise Sim_run.Wedged on deadlock or livelock (with diagnostic dump)
+    @raise Sim_sanitizer.Violation on a coherence-invariant violation *)
+
+val try_run :
+  ?cfg:Sim_config.t ->
+  ?limit:int ->
+  Cpu.policy ->
+  Prog.t ->
+  (run, Sim_run.failure) result
+(** [run] with every failure mode reified — for fault campaigns. *)
+
+val matches : Prog.t -> Final.t -> Final.t -> bool
+(** Semantic outcome equality over the program's locations and assigned
+    registers ([Final.compare] is structural on map bindings, so absent
+    and zero bindings would spuriously differ). *)
+
+val in_set : Prog.t -> Final.t -> Final.Set.t -> bool
+(** [in_set prog f outcomes]: some outcome in the set semantically matches
+    [f] — e.g. the simulator's outcome is among the SC outcomes. *)

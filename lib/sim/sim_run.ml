@@ -1,6 +1,17 @@
 (* Top-level simulator runs: wire a workload to the protocol under a
    policy, drain the event queue, and report statistics, observations and
-   final memory values. *)
+   final memory values.
+
+   This layer is also the watchdog.  A run can fail to make progress two
+   ways: the event queue drains while a thread is still blocked (deadlock —
+   e.g. a directory line wedged by a lost acknowledgement), or simulated
+   time blows through the limit while events keep firing (livelock).
+   Either way [run] raises [Wedged] with a diagnostic dump instead of
+   hanging or returning a silently-truncated result; [try_run] converts
+   every failure mode into a [failure] value for fault-injection campaigns
+   that must survive hundreds of runs. *)
+
+exception Wedged of string
 
 type result = {
   policy : Cpu.policy;
@@ -12,9 +23,20 @@ type result = {
   messages : int;
   invalidations : int;
   deferrals : int;
+  nacks : int;
+  txn_timeouts : int;
+  retransmits : int;
+  dups_suppressed : int;
+  reorders : int;
+  sanitizer_checks : int;
   events : int;
   trace : Sim_trace.ev list;  (** per-operation trace, in generation order *)
 }
+
+type failure =
+  | Deadlock of string  (** queue drained with blocked threads; dump *)
+  | Livelock of string  (** event limit exceeded; dump *)
+  | Invariant of string  (** sanitizer violation; diagnostic *)
 
 let locations_of workload =
   let add acc = function
@@ -45,6 +67,10 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
   in
   let eng = Engine.create () in
   let proto = Proto.create ~init:workload.Workload.init cfg eng in
+  let sanitizer =
+    if cfg.Sim_config.sanitize then Some (Sim_sanitizer.install proto)
+    else None
+  in
   let ctx =
     {
       Cpu.cfg;
@@ -57,19 +83,48 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
       op_seq = Array.make nprocs 0;
     }
   in
+  let done_flags = Array.make nprocs false in
   List.iteri
     (fun p ops ->
       Engine.schedule eng ~delay:0 (fun () ->
           Cpu.exec_thread ctx p ops (fun () ->
               ctx.Cpu.stats.(p).Cpu.finish <- Engine.now eng;
               Proto.when_counter_zero proto p (fun () ->
-                  ctx.Cpu.stats.(p).Cpu.drained <- Engine.now eng))))
+                  ctx.Cpu.stats.(p).Cpu.drained <- Engine.now eng;
+                  done_flags.(p) <- true))))
     workload.Workload.threads;
-  Engine.run ~limit eng;
+  (try Engine.run ~limit eng with
+  | Engine.Out_of_time ->
+      raise
+        (Wedged
+           (Printf.sprintf
+              "livelock: simulated time exceeded the %d-cycle limit with \
+               events still firing\n%s"
+              limit (Proto.dump proto)))
+  | Proto.Stuck diag -> raise (Wedged ("stuck: " ^ diag)));
+  (* The no-progress check: the event queue drained, so nothing can ever
+     run again — any thread still blocked is deadlocked. *)
+  if not (Array.for_all Fun.id done_flags) then begin
+    let blocked =
+      Array.to_seq done_flags |> Seq.mapi (fun p d -> (p, d))
+      |> Seq.filter_map (fun (p, d) -> if d then None else Some (string_of_int p))
+      |> List.of_seq |> String.concat ", "
+    in
+    raise
+      (Wedged
+         (Printf.sprintf
+            "deadlock: event queue drained but thread(s) P%s never \
+             completed/drained\n%s"
+            blocked (Proto.dump proto)))
+  end;
+  (* One final sweep at quiescence: with everything drained every line is
+     quiescent, so the full directory/cache agreement check applies. *)
+  Option.iter Sim_sanitizer.check sanitizer;
   let total_cycles =
     Array.fold_left (fun m s -> max m s.Cpu.finish) 0 ctx.Cpu.stats
   in
   let stats = Proto.stats proto in
+  let nstats = Net.stats (Proto.net proto) in
   {
     policy;
     workload = workload.Workload.name;
@@ -81,9 +136,36 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
     messages = stats.Proto.messages;
     invalidations = stats.Proto.invalidations;
     deferrals = stats.Proto.deferrals;
+    nacks = stats.Proto.nacks;
+    txn_timeouts = stats.Proto.txn_timeouts;
+    retransmits = nstats.Net.retransmits;
+    dups_suppressed = nstats.Net.dups_suppressed;
+    reorders = nstats.Net.reorders;
+    sanitizer_checks =
+      (match sanitizer with Some s -> Sim_sanitizer.checks s | None -> 0);
     events = Engine.executed eng;
     trace = List.rev ctx.Cpu.trace;
   }
+
+let try_run ?cfg ?limit policy workload =
+  match run ?cfg ?limit policy workload with
+  | r -> Ok r
+  | exception Wedged d ->
+      if String.length d >= 8 && String.sub d 0 8 = "livelock" then
+        Error (Livelock d)
+      else Error (Deadlock d)
+  | exception Sim_sanitizer.Violation d -> Error (Invariant d)
+  | exception Proto.Stuck d -> Error (Deadlock d)
+
+let pp_failure ppf = function
+  | Deadlock d -> Fmt.pf ppf "deadlock:@,%s" d
+  | Livelock d -> Fmt.pf ppf "livelock:@,%s" d
+  | Invariant d -> Fmt.pf ppf "invariant violation:@,%s" d
+
+let failure_kind = function
+  | Deadlock _ -> "deadlock"
+  | Livelock _ -> "livelock"
+  | Invariant _ -> "invariant"
 
 let observation result tag =
   List.find_opt (fun o -> String.equal o.Cpu.o_tag tag) result.observations

@@ -1,4 +1,12 @@
-(** Running workloads on the timing simulator. *)
+(** Running workloads on the timing simulator, with a watchdog.
+
+    A run that stops making progress does not hang: the watchdog detects a
+    drained event queue with blocked threads (deadlock) or an exceeded
+    event-time limit (livelock) and raises {!Wedged} with a diagnostic dump
+    — per-line directory state, cache contents, in-flight transactions and
+    the protocol event journal's tail. *)
+
+exception Wedged of string
 
 type result = {
   policy : Cpu.policy;
@@ -10,14 +18,39 @@ type result = {
   messages : int;
   invalidations : int;
   deferrals : int;
+  nacks : int;  (** requests bounced off busy directory lines *)
+  txn_timeouts : int;  (** transaction deadline extensions *)
+  retransmits : int;  (** lost messages recovered by backoff *)
+  dups_suppressed : int;  (** duplicate deliveries discarded *)
+  reorders : int;  (** messages buffered to restore per-line order *)
+  sanitizer_checks : int;  (** invariant sweeps performed *)
   events : int;
   trace : Sim_trace.ev list;
 }
 
+type failure =
+  | Deadlock of string
+  | Livelock of string
+  | Invariant of string
+
 val run : ?cfg:Sim_config.t -> ?limit:int -> Cpu.policy -> Workload.t -> result
 (** Deterministic: same inputs, same result.  [cfg.nprocs] is overridden by
-    the workload's thread count.
-    @raise Engine.Out_of_time if simulated time exceeds [limit]. *)
+    the workload's thread count.  When [cfg.sanitize] is set (the default)
+    the coherence sanitizer sweeps the protocol invariants after every
+    delivered message and once more at quiescence.
+    @raise Wedged on deadlock or livelock (with diagnostic dump)
+    @raise Sim_sanitizer.Violation on an invariant violation *)
+
+val try_run :
+  ?cfg:Sim_config.t ->
+  ?limit:int ->
+  Cpu.policy ->
+  Workload.t ->
+  (result, failure) Stdlib.result
+(** [run] with every failure mode reified — for fault-injection campaigns. *)
+
+val failure_kind : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
 
 val observation : result -> string -> int option
 (** Value recorded under a tag, if the tagged read executed. *)

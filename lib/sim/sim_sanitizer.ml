@@ -1,0 +1,170 @@
+(* The coherence sanitizer: a runtime invariant monitor over the protocol
+   state, run after every protocol state change (each delivered message's
+   effects, via the [Proto.set_monitor] hook).
+
+   Always-checkable invariants (hold in every reachable state, transient or
+   not):
+
+   - every outstanding-access counter is non-negative, and equals the
+     number of in-flight transactions of its processor;
+   - a reserve bit is set only while its processor's counter is positive
+     (Section 5.3: all reserve bits clear when the counter reads zero);
+   - the deferred-request queue of a processor is non-empty only while its
+     counter is positive (it drains at counter-zero).
+
+   Quiescent-line invariants (meaningful only when no transaction, queued
+   request or network message concerns the line — mid-transaction the
+   directory deliberately runs ahead of the caches):
+
+   - single-writer / multiple-reader: at most one M copy, and never an M
+     copy alongside S copies;
+   - directory/cache agreement: [Exclusive p] iff exactly P[p] holds the
+     line in M; every S copy's holder is in the sharer set of a [Shared]
+     directory entry; a sharer listed by the directory holds the line in
+     S (the converse — a cache dropping a clean copy — would be benign,
+     but our caches are unbounded so copies are never dropped); every
+     shared/uncached copy agrees with the directory's memory value.
+
+   A violation aborts the run with [Violation], carrying a diagnostic that
+   names the broken invariant and embeds the full protocol dump (per-line
+   directory state, caches, in-flight transactions, event-journal tail). *)
+
+exception Violation of string
+
+type t = { proto : Proto.t; mutable checks : int }
+
+let fail t fmt =
+  Format.kasprintf
+    (fun s -> raise (Violation (s ^ "\n" ^ Proto.dump t.proto)))
+    fmt
+
+let check_counters t =
+  let p = t.proto in
+  let open_by_proc = Array.make (Proto.nprocs p) 0 in
+  List.iter
+    (fun (_, proc, _) -> open_by_proc.(proc) <- open_by_proc.(proc) + 1)
+    (Proto.open_txns p);
+  for proc = 0 to Proto.nprocs p - 1 do
+    let c = Proto.counter p proc in
+    if c < 0 then fail t "sanitizer: P%d counter is negative (%d)" proc c;
+    if c <> open_by_proc.(proc) then
+      fail t
+        "sanitizer: P%d counter=%d but %d in-flight transaction(s) — the \
+         outstanding-access count drifted"
+        proc c open_by_proc.(proc);
+    if c = 0 && Proto.deferred_count p proc > 0 then
+      fail t
+        "sanitizer: P%d holds %d deferred request(s) with counter zero — \
+         the stalled-request queue must drain at counter-zero"
+        proc (Proto.deferred_count p proc);
+    if c = 0 then
+      List.iter
+        (fun (loc, lv) ->
+          if lv.Proto.lv_reserved then
+            fail t
+              "sanitizer: P%d holds %s reserved with counter zero — reserve \
+               bits must clear when the counter reads zero"
+              proc loc)
+        (Proto.cached_lines p proc)
+  done
+
+(* Cached copies of [loc], per state. *)
+let copies t loc =
+  let p = t.proto in
+  let ms = ref [] and ss = ref [] in
+  for proc = 0 to Proto.nprocs p - 1 do
+    List.iter
+      (fun (l, lv) ->
+        if l = loc then
+          match lv.Proto.lv_state with
+          | Proto.M -> ms := (proc, lv) :: !ms
+          | Proto.S -> ss := (proc, lv) :: !ss
+          | Proto.I -> ())
+      (Proto.cached_lines p proc)
+  done;
+  (!ms, !ss)
+
+let check_line t (loc, dstate) =
+  if Proto.line_quiescent t.proto loc then begin
+    let ms, ss = copies t loc in
+    (match ms with
+    | [] | [ _ ] -> ()
+    | _ ->
+        fail t "sanitizer: %s has %d modified copies (single-writer broken)"
+          loc (List.length ms));
+    (match (ms, ss) with
+    | _ :: _, _ :: _ ->
+        fail t
+          "sanitizer: %s modified at P%d while shared at P%d — a stale \
+           reader copy survived a write (single-writer/multiple-reader \
+           broken)"
+          loc
+          (fst (List.hd ms))
+          (fst (List.hd ss))
+    | _ -> ());
+    match dstate with
+    | Proto.Exclusive owner -> (
+        match ms with
+        | [ (p, _) ] when p = owner -> ()
+        | [] ->
+            fail t
+              "sanitizer: directory says %s is Exclusive P%d but P%d holds \
+               no modified copy"
+              loc owner owner
+        | (p, _) :: _ ->
+            fail t
+              "sanitizer: directory says %s is Exclusive P%d but P%d holds \
+               it modified"
+              loc owner p)
+    | Proto.Shared sharers ->
+        (match ms with
+        | [] -> ()
+        | (p, _) :: _ ->
+            fail t
+              "sanitizer: directory says %s is Shared but P%d holds it \
+               modified"
+              loc p);
+        List.iter
+          (fun (p, lv) ->
+            if not (Iset.mem p sharers) then
+              fail t
+                "sanitizer: P%d holds %s shared but the directory does not \
+                 list it as a sharer"
+                p loc;
+            if lv.Proto.lv_value <> Proto.memory_value t.proto loc then
+              fail t
+                "sanitizer: P%d's shared copy of %s reads %d but memory \
+                 holds %d"
+                p loc lv.Proto.lv_value
+                (Proto.memory_value t.proto loc))
+          ss;
+        Iset.iter
+          (fun p ->
+            if not (List.mem_assoc p ss) then
+              fail t
+                "sanitizer: directory lists P%d as a sharer of %s but its \
+                 cache holds no shared copy"
+                p loc)
+          sharers
+    | Proto.Uncached -> (
+        match (ms, ss) with
+        | [], [] -> ()
+        | (p, _) :: _, _ | _, (p, _) :: _ ->
+            fail t
+              "sanitizer: directory says %s is Uncached but P%d holds a copy"
+              loc p)
+  end
+
+let check t =
+  t.checks <- t.checks + 1;
+  check_counters t;
+  List.iter (check_line t) (Proto.dir_lines t.proto)
+
+let checks t = t.checks
+
+(* Install the sanitizer on a protocol instance: every delivered message's
+   effects are followed by a full invariant sweep. *)
+let install proto =
+  let t = { proto; checks = 0 } in
+  Proto.set_monitor proto (fun () -> check t);
+  t

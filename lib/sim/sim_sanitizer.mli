@@ -1,0 +1,25 @@
+(** Runtime coherence sanitizer: checks protocol invariants after every
+    protocol state change.
+
+    Always: counters non-negative and equal to the in-flight transaction
+    count; reserve bits only while the counter is positive; deferred
+    queues drained at counter-zero.  On quiescent lines (no in-flight
+    transaction, queued request or network message): single-writer /
+    multiple-reader, and directory-vs-cache agreement.
+
+    A violation aborts with {!Violation}, whose payload names the broken
+    invariant and embeds the full diagnostic dump. *)
+
+type t
+
+exception Violation of string
+
+val install : Proto.t -> t
+(** Hook the sanitizer into the protocol's monitor slot; every delivered
+    message triggers a sweep. *)
+
+val check : t -> unit
+(** Run one sweep explicitly (also usable at end of run). *)
+
+val checks : t -> int
+(** Number of sweeps performed. *)

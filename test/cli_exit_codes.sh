@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Pin the weakord exit-code contract:
+#   0  success
+#   1  the check ran and failed (data race, verification counterexample,
+#      fault-campaign failure)
+#   2  parse failure or unreadable input
+set -u
+
+WEAKORD="$1"
+LITMUS_DIR="$2"
+fails=0
+
+expect() { # expect CODE DESCRIPTION CMD...
+  local want="$1" desc="$2"
+  shift 2
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# success paths
+expect 0 "run on a shipped file" "$WEAKORD" run "$LITMUS_DIR/mp_sync.litmus"
+expect 0 "races on a race-free program" "$WEAKORD" races mp_sync
+expect 0 "verify def2 against drf0" "$WEAKORD" verify -m def2 --model drf0
+expect 0 "fault campaign that passes" \
+  "$WEAKORD" faults --seeds 1 -s delay mp_sync
+
+# the check ran and failed: exit 1
+expect 1 "races on a racy program" "$WEAKORD" races dekker
+expect 1 "verify with a counterexample" "$WEAKORD" verify -m wbuf --model all
+
+# parse failures: exit 2, with a located file:line:col report
+printf 'P0 | P1 ;\nW @ 1 | ;\n' > "$tmp/bad.litmus"
+expect 2 "garbled file" "$WEAKORD" run "$tmp/bad.litmus"
+expect 2 "garbled stdin" sh -c "\"$WEAKORD\" run - < \"$tmp/bad.litmus\""
+expect 2 "missing file" "$WEAKORD" run "$tmp/does_not_exist.litmus"
+
+if ! "$WEAKORD" run "$tmp/bad.litmus" 2>&1 \
+  | grep -q 'bad\.litmus:2:3: parse error'; then
+  echo "FAIL: parse error report is not located (want bad.litmus:2:3)" >&2
+  fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails exit-code check(s) failed" >&2
+  exit 1
+fi
+echo "cli exit codes: ok"

@@ -5,11 +5,14 @@ let () =
       Test_program.suite;
       Test_litmus.suite;
       Test_litmus.file_suite;
+      Test_litmus.robustness_suite;
       Test_exec.suite;
       Test_drf.suite;
       Test_axiomatic.suite;
       Test_machine.suite;
       Test_sim.suite;
+      Test_fault.suite;
+      Test_fault.fuel_suite;
       Test_differential.suite;
       Test_delay.suite;
       Test_core.suite;

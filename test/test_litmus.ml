@@ -238,3 +238,107 @@ let file_suite =
       t "shipped files parse and validate" test_parse_shipped_files;
       t "shipped files verdicts" test_shipped_files_verdicts;
     ] )
+
+(* --- parser robustness ----------------------------------------------------- *)
+
+(* Malformed input must produce a located [Parse_error] — never a lexer
+   exception, [Failure], or anything else — and the location must point at
+   the offending token. *)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let error_of text =
+  match Litmus_parse.parse_string text with
+  | _ -> Alcotest.failf "expected a parse error on %S" text
+  | exception Litmus_parse.Parse_error { line; col; msg } -> (line, col, msg)
+
+let test_error_positions () =
+  let line, col, _ = error_of "P0 | P1 ;\nW x 1 | W @ 1 ;\n" in
+  check_int "bad char line" 2 line;
+  check_int "bad char col" 11 col;
+  let line, col, _ = error_of "P0 | P1 ;\nW x 1 | W y 1 ;\nr0 := Q x | ;\n" in
+  check_int "bad instr line" 3 line;
+  check_int "bad instr col" 1 col;
+  (* reported at end of input, where the header was expected *)
+  let line, _, msg = error_of "name t\n{ x=0 }" in
+  check_int "missing header line" 2 line;
+  check "missing header named" true (contains ~affix:"header" msg);
+  (* a blank line and a comment line do not shift the numbering *)
+  let line, col, _ = error_of "name t\n\n# comment\nP0 ;\nW x foo := ;\n" in
+  check_int "line survives blank and comment lines" 5 line;
+  check_int "col of the offending token region" 1 col
+
+let test_error_hints () =
+  (* the message says what was found and what was expected instead *)
+  let _, _, msg = error_of "P0 ;\nW x ;\n" in
+  check "truncated write hint" true
+    (contains ~affix:"expected expression" msg);
+  let _, _, msg = error_of "P0 ;\nW x 1 ;\nexists (0:r0=\n" in
+  check "truncated condition hint" true (contains ~affix:"expected integer" msg);
+  let _, _, msg = error_of "P0 ;\nr0 := R x 1 ;\n" in
+  check "trailing token hint" true (contains ~affix:"trailing" msg);
+  let _, _, msg = error_of "P0 ;\nW x 99999999999999999999999 ;\n" in
+  check "overflow literal hint" true (contains ~affix:"does not fit" msg)
+
+(* Every truncation and every single-character corruption of the shipped
+   files either parses or fails with a located Parse_error; nothing else
+   escapes. *)
+
+let shipped_texts () =
+  Sys.readdir litmus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+  |> List.sort compare
+  |> List.map (fun f ->
+         let ic = open_in (Filename.concat litmus_dir f) in
+         let text = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         (f, text))
+
+let parses_or_located_error file text =
+  match Litmus_parse.parse_string text with
+  | (_ : Prog.t) -> ()
+  | exception Litmus_parse.Parse_error { line; col; _ } ->
+      if line < 1 || col < 1 then
+        Alcotest.failf "%s: error not located (line %d, col %d)" file line col
+  | exception e ->
+      Alcotest.failf "%s: escaped exception %s" file (Printexc.to_string e)
+
+let test_truncated_files () =
+  List.iter
+    (fun (f, text) ->
+      let n = String.length text in
+      let k = ref 0 in
+      while !k <= n do
+        parses_or_located_error f (String.sub text 0 !k);
+        k := !k + 3
+      done)
+    (shipped_texts ())
+
+let test_garbled_files () =
+  List.iter
+    (fun (f, text) ->
+      let n = String.length text in
+      List.iter
+        (fun c ->
+          let p = ref 0 in
+          while !p < n do
+            let garbled = Bytes.of_string text in
+            Bytes.set garbled !p c;
+            parses_or_located_error f (Bytes.to_string garbled);
+            p := !p + 7
+          done)
+        [ '@'; '|'; '{'; '('; ';'; '0'; '\n' ])
+    (shipped_texts ())
+
+let robustness_suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "litmus-parse-robustness",
+    [
+      t "error positions" test_error_positions;
+      t "error hints" test_error_hints;
+      t "truncated files" test_truncated_files;
+      t "garbled files" test_garbled_files;
+    ] )
