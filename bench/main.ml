@@ -3,6 +3,7 @@
      dune exec bench/main.exe            -- all experiments + timing benches
      dune exec bench/main.exe -- fig1    -- one experiment
      dune exec bench/main.exe -- bechamel
+     dune exec bench/main.exe -- json    -- write BENCH_<date>.json
 
    Experiments (see EXPERIMENTS.md):
      fig1 fig2 fig3 sec6-def1 sec6-spin sweep appendix ablate degrade
@@ -67,6 +68,110 @@ let run_bechamel () =
       | Some _ | None -> Fmt.pr "%-28s (no estimate)@." name)
     clock
 
+(* --- machine-readable bench dump --------------------------------------------
+
+   [json] measures the exploration engine itself — wall time, states
+   expanded, outcome count — over the litmus corpus x machines x domain
+   counts, plus the SC enumerator with the partial-order reduction on and
+   off and one larger generated workload, and writes the result to
+   BENCH_<date>.json so runs are comparable across commits.  Wall-clock
+   timing, not bechamel: the point is one attributable number per
+   configuration, including telemetry bechamel cannot see. *)
+
+type json_entry = {
+  e_name : string;
+  e_machine : string;
+  e_domains : int;
+  e_wall_ms : float;
+  e_states : int;
+  e_outcomes : int;
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let json_corpus = [ "dekker"; "dekker_sync"; "iriw"; "mp_sync"; "lock_mutex" ]
+let json_domains = [ 1; 2; 4 ]
+
+let json_machine_entries name prog m =
+  List.map
+    (fun domains ->
+      let r, ms = wall (fun () -> Machines.explore ~domains m prog) in
+      {
+        e_name = name;
+        e_machine = Machines.name m;
+        e_domains = domains;
+        e_wall_ms = ms;
+        e_states = r.Explore.stats.Explore.states_expanded;
+        e_outcomes = Final.Set.cardinal (Explore.bounded_value r.Explore.result);
+      })
+    json_domains
+
+let json_sc_entries name prog =
+  List.map
+    (fun (label, reduce) ->
+      let (set, states), ms = wall (fun () -> Sc.explore ~reduce prog) in
+      {
+        e_name = name;
+        e_machine = label;
+        e_domains = 1;
+        e_wall_ms = ms;
+        e_states = states;
+        e_outcomes = Final.Set.cardinal set;
+      })
+    [ ("sc", true); ("sc-nopor", false) ]
+
+(* A workload big enough for the engine knobs to matter: three threads of
+   racing data accesses over three locations, well beyond litmus size. *)
+let json_large_prog () =
+  Litmus_parse.parse_string
+    "name big3\n\
+     { x=0; y=0; z=0 }\n\
+     P0          | P1          | P2          ;\n\
+     W x 1       | W y 1       | W z 1       ;\n\
+     r0 := R y   | r3 := R z   | r6 := R x   ;\n\
+     W x 2       | W y 2       | W z 2       ;\n\
+     r1 := R z   | r4 := R x   | r7 := R y   ;\n\
+     exists (0:r0=0)\n"
+
+let run_json () =
+  let entries =
+    List.concat_map
+      (fun tname ->
+        let prog = prog_of tname in
+        List.concat_map
+          (json_machine_entries tname prog)
+          [ Machines.def2; Machines.wbuf; Machines.ooo ]
+        @ json_sc_entries tname prog)
+      json_corpus
+    @
+    let prog = json_large_prog () in
+    json_machine_entries "big3" prog Machines.def2 @ json_sc_entries "big3" prog
+  in
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let file = Printf.sprintf "BENCH_%s.json" date in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"date\": %S,\n  \"cores\": %d,\n  \"entries\": [\n"
+    date
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"machine\": %S, \"domains\": %d, \"wall_ms\": \
+         %.3f, \"states_expanded\": %d, \"outcomes\": %d}%s\n"
+        e.e_name e.e_machine e.e_domains e.e_wall_ms e.e_states e.e_outcomes
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d entries)@." file (List.length entries)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -83,8 +188,10 @@ let () =
   | [ "ablate" ] -> Experiments.ablate ()
   | [ "degrade" ] -> Experiments.degrade ()
   | [ "bechamel" ] -> run_bechamel ()
+  | [ "json" ] -> run_json ()
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|degrade|bechamel]";
+         [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|degrade|\
+         bechamel|json]";
       exit 2

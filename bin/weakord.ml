@@ -56,6 +56,18 @@ let test_arg =
           "A litmus file, $(b,-) for stdin, or the name of a built-in test \
            (see $(b,weakord list)).")
 
+let jobs_flag =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Explore machine state spaces with $(docv) parallel domains \
+           (default 1: the sequential engine). The outcome sets are \
+           identical for every value.")
+
+let check_jobs jobs =
+  if jobs < 1 then Fmt.failwith "--jobs must be at least 1 (got %d)" jobs
+
 (* --- run -------------------------------------------------------------------- *)
 
 let run_cmd =
@@ -68,7 +80,16 @@ let run_cmd =
   let axiomatic_flag =
     Arg.(value & flag & info [ "axiomatic" ] ~doc:"Also run the axiomatic models.")
   in
-  let action test machine_names axiomatic =
+  let no_por_flag =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable the partial-order reduction when enumerating SC \
+             outcomes (the escape hatch; the outcome set is identical).")
+  in
+  let action test machine_names axiomatic jobs no_por =
+    check_jobs jobs;
     let prog = prog_or_classic test in
     (match Prog.validate prog with
     | Ok () -> ()
@@ -86,11 +107,14 @@ let run_cmd =
               | None -> Fmt.failwith "unknown machine %S" n)
             names
     in
-    let sc = Sc.outcomes prog in
+    let sc = Sc.outcomes ~reduce:(not no_por) prog in
     Fmt.pr "SC outcomes (%d):@.%a@.@." (Final.Set.cardinal sc) Final.pp_set sc;
     List.iter
       (fun m ->
-        let outs = Machines.outcomes m prog in
+        let outs =
+          Explore.bounded_value
+            (Machines.explore ~domains:jobs m prog).Explore.result
+        in
         let extra = Final.Set.diff outs sc in
         Fmt.pr "%-8s %d outcomes%s%s@." (Machines.name m)
           (Final.Set.cardinal outs)
@@ -120,7 +144,9 @@ let run_cmd =
   let doc = "run a litmus test on the machines and models" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const action $ test_arg $ machines_flag $ axiomatic_flag)
+    Term.(
+      const action $ test_arg $ machines_flag $ axiomatic_flag $ jobs_flag
+      $ no_por_flag)
 
 (* --- races ------------------------------------------------------------------ *)
 
@@ -164,7 +190,8 @@ let verify_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Litmus files for the corpus (default: the built-in corpus).")
   in
-  let action machine_name model_name files =
+  let action machine_name model_name files jobs =
+    check_jobs jobs;
     let machine =
       match Machines.find machine_name with
       | Some m -> m
@@ -181,7 +208,9 @@ let verify_cmd =
       match files with [] -> corpus | fs -> List.map load_prog fs
     in
     let report =
-      Weak_ordering.verify ~hw:(Weak_ordering.of_machine machine) ~model programs
+      Weak_ordering.verify
+        ~hw:(Weak_ordering.of_machine ~domains:jobs machine)
+        ~model programs
     in
     Fmt.pr "%a@." Weak_ordering.pp_report report;
     if not report.Weak_ordering.weakly_ordered then exit 1
@@ -189,7 +218,7 @@ let verify_cmd =
   let doc = "check Definition 2 over a corpus of programs" in
   Cmd.v
     (Cmd.info "verify" ~doc)
-    Term.(const action $ machine_flag $ model_flag $ files_arg)
+    Term.(const action $ machine_flag $ model_flag $ files_arg $ jobs_flag)
 
 (* --- sim -------------------------------------------------------------------- *)
 
@@ -338,7 +367,6 @@ let faults_cmd =
               | Ok () -> true
               | Error _ -> false
             in
-            let sc = lazy (Sc.outcomes prog) in
             for seed = 0 to seeds - 1 do
               let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
               match Sim_litmus.try_run ~cfg policy prog with
@@ -353,9 +381,7 @@ let faults_cmd =
                   maxc := max !maxc r.Sim_litmus.total_cycles;
                   if
                     drf0
-                    && not
-                         (Sim_litmus.in_set prog r.Sim_litmus.final
-                            (Lazy.force sc))
+                    && not (Sim_litmus.allowed_by_sc prog r.Sim_litmus.final)
                   then begin
                     incr failures;
                     Fmt.pr "FAIL %-22s %-6s seed %-3d non-SC outcome %a@."

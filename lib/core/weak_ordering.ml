@@ -45,13 +45,19 @@ let fenced_delays =
 
 type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
 
-let of_machine m =
-  { hw_name = Machines.name m; outcomes = Machines.outcomes m }
+let of_machine ?(domains = 1) m =
+  {
+    hw_name = Machines.name m;
+    outcomes =
+      (fun prog ->
+        Explore.bounded_value
+          (Machines.explore ~domains m prog).Explore.result);
+  }
 
 let of_model m = { hw_name = Models.name m; outcomes = Models.outcomes m }
 
 let appears_sc hw prog =
-  Final.Set.subset (hw.outcomes prog) (Sc.outcomes prog)
+  Final.Set.subset (hw.outcomes prog) (Sc.outcomes_cached prog)
 
 type verdict = {
   program : Prog.t;

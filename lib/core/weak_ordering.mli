@@ -21,7 +21,11 @@ val fenced_delays : sync_model
 
 type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
 
-val of_machine : Machines.t -> hardware
+val of_machine : ?domains:int -> Machines.t -> hardware
+(** [?domains] (default 1) is forwarded to {!Machines.explore}: the
+    hardware's outcome sets are computed with that many parallel
+    domains.  The sets themselves are identical for every value. *)
+
 val of_model : Models.t -> hardware
 
 val appears_sc : hardware -> Prog.t -> bool

@@ -3,57 +3,215 @@
    An SC execution is an interleaving of the threads in which each access
    executes atomically, in program order (Lamport's definition, as
    instantiated in the paper's introduction).  [outcomes] computes the full
-   set of results with memoization on machine states; [iter_traces]
-   enumerates every interleaving (no memoization — exponential, intended for
-   litmus-sized programs and for cross-checking smarter analyses). *)
+   set of results by reachability over machine states with a structural
+   visited table and, by default, a partial-order reduction;
+   [iter_traces] enumerates interleavings (no memoization — exponential,
+   intended for litmus-sized programs and for cross-checking smarter
+   analyses). *)
 
-let outcomes prog =
-  let memo : (Sem.key, Final.Set.t) Hashtbl.t = Hashtbl.create 1024 in
-  let rec explore state =
-    let key = Sem.key_of_state state in
-    match Hashtbl.find_opt memo key with
-    | Some res -> res
-    | None ->
-        let res =
-          if Sem.all_done prog state then
-            Final.Set.singleton (Sem.final_of_state state)
-          else begin
-            let acc = ref Final.Set.empty in
-            for p = 0 to Prog.num_threads prog - 1 do
-              match Sem.step prog state p with
-              | None -> ()
-              | Some state' -> acc := Final.Set.union (explore state') !acc
-            done;
-            !acc
-          end
-        in
-        Hashtbl.add memo key res;
-        res
+module K = Hashtbl.Make (struct
+  type t = Sem.key
+
+  let hash = Sem.key_hash
+  let equal = Sem.key_equal
+end)
+
+(* --- partial-order reduction ------------------------------------------------
+
+   At a state where some thread's next instruction is a *data* load or
+   store (or a fence) that cannot conflict with anything any other thread
+   will ever do again — no other thread's remaining instructions access the
+   location at all for a write, nor write it for a read — interleaving it
+   against the other threads is pure redundancy: it commutes with every
+   step the others can take before it, so every complete run is
+   Mazurkiewicz-equivalent to one that fires it immediately.  Exploring
+   only that step preserves the outcome set exactly.
+
+   Synchronization operations are never commuted: they are the program's
+   ordering backbone, and the blocking ones ([Await]/[Lock]) have
+   enabledness that other threads control, so firing them eagerly could
+   not be justified by static independence.  The same goes for data
+   [Await]s (blocking) and RMWs (conservatively treated as sync). *)
+
+type por = {
+  por_instrs : Instr.t array array;
+  (* suffix.(p).(j): for each location, a 2-bit mask over thread [p]'s
+     instructions from index [j] on — bit 0: some access remains, bit 1:
+     some write remains. *)
+  por_suffix : int Exp.Smap.t array array;
+}
+
+let por_info prog =
+  let por_instrs =
+    Array.of_list (List.map Array.of_list (Prog.threads prog))
   in
-  explore (Sem.initial prog)
+  let por_suffix =
+    Array.map
+      (fun instrs ->
+        let n = Array.length instrs in
+        let out = Array.make (n + 1) Exp.Smap.empty in
+        for j = n - 1 downto 0 do
+          let m = out.(j + 1) in
+          out.(j) <-
+            (match Instr.location instrs.(j) with
+            | None -> m
+            | Some l ->
+                let prev =
+                  Option.value (Exp.Smap.find_opt l m) ~default:0
+                in
+                let bits = if Instr.is_write instrs.(j) then 3 else 1 in
+                Exp.Smap.add l (prev lor bits) m)
+        done;
+        out)
+      por_instrs
+  in
+  { por_instrs; por_suffix }
 
-let iter_traces prog f =
+(* The first thread whose next instruction can soundly be fired alone, if
+   any.  Determinism of the choice keeps the reduced graph canonical. *)
+let por_candidate info st =
+  let nprocs = Array.length st.Sem.threads in
+  let independent p loc ~write =
+    let ok = ref true in
+    for q = 0 to nprocs - 1 do
+      if !ok && q <> p then begin
+        let jq = st.Sem.threads.(q).Sem.next in
+        let jq = min jq (Array.length info.por_suffix.(q) - 1) in
+        let m =
+          Option.value
+            (Exp.Smap.find_opt loc info.por_suffix.(q).(jq))
+            ~default:0
+        in
+        if write then ok := m = 0 else ok := m land 2 = 0
+      end
+    done;
+    !ok
+  in
+  let rec pick p =
+    if p >= nprocs then None
+    else
+      let j = st.Sem.threads.(p).Sem.next in
+      let instrs = info.por_instrs.(p) in
+      if j >= Array.length instrs then pick (p + 1)
+      else
+        let eligible =
+          match instrs.(j) with
+          | Instr.Fence -> true
+          | Instr.Load { kind = Instr.Data; loc; _ } ->
+              independent p loc ~write:false
+          | Instr.Store { kind = Instr.Data; loc; _ } ->
+              independent p loc ~write:true
+          | _ -> false
+        in
+        if eligible then Some p else pick (p + 1)
+  in
+  pick 0
+
+(* --- outcome enumeration ---------------------------------------------------- *)
+
+(* Reachability sweep: the outcome set is the union of finals over all
+   reachable states, collected into one accumulator (no per-node set
+   unions).  Returns the set and the number of distinct states visited. *)
+let explore ?(reduce = true) prog =
+  let info = if reduce then Some (por_info prog) else None in
+  let visited : unit K.t = K.create 1024 in
+  let acc = ref Final.Set.empty in
+  let nprocs = Prog.num_threads prog in
+  let stack = ref [ Sem.initial prog ] in
+  let running = ref true in
+  while !running do
+    match !stack with
+    | [] -> running := false
+    | st :: rest -> (
+        stack := rest;
+        let k = Sem.key_of_state st in
+        if not (K.mem visited k) then begin
+          K.add visited k ();
+          if Sem.all_done prog st then
+            acc := Final.Set.add (Sem.final_of_state st) !acc
+          else
+            match
+              match info with None -> None | Some i -> por_candidate i st
+            with
+            | Some p -> (
+                (* The candidate is a non-blocking data access or fence:
+                   the step cannot fail. *)
+                match Sem.step prog st p with
+                | Some st' -> stack := st' :: !stack
+                | None -> assert false)
+            | None ->
+                for p = nprocs - 1 downto 0 do
+                  match Sem.step prog st p with
+                  | None -> ()
+                  | Some st' -> stack := st' :: !stack
+                done
+        end)
+  done;
+  (!acc, K.length visited)
+
+let outcomes ?reduce prog = fst (explore ?reduce prog)
+
+(* --- the process-wide SC cache ----------------------------------------------
+
+   [appears_sc]-style sweeps ask for the same program's SC set once per
+   machine; enumerating it anew each time dominated their cost.  Keyed on
+   physical program identity (programs are built once and passed around),
+   guarded by a mutex so parallel exploration clients can share it. *)
+
+let cache_lock = Mutex.create ()
+let cache : (Prog.t * Final.Set.t) list ref = ref []
+let cache_limit = 512
+
+let outcomes_cached prog =
+  Mutex.lock cache_lock;
+  let hit = List.assq_opt prog !cache in
+  Mutex.unlock cache_lock;
+  match hit with
+  | Some s -> s
+  | None ->
+      let s = outcomes prog in
+      Mutex.lock cache_lock;
+      if not (List.mem_assq prog !cache) then
+        cache :=
+          (prog, s) :: List.filteri (fun i _ -> i < cache_limit - 1) !cache;
+      Mutex.unlock cache_lock;
+      s
+
+(* --- trace enumeration ------------------------------------------------------ *)
+
+let iter_traces ?(reduce = false) prog f =
   let evts = Evts.of_prog prog in
   let nprocs = Prog.num_threads prog in
   (* Event ids of each thread as arrays for O(1) lookup by index. *)
   let ids = Array.init nprocs (fun p -> Array.of_list (Evts.by_proc evts p)) in
+  let info = if reduce then Some (por_info prog) else None in
   let rec explore state trace =
     if Sem.all_done prog state then
       f (List.rev trace) (Sem.final_of_state state)
     else
-      for p = 0 to nprocs - 1 do
-        match Sem.step prog state p with
-        | None -> ()
-        | Some state' ->
-            let fired = ids.(p).(state.Sem.threads.(p).Sem.next) in
-            explore state' (fired :: trace)
-      done
+      let fire p state' =
+        let fired = ids.(p).(state.Sem.threads.(p).Sem.next) in
+        explore state' (fired :: trace)
+      in
+      match
+        match info with None -> None | Some i -> por_candidate i state
+      with
+      | Some p -> (
+          match Sem.step prog state p with
+          | Some state' -> fire p state'
+          | None -> assert false)
+      | None ->
+          for p = 0 to nprocs - 1 do
+            match Sem.step prog state p with
+            | None -> ()
+            | Some state' -> fire p state'
+          done
   in
   explore (Sem.initial prog) []
 
-let count_traces prog =
+let count_traces ?reduce prog =
   let n = ref 0 in
-  iter_traces prog (fun _ _ -> incr n);
+  iter_traces ?reduce prog (fun _ _ -> incr n);
   !n
 
 let allows prog cond =

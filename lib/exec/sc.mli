@@ -1,15 +1,33 @@
 (** Exhaustive sequentially consistent execution of litmus programs. *)
 
-val outcomes : Prog.t -> Final.Set.t
+val outcomes : ?reduce:bool -> Prog.t -> Final.Set.t
 (** The complete set of SC results, computed by memoized state-space
-    exploration. *)
+    exploration.  [reduce] (default [true]) enables a partial-order
+    reduction that fires a thread's next instruction alone when it is a
+    data access (or fence) provably independent of everything any other
+    thread will still do — the outcome set is identical either way
+    (checked differentially); [~reduce:false] is the escape hatch that
+    forces the unreduced sweep. *)
 
-val iter_traces : Prog.t -> (int list -> Final.t -> unit) -> unit
+val explore : ?reduce:bool -> Prog.t -> Final.Set.t * int
+(** [outcomes] plus the number of distinct states visited — the state-count
+    telemetry the bench harness records. *)
+
+val outcomes_cached : Prog.t -> Final.Set.t
+(** [outcomes] memoized process-wide on physical program identity (with
+    reduction on).  Use in sweeps that repeatedly compare machines against
+    the same program's SC set.  Thread-safe. *)
+
+val iter_traces : ?reduce:bool -> Prog.t -> (int list -> Final.t -> unit) -> unit
 (** [iter_traces p f] calls [f trace final] for every SC interleaving, where
     [trace] lists event ids (see {!Evts}) in execution order.  Exponential in
-    program size; use for litmus-sized programs and cross-checks only. *)
+    program size; use for litmus-sized programs and cross-checks only.
+    [reduce] defaults to [false] here: full-trace clients (race detection on
+    every interleaving) need exhaustive enumeration; with [~reduce:true]
+    only a representative of each commutation class is visited (covering
+    every final result, but not every trace). *)
 
-val count_traces : Prog.t -> int
+val count_traces : ?reduce:bool -> Prog.t -> int
 
 val allows : Prog.t -> Cond.t -> bool
 (** Is the condition satisfied by some SC outcome? *)

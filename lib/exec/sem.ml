@@ -83,3 +83,8 @@ let key_of_state state : key =
   ( Array.map (fun ts -> ts.next) state.threads,
     Smap.bindings state.memory,
     Array.map (fun ts -> Smap.bindings ts.regs) state.threads )
+
+(* [Hashtbl.hash]'s default 10-meaningful-node cap collides on states that
+   differ only deep in a register file; widen the traversal. *)
+let key_hash (k : key) = Hashtbl.hash_param 128 256 k
+let key_equal (a : key) (b : key) = a = b

@@ -24,3 +24,8 @@ type key = int array * (string * int) list * (string * int) list array
 
 val key_of_state : state -> key
 (** Canonical structural key for memoizing state exploration. *)
+
+val key_hash : key -> int
+val key_equal : key -> key -> bool
+(** Hash/equality for {!key}, suitable for [Hashtbl.Make] — structural, no
+    marshalling. *)

@@ -1,0 +1,259 @@
+(* Exhaustive exploration of an abstract machine.
+
+   The engine computes the complete set of outcomes a machine allows for a
+   program as the union of [M.final] over every reachable state — a
+   reachability sweep with a hash-consed transposition table, not a
+   per-state memoized fold.  Two execution strategies share that shape:
+
+   - sequential: an explicit-stack DFS with a single interner; and
+   - parallel ([~domains:n], n > 1): a frontier-based sweep over [n]
+     domains with a sharded claim table and a shared overflow queue.
+
+   Both honour the fuel contract: [fuel] bounds the number of distinct
+   states *expanded*; running out only cuts branches, so a [Partial] result
+   is always a sound subset of the complete outcome set — exploration never
+   invents outcomes.  In the parallel engine the set of states cut depends
+   on the schedule, but the subset property (and, when nothing is cut,
+   equality with the sequential result) does not. *)
+
+type 'a bounded = Complete of 'a | Partial of 'a
+
+let bounded_value = function Complete v | Partial v -> v
+let is_complete = function Complete _ -> true | Partial _ -> false
+
+type stats = { states_expanded : int; domains_used : int }
+
+type run_result = { result : Final.Set.t bounded; stats : stats }
+
+(* Shard count for the parallel claim table; a power of two well above any
+   sensible domain count keeps lock contention negligible. *)
+let n_shards = 64
+
+module Make (M : Machine_sig.MACHINE) = struct
+  module H = Hashtbl.Make (struct
+    type t = M.key
+
+    let hash = M.hash
+    let equal = M.equal
+  end)
+
+  (* --- sequential engine ---------------------------------------------------- *)
+
+  let run_seq ~fuel prog =
+    (* The interner doubles as the transposition table: a key's presence
+       means the state was claimed, and its interned int is the visit
+       order.  Keys are stored once; no marshalled strings. *)
+    let interned : int H.t = H.create 4096 in
+    let next_id = ref 0 in
+    let acc = ref Final.Set.empty in
+    let expanded = ref 0 in
+    let cut = ref false in
+    let stack = ref [ M.initial prog ] in
+    let running = ref true in
+    while !running do
+      match !stack with
+      | [] -> running := false
+      | st :: rest ->
+          stack := rest;
+          let k = M.canon st in
+          if not (H.mem interned k) then begin
+            H.add interned k !next_id;
+            incr next_id;
+            if !expanded >= fuel then cut := true
+            else begin
+              incr expanded;
+              match M.final prog st with
+              | Some f -> acc := Final.Set.add f !acc
+              | None ->
+                  List.iter
+                    (fun s -> stack := s :: !stack)
+                    (M.successors prog st)
+            end
+          end
+    done;
+    {
+      result = (if !cut then Partial !acc else Complete !acc);
+      stats = { states_expanded = !expanded; domains_used = 1 };
+    }
+
+  (* --- parallel engine ------------------------------------------------------ *)
+
+  type shard = { lock : Mutex.t; table : int H.t }
+
+  type shared = {
+    shards : shard array;
+    next_id : int Atomic.t;
+    queue_lock : Mutex.t;
+    work : Condition.t;
+    mutable pending : M.state list;  (** overflow frontier, any order *)
+    mutable idle : int;
+    mutable stop : bool;
+    hungry : int Atomic.t;  (** mirrors [idle] for lock-free peeking *)
+    fuel_left : int Atomic.t;
+    cut : bool Atomic.t;
+    expanded : int Atomic.t;
+    ndomains : int;
+  }
+
+  (* First visit wins: returns [true] iff this domain claimed the key. *)
+  let try_claim sh k =
+    let s = sh.shards.((M.hash k land max_int) mod Array.length sh.shards) in
+    Mutex.lock s.lock;
+    let fresh = not (H.mem s.table k) in
+    if fresh then H.add s.table k (Atomic.fetch_and_add sh.next_id 1);
+    Mutex.unlock s.lock;
+    fresh
+
+  let donate sh batch =
+    Mutex.lock sh.queue_lock;
+    sh.pending <- List.rev_append batch sh.pending;
+    Condition.broadcast sh.work;
+    Mutex.unlock sh.queue_lock
+
+  (* Blocking pop with distributed-termination detection: when every domain
+     is idle and the overflow queue is empty, the sweep is done. *)
+  let get_work sh =
+    Mutex.lock sh.queue_lock;
+    let rec loop () =
+      match sh.pending with
+      | st :: rest ->
+          sh.pending <- rest;
+          Mutex.unlock sh.queue_lock;
+          Some st
+      | [] ->
+          if sh.stop then begin
+            Mutex.unlock sh.queue_lock;
+            None
+          end
+          else begin
+            sh.idle <- sh.idle + 1;
+            Atomic.incr sh.hungry;
+            if sh.idle = sh.ndomains then begin
+              sh.stop <- true;
+              Condition.broadcast sh.work;
+              Mutex.unlock sh.queue_lock;
+              None
+            end
+            else begin
+              Condition.wait sh.work sh.queue_lock;
+              sh.idle <- sh.idle - 1;
+              Atomic.decr sh.hungry;
+              loop ()
+            end
+          end
+    in
+    loop ()
+
+  let rec split_half n acc l =
+    if n = 0 then (acc, l)
+    else
+      match l with [] -> (acc, []) | x :: rest -> split_half (n - 1) (x :: acc) rest
+
+  let worker sh prog =
+    let acc = ref Final.Set.empty in
+    let local = ref [] in
+    let process st =
+      let k = M.canon st in
+      if try_claim sh k then
+        if Atomic.fetch_and_add sh.fuel_left (-1) <= 0 then
+          Atomic.set sh.cut true
+        else begin
+          Atomic.incr sh.expanded;
+          match M.final prog st with
+          | Some f -> acc := Final.Set.add f !acc
+          | None ->
+              List.iter (fun s -> local := s :: !local) (M.successors prog st)
+        end
+    in
+    let rec loop () =
+      match !local with
+      | st :: rest ->
+          local := rest;
+          process st;
+          (* Rebalance: if someone is starving and we hold more than one
+             state, hand over half of our stack. *)
+          (if Atomic.get sh.hungry > 0 then
+             match !local with
+             | _ :: _ :: _ ->
+                 let gift, keep =
+                   split_half (List.length !local / 2) [] !local
+                 in
+                 local := keep;
+                 donate sh gift
+             | _ -> ());
+          loop ()
+      | [] -> (
+          match get_work sh with
+          | Some st ->
+              local := [ st ];
+              loop ()
+          | None -> ())
+    in
+    loop ();
+    !acc
+
+  let run_par ~domains ~fuel prog =
+    let sh =
+      {
+        shards =
+          Array.init n_shards (fun _ ->
+              { lock = Mutex.create (); table = H.create 1024 });
+        next_id = Atomic.make 0;
+        queue_lock = Mutex.create ();
+        work = Condition.create ();
+        pending = [ M.initial prog ];
+        idle = 0;
+        stop = false;
+        hungry = Atomic.make 0;
+        fuel_left = Atomic.make fuel;
+        cut = Atomic.make false;
+        expanded = Atomic.make 0;
+        ndomains = domains;
+      }
+    in
+    let others =
+      Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker sh prog))
+    in
+    let mine = worker sh prog in
+    let acc =
+      Array.fold_left
+        (fun a d -> Final.Set.union (Domain.join d) a)
+        mine others
+    in
+    {
+      result = (if Atomic.get sh.cut then Partial acc else Complete acc);
+      stats =
+        { states_expanded = Atomic.get sh.expanded; domains_used = domains };
+    }
+
+  (* --- public API ----------------------------------------------------------- *)
+
+  let run ?(domains = 1) ?fuel prog =
+    if domains < 1 then invalid_arg "Explore.run: domains must be >= 1";
+    (match fuel with
+    | Some f when f < 0 -> invalid_arg "Explore.run: negative fuel"
+    | _ -> ());
+    let fuel = Option.value fuel ~default:max_int in
+    if domains = 1 then run_seq ~fuel prog else run_par ~domains ~fuel prog
+
+  let outcomes ?domains prog = bounded_value (run ?domains prog).result
+
+  let outcomes_bounded ~fuel prog =
+    if fuel < 0 then invalid_arg "Explore.outcomes_bounded: negative fuel";
+    (run ~fuel prog).result
+
+  let allows prog cond = Cond.satisfiable_in (outcomes prog) cond
+
+  let allows_exists prog = Option.map (allows prog) (Prog.exists prog)
+
+  (* A machine [appears sequentially consistent] to a program when every
+     outcome it allows is also an SC outcome (Definition 2's "appears").
+     The SC reference set can be passed in (e.g. when sweeping many
+     machines over one program); otherwise the process-wide memoized cache
+     avoids re-enumerating SC per call. *)
+  let appears_sc ?sc prog =
+    let sc =
+      match sc with Some s -> s | None -> Sc.outcomes_cached prog
+    in
+    Final.Set.subset (outcomes prog) sc
+end

@@ -1,0 +1,46 @@
+(** Exhaustive exploration of abstract machines: hash-consed transposition
+    table, optional parallel (multi-domain) frontier sweep, fuel bounds. *)
+
+type 'a bounded = Complete of 'a | Partial of 'a
+(** [Partial] means the fuel budget ran out: the carried set is a sound
+    subset of the complete outcome set (exploration only cuts branches). *)
+
+val bounded_value : 'a bounded -> 'a
+val is_complete : 'a bounded -> bool
+
+type stats = {
+  states_expanded : int;
+      (** distinct states expanded — equal across strategies on a
+          [Complete] run *)
+  domains_used : int;
+}
+
+type run_result = { result : Final.Set.t bounded; stats : stats }
+
+module Make (M : Machine_sig.MACHINE) : sig
+  val run : ?domains:int -> ?fuel:int -> Prog.t -> run_result
+  (** [run ~domains:n ~fuel p] explores [p]'s state graph.  [n = 1]
+      (default) is a sequential DFS; [n > 1] spawns [n - 1] extra domains
+      over a sharded claim table.  [fuel] bounds the number of distinct
+      states expanded; without it exploration is exhaustive.  A [Complete]
+      result is identical for every [domains]; a [Partial] result is always
+      a sound subset of the complete set.
+      @raise Invalid_argument on [domains < 1] or negative [fuel]. *)
+
+  val outcomes : ?domains:int -> Prog.t -> Final.Set.t
+
+  val outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t bounded
+  (** Explore at most [fuel] distinct states; always terminates and never
+      raises on well-formed programs.  Returns [Complete s] when the state
+      graph fit in the budget (then [s] equals {!outcomes}), [Partial s]
+      otherwise, with [s] a subset of the complete set.
+      @raise Invalid_argument on negative [fuel]. *)
+
+  val allows : Prog.t -> Cond.t -> bool
+  val allows_exists : Prog.t -> bool option
+
+  val appears_sc : ?sc:Final.Set.t -> Prog.t -> bool
+  (** Every machine outcome is an SC outcome (Definition 2's "appears
+      sequentially consistent" for one program).  [?sc] supplies the SC
+      reference set; by default it comes from {!Sc.outcomes_cached}. *)
+end

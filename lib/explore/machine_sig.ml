@@ -1,0 +1,41 @@
+(* The interface of an abstract hardware machine: a nondeterministic labeled
+   transition system whose complete runs define the outcomes the hardware
+   allows for a program.  [Explore] turns any machine into an exhaustive
+   outcome-set computation, sequential or parallel. *)
+
+module type MACHINE = sig
+  type state
+
+  type key
+  (** A canonical, structurally comparable summary of a state.  Equal keys
+      must mean the same set of future behaviours.  Keys are built from
+      immutable data (ints, strings, tuples, lists, arrays) so they can be
+      hashed and compared cheaply and shared freely across domains — no
+      serialization involved. *)
+
+  val name : string
+
+  val initial : Prog.t -> state
+
+  val successors : Prog.t -> state -> state list
+  (** All states reachable in one step.  The empty list on a non-final state
+      means the machine is stuck (e.g. all threads blocked on awaits);
+      such runs produce no outcome. *)
+
+  val final : Prog.t -> state -> Final.t option
+  (** [Some f] iff the state is a complete run (all threads finished, all
+      buffered effects drained). *)
+
+  val canon : state -> key
+  (** Canonicalize a state for memoization.  Must be cheap: one structural
+      copy of the varying parts, no marshalling. *)
+
+  val hash : key -> int
+
+  val equal : key -> key -> bool
+end
+
+(* The default key hash.  [Hashtbl.hash] caps at 10 meaningful nodes, which
+   collides badly on machine states that differ only deep inside a buffer;
+   widen the traversal so the whole canonical form participates. *)
+let structural_hash k = Hashtbl.hash_param 128 256 k

@@ -244,22 +244,26 @@ module Make (C : CONFIG) = struct
         (Final.make ~memory:st.memory
            ~regs:(Array.map (fun pr -> pr.regs) st.procs))
 
-  let key st =
-    let canon =
-      ( Smap.bindings st.memory,
-        Array.map
-          (fun pr ->
-            ( pr.next,
-              Smap.bindings pr.regs,
-              List.map (fun w -> (w.wloc, w.wval, w.seq)) pr.pending,
-              pr.nseq ))
-          st.procs,
-        List.map
-          (fun (l, rs) ->
-            (l, List.map (fun r -> (r.rproc, r.watermark)) rs))
-          st.resvs )
-    in
-    Marshal.to_string canon []
+  type key =
+    (string * int) list
+    * (int * (string * int) list * (string * int * int) list * int) array
+    * (string * (int * int) list) list
+
+  let canon st : key =
+    ( Smap.bindings st.memory,
+      Array.map
+        (fun pr ->
+          ( pr.next,
+            Smap.bindings pr.regs,
+            List.map (fun w -> (w.wloc, w.wval, w.seq)) pr.pending,
+            pr.nseq ))
+        st.procs,
+      List.map
+        (fun (l, rs) -> (l, List.map (fun r -> (r.rproc, r.watermark)) rs))
+        st.resvs )
+
+  let hash = Machine_sig.structural_hash
+  let equal (a : key) (b : key) = a = b
 end
 
 module Base = Make (struct

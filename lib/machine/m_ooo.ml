@@ -56,15 +56,17 @@ let preds_of_prog prog =
           done;
           !mask))
 
-(* The masks depend only on the program; cache them across calls. *)
-let preds_cache : (Prog.t * int array array) option ref = ref None
+(* The masks depend only on the program; cache them across calls.  An
+   [Atomic] so parallel exploration domains can race on it safely — a lost
+   update merely recomputes the (immutable) masks. *)
+let preds_cache : (Prog.t * int array array) option Atomic.t = Atomic.make None
 
 let preds prog =
-  match !preds_cache with
+  match Atomic.get preds_cache with
   | Some (p, masks) when p == prog -> masks
   | Some _ | None ->
       let masks = preds_of_prog prog in
-      preds_cache := Some (prog, masks);
+      Atomic.set preds_cache (Some (prog, masks));
       masks
 
 let initial prog =
@@ -143,9 +145,11 @@ let final prog st =
       (Final.make ~memory:st.memory
          ~regs:(Array.map (fun pr -> pr.regs) st.procs))
 
-let key st =
-  let canon =
-    ( Smap.bindings st.memory,
-      Array.map (fun pr -> (pr.executed, Smap.bindings pr.regs)) st.procs )
-  in
-  Marshal.to_string canon []
+type key = (string * int) list * (int * (string * int) list) array
+
+let canon st : key =
+  ( Smap.bindings st.memory,
+    Array.map (fun pr -> (pr.executed, Smap.bindings pr.regs)) st.procs )
+
+let hash = Machine_sig.structural_hash
+let equal (a : key) (b : key) = a = b

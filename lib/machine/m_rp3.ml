@@ -137,12 +137,17 @@ let final prog st =
       (Final.make ~memory:st.memory
          ~regs:(Array.map (fun pr -> pr.regs) st.procs))
 
-let key st =
-  let canon =
-    ( Smap.bindings st.memory,
-      Array.map
-        (fun pr ->
-          (pr.next, Smap.bindings pr.regs, List.map (fun w -> (w.wloc, w.wval)) pr.pending))
-        st.procs )
-  in
-  Marshal.to_string canon []
+type key =
+  (string * int) list * (int * (string * int) list * (string * int) list) array
+
+let canon st : key =
+  ( Smap.bindings st.memory,
+    Array.map
+      (fun pr ->
+        ( pr.next,
+          Smap.bindings pr.regs,
+          List.map (fun w -> (w.wloc, w.wval)) pr.pending ))
+      st.procs )
+
+let hash = Machine_sig.structural_hash
+let equal (a : key) (b : key) = a = b

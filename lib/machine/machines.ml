@@ -11,23 +11,39 @@ module Rc_x = Explore.Make (M_rc)
 type t = {
   name : string;
   descr : string;
-  outcomes : Prog.t -> Final.Set.t;
-  outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t Explore.bounded;
+  explore : domains:int -> fuel:int option -> Prog.t -> Explore.run_result;
 }
 
 let name m = m.name
 let descr m = m.descr
-let outcomes m prog = m.outcomes prog
-let outcomes_bounded m ~fuel prog = m.outcomes_bounded ~fuel prog
+
+let explore ?(domains = 1) ?fuel m prog = m.explore ~domains ~fuel prog
+
+let outcomes m prog =
+  Explore.bounded_value (m.explore ~domains:1 ~fuel:None prog).Explore.result
+
+let outcomes_bounded m ~fuel prog =
+  if fuel < 0 then invalid_arg "Machines.outcomes_bounded: negative fuel";
+  (m.explore ~domains:1 ~fuel:(Some fuel) prog).Explore.result
+
+let of_engine (run : ?domains:int -> ?fuel:int -> Prog.t -> Explore.run_result)
+    =
+  fun ~domains ~fuel prog -> run ~domains ?fuel prog
 
 let sc =
   {
     name = "sc";
     descr = "sequentially consistent reference machine (atomic, in order)";
-    outcomes = Sc.outcomes;
-    outcomes_bounded =
-      (* interleaving enumeration, not a Machine_sig DFS: always complete *)
-      (fun ~fuel:_ prog -> Explore.Complete (Sc.outcomes prog));
+    explore =
+      (* interleaving enumeration, not a Machine_sig sweep: always complete,
+         always sequential (its state graph is explored with the POR pass
+         instead of extra domains) *)
+      (fun ~domains:_ ~fuel:_ prog ->
+        let set, states = Sc.explore prog in
+        {
+          Explore.result = Explore.Complete set;
+          stats = { Explore.states_expanded = states; domains_used = 1 };
+        });
   }
 
 let wbuf =
@@ -35,8 +51,7 @@ let wbuf =
     name = "wbuf";
     descr =
       "FIFO write buffers with read bypass — Figure 1's bus configurations";
-    outcomes = Wbuf_x.outcomes;
-    outcomes_bounded = Wbuf_x.outcomes_bounded;
+    explore = of_engine Wbuf_x.run;
   }
 
 let ooo =
@@ -45,8 +60,7 @@ let ooo =
     descr =
       "out-of-order issue with register interlocks — Figure 1's network \
        configurations";
-    outcomes = Ooo_x.outcomes;
-    outcomes_bounded = Ooo_x.outcomes_bounded;
+    explore = of_engine Ooo_x.run;
   }
 
 let def1 =
@@ -55,8 +69,7 @@ let def1 =
     descr =
       "Definition-1 weak ordering (Dubois/Scheurich/Briggs): syncs stall \
        for previous accesses and vice versa";
-    outcomes = Def1_x.outcomes;
-    outcomes_bounded = Def1_x.outcomes_bounded;
+    explore = of_engine Def1_x.run;
   }
 
 let def2 =
@@ -65,8 +78,7 @@ let def2 =
     descr =
       "the paper's implementation (Section 5.3): sync ops commit without \
        stalling; reservations delay other processors' syncs (condition 5)";
-    outcomes = Def2_x.outcomes;
-    outcomes_bounded = Def2_x.outcomes_bounded;
+    explore = of_engine Def2_x.run;
   }
 
 let def2_rs =
@@ -75,8 +87,7 @@ let def2_rs =
     descr =
       "Section 6 refinement of def2: read-only sync ops do not place \
        reservations";
-    outcomes = Def2_rs_x.outcomes;
-    outcomes_bounded = Def2_rs_x.outcomes_bounded;
+    explore = of_engine Def2_rs_x.run;
   }
 
 let rp3 =
@@ -85,8 +96,7 @@ let rp3 =
     descr =
       "RP3 fence option (Section 2.1): syncs travel like data; only an \
        explicit fence waits for outstanding acknowledgements";
-    outcomes = Rp3_x.outcomes;
-    outcomes_bounded = Rp3_x.outcomes_bounded;
+    explore = of_engine Rp3_x.run;
   }
 
 let rc =
@@ -95,8 +105,7 @@ let rc =
     descr =
       "release consistency: releases drain the issuer's pending accesses; \
        acquires do not wait (weakly ordered w.r.t. DRF1)";
-    outcomes = Rc_x.outcomes;
-    outcomes_bounded = Rc_x.outcomes_bounded;
+    explore = of_engine Rc_x.run;
   }
 
 let all = [ sc; wbuf; ooo; def1; def2; def2_rs; rp3; rc ]
@@ -107,4 +116,11 @@ let allows m prog cond = Cond.satisfiable_in (outcomes m prog) cond
 
 let allows_exists m prog = Option.map (allows m prog) (Prog.exists prog)
 
-let appears_sc m prog = Final.Set.subset (outcomes m prog) (Sc.outcomes prog)
+(* Definition 2's "appears SC" — against the process-wide memoized SC set,
+   so sweeps comparing every machine against one program enumerate SC
+   once, not once per machine. *)
+let appears_sc ?sc:sc_set m prog =
+  let sc_set =
+    match sc_set with Some s -> s | None -> Sc.outcomes_cached prog
+  in
+  Final.Set.subset (outcomes m prog) sc_set

@@ -10,6 +10,14 @@ val name : t -> string
 val descr : t -> string
 val outcomes : t -> Prog.t -> Final.Set.t
 
+val explore : ?domains:int -> ?fuel:int -> t -> Prog.t -> Explore.run_result
+(** The full-control entry point: [~domains:n] explores with [n] parallel
+    domains (default 1 — the sequential engine), [~fuel] bounds distinct
+    states expanded, and the result carries {!Explore.stats} telemetry.
+    A [Complete] result is identical for every [domains].  (The [sc]
+    reference machine enumerates interleavings with partial-order
+    reduction instead; it ignores both knobs and is always [Complete].) *)
+
 val outcomes_bounded : t -> fuel:int -> Prog.t -> Final.Set.t Explore.bounded
 (** Fuel-bounded exploration: expand at most [fuel] distinct states.
     Always terminates; [Partial] carries a sound subset of the complete
@@ -57,6 +65,9 @@ val find : string -> t option
 val allows : t -> Prog.t -> Cond.t -> bool
 val allows_exists : t -> Prog.t -> bool option
 
-val appears_sc : t -> Prog.t -> bool
+val appears_sc : ?sc:Final.Set.t -> t -> Prog.t -> bool
 (** Definition 2's "appears sequentially consistent", for one program:
-    the machine's outcomes are a subset of the SC outcomes. *)
+    the machine's outcomes are a subset of the SC outcomes.  [?sc]
+    supplies the SC reference set; by default it comes from the
+    process-wide {!Sc.outcomes_cached}, so sweeps over many machines per
+    program enumerate SC once. *)

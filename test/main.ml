@@ -10,6 +10,7 @@ let () =
       Test_drf.suite;
       Test_axiomatic.suite;
       Test_machine.suite;
+      Test_explore.suite;
       Test_sim.suite;
       Test_fault.suite;
       Test_fault.fuel_suite;
