@@ -122,6 +122,25 @@ let fig3 () =
      stall P0 ... Both stall P1.\"@.\
      Above: def1 shows a positive P0 sync stall; def2 shows zero, finishes \
      P0 earlier,@.and shifts the wait to P1 via a reservation (defer > 0).@.";
+  (* The same claim, read off the per-cause stall-attribution table the
+     simulator keeps always on: def1 charges P0 ordering stalls at the
+     Unset (draining its counter, then waiting for global performance);
+     def2 charges P0 nothing there — the wait reappears on P1 as a
+     reserve-bit deferral. *)
+  Fmt.pr "@.Per-cause stall attribution (cycles, by processor/cause/location):@.";
+  List.iter
+    (fun policy ->
+      let r = Sim_run.run policy w in
+      Fmt.pr "@.%s:@.%a@." (Cpu.policy_name policy) Obs.Stall.pp
+        r.Sim_run.stalls)
+    [ Cpu.Def1; Cpu.Def2 ];
+  let p0_ordering policy =
+    let s = (Sim_run.run policy w).Sim_run.stalls in
+    Obs.Stall.get s ~tid:0 ~cause:Cpu.cause_counter ~loc:"s"
+    + Obs.Stall.get s ~tid:0 ~cause:Cpu.cause_gp ~loc:"s"
+  in
+  Fmt.pr "@.P0 stall cycles at Unset(s): def1=%d, def2=%d@."
+    (p0_ordering Cpu.Def1) (p0_ordering Cpu.Def2);
   let correct =
     List.for_all
       (fun p -> Sim_run.observation (Sim_run.run p w) "x" = Some 1)

@@ -41,6 +41,9 @@ let timing_tests =
       (Staged.stage (fun () -> ignore (Models.outcomes Models.sc dekker)));
     Test.make ~name:"sim-fig3/def2"
       (Staged.stage (fun () -> ignore (Sim_run.run Cpu.Def2 handoff)));
+    (let obs = Obs.create () in
+     Test.make ~name:"sim-fig3/def2-traced"
+       (Staged.stage (fun () -> ignore (Sim_run.run ~obs Cpu.Def2 handoff))));
     Test.make ~name:"sim-locks/def2"
       (Staged.stage (fun () -> ignore (Sim_run.run Cpu.Def2 locks)));
   ]
@@ -136,6 +139,48 @@ let json_large_prog () =
      r1 := R z   | r4 := R x   | r7 := R y   ;\n\
      exists (0:r0=0)\n"
 
+(* Tracing overhead on the hottest instrumented path (a full fig3
+   simulation): the same run with the null tracer (compiled in, idle) and
+   with a live ring.  The two wall times land in the json so the "cheap
+   enough to leave on" claim is checked per commit, not asserted once. *)
+let json_trace_entries () =
+  let reps = 500 and passes = 7 in
+  (* Best-of-[passes] wall time: the minimum is the least noise-polluted
+     estimate of the work itself, which is what an overhead ratio needs. *)
+  let measure label obs =
+    let states = ref 0 in
+    let best = ref infinity in
+    for _ = 1 to passes do
+      let (), ms =
+        wall (fun () ->
+            for _ = 1 to reps do
+              let w = Workload.fig3_handoff () in
+              let r = Sim_run.run ?obs Cpu.Def2 w in
+              states := !states + r.Sim_run.total_cycles
+            done)
+      in
+      if ms < !best then best := ms
+    done;
+    let recorded = match obs with Some o -> Obs.recorded o | None -> 0 in
+    {
+      e_name = "sim-fig3-trace";
+      e_machine = label;
+      e_domains = 1;
+      e_wall_ms = !best /. float_of_int reps;
+      e_states = recorded;
+      e_outcomes = !states / (reps * passes);
+    }
+  in
+  (* Warm up once so neither variant pays first-touch costs. *)
+  ignore (Sim_run.run Cpu.Def2 (Workload.fig3_handoff ()));
+  let off = measure "obs-idle" None in
+  let on = measure "obs-on" (Some (Obs.create ())) in
+  let pct = (on.e_wall_ms -. off.e_wall_ms) /. off.e_wall_ms *. 100. in
+  Fmt.pr "tracing overhead on sim-fig3: idle %.4f ms/run, on %.4f ms/run \
+          (%+.1f%%)@."
+    off.e_wall_ms on.e_wall_ms pct;
+  [ off; on ]
+
 let run_json () =
   let entries =
     List.concat_map
@@ -148,7 +193,8 @@ let run_json () =
       json_corpus
     @
     let prog = json_large_prog () in
-    json_machine_entries "big3" prog Machines.def2 @ json_sc_entries "big3" prog
+    json_machine_entries "big3" prog Machines.def2
+    @ json_sc_entries "big3" prog @ json_trace_entries ()
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =

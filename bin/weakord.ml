@@ -5,6 +5,8 @@
    - races:  DRF0/DRF1 analysis with witnesses
    - verify: Definition 2 over the built-in corpus (or given files)
    - sim:    timing simulation of the paper's workloads
+   - trace:  run a litmus test on the simulator and export the structured
+             event trace (Chrome trace_event JSON / summary table)
    - faults: seeded fault-injection campaigns on the protocol simulator
    - list:   what is available
 
@@ -190,7 +192,15 @@ let verify_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Litmus files for the corpus (default: the built-in corpus).")
   in
-  let action machine_name model_name files jobs =
+  let no_por_flag =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Enumerate the SC reference sets without the partial-order \
+             reduction (the escape hatch; the verdicts are identical).")
+  in
+  let action machine_name model_name files jobs no_por =
     check_jobs jobs;
     let machine =
       match Machines.find machine_name with
@@ -208,7 +218,7 @@ let verify_cmd =
       match files with [] -> corpus | fs -> List.map load_prog fs
     in
     let report =
-      Weak_ordering.verify
+      Weak_ordering.verify ~por:(not no_por)
         ~hw:(Weak_ordering.of_machine ~domains:jobs machine)
         ~model programs
     in
@@ -218,7 +228,9 @@ let verify_cmd =
   let doc = "check Definition 2 over a corpus of programs" in
   Cmd.v
     (Cmd.info "verify" ~doc)
-    Term.(const action $ machine_flag $ model_flag $ files_arg $ jobs_flag)
+    Term.(
+      const action $ machine_flag $ model_flag $ files_arg $ jobs_flag
+      $ no_por_flag)
 
 (* --- sim -------------------------------------------------------------------- *)
 
@@ -260,7 +272,25 @@ let sim_cmd =
       value & opt int 20
       & info [ "net" ] ~docv:"CYCLES" ~doc:"One-way network latency.")
   in
-  let action workload_name policy_names net =
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's Chrome trace_event JSON to $(docv) (open in \
+             Perfetto or chrome://tracing). With several policies the \
+             policy name is inserted before the extension.")
+  in
+  let summary_flag =
+    Arg.(
+      value & flag
+      & info [ "trace-summary" ]
+          ~doc:
+            "Print the per-category event table and the stall-attribution \
+             table after each run.")
+  in
+  let action workload_name policy_names net out summary =
     let w = workload_of_name workload_name in
     let cfg = Sim_config.make ~net () in
     let policies =
@@ -270,14 +300,97 @@ let sim_cmd =
     in
     List.iter
       (fun p ->
-        let r = Sim_run.run ~cfg p w in
-        Fmt.pr "%a@.@." Sim_run.pp r)
+        let obs =
+          if out <> None || summary then Obs.create () else Obs.null
+        in
+        let r = Sim_run.run ~cfg ~obs p w in
+        Fmt.pr "%a@." Sim_run.pp r;
+        if summary then
+          Fmt.pr "%a@."
+            (Obs.pp_summary ~stalls:r.Sim_run.stalls)
+            obs;
+        (match out with
+        | None -> ()
+        | Some path ->
+            let path =
+              if List.length policies = 1 then path
+              else
+                Filename.remove_extension path
+                ^ "." ^ Cpu.policy_name p
+                ^ Filename.extension path
+            in
+            Obs.Chrome.write_file path obs;
+            Fmt.pr "trace written to %s@." path);
+        Fmt.pr "@.")
       policies
   in
   let doc = "run a timing-simulator workload under the issue policies" in
   Cmd.v
     (Cmd.info "sim" ~doc)
-    Term.(const action $ workload_flag $ policy_flag $ net_flag)
+    Term.(
+      const action $ workload_flag $ policy_flag $ net_flag $ out_flag
+      $ summary_flag)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let machine_flag =
+    Arg.(
+      value & opt string "def2"
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:"Issue policy to trace (sc|def1|def2|def2-rs).")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome trace_event JSON to $(docv) (open in Perfetto or \
+             chrome://tracing).")
+  in
+  let summary_flag =
+    Arg.(
+      value & flag
+      & info [ "trace-summary" ]
+          ~doc:
+            "Print the human-readable event and stall-attribution tables \
+             (the default when no $(b,-o) is given).")
+  in
+  let normalize_flag =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:
+            "Shift timestamps so the earliest event starts at 0 — \
+             byte-stable output for diffing and golden tests.")
+  in
+  let action test policy_name out summary normalize =
+    let prog = prog_or_classic test in
+    let policy = policy_of_name policy_name in
+    let obs = Obs.create () in
+    let r = Sim_litmus.run ~obs policy prog in
+    Fmt.pr "%s under %s: %d cycles, %d messages, %d event(s) recorded@."
+      (Prog.name prog)
+      (Cpu.policy_name policy)
+      r.Sim_litmus.total_cycles r.Sim_litmus.messages (Obs.recorded obs);
+    (match out with
+    | Some path ->
+        Obs.Chrome.write_file ~normalize path obs;
+        Fmt.pr "trace written to %s@." path
+    | None -> ());
+    if summary || out = None then
+      Fmt.pr "%a@." (Obs.pp_summary ~stalls:r.Sim_litmus.stalls) obs
+  in
+  let doc =
+    "run a litmus test on the timing simulator and export its structured \
+     event trace"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const action $ test_arg $ machine_flag $ out_flag $ summary_flag
+      $ normalize_flag)
 
 (* --- faults ------------------------------------------------------------------ *)
 
@@ -316,7 +429,15 @@ let faults_cmd =
             "Litmus files or built-in test names (default: the built-in \
              corpus).")
   in
-  let action seeds scenario_names policy_name intensity tests =
+  let window_flag =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-window" ] ~docv:"CYCLES"
+          ~doc:
+            "On each failing run, dump the trace events within $(docv) \
+             cycles of every injected fault (0 disables tracing).")
+  in
+  let action seeds scenario_names policy_name intensity tests window =
     let policy = policy_of_name policy_name in
     let progs =
       match tests with
@@ -369,11 +490,27 @@ let faults_cmd =
             in
             for seed = 0 to seeds - 1 do
               let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
-              match Sim_litmus.try_run ~cfg policy prog with
+              let obs = if window > 0 then Obs.create () else Obs.null in
+              (* On a failing run, show the events surrounding each
+                 injected fault — the ring retains them even when the run
+                 raised. *)
+              let dump_fault_windows () =
+                if window > 0 then
+                  List.iter
+                    (fun e ->
+                      if String.equal e.Obs.cat "fault" then
+                        Fmt.pr "%a@."
+                          (fun ppf ->
+                            Obs.pp_window ppf ~around:e.Obs.ts ~radius:window)
+                          obs)
+                    (Obs.events obs)
+              in
+              match Sim_litmus.try_run ~cfg ~obs policy prog with
               | Error f ->
                   incr failures;
                   Fmt.pr "FAIL %-22s %-6s seed %-3d %s@." (Prog.name prog)
-                    sname seed (Sim_run.failure_kind f)
+                    sname seed (Sim_run.failure_kind f);
+                  dump_fault_windows ()
               | Ok r ->
                   retr := !retr + r.Sim_litmus.retransmits;
                   nacks := !nacks + r.Sim_litmus.nacks;
@@ -385,7 +522,8 @@ let faults_cmd =
                   then begin
                     incr failures;
                     Fmt.pr "FAIL %-22s %-6s seed %-3d non-SC outcome %a@."
-                      (Prog.name prog) sname seed Final.pp r.Sim_litmus.final
+                      (Prog.name prog) sname seed Final.pp r.Sim_litmus.final;
+                    dump_fault_windows ()
                   end
                   else incr ok
             done)
@@ -412,7 +550,7 @@ let faults_cmd =
     (Cmd.info "faults" ~doc)
     Term.(
       const action $ seeds_flag $ scenario_flag $ policy_flag $ intensity_flag
-      $ tests_arg)
+      $ tests_arg $ window_flag)
 
 (* --- fences ------------------------------------------------------------------ *)
 
@@ -479,6 +617,7 @@ let () =
             races_cmd;
             verify_cmd;
             sim_cmd;
+            trace_cmd;
             faults_cmd;
             fences_cmd;
             list_cmd;

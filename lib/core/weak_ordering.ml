@@ -56,8 +56,14 @@ let of_machine ?(domains = 1) m =
 
 let of_model m = { hw_name = Models.name m; outcomes = Models.outcomes m }
 
-let appears_sc hw prog =
-  Final.Set.subset (hw.outcomes prog) (Sc.outcomes_cached prog)
+(* [por:false] forces the unreduced SC sweep as the reference set — the
+   CLI's --no-por escape hatch; the sets are identical (checked
+   differentially), only the enumeration strategy differs. *)
+let appears_sc ?(por = true) hw prog =
+  let sc =
+    if por then Sc.outcomes_cached prog else Sc.outcomes ~reduce:false prog
+  in
+  Final.Set.subset (hw.outcomes prog) sc
 
 type verdict = {
   program : Prog.t;
@@ -73,12 +79,12 @@ type report = {
   weakly_ordered : bool;  (** no counterexample in the corpus *)
 }
 
-let verify ~hw ~model corpus =
+let verify ?por ~hw ~model corpus =
   let verdicts =
     List.map
       (fun program ->
         let obeys_model = model.obeys program in
-        let sc_appearance = appears_sc hw program in
+        let sc_appearance = appears_sc ?por hw program in
         { program; obeys_model; sc_appearance; ok = (not obeys_model) || sc_appearance })
       corpus
   in

@@ -28,26 +28,35 @@ val of_machine : ?domains:int -> Machines.t -> hardware
 
 val of_model : Models.t -> hardware
 
-val appears_sc : hardware -> Prog.t -> bool
+val appears_sc : ?por:bool -> hardware -> Prog.t -> bool
 (** The hardware's outcomes for the program are a subset of the SC
-    outcomes. *)
+    outcomes.  [por] (default [true]) selects the partial-order-reduced
+    SC enumeration; [~por:false] forces the unreduced sweep (the CLI's
+    [--no-por]) — same set, different strategy. *)
 
 type verdict = {
   program : Prog.t;
   obeys_model : bool;
   sc_appearance : bool;
-  ok : bool;
+  ok : bool;  (** [obeys_model] implies [sc_appearance] *)
 }
 
 type report = {
   hardware : string;
   model : string;
   verdicts : verdict list;
-  weakly_ordered : bool;
+  weakly_ordered : bool;  (** no counterexample in the corpus *)
 }
 
-val verify : hw:hardware -> model:sync_model -> Prog.t list -> report
+val verify :
+  ?por:bool -> hw:hardware -> model:sync_model -> Prog.t list -> report
+(** Check Definition 2 over the corpus: one {!verdict} per program.
+    [por] is forwarded to {!appears_sc} ([~por:false] = the CLI's
+    [--no-por]); the verdicts are identical either way. *)
+
 val counterexamples : report -> verdict list
+(** The failing verdicts (programs obeying the model with non-SC
+    outcomes). *)
 
 val weaker_than_sc : hw:hardware -> Prog.t list -> bool
 (** Some corpus program exhibits a non-SC outcome: the hardware is not just

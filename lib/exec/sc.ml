@@ -109,13 +109,18 @@ let por_candidate info st =
 
 (* --- outcome enumeration ---------------------------------------------------- *)
 
+type por_stats = { por_taken : int; por_declined : int }
+
 (* Reachability sweep: the outcome set is the union of finals over all
    reachable states, collected into one accumulator (no per-node set
-   unions).  Returns the set and the number of distinct states visited. *)
-let explore ?(reduce = true) prog =
+   unions).  Returns the set, the number of distinct states visited, and
+   the reduction's hit/miss telemetry. *)
+let explore_counted ?(reduce = true) prog =
   let info = if reduce then Some (por_info prog) else None in
   let visited : unit K.t = K.create 1024 in
   let acc = ref Final.Set.empty in
+  let taken = ref 0 in
+  let declined = ref 0 in
   let nprocs = Prog.num_threads prog in
   let stack = ref [ Sem.initial prog ] in
   let running = ref true in
@@ -134,12 +139,14 @@ let explore ?(reduce = true) prog =
               match info with None -> None | Some i -> por_candidate i st
             with
             | Some p -> (
+                incr taken;
                 (* The candidate is a non-blocking data access or fence:
                    the step cannot fail. *)
                 match Sem.step prog st p with
                 | Some st' -> stack := st' :: !stack
                 | None -> assert false)
             | None ->
+                if reduce then incr declined;
                 for p = nprocs - 1 downto 0 do
                   match Sem.step prog st p with
                   | None -> ()
@@ -147,7 +154,11 @@ let explore ?(reduce = true) prog =
                 done
         end)
   done;
-  (!acc, K.length visited)
+  (!acc, K.length visited, { por_taken = !taken; por_declined = !declined })
+
+let explore ?reduce prog =
+  let set, states, _ = explore_counted ?reduce prog in
+  (set, states)
 
 let outcomes ?reduce prog = fst (explore ?reduce prog)
 

@@ -13,6 +13,20 @@ val explore : ?reduce:bool -> Prog.t -> Final.Set.t * int
 (** [outcomes] plus the number of distinct states visited — the state-count
     telemetry the bench harness records. *)
 
+type por_stats = {
+  por_taken : int;
+      (** branch states where the reduction fired one provably independent
+          instruction instead of interleaving *)
+  por_declined : int;
+      (** branch states the reduction examined but had to expand fully
+          (always [0] with [~reduce:false]) *)
+}
+(** Hit/miss telemetry for the partial-order reduction. *)
+
+val explore_counted : ?reduce:bool -> Prog.t -> Final.Set.t * int * por_stats
+(** {!explore} plus the reduction's {!por_stats} — the observability feed
+    for the exploration dashboards. *)
+
 val outcomes_cached : Prog.t -> Final.Set.t
 (** [outcomes] memoized process-wide on physical program identity (with
     reduction on).  Use in sweeps that repeatedly compare machines against

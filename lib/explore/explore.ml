@@ -21,7 +21,40 @@ type 'a bounded = Complete of 'a | Partial of 'a
 let bounded_value = function Complete v | Partial v -> v
 let is_complete = function Complete _ -> true | Partial _ -> false
 
-type stats = { states_expanded : int; domains_used : int }
+type stats = {
+  states_expanded : int;
+  domains_used : int;
+  claimed : int;
+  claimed_per_shard : int array;
+  donations : int;
+  table_buckets : int;
+  max_probe : int;
+}
+
+(* Telemetry for engines that do not run a sharded sweep (the SC
+   interleaving enumerator): one "shard" holding every claimed state. *)
+let basic_stats ~states_expanded ~domains_used =
+  {
+    states_expanded;
+    domains_used;
+    claimed = states_expanded;
+    claimed_per_shard = [| states_expanded |];
+    donations = 0;
+    table_buckets = 0;
+    max_probe = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d state(s) expanded, %d claimed over %d shard(s), %d donation(s)"
+    s.states_expanded s.claimed
+    (Array.length s.claimed_per_shard)
+    s.donations;
+  if s.table_buckets > 0 then
+    Format.fprintf ppf "; table: %d bucket(s), occupancy %.2f, max probe %d"
+      s.table_buckets
+      (float_of_int s.claimed /. float_of_int s.table_buckets)
+      s.max_probe
 
 type run_result = { result : Final.Set.t bounded; stats : stats }
 
@@ -71,9 +104,19 @@ module Make (M : Machine_sig.MACHINE) = struct
             end
           end
     done;
+    let hstats = H.stats interned in
     {
       result = (if !cut then Partial !acc else Complete !acc);
-      stats = { states_expanded = !expanded; domains_used = 1 };
+      stats =
+        {
+          states_expanded = !expanded;
+          domains_used = 1;
+          claimed = H.length interned;
+          claimed_per_shard = [| H.length interned |];
+          donations = 0;
+          table_buckets = hstats.Hashtbl.num_buckets;
+          max_probe = hstats.Hashtbl.max_bucket_length;
+        };
     }
 
   (* --- parallel engine ------------------------------------------------------ *)
@@ -92,6 +135,7 @@ module Make (M : Machine_sig.MACHINE) = struct
     fuel_left : int Atomic.t;
     cut : bool Atomic.t;
     expanded : int Atomic.t;
+    donations : int Atomic.t;
     ndomains : int;
   }
 
@@ -105,6 +149,7 @@ module Make (M : Machine_sig.MACHINE) = struct
     fresh
 
   let donate sh batch =
+    Atomic.incr sh.donations;
     Mutex.lock sh.queue_lock;
     sh.pending <- List.rev_append batch sh.pending;
     Condition.broadcast sh.work;
@@ -208,6 +253,7 @@ module Make (M : Machine_sig.MACHINE) = struct
         fuel_left = Atomic.make fuel;
         cut = Atomic.make false;
         expanded = Atomic.make 0;
+        donations = Atomic.make 0;
         ndomains = domains;
       }
     in
@@ -220,10 +266,26 @@ module Make (M : Machine_sig.MACHINE) = struct
         (fun a d -> Final.Set.union (Domain.join d) a)
         mine others
     in
+    let per_shard = Array.map (fun s -> H.length s.table) sh.shards in
+    let buckets, max_probe =
+      Array.fold_left
+        (fun (b, m) s ->
+          let st = H.stats s.table in
+          (b + st.Hashtbl.num_buckets, max m st.Hashtbl.max_bucket_length))
+        (0, 0) sh.shards
+    in
     {
       result = (if Atomic.get sh.cut then Partial acc else Complete acc);
       stats =
-        { states_expanded = Atomic.get sh.expanded; domains_used = domains };
+        {
+          states_expanded = Atomic.get sh.expanded;
+          domains_used = domains;
+          claimed = Array.fold_left ( + ) 0 per_shard;
+          claimed_per_shard = per_shard;
+          donations = Atomic.get sh.donations;
+          table_buckets = buckets;
+          max_probe;
+        };
     }
 
   (* --- public API ----------------------------------------------------------- *)

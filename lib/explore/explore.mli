@@ -6,16 +6,43 @@ type 'a bounded = Complete of 'a | Partial of 'a
     subset of the complete outcome set (exploration only cuts branches). *)
 
 val bounded_value : 'a bounded -> 'a
+(** Drop the completeness marker. *)
+
 val is_complete : 'a bounded -> bool
+(** The fuel budget was not exhausted. *)
 
 type stats = {
   states_expanded : int;
       (** distinct states expanded — equal across strategies on a
           [Complete] run *)
-  domains_used : int;
+  domains_used : int;  (** domains that ran the sweep (1 = sequential) *)
+  claimed : int;
+      (** distinct states claimed in the transposition table; equals
+          [states_expanded] on an unbounded run (fuel only cuts claimed
+          states short of expansion) *)
+  claimed_per_shard : int array;
+      (** claimed states per claim-table shard — the shard-balance view;
+          a single cell on sequential runs *)
+  donations : int;
+      (** work-donation events: batches a busy domain handed to a
+          starving one (0 on sequential runs) *)
+  table_buckets : int;
+      (** total hash-table buckets across shards; [claimed /.
+          table_buckets] is the load factor *)
+  max_probe : int;  (** longest bucket chain in any shard — probe cost *)
 }
+(** Telemetry from one exploration sweep. *)
+
+val basic_stats : states_expanded:int -> domains_used:int -> stats
+(** Degenerate telemetry for engines without a sharded sweep (one shard
+    holding every claimed state, no table data) — e.g. the SC
+    interleaving enumerator. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line: states, claims, shards, donations, table occupancy. *)
 
 type run_result = { result : Final.Set.t bounded; stats : stats }
+(** The outcome set together with the sweep's telemetry. *)
 
 module Make (M : Machine_sig.MACHINE) : sig
   val run : ?domains:int -> ?fuel:int -> Prog.t -> run_result
@@ -28,6 +55,7 @@ module Make (M : Machine_sig.MACHINE) : sig
       @raise Invalid_argument on [domains < 1] or negative [fuel]. *)
 
   val outcomes : ?domains:int -> Prog.t -> Final.Set.t
+  (** The complete outcome set ({!run} without fuel, result unwrapped). *)
 
   val outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t bounded
   (** Explore at most [fuel] distinct states; always terminates and never
@@ -37,7 +65,10 @@ module Make (M : Machine_sig.MACHINE) : sig
       @raise Invalid_argument on negative [fuel]. *)
 
   val allows : Prog.t -> Cond.t -> bool
+  (** Some complete outcome satisfies the condition. *)
+
   val allows_exists : Prog.t -> bool option
+  (** {!allows} against the program's [exists] clause, when it has one. *)
 
   val appears_sc : ?sc:Final.Set.t -> Prog.t -> bool
   (** Every machine outcome is an SC outcome (Definition 2's "appears

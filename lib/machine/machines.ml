@@ -42,7 +42,7 @@ let sc =
         let set, states = Sc.explore prog in
         {
           Explore.result = Explore.Complete set;
-          stats = { Explore.states_expanded = states; domains_used = 1 };
+          stats = Explore.basic_stats ~states_expanded:states ~domains_used:1;
         });
   }
 

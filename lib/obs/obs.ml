@@ -1,0 +1,371 @@
+(* Structured tracing and metrics, built for always-on use.
+
+   The tracer is a preallocated ring of mutable event records: recording
+   mutates fields in place (no allocation, no formatting), and a disabled
+   tracer short-circuits after one branch.  Everything expensive — JSON
+   escaping, sorting, table layout — happens at export time, on the
+   bounded set of retained events.  Stall accounting and histograms are
+   separate always-on structures: a bounded hash table and a fixed bucket
+   array, each O(1) per update. *)
+
+type ev = {
+  mutable ph : char;
+  mutable cat : string;
+  mutable name : string;
+  mutable tid : int;
+  mutable ts : int;
+  mutable dur : int;
+  mutable loc : string;
+  mutable cause : string;
+  mutable value : int;
+}
+
+let fresh_ev () =
+  {
+    ph = ' ';
+    cat = "";
+    name = "";
+    tid = 0;
+    ts = 0;
+    dur = 0;
+    loc = "";
+    cause = "";
+    value = min_int;
+  }
+
+type t = {
+  on : bool;
+  cap : int;
+  ring : ev array;
+  mutable total : int;  (* events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Obs.create: capacity must be positive";
+  { on = true; cap = capacity; ring = Array.init capacity (fun _ -> fresh_ev ()); total = 0 }
+
+let null = { on = false; cap = 0; ring = [||]; total = 0 }
+
+let enabled t = t.on
+let recorded t = t.total
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
+let capacity t = t.cap
+let clear t = t.total <- 0
+
+(* The one hot-path function: claim the next slot and fill it in place. *)
+let record t ph cat name tid ts dur loc cause value =
+  if t.on then begin
+    let e = t.ring.(t.total mod t.cap) in
+    t.total <- t.total + 1;
+    e.ph <- ph;
+    e.cat <- cat;
+    e.name <- name;
+    e.tid <- tid;
+    e.ts <- ts;
+    e.dur <- dur;
+    e.loc <- loc;
+    e.cause <- cause;
+    e.value <- value
+  end
+
+let span t ~cat ~name ~tid ~ts ~dur ~loc ~cause =
+  record t 'X' cat name tid ts dur loc cause min_int
+
+let instant t ~cat ~name ~tid ~ts ~loc ~cause =
+  record t 'i' cat name tid ts 0 loc cause min_int
+
+let counter t ~cat ~name ~tid ~ts ~value =
+  record t 'C' cat name tid ts 0 "" "" value
+
+let copy_ev e =
+  {
+    ph = e.ph;
+    cat = e.cat;
+    name = e.name;
+    tid = e.tid;
+    ts = e.ts;
+    dur = e.dur;
+    loc = e.loc;
+    cause = e.cause;
+    value = e.value;
+  }
+
+let events t =
+  let n = min t.total t.cap in
+  (* Oldest first: when the ring has wrapped, the oldest live slot is the
+     one the next record would overwrite. *)
+  let first = if t.total > t.cap then t.total mod t.cap else 0 in
+  List.init n (fun i -> copy_ev t.ring.((first + i) mod t.cap))
+
+(* --- stall accounting -------------------------------------------------------- *)
+
+module Stall = struct
+  type key = int * string * string
+
+  type t = (key, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let add t ~tid ~cause ~loc ~cycles =
+    if cycles > 0 then
+      match Hashtbl.find_opt t (tid, cause, loc) with
+      | Some r -> r := !r + cycles
+      | None -> Hashtbl.add t (tid, cause, loc) (ref cycles)
+
+  let get t ~tid ~cause ~loc =
+    match Hashtbl.find_opt t (tid, cause, loc) with
+    | Some r -> !r
+    | None -> 0
+
+  let total ?tid ?cause ?loc t =
+    Hashtbl.fold
+      (fun (kt, kc, kl) r acc ->
+        let keep = function Some x, y -> x = y | None, _ -> true in
+        if
+          keep (tid, kt)
+          && keep (cause, kc)
+          && keep (loc, kl)
+        then acc + !r
+        else acc)
+      t 0
+
+  let rows t =
+    Hashtbl.fold (fun (kt, kc, kl) r acc -> (kt, kc, kl, !r) :: acc) t []
+    |> List.filter (fun (_, _, _, c) -> c > 0)
+    |> List.sort compare
+
+  let pp ppf t =
+    match rows t with
+    | [] -> Format.fprintf ppf "(no stalled cycles recorded)"
+    | rs ->
+        Format.fprintf ppf "%-4s %-16s %-8s %10s" "proc" "cause" "loc" "cycles";
+        List.iter
+          (fun (tid, cause, loc, cycles) ->
+            Format.fprintf ppf "@\nP%-3d %-16s %-8s %10d" tid cause
+              (if loc = "" then "-" else loc)
+              cycles)
+          rs
+end
+
+(* --- histograms -------------------------------------------------------------- *)
+
+module Hist = struct
+  type t = {
+    counts : int array;  (* counts.(i): values in (2^(i-1), 2^i], zeros in 0 *)
+    mutable n : int;
+    mutable sum : int;
+    mutable vmax : int;
+  }
+
+  let nbuckets = 62
+
+  let create () = { counts = Array.make nbuckets 0; n = 0; sum = 0; vmax = 0 }
+
+  let bucket_of v =
+    let rec go b bound = if v <= bound then b else go (b + 1) (bound * 2) in
+    go 0 1
+
+  let add t v =
+    let v = if v < 0 then 0 else v in
+    t.counts.(min (nbuckets - 1) (bucket_of v)) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum + v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.n
+  let max_value t = t.vmax
+  let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (1 lsl i, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.1f max=%d" t.n (mean t) t.vmax;
+    List.iter
+      (fun (bound, c) -> Format.fprintf ppf " <=%d:%d" bound c)
+      (buckets t)
+end
+
+(* --- Chrome trace_event export ----------------------------------------------- *)
+
+module Chrome = struct
+  (* Synthetic process grouping: category -> pid.  Keeps CPU-op tracks,
+     protocol transactions and the interconnect on separate swim-lane
+     groups in the viewer. *)
+  let pid_of_cat = function
+    | "op" -> 0
+    | "txn" | "proto" -> 1
+    | "net" | "fault" -> 2
+    | _ -> 0
+
+  let process_names = [ (0, "cpu ops"); (1, "coherence protocol"); (2, "interconnect") ]
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let field b key value =
+    Buffer.add_char b '"';
+    escape b key;
+    Buffer.add_string b "\":\"";
+    escape b value;
+    Buffer.add_char b '"'
+
+  let emit_args b e =
+    let args = ref [] in
+    if e.value <> min_int then args := ("value", `I e.value) :: !args;
+    if e.cause <> "" then args := ("cause", `S e.cause) :: !args;
+    if e.loc <> "" then args := ("loc", `S e.loc) :: !args;
+    match !args with
+    | [] -> ()
+    | args ->
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            match v with
+            | `S s -> field b k s
+            | `I n ->
+                Buffer.add_char b '"';
+                escape b k;
+                Buffer.add_string b "\":";
+                Buffer.add_string b (string_of_int n))
+          args;
+        Buffer.add_char b '}'
+
+  let emit_event b shift e =
+    Buffer.add_char b '{';
+    field b "name" e.name;
+    Buffer.add_char b ',';
+    field b "cat" e.cat;
+    Buffer.add_char b ',';
+    field b "ph" (String.make 1 e.ph);
+    if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+    Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"ts\":%d"
+      (pid_of_cat e.cat) e.tid (e.ts - shift));
+    if e.ph = 'X' then Buffer.add_string b (Printf.sprintf ",\"dur\":%d" e.dur);
+    (if e.ph = 'C' then
+       Buffer.add_string b
+         (Printf.sprintf ",\"args\":{\"value\":%d}"
+            (if e.value = min_int then 0 else e.value))
+     else emit_args b e);
+    Buffer.add_char b '}'
+
+  let to_buffer ?(normalize = false) b evs =
+    (* Stable sort by start time keeps simultaneous events in record
+       order, so deterministic runs export byte-identical documents. *)
+    let evs = List.stable_sort (fun a e -> compare a.ts e.ts) evs in
+    let shift =
+      if not normalize then 0
+      else List.fold_left (fun m e -> min m e.ts) max_int evs
+    in
+    let shift = if shift = max_int then 0 else shift in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b "\n  "
+    in
+    List.iter
+      (fun (pid, pname) ->
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+             pid pname))
+      process_names;
+    List.iter
+      (fun e ->
+        sep ();
+        emit_event b shift e)
+      evs;
+    Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeUnit\":\"cycles\"}}\n"
+
+  let to_string ?normalize t =
+    let b = Buffer.create 4096 in
+    to_buffer ?normalize b (events t);
+    Buffer.contents b
+
+  let write_file ?normalize path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string ?normalize t))
+end
+
+(* --- summaries --------------------------------------------------------------- *)
+
+let pp_summary ?stalls ppf t =
+  Format.fprintf ppf "trace: %d event(s) recorded, %d dropped (capacity %d)"
+    (recorded t) (dropped t) (capacity t);
+  let evs = events t in
+  (* Per-category event counts and total span cycles. *)
+  let cats : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let tids : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let bump tbl key =
+        let n, cyc =
+          match Hashtbl.find_opt tbl key with
+          | Some p -> p
+          | None ->
+              let p = (ref 0, ref 0) in
+              Hashtbl.add tbl key p;
+              p
+        in
+        incr n;
+        if e.ph = 'X' then cyc := !cyc + e.dur
+      in
+      bump cats e.cat;
+      if e.cat = "op" then bump tids e.tid)
+    evs;
+  if evs <> [] then begin
+    Format.fprintf ppf "@\n%-8s %8s %12s" "category" "events" "span-cycles";
+    Hashtbl.fold (fun c v acc -> (c, v) :: acc) cats []
+    |> List.sort compare
+    |> List.iter (fun (c, (n, cyc)) ->
+           Format.fprintf ppf "@\n%-8s %8d %12d" c !n !cyc);
+    let ts = Hashtbl.fold (fun t v acc -> (t, v) :: acc) tids [] in
+    if ts <> [] then begin
+      Format.fprintf ppf "@\nper-processor operations:";
+      List.sort compare ts
+      |> List.iter (fun (tid, (n, cyc)) ->
+             Format.fprintf ppf "@\n  P%d: %d op(s), %d cycle(s) in flight"
+               tid !n !cyc)
+    end
+  end;
+  match stalls with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf "@\nstall attribution:@\n%a" Stall.pp s
+
+let pp_window ppf ~around ~radius t =
+  let evs =
+    List.filter (fun e -> abs (e.ts - around) <= radius) (events t)
+  in
+  Format.fprintf ppf "trace window [%d, %d] (%d event(s)):"
+    (around - radius) (around + radius) (List.length evs);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@\n  [%6d] %c %s/%s P%d%s%s%s" e.ts e.ph e.cat
+        e.name e.tid
+        (if e.loc = "" then "" else " loc=" ^ e.loc)
+        (if e.cause = "" then "" else " cause=" ^ e.cause)
+        (if e.ph = 'X' then Printf.sprintf " dur=%d" e.dur
+         else if e.value <> min_int then Printf.sprintf " value=%d" e.value
+         else ""))
+    evs

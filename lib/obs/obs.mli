@@ -1,0 +1,200 @@
+(** Structured tracing and metrics: the observability substrate of the
+    timing simulator and the exploration engine.
+
+    The design goal is a tracer cheap enough to leave compiled in: events
+    are recorded into a preallocated ring of mutable records (no per-event
+    allocation, one bounds check and a handful of field writes), and all
+    formatting happens lazily at export time.  A disabled tracer ({!null})
+    reduces every record call to a single branch.
+
+    Three kinds of events mirror the Chrome [trace_event] phases the
+    exporter emits:
+
+    - {e spans} (['X']): an operation with a start time and a duration —
+      a processor's memory operation from generation to completion, or a
+      coherence transaction from miss to close;
+    - {e instants} (['i']): a point event — a NACK, a reservation being
+      placed, an injected interconnect fault;
+    - {e counters} (['C']): a sampled value — a processor's
+      outstanding-access counter.
+
+    Alongside the tracer live two always-on metric structures: {!Stall},
+    which attributes every stalled cycle to a (processor, cause, location)
+    triple — the paper's Figure 3 claim is a statement about exactly this
+    table — and {!Hist}, power-of-two histograms for the exploration
+    engine's table telemetry.
+
+    This module depends on nothing but the standard library. *)
+
+(** {1 Events} *)
+
+type ev = {
+  mutable ph : char;  (** phase: ['X'] span, ['i'] instant, ['C'] counter *)
+  mutable cat : string;
+      (** category, e.g. ["op"], ["txn"], ["proto"], ["fault"]; drives the
+          exporter's process grouping *)
+  mutable name : string;  (** short event name, e.g. ["Sw"], ["nack"] *)
+  mutable tid : int;  (** track id — the processor (or shard) number *)
+  mutable ts : int;  (** start time, in simulated cycles *)
+  mutable dur : int;  (** duration in cycles (spans only; 0 otherwise) *)
+  mutable loc : string;  (** memory location concerned, [""] if none *)
+  mutable cause : string;  (** stall/fault cause tag, [""] if none *)
+  mutable value : int;  (** counter sample or payload; [min_int] if none *)
+}
+(** One recorded event.  The fields mirror the Chrome [trace_event]
+    schema, with [loc]/[cause]/[value] exported under ["args"]. *)
+
+(** {1 Tracers} *)
+
+type t
+(** A ring-buffered tracer.  Once more than [capacity] events have been
+    recorded, the oldest are overwritten (and counted in {!dropped}). *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, enabled tracer.  [capacity] (default [65536]) is the ring
+    size in events; all event storage is allocated here, up front.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val null : t
+(** The disabled tracer: every record call returns after one branch.
+    Pass it wherever tracing is compiled in but not wanted. *)
+
+val enabled : t -> bool
+(** [false] exactly on {!null}. *)
+
+val span :
+  t ->
+  cat:string ->
+  name:string ->
+  tid:int ->
+  ts:int ->
+  dur:int ->
+  loc:string ->
+  cause:string ->
+  unit
+(** Record a completed span: an operation that started at [ts] and took
+    [dur] cycles.  Pass [""] for an absent [loc] or [cause]; the strings
+    are stored by reference, so callers should pass literals or
+    already-built names (the tracer never copies or formats them). *)
+
+val instant :
+  t -> cat:string -> name:string -> tid:int -> ts:int -> loc:string -> cause:string -> unit
+(** Record a point event at time [ts]. *)
+
+val counter : t -> cat:string -> name:string -> tid:int -> ts:int -> value:int -> unit
+(** Record a sampled counter value at time [ts]. *)
+
+val recorded : t -> int
+(** Total events ever recorded, including any that were overwritten. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite: [max 0 (recorded - capacity)]. *)
+
+val capacity : t -> int
+(** The ring size chosen at {!create} ([0] for {!null}). *)
+
+val events : t -> ev list
+(** The retained events, oldest first, as fresh copies (safe to hold
+    across further recording).  At most [capacity] long. *)
+
+val clear : t -> unit
+(** Forget all recorded events (the ring stays allocated). *)
+
+(** {1 Stall accounting} *)
+
+(** Attribution of stalled cycles to a cause and a location.
+
+    Every cycle a processor spends waiting is added under a
+    [(tid, cause, loc)] key — e.g. [(0, "counter-nonzero", "s")] for a
+    Definition-1 processor waiting out its outstanding-access counter
+    before a synchronization operation on [s].  The table is cheap enough
+    to keep always on: one bounded hash table, one lookup per stall. *)
+module Stall : sig
+  type t
+  (** A mutable stall-attribution table. *)
+
+  val create : unit -> t
+  (** An empty table. *)
+
+  val add : t -> tid:int -> cause:string -> loc:string -> cycles:int -> unit
+  (** Attribute [cycles] stalled cycles; calls with [cycles <= 0] are
+      ignored, so callers can pass raw time differences. *)
+
+  val get : t -> tid:int -> cause:string -> loc:string -> int
+  (** Cycles recorded under one key ([0] if none). *)
+
+  val total : ?tid:int -> ?cause:string -> ?loc:string -> t -> int
+  (** Sum over all keys matching the given coordinates (all keys when
+      none is given). *)
+
+  val rows : t -> (int * string * string * int) list
+  (** All nonzero entries as [(tid, cause, loc, cycles)], sorted by
+      processor, then cause, then location. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** A per-processor table of causes, locations and cycles. *)
+end
+
+(** {1 Histograms} *)
+
+(** Power-of-two histograms for small nonnegative measurements (probe
+    lengths, batch sizes).  Bucket [i] counts values [v] with
+    [2^(i-1) < v <= 2^i] (bucket [0] counts zeros and ones). *)
+module Hist : sig
+  type t
+  (** A mutable histogram. *)
+
+  val create : unit -> t
+  (** An empty histogram. *)
+
+  val add : t -> int -> unit
+  (** Record one value; negative values are clamped to [0]. *)
+
+  val count : t -> int
+  (** Number of values recorded. *)
+
+  val max_value : t -> int
+  (** Largest value recorded ([0] when empty). *)
+
+  val mean : t -> float
+  (** Arithmetic mean of the recorded values ([0.] when empty). *)
+
+  val buckets : t -> (int * int) list
+  (** Nonempty buckets as [(inclusive upper bound, count)], ascending. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One line: count, mean, max and the nonempty buckets. *)
+end
+
+(** {1 Exporters} *)
+
+(** Chrome [trace_event] JSON export, loadable in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}.
+
+    Cycles are written as microseconds (the format's native unit), so one
+    trace-viewer microsecond is one simulated cycle.  Events are grouped
+    into synthetic processes by category — processor operations, protocol
+    transactions, interconnect — with named tracks per processor. *)
+module Chrome : sig
+  val to_buffer : ?normalize:bool -> Buffer.t -> ev list -> unit
+  (** Append a complete JSON document for the given events.
+      [normalize] (default [false]) shifts all timestamps so the earliest
+      event starts at 0 — byte-stable output for golden tests. *)
+
+  val to_string : ?normalize:bool -> t -> string
+  (** The tracer's retained events as a JSON document string. *)
+
+  val write_file : ?normalize:bool -> string -> t -> unit
+  (** Write {!to_string} to a file.
+      @raise Sys_error if the file cannot be written. *)
+end
+
+val pp_summary : ?stalls:Stall.t -> Format.formatter -> t -> unit
+(** The human-readable [--trace-summary] table: ring statistics, per-
+    category event counts and span cycles, per-processor operation counts,
+    and (when given) the stall-attribution table. *)
+
+val pp_window : Format.formatter -> around:int -> radius:int -> t -> unit
+(** Print the events whose start time falls within [radius] cycles of
+    [around], oldest first — the forensic window a fault campaign dumps
+    around each injected fault. *)

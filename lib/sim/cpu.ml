@@ -40,6 +40,13 @@ type obs = {
   o_time : int;
 }
 
+(* Stall-cause tags used by the {!Obs.Stall} attribution table.  Shared
+   constants so the bench, the CLI and the tests agree on spelling. *)
+let cause_counter = "counter-nonzero"
+let cause_gp = "gp-wait"
+let cause_acquire = "acquire"
+let cause_read = "read-miss"
+
 type proc_stats = {
   mutable finish : int;  (** cycle at which the thread's last op completed *)
   mutable drained : int;  (** cycle at which its counter last read zero *)
@@ -76,7 +83,19 @@ type ctx = {
   mutable observations : obs list;
   mutable trace : Sim_trace.ev list;
   op_seq : int array;  (** per-processor operation sequence numbers *)
+  obs : Obs.t;
+  stalls : Obs.Stall.t;
 }
+
+(* Emit the op-lifecycle span once the policy releases the processor.
+   [t0] is the generation time; the cause tag names the dominant reason
+   the processor was held (or [""] for an unstalled op). *)
+let op_span ctx proc ~name ~loc ~t0 ~cause =
+  Obs.span ctx.obs ~cat:"op" ~name ~tid:proc ~ts:t0
+    ~dur:(Engine.now ctx.eng - t0) ~loc ~cause
+
+let stall ctx proc ~cause ~loc ~cycles =
+  Obs.Stall.add ctx.stalls ~tid:proc ~cause ~loc ~cycles
 
 (* Record an operation in the trace at its generation point; commit and
    globally-performed times are filled in by the protocol callbacks. *)
@@ -106,6 +125,12 @@ let data_read ctx proc loc k =
       ev.Sim_trace.ecommit <- Engine.now ctx.eng;
       ctx.stats.(proc).stall_read <-
         ctx.stats.(proc).stall_read + (Engine.now ctx.eng - t0);
+      let missed =
+        Engine.now ctx.eng - t0 - ctx.cfg.Sim_config.cache_hit
+      in
+      stall ctx proc ~cause:cause_read ~loc ~cycles:missed;
+      op_span ctx proc ~name:"R" ~loc ~t0
+        ~cause:(if missed > 0 then cause_read else "");
       k v)
 
 (* Data write: SC waits for global performance; the weak policies move on
@@ -121,12 +146,19 @@ let data_write ctx proc loc value k =
         ~on_commit:(fun old ->
           on_commit old;
           Proto.when_counter_zero ctx.proto proc (fun () ->
+              let waited = Engine.now ctx.eng - t0 in
               ctx.stats.(proc).stall_sync_gp <-
-                ctx.stats.(proc).stall_sync_gp + (Engine.now ctx.eng - t0);
+                ctx.stats.(proc).stall_sync_gp + waited;
+              stall ctx proc ~cause:cause_gp ~loc ~cycles:waited;
+              op_span ctx proc ~name:"W" ~loc ~t0
+                ~cause:(if waited > 0 then cause_gp else "");
               k ()))
   | Def1 | Def2 | Def2_rs | Def2_noresv ->
+      let t0 = Engine.now ctx.eng in
       Proto.modify ctx.proto ~proc ~loc ~f:(fun _ -> value) ~on_gp ~on_commit;
-      Engine.schedule ctx.eng ~delay:1 k
+      Engine.schedule ctx.eng ~delay:1 (fun () ->
+          op_span ctx proc ~name:"W" ~loc ~t0 ~cause:"";
+          k ())
 
 (* A synchronization operation that acquires the line exclusive (sync
    write, TAS, FADD — and, for Def2 base, sync reads too).  [reads] and
@@ -137,30 +169,45 @@ let sync_modify ctx proc loc ~reads ~writes f k =
   let ev = record ctx proc ~sync:true ~reads ~writes loc in
   let on_gp () = ev.Sim_trace.egp <- Engine.now ctx.eng in
   let commit () = ev.Sim_trace.ecommit <- Engine.now ctx.eng in
+  let name =
+    if reads && writes then "Srmw" else if writes then "Sw" else "Sr"
+  in
   match ctx.policy with
   | Sc ->
       let t0 = Engine.now ctx.eng in
       Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
           commit ();
           Proto.when_counter_zero ctx.proto proc (fun () ->
-              st.stall_sync_gp <- st.stall_sync_gp + (Engine.now ctx.eng - t0);
+              let waited = Engine.now ctx.eng - t0 in
+              st.stall_sync_gp <- st.stall_sync_gp + waited;
+              stall ctx proc ~cause:cause_gp ~loc ~cycles:waited;
+              op_span ctx proc ~name ~loc ~t0 ~cause:cause_gp;
               k old))
   | Def1 ->
       let t0 = Engine.now ctx.eng in
       Proto.when_counter_zero ctx.proto proc (fun () ->
-          st.stall_pre_sync <- st.stall_pre_sync + (Engine.now ctx.eng - t0);
+          let drained = Engine.now ctx.eng - t0 in
+          st.stall_pre_sync <- st.stall_pre_sync + drained;
+          stall ctx proc ~cause:cause_counter ~loc ~cycles:drained;
           let t1 = Engine.now ctx.eng in
           Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
               commit ();
               Proto.when_counter_zero ctx.proto proc (fun () ->
-                  st.stall_sync_gp <-
-                    st.stall_sync_gp + (Engine.now ctx.eng - t1);
+                  let waited = Engine.now ctx.eng - t1 in
+                  st.stall_sync_gp <- st.stall_sync_gp + waited;
+                  stall ctx proc ~cause:cause_gp ~loc ~cycles:waited;
+                  op_span ctx proc ~name ~loc ~t0
+                    ~cause:(if drained > 0 then cause_counter else cause_gp);
                   k old)))
   | Def2 | Def2_rs | Def2_noresv ->
       let t0 = Engine.now ctx.eng in
       Proto.modify ctx.proto ~proc ~loc ~f ~on_gp ~on_commit:(fun old ->
           commit ();
-          st.stall_acquire <- st.stall_acquire + (Engine.now ctx.eng - t0);
+          let waited = Engine.now ctx.eng - t0 in
+          st.stall_acquire <- st.stall_acquire + waited;
+          stall ctx proc ~cause:cause_acquire ~loc ~cycles:waited;
+          op_span ctx proc ~name ~loc ~t0
+            ~cause:(if waited > 0 then cause_acquire else "");
           if ctx.policy <> Def2_noresv then
             Proto.reserve_if_outstanding ctx.proto ~proc ~loc;
           k old)
@@ -178,9 +225,18 @@ let sync_read ctx proc loc k =
         let stalled =
           max 0 (Engine.now ctx.eng - t0 - ctx.cfg.Sim_config.cache_hit)
         in
-        (match stall_field with
-        | `Gp -> st.stall_sync_gp <- st.stall_sync_gp + stalled
-        | `Acquire -> st.stall_acquire <- st.stall_acquire + stalled);
+        let cause =
+          match stall_field with
+          | `Gp ->
+              st.stall_sync_gp <- st.stall_sync_gp + stalled;
+              cause_gp
+          | `Acquire ->
+              st.stall_acquire <- st.stall_acquire + stalled;
+              cause_acquire
+        in
+        stall ctx proc ~cause ~loc ~cycles:stalled;
+        op_span ctx proc ~name:"Sr" ~loc ~t0
+          ~cause:(if stalled > 0 then cause else "");
         k v)
   in
   match ctx.policy with
@@ -188,7 +244,9 @@ let sync_read ctx proc loc k =
   | Def1 ->
       let t0 = Engine.now ctx.eng in
       Proto.when_counter_zero ctx.proto proc (fun () ->
-          st.stall_pre_sync <- st.stall_pre_sync + (Engine.now ctx.eng - t0);
+          let drained = Engine.now ctx.eng - t0 in
+          st.stall_pre_sync <- st.stall_pre_sync + drained;
+          stall ctx proc ~cause:cause_counter ~loc ~cycles:drained;
           plain_read `Gp)
   | Def2 | Def2_noresv ->
       (* Base implementation: all sync operations are treated as writes by

@@ -1,5 +1,15 @@
 (** Processor issue policies interpreting workload threads over the
-    coherence protocol. *)
+    coherence protocol.
+
+    Each policy realizes one hardware strategy from the paper: [Sc] is
+    Lamport-conservative hardware, [Def1] is Definition-1 weak ordering
+    (stall the processor at every synchronization operation until its
+    outstanding accesses drain), [Def2] is the Section 5.3 implementation
+    (commit early, shift the wait to the next synchronizing processor via
+    reserve bits), and [Def2_rs] adds the Section 6 read-only-sync
+    refinement.  Every wrapper records the operation in the architectural
+    trace, emits an {!Obs} lifecycle span, and attributes stalled cycles
+    to a cause in the context's {!Obs.Stall} table. *)
 
 type policy =
   | Sc
@@ -11,19 +21,42 @@ type policy =
           violates condition 5 (kept out of {!all_policies}) *)
 
 val policy_name : policy -> string
+(** Short CLI/bench spelling of a policy, e.g. ["def2-rs"]. *)
 
 val all_policies : policy list
 (** The four correct policies. *)
 
 val ablation_policies : policy list
+(** Deliberately broken variants, for sanitizer tests only. *)
+
+(** {1 Stall-cause tags}
+
+    The spellings used in the {!Obs.Stall} attribution table; shared
+    constants so the bench, the CLI and the tests agree. *)
+
+val cause_counter : string
+(** ["counter-nonzero"]: Definition-1 condition 2 — waiting for the
+    outstanding-access counter to drain before a sync issues. *)
+
+val cause_gp : string
+(** ["gp-wait"]: waiting for an operation to be globally performed
+    (Definition-1 condition 3, and all of SC). *)
+
+val cause_acquire : string
+(** ["acquire"]: waiting for a sync to commit — line acquisition,
+    including waits on remote reserve bits (Def2 condition 5). *)
+
+val cause_read : string
+(** ["read-miss"]: data-read latency beyond a cache hit. *)
 
 type obs = {
-  o_proc : int;
-  o_tag : string;
-  o_loc : string;
-  o_value : int;
-  o_time : int;
+  o_proc : int;  (** observing processor *)
+  o_tag : string;  (** the workload's observation tag *)
+  o_loc : string;  (** location read *)
+  o_value : int;  (** value seen *)
+  o_time : int;  (** cycle of the observation *)
 }
+(** A tagged value observation made by a workload read. *)
 
 type proc_stats = {
   mutable finish : int;
@@ -35,22 +68,27 @@ type proc_stats = {
   mutable stall_acquire : int;
       (** cycles waiting for a sync to commit, incl. remote reservations *)
   mutable stall_read : int;
-  mutable spin_iters : int;
-  mutable lock_retries : int;
+  mutable spin_iters : int;  (** spin-loop iterations executed *)
+  mutable lock_retries : int;  (** failed lock acquisition attempts *)
 }
+(** Aggregate per-processor timing statistics. *)
 
 val fresh_stats : unit -> proc_stats
+(** All-zero statistics. *)
 
 type ctx = {
-  cfg : Sim_config.t;
-  eng : Engine.t;
-  proto : Proto.t;
-  policy : policy;
-  stats : proc_stats array;
-  mutable observations : obs list;
-  mutable trace : Sim_trace.ev list;
-  op_seq : int array;
+  cfg : Sim_config.t;  (** latency model *)
+  eng : Engine.t;  (** the discrete-event engine driving the run *)
+  proto : Proto.t;  (** coherence protocol instance *)
+  policy : policy;  (** issue policy for every processor *)
+  stats : proc_stats array;  (** per-processor aggregates *)
+  mutable observations : obs list;  (** tagged reads, newest first *)
+  mutable trace : Sim_trace.ev list;  (** architectural trace, newest first *)
+  op_seq : int array;  (** per-processor operation sequence numbers *)
+  obs : Obs.t;  (** event tracer ({!Obs.null} to disable) *)
+  stalls : Obs.Stall.t;  (** stall-cycle attribution table *)
 }
+(** Everything a processor model needs to interpret a thread. *)
 
 val exec_thread : ctx -> int -> Workload.op list -> (unit -> unit) -> unit
 (** Run a thread's operations in order; the continuation fires when the
@@ -63,7 +101,12 @@ val exec_thread : ctx -> int -> Workload.op list -> (unit -> unit) -> unit
     tests on the timing simulator). *)
 
 val data_read : ctx -> int -> string -> (int -> unit) -> unit
+(** [data_read ctx proc loc k]: an ordinary read; [k v] runs with the
+    value once it returns (all policies block on data reads). *)
+
 val data_write : ctx -> int -> string -> int -> (unit -> unit) -> unit
+(** An ordinary write; SC waits for global performance, the weak
+    policies continue one cycle after handing it to the memory system. *)
 
 val sync_modify :
   ctx ->
@@ -79,6 +122,8 @@ val sync_modify :
     processor continue. *)
 
 val sync_read : ctx -> int -> string -> (int -> unit) -> unit
+(** A read-only synchronization operation — an exclusive acquisition
+    under base Def2, a coherent read under [Def2_rs]. *)
 
 val spin_delay : ctx -> (unit -> unit) -> unit
 (** One spin-loop backoff interval. *)

@@ -1,9 +1,18 @@
-(** Deterministic discrete-event simulation engine. *)
+(** Deterministic discrete-event simulation engine.
+
+    A priority queue of thunks keyed on simulated time; same-cycle events
+    run in insertion order, so a run is a pure function of the scheduled
+    work — the determinism every golden-trace and differential test in
+    the repository leans on. *)
 
 type t
+(** An event queue with a clock. *)
 
 val create : unit -> t
+(** A fresh engine at cycle 0 with an empty queue. *)
+
 val now : t -> int
+(** The current simulated cycle. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** Run the thunk [delay] cycles from now; ties run in insertion order.
@@ -13,6 +22,7 @@ val executed : t -> int
 (** Number of events executed so far. *)
 
 exception Out_of_time
+(** Raised by {!run} when the clock passes its limit. *)
 
 val run : ?limit:int -> t -> unit
 (** Drain the queue.

@@ -47,12 +47,14 @@ type t = {
   stats : stats;
   mutable on_delivery : unit -> unit;
       (** monitor hook, run after each delivered message's effects *)
+  obs : Obs.t;
 }
 
-let create cfg eng =
+let create ?(obs = Obs.null) cfg eng =
   {
     cfg;
     eng;
+    obs;
     fault =
       Option.map
         (fun profile -> Fault.create ~profile cfg.Sim_config.fault_seed)
@@ -138,6 +140,17 @@ let send t ~line f =
   let decision =
     match t.fault with None -> Fault.benign | Some fl -> Fault.decide fl
   in
+  (* Injected faults are worth a mark in the trace: the campaign dumps
+     the event window around each one when a run fails. *)
+  if decision.Fault.drops > 0 then
+    Obs.instant t.obs ~cat:"fault" ~name:"drop" ~tid:0
+      ~ts:(Engine.now t.eng) ~loc:line ~cause:"injected";
+  if decision.Fault.extra_delay > 0 then
+    Obs.instant t.obs ~cat:"fault" ~name:"spike" ~tid:0
+      ~ts:(Engine.now t.eng) ~loc:line ~cause:"injected";
+  if decision.Fault.duplicate then
+    Obs.instant t.obs ~cat:"fault" ~name:"dup" ~tid:0
+      ~ts:(Engine.now t.eng) ~loc:line ~cause:"injected";
   t.stats.retransmits <- t.stats.retransmits + decision.Fault.drops;
   let flight =
     t.cfg.Sim_config.net + jitter + decision.Fault.extra_delay

@@ -8,6 +8,7 @@
     reproduces the seed simulator's timing exactly. *)
 
 type t
+(** One interconnect instance (all lines share it). *)
 
 type stats = {
   mutable sent : int;
@@ -16,8 +17,12 @@ type stats = {
   mutable dups_suppressed : int;  (** duplicate copies discarded by seq id *)
   mutable reorders : int;  (** messages held to restore per-line order *)
 }
+(** Transport-layer counters (independent of protocol statistics). *)
 
-val create : Sim_config.t -> Engine.t -> t
+val create : ?obs:Obs.t -> Sim_config.t -> Engine.t -> t
+(** A fresh transport over [eng] with the latency/fault model of [cfg].
+    [obs] (default {!Obs.null}) receives a [fault]-category instant for
+    every injected drop, delay spike or duplication. *)
 
 val send : t -> line:string -> (unit -> unit) -> unit
 (** Send a message concerning [line]; the thunk runs at the receiver when
@@ -31,5 +36,10 @@ val set_monitor : t -> (unit -> unit) -> unit
     where the coherence sanitizer attaches. *)
 
 val stats : t -> stats
+(** The live counters (mutated as the run proceeds). *)
+
 val fault_counts : t -> Fault.counts option
+(** Injected-fault tallies, when a fault profile is configured. *)
+
 val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering of {!stats}. *)

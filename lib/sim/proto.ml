@@ -121,7 +121,14 @@ type t = {
   txns : (int, txn) Hashtbl.t;
   mutable next_txid : int;
   journal : string Queue.t;  (** bounded tail of protocol events *)
+  obs : Obs.t;
+  stalls : Obs.Stall.t;
 }
+
+(* Stall-cause tags owned by the protocol layer (the processor-side tags
+   live in [Cpu], which depends on this module). *)
+let cause_nack = "nack-retry"
+let cause_reserve = "reserve-bit"
 
 let journal_cap = 64
 
@@ -132,11 +139,12 @@ let journal t fmt =
       Queue.add (Printf.sprintf "[%6d] %s" (Engine.now t.eng) s) t.journal)
     fmt
 
-let create ?(init = []) cfg eng =
+let create ?(init = []) ?(obs = Obs.null) ?(stalls = Obs.Stall.create ()) cfg
+    eng =
   {
     cfg;
     eng;
-    net = Net.create cfg eng;
+    net = Net.create ~obs cfg eng;
     procs =
       Array.init cfg.Sim_config.nprocs (fun _ ->
           {
@@ -153,6 +161,8 @@ let create ?(init = []) cfg eng =
     txns = Hashtbl.create 16;
     next_txid = 0;
     journal = Queue.create ();
+    obs;
+    stalls;
   }
 
 let stats t = t.stats
@@ -383,6 +393,11 @@ let release_deferred t proc loc =
 let close_txn t tx =
   tx.topen <- false;
   Hashtbl.remove t.txns tx.txid;
+  Obs.span t.obs ~cat:"txn"
+    ~name:(if tx.twrite then "GetX" else "GetS")
+    ~tid:tx.tproc ~ts:tx.tstart
+    ~dur:(Engine.now t.eng - tx.tstart)
+    ~loc:tx.tloc ~cause:(if tx.tnacks > 0 then cause_nack else "");
   (* Reservations placed while this access was outstanding may now have
      seen all their previous accesses globally performed: clear them (and
      service their stalled requests) as soon as that happens, rather than
@@ -401,7 +416,13 @@ let close_txn t tx =
 
 (* --- counter maintenance -------------------------------------------------- *)
 
-let incr_counter t p = t.procs.(p).counter <- t.procs.(p).counter + 1
+let sample_counter t p =
+  Obs.counter t.obs ~cat:"proto" ~name:"outstanding" ~tid:p
+    ~ts:(Engine.now t.eng) ~value:t.procs.(p).counter
+
+let incr_counter t p =
+  t.procs.(p).counter <- t.procs.(p).counter + 1;
+  sample_counter t p
 
 let decr_counter t p =
   let ps = t.procs.(p) in
@@ -410,6 +431,7 @@ let decr_counter t p =
       (Stuck
          (Printf.sprintf "counter underflow at P%d\n%s" p (dump t)));
   ps.counter <- ps.counter - 1;
+  sample_counter t p;
   if ps.counter = 0 then begin
     (* All reserve bits are reset when the counter reads zero... *)
     Hashtbl.iter
@@ -437,6 +459,8 @@ let reserve_if_outstanding t ~proc ~loc =
   if ps.counter > 0 then begin
     let l = line_of t proc loc in
     l.reserved <- true;
+    Obs.instant t.obs ~cat:"proto" ~name:"reserve" ~tid:proc
+      ~ts:(Engine.now t.eng) ~loc ~cause:"";
     (* The accesses previous to this sync that are not yet globally
        performed: exactly the processor's open transactions right now
        (later accesses have not issued yet — threads are driven by
@@ -484,9 +508,13 @@ let rec dir_submit ?txn t loc req =
       t.stats.nacks <- t.stats.nacks + 1;
       journal t "NACK txn %d (dir %s busy for %d)" tx.txid loc
         (Engine.now t.eng - d.busy_since);
+      Obs.instant t.obs ~cat:"proto" ~name:"nack" ~tid:tx.tproc
+        ~ts:(Engine.now t.eng) ~loc ~cause:cause_nack;
       let backoff =
         t.cfg.Sim_config.nack_backoff * (1 lsl (tx.tnacks - 1))
       in
+      Obs.Stall.add t.stalls ~tid:tx.tproc ~cause:cause_nack ~loc
+        ~cycles:backoff;
       (* NACK message back to the requester, which waits out the backoff
          and re-sends the request. *)
       send t loc (fun () ->
@@ -514,7 +542,7 @@ let rec dir_gets t ~proc ~loc ~deliver =
       (* Forward to the owner; the owner downgrades, sends the line to the
          requester directly, and copies back to the directory. *)
       send t loc (fun () ->
-          owner_service t ~owner ~loc (fun () ->
+          owner_service t ~owner ~requester:proc ~loc (fun () ->
               let l = line_of t owner loc in
               l.lstate <- S;
               let v = l.lvalue in
@@ -583,7 +611,7 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
       dir_next t loc
   | Exclusive owner ->
       send t loc (fun () ->
-          owner_service t ~owner ~loc (fun () ->
+          owner_service t ~owner ~requester:proc ~loc (fun () ->
               t.stats.invalidations <- t.stats.invalidations + 1;
               let l = line_of t owner loc in
               l.lstate <- I;
@@ -598,10 +626,23 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
                   dir_next t loc)))
 
 (* Run [k] at [owner] now, or defer it if the line is reserved (Section
-   5.3: a reserved line is never given up before the counter reads zero). *)
-and owner_service t ~owner ~loc k =
+   5.3: a reserved line is never given up before the counter reads zero).
+   [requester] is the processor whose miss is being serviced: the cycles
+   spent deferred are *its* stall, shifted there by condition 5, and are
+   attributed to it — this is exactly the wait the paper's Definition-2
+   hardware moves off the synchronizing processor. *)
+and owner_service t ~owner ~requester ~loc k =
   let l = line_of t owner loc in
-  if l.reserved then defer t owner loc k else k ()
+  if l.reserved then begin
+    Obs.instant t.obs ~cat:"proto" ~name:"defer" ~tid:owner
+      ~ts:(Engine.now t.eng) ~loc ~cause:cause_reserve;
+    let t0 = Engine.now t.eng in
+    defer t owner loc (fun () ->
+        Obs.Stall.add t.stalls ~tid:requester ~cause:cause_reserve ~loc
+          ~cycles:(Engine.now t.eng - t0);
+        k ())
+  end
+  else k ()
 
 (* --- processor-facing API --------------------------------------------------- *)
 

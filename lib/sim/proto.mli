@@ -13,6 +13,7 @@
     directory line retry with exponential backoff (NACK-and-retry). *)
 
 type t
+(** One protocol instance: caches, directory, transport, counters. *)
 
 exception Stuck of string
 (** The protocol is wedged (a transaction blew through every deadline
@@ -20,19 +21,47 @@ exception Stuck of string
     payload is the full diagnostic dump. *)
 
 type line_state = I | S | M
+(** MSI cache-line states. *)
+
 type dir_state = Uncached | Shared of Iset.t | Exclusive of int
+(** Directory full-map state for one line. *)
 
 type stats = {
   mutable messages : int;
   mutable invalidations : int;
-  mutable deferrals : int;
+  mutable deferrals : int;  (** requests delayed by a reserve bit *)
   mutable nacks : int;  (** requests bounced off a busy directory line *)
   mutable txn_timeouts : int;  (** transaction deadline extensions *)
 }
+(** Protocol-layer counters. *)
 
-val create : ?init:(string * int) list -> Sim_config.t -> Engine.t -> t
+val create :
+  ?init:(string * int) list ->
+  ?obs:Obs.t ->
+  ?stalls:Obs.Stall.t ->
+  Sim_config.t ->
+  Engine.t ->
+  t
+(** A fresh protocol instance over [eng].  [init] seeds memory values.
+    [obs] (default {!Obs.null}) receives transaction spans ([txn]
+    category), NACK/defer/reserve instants and outstanding-counter
+    samples ([proto] category), and is passed down to the transport for
+    fault instants.  [stalls] collects NACK-backoff and reserve-bit
+    deferral cycles, attributed to the {e requesting} processor. *)
+
+val cause_nack : string
+(** ["nack-retry"]: stall tag for NACK backoff cycles. *)
+
+val cause_reserve : string
+(** ["reserve-bit"]: stall tag for cycles a miss spent deferred behind a
+    remote reservation (the wait Definition 2's condition 5 shifts off
+    the synchronizing processor). *)
+
 val stats : t -> stats
+(** The live protocol counters. *)
+
 val net : t -> Net.t
+(** The transport underneath this protocol instance. *)
 
 val counter : t -> int -> int
 (** Outstanding accesses of a processor (the Section 5.3 counter). *)
@@ -68,8 +97,13 @@ val modify :
     a genuine function. *)
 
 val line_state : t -> int -> string -> line_state
+(** A processor's cached state for a line ([I] when absent). *)
+
 val line_reserved : t -> int -> string -> bool
+(** Whether the processor holds a reservation on the line. *)
+
 val memory_value : t -> string -> int
+(** The directory's memory copy (possibly stale while Exclusive). *)
 
 val settled_value : t -> string -> int
 (** The coherent value of a location once the system is quiescent. *)
@@ -83,11 +117,19 @@ val set_monitor : t -> (unit -> unit) -> unit
 (** Install a hook that runs after each delivered message's effects. *)
 
 type line_view = { lv_state : line_state; lv_value : int; lv_reserved : bool }
+(** A sanitizer-facing snapshot of one cached line. *)
 
 val nprocs : t -> int
+(** Number of processors in the configuration. *)
+
 val dir_lines : t -> (string * dir_state) list
+(** All directory entries (unordered). *)
+
 val cached_lines : t -> int -> (string * line_view) list
+(** A processor's cached lines (unordered). *)
+
 val deferred_count : t -> int -> int
+(** Foreign requests currently deferred at the processor. *)
 
 val open_txns : t -> (int * int * string) list
 (** In-flight transactions as [(txid, proc, loc)]. *)
@@ -102,4 +144,7 @@ val dump : t -> string
     the protocol event journal. *)
 
 val pp_line_state : Format.formatter -> line_state -> unit
+(** [I]/[S]/[M]. *)
+
 val pp_dir_state : Format.formatter -> dir_state -> unit
+(** e.g. [Shared{0,2}], [Exclusive P1]. *)

@@ -32,6 +32,7 @@ type run = {
   reorders : int;
   sanitizer_checks : int;
   spin_iters : int;
+  stalls : Obs.Stall.t;
 }
 
 let exec_instr ctx proc regs instr k =
@@ -97,7 +98,7 @@ let rec exec_thread ctx proc regs instrs k =
   | [] -> k ()
   | i :: rest -> exec_instr ctx proc regs i (fun () -> exec_thread ctx proc regs rest k)
 
-let run ?cfg ?(limit = 10_000_000) policy prog =
+let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy prog =
   let nprocs = Prog.num_threads prog in
   let cfg =
     match cfg with
@@ -105,7 +106,8 @@ let run ?cfg ?(limit = 10_000_000) policy prog =
     | None -> Sim_config.make ~nprocs ()
   in
   let eng = Engine.create () in
-  let proto = Proto.create ~init:(Prog.init prog) cfg eng in
+  let stalls = Obs.Stall.create () in
+  let proto = Proto.create ~init:(Prog.init prog) ~obs ~stalls cfg eng in
   let sanitizer =
     if cfg.Sim_config.sanitize then Some (Sim_sanitizer.install proto)
     else None
@@ -120,6 +122,8 @@ let run ?cfg ?(limit = 10_000_000) policy prog =
       observations = [];
       trace = [];
       op_seq = Array.make nprocs 0;
+      obs;
+      stalls;
     }
   in
   let regs = Array.init nprocs (fun _ -> ref Smap.empty) in
@@ -171,10 +175,11 @@ let run ?cfg ?(limit = 10_000_000) policy prog =
       (match sanitizer with Some s -> Sim_sanitizer.checks s | None -> 0);
     spin_iters =
       Array.fold_left (fun a s -> a + s.Cpu.spin_iters) 0 ctx.Cpu.stats;
+    stalls;
   }
 
-let try_run ?cfg ?limit policy prog =
-  match run ?cfg ?limit policy prog with
+let try_run ?cfg ?limit ?obs policy prog =
+  match run ?cfg ?limit ?obs policy prog with
   | r -> Ok r
   | exception Sim_run.Wedged d ->
       if String.length d >= 8 && String.sub d 0 8 = "livelock" then

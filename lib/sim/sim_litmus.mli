@@ -6,30 +6,39 @@
 
 type run = {
   final : Final.t;  (** settled memory + per-thread register files *)
-  total_cycles : int;
-  messages : int;
-  retransmits : int;
-  nacks : int;
-  txn_timeouts : int;
-  dups_suppressed : int;
-  reorders : int;
-  sanitizer_checks : int;
-  spin_iters : int;
+  total_cycles : int;  (** completion cycle of the last thread *)
+  messages : int;  (** protocol messages sent *)
+  retransmits : int;  (** lost messages recovered by backoff *)
+  nacks : int;  (** requests bounced off busy directory lines *)
+  txn_timeouts : int;  (** transaction deadline extensions *)
+  dups_suppressed : int;  (** duplicate deliveries discarded *)
+  reorders : int;  (** messages buffered to restore per-line order *)
+  sanitizer_checks : int;  (** invariant sweeps performed *)
+  spin_iters : int;  (** spin-loop iterations across all threads *)
+  stalls : Obs.Stall.t;  (** stalled cycles by (proc, cause, location) *)
 }
+(** What one simulated litmus run reports. *)
 
-val run : ?cfg:Sim_config.t -> ?limit:int -> Cpu.policy -> Prog.t -> run
+val run :
+  ?cfg:Sim_config.t -> ?limit:int -> ?obs:Obs.t -> Cpu.policy -> Prog.t -> run
 (** Deterministic; [cfg.nprocs] is overridden by the program's thread
-    count.
+    count.  [obs] (default {!Obs.null}) receives the same event stream as
+    {!Sim_run.run}: op spans, transactions, protocol instants, counter
+    samples and fault marks.
     @raise Sim_run.Wedged on deadlock or livelock (with diagnostic dump)
     @raise Sim_sanitizer.Violation on a coherence-invariant violation *)
 
 val try_run :
   ?cfg:Sim_config.t ->
   ?limit:int ->
+  ?obs:Obs.t ->
   Cpu.policy ->
   Prog.t ->
   (run, Sim_run.failure) result
-(** [run] with every failure mode reified — for fault campaigns. *)
+(** [run] with every failure mode reified — for fault campaigns.  On
+    failure the tracer passed as [obs] retains the events leading up to
+    the wedge, so the campaign can dump the window around each injected
+    fault. *)
 
 val matches : Prog.t -> Final.t -> Final.t -> bool
 (** Semantic outcome equality over the program's locations and assigned

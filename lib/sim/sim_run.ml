@@ -31,6 +31,7 @@ type result = {
   sanitizer_checks : int;
   events : int;
   trace : Sim_trace.ev list;  (** per-operation trace, in generation order *)
+  stalls : Obs.Stall.t;  (** stalled cycles by (proc, cause, location) *)
 }
 
 type failure =
@@ -58,7 +59,7 @@ let locations_of workload =
   List.sort_uniq String.compare
     (List.map fst workload.Workload.init @ from_threads)
 
-let run ?cfg ?(limit = 10_000_000) policy workload =
+let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy workload =
   let nprocs = Workload.num_threads workload in
   let cfg =
     match cfg with
@@ -66,7 +67,8 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
     | None -> Sim_config.make ~nprocs ()
   in
   let eng = Engine.create () in
-  let proto = Proto.create ~init:workload.Workload.init cfg eng in
+  let stalls = Obs.Stall.create () in
+  let proto = Proto.create ~init:workload.Workload.init ~obs ~stalls cfg eng in
   let sanitizer =
     if cfg.Sim_config.sanitize then Some (Sim_sanitizer.install proto)
     else None
@@ -81,6 +83,8 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
       observations = [];
       trace = [];
       op_seq = Array.make nprocs 0;
+      obs;
+      stalls;
     }
   in
   let done_flags = Array.make nprocs false in
@@ -145,10 +149,11 @@ let run ?cfg ?(limit = 10_000_000) policy workload =
       (match sanitizer with Some s -> Sim_sanitizer.checks s | None -> 0);
     events = Engine.executed eng;
     trace = List.rev ctx.Cpu.trace;
+    stalls;
   }
 
-let try_run ?cfg ?limit policy workload =
-  match run ?cfg ?limit policy workload with
+let try_run ?cfg ?limit ?obs policy workload =
+  match run ?cfg ?limit ?obs policy workload with
   | r -> Ok r
   | exception Wedged d ->
       if String.length d >= 8 && String.sub d 0 8 = "livelock" then

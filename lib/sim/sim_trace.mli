@@ -2,16 +2,18 @@
     Section 5.1 sufficient conditions on them. *)
 
 type ev = {
-  ep : int;
-  eidx : int;
-  sync : bool;
+  ep : int;  (** issuing processor *)
+  eidx : int;  (** program-order index within the processor *)
+  sync : bool;  (** synchronization operation? *)
   reads : bool;
   writes : bool;
-  eloc : string;
-  egen : int;
-  mutable ecommit : int;
-  mutable egp : int;
+  eloc : string;  (** memory location *)
+  egen : int;  (** generation cycle (the processor issues the access) *)
+  mutable ecommit : int;  (** commit cycle; [-1] until known *)
+  mutable egp : int;  (** globally-performed cycle; [-1] until known *)
 }
+(** One memory operation of a run, with the three timestamps the
+    Section 5.1 conditions are phrased over. *)
 
 val make :
   ep:int ->
@@ -22,12 +24,17 @@ val make :
   eloc:string ->
   egen:int ->
   ev
+(** A freshly generated operation ([ecommit] and [egp] start at [-1]). *)
 
 val pp_ev : Format.formatter -> ev -> unit
 
 type violation = { condition : int; message : string }
+(** A Section 5.1 condition broken by the trace, with its number. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+(** [check_conditionN] verifies the paper's condition [N] over a complete
+    run trace and returns every breach; empty = the run was compliant. *)
 
 val check_condition2 : ev list -> violation list
 val check_condition3 : ev list -> violation list

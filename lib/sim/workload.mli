@@ -17,9 +17,13 @@ type op =
 
 type t = {
   name : string;
-  init : (string * int) list;
-  threads : op list list;
+  init : (string * int) list;  (** initial memory image *)
+  threads : op list list;  (** one operation list per processor *)
 }
+(** A timing workload: straight-line per-processor operation streams (no
+    registers or control flow — contrast with litmus {!Prog.t}). *)
+
+(** {2 Constructors} — one smart constructor per {!op} case. *)
 
 val read : ?tag:string -> string -> op
 val write : string -> int -> op
@@ -32,6 +36,8 @@ val lock : string -> op
 val unlock : string -> op
 val work : int -> op
 
+(** {2 The paper's scenarios} *)
+
 val fig3_handoff :
   ?work_before:int -> ?work_after:int -> ?consumer_delay:int -> unit -> t
 (** Figure 3: [W(x) ... Unset(s)] producing for [TestAndSet(s) ... R(x)]. *)
@@ -42,8 +48,13 @@ val spin_barrier : ?nprocs:int -> ?stagger:int -> ?sync_spin:bool -> unit -> t
 
 val critical_sections :
   ?nprocs:int -> ?rounds:int -> ?work_in:int -> ?work_out:int -> unit -> t
+(** Lock-protected counter increments: [rounds] acquisitions per
+    processor, [work_in]/[work_out] cycles of local work inside/outside
+    the critical section. *)
 
 val pipeline : ?nprocs:int -> ?batch:int -> ?work_cycles:int -> unit -> t
+(** Producer-consumer chain: each stage writes a batch and signals the
+    next with an Unset/TestAndSet handoff (Figure 3 repeated in series). *)
 
 val ticket_lock : ?nprocs:int -> ?work_in:int -> ?work_out:int -> unit -> t
 (** FADD-based ticket lock: explicit FIFO, no TestAndSet ping-pong. *)
@@ -52,3 +63,4 @@ val sense_barrier : ?nprocs:int -> ?rounds:int -> ?sync_spin:bool -> unit -> t
 (** Centralized sense-reversing barrier with a static coordinator. *)
 
 val num_threads : t -> int
+(** Number of processors the workload occupies. *)

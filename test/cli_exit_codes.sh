@@ -28,8 +28,23 @@ trap 'rm -rf "$tmp"' EXIT
 expect 0 "run on a shipped file" "$WEAKORD" run "$LITMUS_DIR/mp_sync.litmus"
 expect 0 "races on a race-free program" "$WEAKORD" races mp_sync
 expect 0 "verify def2 against drf0" "$WEAKORD" verify -m def2 --model drf0
+expect 0 "verify without partial-order reduction" \
+  "$WEAKORD" verify --no-por -m def2 --model drf0
 expect 0 "fault campaign that passes" \
   "$WEAKORD" faults --seeds 1 -s delay mp_sync
+expect 0 "trace to stdout summary" "$WEAKORD" trace dekker -m def2
+expect 0 "trace to a file" \
+  "$WEAKORD" trace dekker -m def2 --normalize -o "$tmp/dekker.json"
+expect 0 "sim with a trace summary" \
+  "$WEAKORD" sim -w fig3 -p def1 --trace-summary
+
+if [ ! -s "$tmp/dekker.json" ]; then
+  echo "FAIL: trace -o did not write a nonempty file" >&2
+  fails=$((fails + 1))
+elif ! grep -q '"traceEvents"' "$tmp/dekker.json"; then
+  echo "FAIL: trace output is not a Chrome trace document" >&2
+  fails=$((fails + 1))
+fi
 
 # the check ran and failed: exit 1
 expect 1 "races on a racy program" "$WEAKORD" races dekker

@@ -12,6 +12,7 @@ let () =
       Test_machine.suite;
       Test_explore.suite;
       Test_sim.suite;
+      Test_obs.suite;
       Test_fault.suite;
       Test_fault.fuel_suite;
       Test_differential.suite;
