@@ -181,6 +181,65 @@ let json_trace_entries () =
     off.e_wall_ms on.e_wall_ms pct;
   [ off; on ]
 
+(* Overhead of --checkpoint-every at its default interval: the same def2
+   sweep with no resilience config vs. periodic CRC-framed snapshots
+   atomically installed to a real file.  Best-of-[passes] per variant; the
+   acceptance bar (README/EXPERIMENTS) is <= 5% at the default interval,
+   and the json carries both walls so every commit re-checks it instead
+   of trusting the claim. *)
+let json_checkpoint_entries () =
+  let passes = 7 in
+  let path = Filename.temp_file "weakord_bench" ".snap" in
+  let measure tname prog ~reps label rcfg =
+    let states = ref 0 in
+    let best = ref infinity in
+    for _ = 1 to passes do
+      let (), ms =
+        wall (fun () ->
+            for _ = 1 to reps do
+              let r = Machines.explore ?rcfg Machines.def2 prog in
+              states := r.Explore.stats.Explore.states_expanded
+            done)
+      in
+      if ms < !best then best := ms
+    done;
+    {
+      e_name = tname ^ "-ckpt";
+      e_machine = label;
+      e_domains = 1;
+      e_wall_ms = !best /. float_of_int reps;
+      e_states = !states;
+      e_outcomes = 0;
+    }
+  in
+  let ckpt_rcfg =
+    {
+      Explore.rcfg_default with
+      Explore.snapshot_sink = Some (fun bytes -> Snapshot.write_file path bytes);
+    }
+  in
+  let entries =
+    List.concat_map
+      (fun (tname, prog, reps) ->
+        ignore (Machines.explore Machines.def2 prog);
+        let off = measure tname prog ~reps "ckpt-off" None in
+        let on = measure tname prog ~reps "ckpt-on" (Some ckpt_rcfg) in
+        let pct = (on.e_wall_ms -. off.e_wall_ms) /. off.e_wall_ms *. 100. in
+        Fmt.pr
+          "checkpoint overhead on %s/def2 (every %d states): off %.4f \
+           ms/run, on %.4f ms/run (%+.1f%%)@."
+          tname Explore.checkpoint_every_default off.e_wall_ms on.e_wall_ms
+          pct;
+        [ off; on ])
+      [
+        ("dekker", prog_of "dekker", 200);
+        ("big3", json_large_prog (), 3);
+      ]
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (Snapshot.prev_path path) with Sys_error _ -> ());
+  entries
+
 let run_json () =
   let entries =
     List.concat_map
@@ -195,6 +254,7 @@ let run_json () =
     let prog = json_large_prog () in
     json_machine_entries "big3" prog Machines.def2
     @ json_sc_entries "big3" prog @ json_trace_entries ()
+    @ json_checkpoint_entries ()
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -202,20 +262,22 @@ let run_json () =
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
   let file = Printf.sprintf "BENCH_%s.json" date in
-  let oc = open_out file in
-  Printf.fprintf oc "{\n  \"date\": %S,\n  \"cores\": %d,\n  \"entries\": [\n"
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n  \"date\": %S,\n  \"cores\": %d,\n  \"entries\": [\n"
     date
     (Domain.recommended_domain_count ());
   List.iteri
     (fun i e ->
-      Printf.fprintf oc
+      Printf.bprintf b
         "    {\"name\": %S, \"machine\": %S, \"domains\": %d, \"wall_ms\": \
          %.3f, \"states_expanded\": %d, \"outcomes\": %d}%s\n"
         e.e_name e.e_machine e.e_domains e.e_wall_ms e.e_states e.e_outcomes
         (if i = List.length entries - 1 then "" else ","))
     entries;
-  output_string oc "  ]\n}\n";
-  close_out oc;
+  Buffer.add_string b "  ]\n}\n";
+  (* Atomic install: a bench run killed mid-dump never leaves a truncated
+     json for the comparison tooling to choke on. *)
+  Atomic_io.write_file file (Buffer.contents b);
   Fmt.pr "wrote %s (%d entries)@." file (List.length entries)
 
 let () =

@@ -11,7 +11,9 @@
    - list:   what is available
 
    Exit codes: 0 success; 1 a check ran and failed (race, counterexample,
-   fault-campaign failure); 2 parse failure or unreadable input. *)
+   fault-campaign failure); 2 parse failure, unreadable input, or an
+   unusable checkpoint; 3 a budget (deadline, memory, fuel) suspended the
+   run cleanly — a checkpoint, when configured, holds the resume point. *)
 
 open Cmdliner
 
@@ -69,6 +71,65 @@ let jobs_flag =
 
 let check_jobs jobs =
   if jobs < 1 then Fmt.failwith "--jobs must be at least 1 (got %d)" jobs
+
+(* --- resilience flags (verify / faults) ------------------------------------- *)
+
+let deadline_flag =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget. When it runs out the command stops at a \
+           safe point, writes a final checkpoint (with $(b,--checkpoint)) \
+           and exits 3 instead of being killed mid-sweep.")
+
+let mem_budget_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Memory budget for the exploration visited set. When crossed, \
+           the sequential engine degrades to a Bloom-filter visited set \
+           (sound: verdicts become bounded, never wrong); the parallel \
+           engine suspends with a checkpoint.")
+
+let checkpoint_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Keep a crash-safe resume point in $(docv): CRC-checked, \
+           written to a temp file and atomically renamed, with the \
+           previous generation retained as $(docv).prev.")
+
+let checkpoint_every_flag =
+  Arg.(
+    value
+    & opt int Explore.checkpoint_every_default
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "State expansions between periodic checkpoints (default \
+           $(b,1000)); a kill at any moment loses at most that much \
+           work.")
+
+let resume_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by $(b,--checkpoint). The \
+           file is validated (CRC, format version, machine/model/corpus \
+           identity) and rejected loudly — exit 2 — when unusable; a \
+           corrupt primary falls back to $(docv).prev.")
+
+let budget_of ~deadline ~mem =
+  match (deadline, mem) with
+  | None, None -> None
+  | _ -> Some (Budget.create ?deadline_s:deadline ?mem_bytes:mem ())
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -200,7 +261,19 @@ let verify_cmd =
             "Enumerate the SC reference sets without the partial-order \
              reduction (the escape hatch; the verdicts are identical).")
   in
-  let action machine_name model_name files jobs no_por =
+  let fuel_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Expand at most $(docv) distinct states per program (a bound, \
+             like the budgets: exhausting it suspends with exit 3). The \
+             bound spans resume — a resumed run continues the original \
+             budget.")
+  in
+  let action machine_name model_name files jobs no_por fuel deadline mem
+      checkpoint checkpoint_every resume =
     check_jobs jobs;
     let machine =
       match Machines.find machine_name with
@@ -217,20 +290,39 @@ let verify_cmd =
     let programs =
       match files with [] -> corpus | fs -> List.map load_prog fs
     in
-    let report =
-      Weak_ordering.verify ~por:(not no_por)
-        ~hw:(Weak_ordering.of_machine ~domains:jobs machine)
-        ~model programs
-    in
-    Fmt.pr "%a@." Weak_ordering.pp_report report;
-    if not report.Weak_ordering.weakly_ordered then exit 1
+    match
+      Weak_ordering.verify_machine ~domains:jobs ?fuel ~por:(not no_por)
+        ?budget:(budget_of ~deadline ~mem)
+        ?checkpoint ~checkpoint_every ?resume
+        ~on_event:(fun m -> Fmt.epr "weakord: %s@." m)
+        ~machine ~model programs
+    with
+    | exception Explore.Resume_rejected msg ->
+        Fmt.epr "weakord: unusable checkpoint: %s@." msg;
+        exit 2
+    | rr ->
+        let report = rr.Weak_ordering.report in
+        Fmt.pr "%a@." Weak_ordering.pp_report report;
+        (match rr.Weak_ordering.suspended with
+        | Some reason ->
+            Fmt.epr
+              "weakord: %s budget exhausted after %d/%d program(s)%s@."
+              (Explore.stop_reason_string reason)
+              (List.length report.Weak_ordering.verdicts)
+              (List.length programs)
+              (match checkpoint with
+              | Some p -> "; resume point written to " ^ p
+              | None -> " (no --checkpoint: progress was discarded)");
+            exit 3
+        | None -> if not report.Weak_ordering.weakly_ordered then exit 1)
   in
   let doc = "check Definition 2 over a corpus of programs" in
   Cmd.v
     (Cmd.info "verify" ~doc)
     Term.(
       const action $ machine_flag $ model_flag $ files_arg $ jobs_flag
-      $ no_por_flag)
+      $ no_por_flag $ fuel_flag $ deadline_flag $ mem_budget_flag
+      $ checkpoint_flag $ checkpoint_every_flag $ resume_flag)
 
 (* --- sim -------------------------------------------------------------------- *)
 
@@ -394,6 +486,50 @@ let trace_cmd =
 
 (* --- faults ------------------------------------------------------------------ *)
 
+(* A fault campaign's resume point: the run grid is (scenario, program,
+   seed) and every run is deterministic in that triple — [fault_seed] is
+   the seed component — so recording the position (plus the grid itself,
+   for identity validation) replays the identical fault schedule after a
+   resume.  Accumulators travel along so the per-scenario summary lines
+   come out right even when the scenario was split across processes. *)
+type fault_ckpt = {
+  f_policy : string;
+  f_scenarios : string list;
+  f_seeds : int;
+  f_intensity : int;
+  f_tests : string list;  (* program fingerprints, in campaign order *)
+  f_pos : int * int * int;  (* scenario idx, program idx, next RNG seed *)
+  f_failures : int;
+  f_acc : int * int * int * int * int;  (* ok, retr, nacks, dups, maxc *)
+}
+
+let faults_kind = "weakord.faults"
+
+let write_fault_ckpt path ck =
+  let s, p, d = ck.f_pos in
+  Snapshot.write_file path
+    (Snapshot.frame ~kind:faults_kind
+       ~meta:(Printf.sprintf "scenario %d, program %d, seed %d" s p d)
+       ~payload:(Marshal.to_string ck []))
+
+let load_fault_ckpt path =
+  match Snapshot.load path with
+  | Error (e, _) ->
+      Fmt.epr "weakord: unusable checkpoint %s: %s@." path
+        (Snapshot.error_string e);
+      exit 2
+  | Ok { Snapshot.container = c; recovered } ->
+      if not (String.equal c.Snapshot.kind faults_kind) then begin
+        Fmt.epr "weakord: %s holds a %S snapshot, expected %S@." path
+          c.Snapshot.kind faults_kind;
+        exit 2
+      end;
+      (match (Marshal.from_string c.Snapshot.payload 0 : fault_ckpt) with
+      | ck -> (ck, recovered)
+      | exception (Failure _ | Invalid_argument _) ->
+          Fmt.epr "weakord: %s: checkpoint payload does not unmarshal@." path;
+          exit 2)
+
 let faults_cmd =
   let seeds_flag =
     Arg.(
@@ -437,7 +573,8 @@ let faults_cmd =
             "On each failing run, dump the trace events within $(docv) \
              cycles of every injected fault (0 disables tracing).")
   in
-  let action seeds scenario_names policy_name intensity tests window =
+  let action seeds scenario_names policy_name intensity tests window deadline
+      checkpoint resume =
     let policy = policy_of_name policy_name in
     let progs =
       match tests with
@@ -467,72 +604,171 @@ let faults_cmd =
                     (String.concat "|" Fault.scenario_names))
             names
     in
-    let failures = ref 0 in
+    let progs_a = Array.of_list progs in
+    let scen_a = Array.of_list scenarios in
+    let fps =
+      List.map
+        (fun p -> Format.asprintf "%s|%a" (Prog.name p) Prog.pp p)
+        progs
+    in
+    let scen_names = List.map fst scenarios in
+    let budget = budget_of ~deadline ~mem:None in
+    (* Restore the campaign position and accumulators from a checkpoint;
+       the grid (policy, scenarios, seeds, intensity, corpus) must match
+       exactly or the resumed schedule would not be the original one. *)
+    let (s0, p0, d0), failures0, acc0 =
+      match resume with
+      | None -> ((0, 0, 0), 0, (0, 0, 0, 0, 0))
+      | Some path ->
+          let ck, recovered = load_fault_ckpt path in
+          let mismatch what =
+            Fmt.epr
+              "weakord: checkpoint %s was taken for a different campaign \
+               (%s differs)@."
+              path what;
+            exit 2
+          in
+          if not (String.equal ck.f_policy policy_name) then
+            mismatch "policy";
+          if ck.f_scenarios <> scen_names then mismatch "scenario list";
+          if ck.f_seeds <> seeds then mismatch "--seeds";
+          if ck.f_intensity <> intensity then mismatch "--intensity";
+          if ck.f_tests <> fps then mismatch "test corpus";
+          let s, p, d = ck.f_pos in
+          Fmt.epr
+            "weakord: resuming campaign at scenario %d, program %d, seed \
+             %d%s@."
+            s p d
+            (if recovered then
+               " (recovered from the last-good .prev generation)"
+             else "");
+          (ck.f_pos, ck.f_failures, ck.f_acc)
+    in
+    let failures = ref failures0 in
+    let ok = ref 0
+    and retr = ref 0
+    and nacks = ref 0
+    and dups = ref 0
+    and maxc = ref 0 in
+    let () =
+      let a, b, c, d, e = acc0 in
+      ok := a;
+      retr := b;
+      nacks := c;
+      dups := d;
+      maxc := e
+    in
+    let save pos =
+      match checkpoint with
+      | None -> ()
+      | Some path ->
+          write_fault_ckpt path
+            {
+              f_policy = policy_name;
+              f_scenarios = scen_names;
+              f_seeds = seeds;
+              f_intensity = intensity;
+              f_tests = fps;
+              f_pos = pos;
+              f_failures = !failures;
+              f_acc = (!ok, !retr, !nacks, !dups, !maxc);
+            }
+    in
+    let nscen = Array.length scen_a and nprog = Array.length progs_a in
     Fmt.pr
       "fault campaign: %d program(s) x %d scenario(s) x %d seed(s), policy \
        %s, intensity %d/1000@.@."
-      (List.length progs) (List.length scenarios) seeds
-      (Cpu.policy_name policy) intensity;
-    List.iter
-      (fun (sname, profile) ->
-        let profile = Fault.scale profile ~permille:intensity in
-        let ok = ref 0
-        and retr = ref 0
-        and nacks = ref 0
-        and dups = ref 0
-        and maxc = ref 0 in
-        List.iter
-          (fun prog ->
-            let drf0 =
-              match Drf.check ~model:Drf.DRF0 prog with
-              | Ok () -> true
-              | Error _ -> false
-            in
-            for seed = 0 to seeds - 1 do
-              let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
-              let obs = if window > 0 then Obs.create () else Obs.null in
-              (* On a failing run, show the events surrounding each
-                 injected fault — the ring retains them even when the run
-                 raised. *)
-              let dump_fault_windows () =
-                if window > 0 then
-                  List.iter
-                    (fun e ->
-                      if String.equal e.Obs.cat "fault" then
-                        Fmt.pr "%a@."
-                          (fun ppf ->
-                            Obs.pp_window ppf ~around:e.Obs.ts ~radius:window)
-                          obs)
-                    (Obs.events obs)
-              in
-              match Sim_litmus.try_run ~cfg ~obs policy prog with
-              | Error f ->
-                  incr failures;
-                  Fmt.pr "FAIL %-22s %-6s seed %-3d %s@." (Prog.name prog)
-                    sname seed (Sim_run.failure_kind f);
-                  dump_fault_windows ()
-              | Ok r ->
-                  retr := !retr + r.Sim_litmus.retransmits;
-                  nacks := !nacks + r.Sim_litmus.nacks;
-                  dups := !dups + r.Sim_litmus.dups_suppressed;
-                  maxc := max !maxc r.Sim_litmus.total_cycles;
-                  if
-                    drf0
-                    && not (Sim_litmus.allowed_by_sc prog r.Sim_litmus.final)
-                  then begin
-                    incr failures;
-                    Fmt.pr "FAIL %-22s %-6s seed %-3d non-SC outcome %a@."
-                      (Prog.name prog) sname seed Final.pp r.Sim_litmus.final;
-                    dump_fault_windows ()
-                  end
-                  else incr ok
-            done)
-          progs;
-        Fmt.pr
-          "%-6s %4d ok, max %7d cycles, %5d retransmits, %4d nacks, %4d \
-           dups suppressed@."
-          sname !ok !maxc !retr !nacks !dups)
-      scenarios;
+      nprog nscen seeds (Cpu.policy_name policy) intensity;
+    let si = ref s0 and pi = ref p0 and di = ref d0 in
+    while !si < nscen do
+      let sname, profile = scen_a.(!si) in
+      let profile = Fault.scale profile ~permille:intensity in
+      while !pi < nprog do
+        let prog = progs_a.(!pi) in
+        let drf0 =
+          match Drf.check ~model:Drf.DRF0 prog with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        while !di < seeds do
+          (* Safe point before each run: suspend cleanly at the deadline
+             with a checkpoint pointing at this exact (scenario, program,
+             seed) — the resumed campaign replays the identical fault
+             schedule from here. *)
+          (match budget with
+          | Some b when Budget.over_deadline b ->
+              save (!si, !pi, !di);
+              Fmt.epr
+                "weakord: deadline exhausted at scenario %d/%d, program \
+                 %d/%d, seed %d/%d%s@."
+                !si nscen !pi nprog !di seeds
+                (match checkpoint with
+                | Some p -> "; resume point written to " ^ p
+                | None -> " (no --checkpoint: progress was discarded)");
+              exit 3
+          | _ -> ());
+          let seed = !di in
+          let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
+          let obs = if window > 0 then Obs.create () else Obs.null in
+          (* On a failing run, show the events surrounding each
+             injected fault — the ring retains them even when the run
+             raised. *)
+          let dump_fault_windows () =
+            if window > 0 then
+              List.iter
+                (fun e ->
+                  if String.equal e.Obs.cat "fault" then
+                    Fmt.pr "%a@."
+                      (fun ppf ->
+                        Obs.pp_window ppf ~around:e.Obs.ts ~radius:window)
+                      obs)
+                (Obs.events obs)
+          in
+          (* The watchdog hook dumps a final checkpoint (pointing at the
+             wedged run) before the abort unwinds the simulator. *)
+          (match
+             Sim_litmus.try_run ~cfg ~obs
+               ~on_wedged:(fun _diag -> save (!si, !pi, !di))
+               policy prog
+           with
+          | Error f ->
+              incr failures;
+              Fmt.pr "FAIL %-22s %-6s seed %-3d %s@." (Prog.name prog) sname
+                seed (Sim_run.failure_kind f);
+              dump_fault_windows ()
+          | Ok r ->
+              retr := !retr + r.Sim_litmus.retransmits;
+              nacks := !nacks + r.Sim_litmus.nacks;
+              dups := !dups + r.Sim_litmus.dups_suppressed;
+              maxc := max !maxc r.Sim_litmus.total_cycles;
+              if
+                drf0 && not (Sim_litmus.allowed_by_sc prog r.Sim_litmus.final)
+              then begin
+                incr failures;
+                Fmt.pr "FAIL %-22s %-6s seed %-3d non-SC outcome %a@."
+                  (Prog.name prog) sname seed Final.pp r.Sim_litmus.final;
+                dump_fault_windows ()
+              end
+              else incr ok);
+          incr di;
+          save (!si, !pi, !di)
+        done;
+        di := 0;
+        incr pi
+      done;
+      Fmt.pr
+        "%-6s %4d ok, max %7d cycles, %5d retransmits, %4d nacks, %4d \
+         dups suppressed@."
+        sname !ok !maxc !retr !nacks !dups;
+      ok := 0;
+      retr := 0;
+      nacks := 0;
+      dups := 0;
+      maxc := 0;
+      pi := 0;
+      incr si;
+      save (!si, 0, 0)
+    done;
     if !failures > 0 then begin
       Fmt.pr "@.%d failing run(s).@." !failures;
       exit 1
@@ -550,7 +786,8 @@ let faults_cmd =
     (Cmd.info "faults" ~doc)
     Term.(
       const action $ seeds_flag $ scenario_flag $ policy_flag $ intensity_flag
-      $ tests_arg $ window_flag)
+      $ tests_arg $ window_flag $ deadline_flag $ checkpoint_flag
+      $ resume_flag)
 
 (* --- fences ------------------------------------------------------------------ *)
 

@@ -34,11 +34,26 @@ val appears_sc : ?por:bool -> hardware -> Prog.t -> bool
     SC enumeration; [~por:false] forces the unreduced sweep (the CLI's
     [--no-por]) — same set, different strategy. *)
 
+type coverage =
+  | Exhaustive  (** every reachable state examined, exact visited set *)
+  | Bounded of { reason : string; degraded : bool }
+      (** a budget limited coverage ([reason] says which); [degraded]
+          marks a Bloom-filter visited set.  The verdict is still sound:
+          outcomes found are real, so a counterexample stands — only the
+          {e absence} of one is weaker than exhaustive. *)
+
+val coverage_string : coverage -> string
+(** ["exhaustive"], ["bounded:memory+degraded"], ... *)
+
 type verdict = {
   program : Prog.t;
   obeys_model : bool;
   sc_appearance : bool;
   ok : bool;  (** [obeys_model] implies [sc_appearance] *)
+  coverage : coverage;
+  states : int;
+      (** distinct hardware states expanded ([0] when the hardware is not
+          a counting engine, e.g. axiomatic models via {!verify}) *)
 }
 
 type report = {
@@ -47,6 +62,11 @@ type report = {
   verdicts : verdict list;
   weakly_ordered : bool;  (** no counterexample in the corpus *)
 }
+
+val report_exhaustive : report -> bool
+(** Every verdict has {!Exhaustive} coverage — [weakly_ordered] then
+    means "no counterexample exists in the corpus", not merely "none
+    found". *)
 
 val verify :
   ?por:bool -> hw:hardware -> model:sync_model -> Prog.t list -> report
@@ -64,3 +84,53 @@ val weaker_than_sc : hw:hardware -> Prog.t list -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Resumable verification}
+
+    {!verify_machine} is {!verify} for an abstract machine with the
+    resilience layer threaded through: wall-clock/memory budgets stop the
+    campaign at a safe point, the whole campaign state — finished
+    verdicts, corpus position, and the in-flight program's exploration
+    snapshot — lives in ONE crash-safe checkpoint file (CRC-checked,
+    atomically installed, last-good [.prev] generation retained), and
+    [~resume] restarts from exactly there. *)
+
+type run_report = {
+  report : report;
+  suspended : Explore.stop_reason option;
+      (** [Some r]: a budget stopped the campaign; the report covers only
+          the programs finished so far and the checkpoint (if configured)
+          holds the resume point *)
+  recovered : bool;
+      (** the resume checkpoint came from the [.prev] last-good
+          generation (the primary was corrupt or missing) *)
+}
+
+val verify_machine :
+  ?domains:int ->
+  ?fuel:int ->
+  ?por:bool ->
+  ?budget:Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
+  ?obs:Obs.t ->
+  ?on_event:(string -> unit) ->
+  machine:Machines.t ->
+  model:sync_model ->
+  Prog.t list ->
+  run_report
+(** Check Definition 2 over the corpus with checkpoints and budgets.
+
+    [~checkpoint path] keeps [path] current: rewritten (atomically) at
+    every program boundary and every [checkpoint_every] state expansions
+    inside a program, so a [SIGKILL] at any moment loses at most that
+    much work.  [~resume path] validates the checkpoint (CRC, version,
+    machine, model, corpus fingerprints) and continues; a resumed run
+    reaches the same verdicts as an uninterrupted one.  [~budget]
+    suspends the campaign cleanly ([suspended = Some _]) with a final
+    checkpoint instead of dying mid-sweep; under memory pressure the
+    sequential engine degrades to a Bloom-filter visited set and the
+    affected verdicts carry [Bounded] coverage (never reported
+    exhaustive).
+    @raise Explore.Resume_rejected when [~resume] fails validation. *)

@@ -113,21 +113,41 @@ type por_stats = { por_taken : int; por_declined : int }
 
 (* Reachability sweep: the outcome set is the union of finals over all
    reachable states, collected into one accumulator (no per-node set
-   unions).  Returns the set, the number of distinct states visited, and
-   the reduction's hit/miss telemetry. *)
-let explore_counted ?(reduce = true) prog =
+   unions).  Returns the set, the number of distinct states visited, the
+   reduction's hit/miss telemetry, and whether the sweep ran to
+   completion.  [budget] is checked at a safe point every few dozen
+   visited states; on exhaustion the sweep drains cleanly and the set is
+   a sound subset of the complete one (exploration only cuts branches). *)
+let explore_budgeted ?(reduce = true) ?budget prog =
   let info = if reduce then Some (por_info prog) else None in
   let visited : unit K.t = K.create 1024 in
   let acc = ref Final.Set.empty in
   let taken = ref 0 in
   let declined = ref 0 in
+  let complete = ref true in
   let nprocs = Prog.num_threads prog in
   let stack = ref [ Sem.initial prog ] in
   let running = ref true in
+  (* A visited SC state costs on the order of a key plus a table binding;
+     32 words is a deliberately low estimate so the budget errs on the
+     side of stopping early rather than overshooting. *)
+  let entry_bytes = 32 * (Sys.word_size / 8) in
+  let exhausted () =
+    match budget with
+    | None -> false
+    | Some b ->
+        K.length visited land 63 = 0
+        && Budget.check b ~bytes:(K.length visited * entry_bytes) <> None
+  in
   while !running do
     match !stack with
     | [] -> running := false
     | st :: rest -> (
+        if exhausted () then begin
+          complete := false;
+          running := false
+        end
+        else begin
         stack := rest;
         let k = Sem.key_of_state st in
         if not (K.mem visited k) then begin
@@ -152,9 +172,21 @@ let explore_counted ?(reduce = true) prog =
                   | None -> ()
                   | Some st' -> stack := st' :: !stack
                 done
+        end
         end)
   done;
-  (!acc, K.length visited, { por_taken = !taken; por_declined = !declined })
+  ( !acc,
+    K.length visited,
+    { por_taken = !taken; por_declined = !declined },
+    !complete )
+
+let explore_counted ?reduce prog =
+  let set, states, por, _complete = explore_budgeted ?reduce prog in
+  (set, states, por)
+
+let explore_within ?reduce ~budget prog =
+  let set, states, _por, complete = explore_budgeted ?reduce ~budget prog in
+  (set, states, complete)
 
 let explore ?reduce prog =
   let set, states, _ = explore_counted ?reduce prog in

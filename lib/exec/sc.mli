@@ -27,6 +27,14 @@ val explore_counted : ?reduce:bool -> Prog.t -> Final.Set.t * int * por_stats
 (** {!explore} plus the reduction's {!por_stats} — the observability feed
     for the exploration dashboards. *)
 
+val explore_within :
+  ?reduce:bool -> budget:Budget.t -> Prog.t -> Final.Set.t * int * bool
+(** {!explore} under a {!Budget.t}, checked at a safe point every few
+    dozen visited states.  The third component is [true] iff the sweep ran
+    to completion; on [false] the set is a sound {e subset} of the
+    complete SC set — a positive subset test against it is still valid, a
+    negative one is inconclusive. *)
+
 val outcomes_cached : Prog.t -> Final.Set.t
 (** [outcomes] memoized process-wide on physical program identity (with
     reduction on).  Use in sweeps that repeatedly compare machines against

@@ -9,17 +9,41 @@
    - parallel ([~domains:n], n > 1): a frontier-based sweep over [n]
      domains with a sharded claim table and a shared overflow queue.
 
-   Both honour the fuel contract: [fuel] bounds the number of distinct
-   states *expanded*; running out only cuts branches, so a [Partial] result
-   is always a sound subset of the complete outcome set — exploration never
-   invents outcomes.  In the parallel engine the set of states cut depends
-   on the schedule, but the subset property (and, when nothing is cut,
-   equality with the sequential result) does not. *)
+   Both honour the bound contract: [fuel] and the wall-clock/memory budget
+   only cut branches, so a [Partial] result is always a sound subset of
+   the complete outcome set — exploration never invents outcomes.  In the
+   parallel engine the set of states cut depends on the schedule, but the
+   subset property (and, when nothing is cut, equality with the sequential
+   result) does not.
+
+   The resilience layer rides on three hooks:
+
+   - every bound is checked *before* a state is claimed, so a stopped
+     sweep leaves every unexpanded state in the frontier and the
+     (frontier, transposition table, outcome accumulator) triple is a
+     complete resume point;
+   - that triple is periodically marshalled into a CRC-checked
+     [Snapshot] frame and handed to the configured sink — and once more
+     when a budget stops the sweep;
+   - when the visited set crosses the memory budget, the sequential
+     engine migrates it into a Bloom filter and keeps going: a
+     false-positive "seen" can only prune, so the outcome set stays a
+     sound subset, and the result is pinned [Partial] so degraded
+     coverage is never reported exhaustive.  (The parallel engine drains
+     at the budget instead — its sharded exact table cannot be swapped
+     mid-sweep without a barrier.) *)
 
 type 'a bounded = Complete of 'a | Partial of 'a
 
 let bounded_value = function Complete v | Partial v -> v
 let is_complete = function Complete _ -> true | Partial _ -> false
+
+type stop_reason = Fuel_exhausted | Deadline_exceeded | Memory_exhausted
+
+let stop_reason_string = function
+  | Fuel_exhausted -> "fuel"
+  | Deadline_exceeded -> "deadline"
+  | Memory_exhausted -> "memory"
 
 type stats = {
   states_expanded : int;
@@ -29,6 +53,7 @@ type stats = {
   donations : int;
   table_buckets : int;
   max_probe : int;
+  degraded_at : int option;
 }
 
 (* Telemetry for engines that do not run a sharded sweep (the SC
@@ -42,6 +67,7 @@ let basic_stats ~states_expanded ~domains_used =
     donations = 0;
     table_buckets = 0;
     max_probe = 0;
+    degraded_at = None;
   }
 
 let pp_stats ppf s =
@@ -54,9 +80,41 @@ let pp_stats ppf s =
     Format.fprintf ppf "; table: %d bucket(s), occupancy %.2f, max probe %d"
       s.table_buckets
       (float_of_int s.claimed /. float_of_int s.table_buckets)
-      s.max_probe
+      s.max_probe;
+  match s.degraded_at with
+  | Some n -> Format.fprintf ppf "; DEGRADED to Bloom visited set at %d" n
+  | None -> ()
 
-type run_result = { result : Final.Set.t bounded; stats : stats }
+type run_result = {
+  result : Final.Set.t bounded;
+  stats : stats;
+  stop : stop_reason option;
+}
+
+(* --- resilience configuration ---------------------------------------------- *)
+
+let checkpoint_every_default = 1000
+
+type rcfg = {
+  budget : Budget.t option;
+  checkpoint_every : int;
+  snapshot_sink : (string -> unit) option;
+  resume : string option;
+  obs : Obs.t;
+  on_event : string -> unit;
+}
+
+let rcfg_default =
+  {
+    budget = None;
+    checkpoint_every = checkpoint_every_default;
+    snapshot_sink = None;
+    resume = None;
+    obs = Obs.null;
+    on_event = ignore;
+  }
+
+exception Resume_rejected of string
 
 (* Shard count for the parallel claim table; a power of two well above any
    sensible domain count keeps lock contention negligible. *)
@@ -70,52 +128,280 @@ module Make (M : Machine_sig.MACHINE) = struct
     let equal = M.equal
   end)
 
+  (* --- snapshots ------------------------------------------------------------ *)
+
+  (* A state's canonical key is immutable structural data, so the whole
+     resume point marshals cleanly: no closures, no custom blocks.  The
+     CRC in the [Snapshot] frame guards the unmarshal — only validated
+     payloads are ever decoded. *)
+
+  type visited_repr =
+    | Exact_keys of M.key array
+    | Bloom_filter of Bloom.state
+
+  type snap = {
+    s_fingerprint : string;  (** name + printed program: identity check *)
+    s_visited : visited_repr;
+    s_claimed : int;
+    s_frontier : M.state list;
+    s_acc : Final.Set.t;
+    s_expanded : int;
+    s_degraded_at : int option;
+  }
+
+  let snap_kind = "weakord.explore/" ^ M.name
+
+  let fingerprint prog =
+    Format.asprintf "%s|%a" (Prog.name prog) Prog.pp prog
+
+  let encode_snap s =
+    Snapshot.frame ~kind:snap_kind
+      ~meta:
+        (Printf.sprintf "%d state(s) expanded, frontier %d" s.s_expanded
+           (List.length s.s_frontier))
+      ~payload:(Marshal.to_string s [])
+
+  let decode_snap ~prog bytes =
+    match Snapshot.unframe bytes with
+    | Error e -> raise (Resume_rejected (Snapshot.error_string e))
+    | Ok c ->
+        if not (String.equal c.Snapshot.kind snap_kind) then
+          raise
+            (Resume_rejected
+               (Printf.sprintf "snapshot was taken by %S, this engine is %S"
+                  c.Snapshot.kind snap_kind));
+        let s =
+          try (Marshal.from_string c.Snapshot.payload 0 : snap)
+          with Failure _ | Invalid_argument _ ->
+            raise (Resume_rejected "snapshot payload does not unmarshal")
+        in
+        if not (String.equal s.s_fingerprint (fingerprint prog)) then
+          raise
+            (Resume_rejected
+               "snapshot was taken for a different program (fingerprint \
+                mismatch)");
+        s
+
+  let snapshot_frontier_length bytes =
+    match Snapshot.unframe bytes with
+    | Error e -> raise (Resume_rejected (Snapshot.error_string e))
+    | Ok c -> (
+        match (Marshal.from_string c.Snapshot.payload 0 : snap) with
+        | s -> List.length s.s_frontier
+        | exception (Failure _ | Invalid_argument _) ->
+            raise (Resume_rejected "snapshot payload does not unmarshal"))
+
+  (* Rough per-entry cost of the exact visited set: the key's reachable
+     words plus a few words of hash-table binding.  Measured once per run
+     on the initial state's key — deterministic, so memory-budget
+     behaviour is reproducible. *)
+  let entry_bytes_estimate prog =
+    let k = M.canon (M.initial prog) in
+    (Obj.reachable_words (Obj.repr k) + 4) * (Sys.word_size / 8)
+
+  (* Bloom probes come from two independent structural hashes of the key:
+     the machine's own and a seeded stdlib traversal. *)
+  let bloom_hashes k =
+    (M.hash k, Hashtbl.seeded_hash_param 128 256 0x9e3779b9 k)
+
   (* --- sequential engine ---------------------------------------------------- *)
 
-  let run_seq ~fuel prog =
+  let run_seq ~fuel ~rcfg prog =
     (* The interner doubles as the transposition table: a key's presence
        means the state was claimed, and its interned int is the visit
        order.  Keys are stored once; no marshalled strings. *)
     let interned : int H.t = H.create 4096 in
+    let bloom = ref None in
     let next_id = ref 0 in
+    let claimed = ref 0 in
     let acc = ref Final.Set.empty in
     let expanded = ref 0 in
-    let cut = ref false in
+    let degraded_at = ref None in
     let stack = ref [ M.initial prog ] in
+    let stop = ref None in
+    let entry_bytes = entry_bytes_estimate prog in
+    (* Restore a resume point before the sweep starts. *)
+    (match rcfg.resume with
+    | None -> ()
+    | Some bytes ->
+        let s = decode_snap ~prog bytes in
+        (match s.s_visited with
+        | Exact_keys keys ->
+            Array.iter
+              (fun k ->
+                if not (H.mem interned k) then begin
+                  H.add interned k !next_id;
+                  incr next_id
+                end)
+              keys
+        | Bloom_filter bs -> bloom := Some (Bloom.import bs));
+        claimed := s.s_claimed;
+        acc := s.s_acc;
+        expanded := s.s_expanded;
+        degraded_at := s.s_degraded_at;
+        stack := s.s_frontier;
+        Obs.instant rcfg.obs ~cat:"explore" ~name:"resume" ~tid:0
+          ~ts:s.s_expanded ~loc:"" ~cause:"";
+        rcfg.on_event
+          (Printf.sprintf
+             "resumed %s/%s: %d state(s) already expanded, frontier %d%s"
+             M.name (Prog.name prog) s.s_expanded (List.length s.s_frontier)
+             (match s.s_degraded_at with
+             | Some n ->
+                 Printf.sprintf " (degraded to Bloom visited set at %d)" n
+             | None -> "")));
+    let take_snapshot () =
+      let visited =
+        match !bloom with
+        | Some b -> Bloom_filter (Bloom.export b)
+        | None ->
+            let keys = Array.make (H.length interned) (M.canon (M.initial prog)) in
+            let i = ref 0 in
+            H.iter
+              (fun k _ ->
+                keys.(!i) <- k;
+                incr i)
+              interned;
+            Exact_keys keys
+      in
+      encode_snap
+        {
+          s_fingerprint = fingerprint prog;
+          s_visited = visited;
+          s_claimed = !claimed;
+          s_frontier = !stack;
+          s_acc = !acc;
+          s_expanded = !expanded;
+          s_degraded_at = !degraded_at;
+        }
+    in
+    (* Periodic snapshots are throttled by their own cost: one is skipped
+       while taking it would spend more than ~5% of the wall-clock since
+       the last one (snapshot cost grows with the visited set, so a fixed
+       expansion interval would go quadratic on big sweeps).  [~force]
+       (stop/final snapshots) bypasses the throttle — a suspension always
+       leaves a current resume point. *)
+    let last_snap_end = ref neg_infinity in
+    let last_snap_cost = ref 0. in
+    let checkpoint ~force () =
+      match rcfg.snapshot_sink with
+      | None -> ()
+      | Some sink ->
+          let now = Unix.gettimeofday () in
+          if force || now -. !last_snap_end >= 20. *. !last_snap_cost then begin
+            sink (take_snapshot ());
+            let fin = Unix.gettimeofday () in
+            last_snap_end := fin;
+            last_snap_cost := fin -. now;
+            Obs.instant rcfg.obs ~cat:"explore" ~name:"checkpoint" ~tid:0
+              ~ts:!expanded ~loc:"" ~cause:""
+          end
+    in
+    (* Migrate the exact table into a Bloom filter: sized at ~32 bits per
+       key already claimed (with a 2^20 floor) the false-positive rate is
+       negligible at litmus scale, and the byte cost per future state
+       drops from hundreds to four bits. *)
+    let degrade () =
+      let bits = max (1 lsl 20) (32 * !claimed) in
+      let b = Bloom.create ~bits in
+      H.iter
+        (fun k _ ->
+          let h1, h2 = bloom_hashes k in
+          ignore (Bloom.add_mem b h1 h2))
+        interned;
+      H.reset interned;
+      bloom := Some b;
+      degraded_at := Some !expanded;
+      Obs.instant rcfg.obs ~cat:"explore" ~name:"degrade" ~tid:0 ~ts:!expanded
+        ~loc:"" ~cause:"mem-budget";
+      rcfg.on_event
+        (Printf.sprintf
+           "memory budget crossed at %d state(s) (~%d bytes of visited \
+            set): degrading to a Bloom-filter visited set (%d bits) — \
+            coverage is now approximate, the verdict will be Partial"
+           !expanded (!claimed * entry_bytes) (Bloom.bits b))
+    in
+    let claim k =
+      match !bloom with
+      | Some b ->
+          let h1, h2 = bloom_hashes k in
+          if Bloom.add_mem b h1 h2 then false
+          else begin
+            incr claimed;
+            true
+          end
+      | None ->
+          if H.mem interned k then false
+          else begin
+            H.add interned k !next_id;
+            incr next_id;
+            incr claimed;
+            (match rcfg.budget with
+            | Some b
+              when !bloom = None
+                   && Budget.over_memory b ~bytes:(!claimed * entry_bytes) ->
+                degrade ()
+            | _ -> ());
+            true
+          end
+    in
+    let iters = ref 0 in
     let running = ref true in
     while !running do
       match !stack with
       | [] -> running := false
       | st :: rest ->
-          stack := rest;
-          let k = M.canon st in
-          if not (H.mem interned k) then begin
-            H.add interned k !next_id;
-            incr next_id;
-            if !expanded >= fuel then cut := true
-            else begin
+          (* Safe point: every bound is checked before [st] is claimed,
+             so on a stop it stays in the frontier and the resume point
+             is complete. *)
+          (* The mask test fires at iteration 0 too, so an already-expired
+             deadline suspends before anything is expanded. *)
+          (match rcfg.budget with
+          | Some b when !iters land 63 = 0 && Budget.over_deadline b ->
+              stop := Some Deadline_exceeded
+          | _ -> ());
+          incr iters;
+          if !expanded >= fuel then stop := Some Fuel_exhausted;
+          if !stop <> None then running := false
+          else begin
+            stack := rest;
+            let k = M.canon st in
+            if claim k then begin
               incr expanded;
-              match M.final prog st with
+              (match M.final prog st with
               | Some f -> acc := Final.Set.add f !acc
               | None ->
                   List.iter
                     (fun s -> stack := s :: !stack)
-                    (M.successors prog st)
+                    (M.successors prog st));
+              if
+                rcfg.snapshot_sink <> None
+                && !expanded mod rcfg.checkpoint_every = 0
+              then checkpoint ~force:false ()
             end
           end
     done;
-    let hstats = H.stats interned in
+    if !stop <> None then checkpoint ~force:true ();
+    let table_buckets, max_probe =
+      if !bloom = None then
+        let hstats = H.stats interned in
+        (hstats.Hashtbl.num_buckets, hstats.Hashtbl.max_bucket_length)
+      else (0, 0)
+    in
+    let partial = !stop <> None || !degraded_at <> None in
     {
-      result = (if !cut then Partial !acc else Complete !acc);
+      result = (if partial then Partial !acc else Complete !acc);
+      stop = !stop;
       stats =
         {
           states_expanded = !expanded;
           domains_used = 1;
-          claimed = H.length interned;
-          claimed_per_shard = [| H.length interned |];
+          claimed = !claimed;
+          claimed_per_shard = [| !claimed |];
           donations = 0;
-          table_buckets = hstats.Hashtbl.num_buckets;
-          max_probe = hstats.Hashtbl.max_bucket_length;
+          table_buckets;
+          max_probe;
+          degraded_at = !degraded_at;
         };
     }
 
@@ -132,21 +418,50 @@ module Make (M : Machine_sig.MACHINE) = struct
     mutable idle : int;
     mutable stop : bool;
     hungry : int Atomic.t;  (** mirrors [idle] for lock-free peeking *)
-    fuel_left : int Atomic.t;
-    cut : bool Atomic.t;
+    fuel : int;
+    stopping : stop_reason option Atomic.t;
     expanded : int Atomic.t;
     donations : int Atomic.t;
     ndomains : int;
+    budget : Budget.t option;
+    entry_bytes : int;
+    leftover_lock : Mutex.t;
+    mutable leftovers : M.state list;
+        (** unclaimed states parked by stopping workers — the other half
+            of the resume frontier *)
   }
+
+  let shard_of sh k = sh.shards.((M.hash k land max_int) mod Array.length sh.shards)
 
   (* First visit wins: returns [true] iff this domain claimed the key. *)
   let try_claim sh k =
-    let s = sh.shards.((M.hash k land max_int) mod Array.length sh.shards) in
+    let s = shard_of sh k in
     Mutex.lock s.lock;
     let fresh = not (H.mem s.table k) in
     if fresh then H.add s.table k (Atomic.fetch_and_add sh.next_id 1);
     Mutex.unlock s.lock;
     fresh
+
+  (* Give a claim back (the claimer hit a bound before expanding): the
+     state must stay claimable after resume. *)
+  let unclaim sh k =
+    let s = shard_of sh k in
+    Mutex.lock s.lock;
+    H.remove s.table k;
+    Mutex.unlock s.lock
+
+  let set_stop sh reason =
+    if Atomic.compare_and_set sh.stopping None (Some reason) then begin
+      (* Wake sleepers so they can drain and exit. *)
+      Mutex.lock sh.queue_lock;
+      Condition.broadcast sh.work;
+      Mutex.unlock sh.queue_lock
+    end
+
+  let add_leftover sh st =
+    Mutex.lock sh.leftover_lock;
+    sh.leftovers <- st :: sh.leftovers;
+    Mutex.unlock sh.leftover_lock
 
   let donate sh batch =
     Atomic.incr sh.donations;
@@ -156,36 +471,51 @@ module Make (M : Machine_sig.MACHINE) = struct
     Mutex.unlock sh.queue_lock
 
   (* Blocking pop with distributed-termination detection: when every domain
-     is idle and the overflow queue is empty, the sweep is done. *)
+     is idle and the overflow queue is empty — or a stop was requested —
+     the sweep is done.  On a stop the queue is drained into [leftovers]
+     so the resume frontier loses nothing. *)
   let get_work sh =
     Mutex.lock sh.queue_lock;
     let rec loop () =
-      match sh.pending with
-      | st :: rest ->
-          sh.pending <- rest;
-          Mutex.unlock sh.queue_lock;
-          Some st
-      | [] ->
-          if sh.stop then begin
+      if Atomic.get sh.stopping <> None then begin
+        if sh.pending <> [] then begin
+          Mutex.lock sh.leftover_lock;
+          sh.leftovers <- List.rev_append sh.pending sh.leftovers;
+          Mutex.unlock sh.leftover_lock;
+          sh.pending <- []
+        end;
+        sh.stop <- true;
+        Condition.broadcast sh.work;
+        Mutex.unlock sh.queue_lock;
+        None
+      end
+      else
+        match sh.pending with
+        | st :: rest ->
+            sh.pending <- rest;
             Mutex.unlock sh.queue_lock;
-            None
-          end
-          else begin
-            sh.idle <- sh.idle + 1;
-            Atomic.incr sh.hungry;
-            if sh.idle = sh.ndomains then begin
-              sh.stop <- true;
-              Condition.broadcast sh.work;
+            Some st
+        | [] ->
+            if sh.stop then begin
               Mutex.unlock sh.queue_lock;
               None
             end
             else begin
-              Condition.wait sh.work sh.queue_lock;
-              sh.idle <- sh.idle - 1;
-              Atomic.decr sh.hungry;
-              loop ()
+              sh.idle <- sh.idle + 1;
+              Atomic.incr sh.hungry;
+              if sh.idle = sh.ndomains then begin
+                sh.stop <- true;
+                Condition.broadcast sh.work;
+                Mutex.unlock sh.queue_lock;
+                None
+              end
+              else begin
+                Condition.wait sh.work sh.queue_lock;
+                sh.idle <- sh.idle - 1;
+                Atomic.decr sh.hungry;
+                loop ()
+              end
             end
-          end
     in
     loop ()
 
@@ -197,18 +527,41 @@ module Make (M : Machine_sig.MACHINE) = struct
   let worker sh prog =
     let acc = ref Final.Set.empty in
     let local = ref [] in
+    let iters = ref 0 in
     let process st =
-      let k = M.canon st in
-      if try_claim sh k then
-        if Atomic.fetch_and_add sh.fuel_left (-1) <= 0 then
-          Atomic.set sh.cut true
-        else begin
-          Atomic.incr sh.expanded;
-          match M.final prog st with
-          | Some f -> acc := Final.Set.add f !acc
-          | None ->
-              List.iter (fun s -> local := s :: !local) (M.successors prog st)
-        end
+      if Atomic.get sh.stopping <> None then add_leftover sh st
+      else begin
+        (match sh.budget with
+        | Some b when !iters land 63 = 0 ->
+            let bytes = Atomic.get sh.next_id * sh.entry_bytes in
+            (match Budget.check b ~bytes with
+            | Some Budget.Deadline -> set_stop sh Deadline_exceeded
+            | Some Budget.Memory ->
+                (* The sharded exact table cannot migrate to a Bloom
+                   filter mid-sweep; drain cleanly instead. *)
+                set_stop sh Memory_exhausted
+            | None -> ())
+        | _ -> ());
+        incr iters;
+        if Atomic.get sh.stopping <> None then add_leftover sh st
+        else
+          let k = M.canon st in
+          if try_claim sh k then
+            let n = Atomic.fetch_and_add sh.expanded 1 in
+            if n >= sh.fuel then begin
+              (* Bound reached after the claim: give the claim back so
+                 the state survives into the resume frontier. *)
+              Atomic.decr sh.expanded;
+              unclaim sh k;
+              set_stop sh Fuel_exhausted;
+              add_leftover sh st
+            end
+            else
+              match M.final prog st with
+              | Some f -> acc := Final.Set.add f !acc
+              | None ->
+                  List.iter (fun s -> local := s :: !local) (M.successors prog st)
+      end
     in
     let rec loop () =
       match !local with
@@ -217,7 +570,7 @@ module Make (M : Machine_sig.MACHINE) = struct
           process st;
           (* Rebalance: if someone is starving and we hold more than one
              state, hand over half of our stack. *)
-          (if Atomic.get sh.hungry > 0 then
+          (if Atomic.get sh.hungry > 0 && Atomic.get sh.stopping = None then
              match !local with
              | _ :: _ :: _ ->
                  let gift, keep =
@@ -232,12 +585,25 @@ module Make (M : Machine_sig.MACHINE) = struct
           | Some st ->
               local := [ st ];
               loop ()
-          | None -> ())
+          | None ->
+              (* A stopping worker parks whatever it still holds. *)
+              if Atomic.get sh.stopping <> None then
+                List.iter (add_leftover sh) !local)
     in
     loop ();
     !acc
 
-  let run_par ~domains ~fuel prog =
+  let run_par ~domains ~fuel ~rcfg prog =
+    let resumed =
+      Option.map (fun bytes -> decode_snap ~prog bytes) rcfg.resume
+    in
+    (match resumed with
+    | Some { s_visited = Bloom_filter _; _ } ->
+        raise
+          (Resume_rejected
+             "this snapshot's visited set is a Bloom filter (degraded \
+              run); resume it with the sequential engine (--jobs 1)")
+    | _ -> ());
     let sh =
       {
         shards =
@@ -250,12 +616,33 @@ module Make (M : Machine_sig.MACHINE) = struct
         idle = 0;
         stop = false;
         hungry = Atomic.make 0;
-        fuel_left = Atomic.make fuel;
-        cut = Atomic.make false;
+        fuel;
+        stopping = Atomic.make None;
         expanded = Atomic.make 0;
         donations = Atomic.make 0;
         ndomains = domains;
+        budget = rcfg.budget;
+        entry_bytes = entry_bytes_estimate prog;
+        leftover_lock = Mutex.create ();
+        leftovers = [];
       }
+    in
+    let resumed_acc =
+      match resumed with
+      | None -> Final.Set.empty
+      | Some s ->
+          (match s.s_visited with
+          | Exact_keys keys ->
+              Array.iter (fun k -> ignore (try_claim sh k)) keys
+          | Bloom_filter _ -> assert false);
+          Atomic.set sh.expanded s.s_expanded;
+          sh.pending <- s.s_frontier;
+          rcfg.on_event
+            (Printf.sprintf
+               "resumed %s/%s: %d state(s) already expanded, frontier %d"
+               M.name (Prog.name prog) s.s_expanded
+               (List.length s.s_frontier));
+          s.s_acc
     in
     let others =
       Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker sh prog))
@@ -264,8 +651,39 @@ module Make (M : Machine_sig.MACHINE) = struct
     let acc =
       Array.fold_left
         (fun a d -> Final.Set.union (Domain.join d) a)
-        mine others
+        (Final.Set.union resumed_acc mine)
+        others
     in
+    let stop = Atomic.get sh.stopping in
+    (* On an early stop, hand the caller a resume point: every claimed key
+       plus the parked frontier. *)
+    (match (stop, rcfg.snapshot_sink) with
+    | Some _, Some sink ->
+        let n = Array.fold_left (fun a s -> a + H.length s.table) 0 sh.shards in
+        let keys = Array.make n (M.canon (M.initial prog)) in
+        let i = ref 0 in
+        Array.iter
+          (fun s ->
+            H.iter
+              (fun k _ ->
+                keys.(!i) <- k;
+                incr i)
+              s.table)
+          sh.shards;
+        sink
+          (encode_snap
+             {
+               s_fingerprint = fingerprint prog;
+               s_visited = Exact_keys keys;
+               s_claimed = n;
+               s_frontier = sh.leftovers;
+               s_acc = acc;
+               s_expanded = Atomic.get sh.expanded;
+               s_degraded_at = None;
+             });
+        Obs.instant rcfg.obs ~cat:"explore" ~name:"checkpoint" ~tid:0
+          ~ts:(Atomic.get sh.expanded) ~loc:"" ~cause:""
+    | _ -> ());
     let per_shard = Array.map (fun s -> H.length s.table) sh.shards in
     let buckets, max_probe =
       Array.fold_left
@@ -275,7 +693,8 @@ module Make (M : Machine_sig.MACHINE) = struct
         (0, 0) sh.shards
     in
     {
-      result = (if Atomic.get sh.cut then Partial acc else Complete acc);
+      result = (if stop <> None then Partial acc else Complete acc);
+      stop;
       stats =
         {
           states_expanded = Atomic.get sh.expanded;
@@ -285,18 +704,22 @@ module Make (M : Machine_sig.MACHINE) = struct
           donations = Atomic.get sh.donations;
           table_buckets = buckets;
           max_probe;
+          degraded_at = None;
         };
     }
 
   (* --- public API ----------------------------------------------------------- *)
 
-  let run ?(domains = 1) ?fuel prog =
+  let run ?(domains = 1) ?fuel ?(rcfg = rcfg_default) prog =
     if domains < 1 then invalid_arg "Explore.run: domains must be >= 1";
     (match fuel with
     | Some f when f < 0 -> invalid_arg "Explore.run: negative fuel"
     | _ -> ());
+    if rcfg.checkpoint_every < 1 then
+      invalid_arg "Explore.run: checkpoint_every must be >= 1";
     let fuel = Option.value fuel ~default:max_int in
-    if domains = 1 then run_seq ~fuel prog else run_par ~domains ~fuel prog
+    if domains = 1 then run_seq ~fuel ~rcfg prog
+    else run_par ~domains ~fuel ~rcfg prog
 
   let outcomes ?domains prog = bounded_value (run ?domains prog).result
 

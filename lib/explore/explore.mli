@@ -1,15 +1,33 @@
 (** Exhaustive exploration of abstract machines: hash-consed transposition
-    table, optional parallel (multi-domain) frontier sweep, fuel bounds. *)
+    table, optional parallel (multi-domain) frontier sweep, fuel bounds —
+    and the resilience layer: wall-clock/memory budgets checked at safe
+    points, crash-safe checkpoints of the frontier + transposition table,
+    resume, and graceful degradation to a Bloom-filter visited set under
+    memory pressure. *)
 
 type 'a bounded = Complete of 'a | Partial of 'a
-(** [Partial] means the fuel budget ran out: the carried set is a sound
-    subset of the complete outcome set (exploration only cuts branches). *)
+(** [Partial] means coverage cannot be trusted to be exhaustive: a budget
+    (fuel, deadline, memory) cut the sweep short, or the visited set was
+    degraded to a Bloom filter.  The carried set is always a sound
+    {e subset} of the complete outcome set (exploration only cuts
+    branches, never invents outcomes) — so any violation it contains is
+    real. *)
 
 val bounded_value : 'a bounded -> 'a
 (** Drop the completeness marker. *)
 
 val is_complete : 'a bounded -> bool
-(** The fuel budget was not exhausted. *)
+(** The sweep was exhaustive and the visited set exact. *)
+
+type stop_reason =
+  | Fuel_exhausted  (** the distinct-states-expanded bound was reached *)
+  | Deadline_exceeded  (** the budget's wall-clock deadline passed *)
+  | Memory_exhausted
+      (** the parallel engine drained at the memory budget (the
+          sequential engine degrades to a Bloom visited set instead) *)
+
+val stop_reason_string : stop_reason -> string
+(** ["fuel"], ["deadline"] or ["memory"]. *)
 
 type stats = {
   states_expanded : int;
@@ -18,8 +36,8 @@ type stats = {
   domains_used : int;  (** domains that ran the sweep (1 = sequential) *)
   claimed : int;
       (** distinct states claimed in the transposition table; equals
-          [states_expanded] on an unbounded run (fuel only cuts claimed
-          states short of expansion) *)
+          [states_expanded] on every run now that budget stops leave
+          unexpanded states in the frontier rather than claiming them *)
   claimed_per_shard : int array;
       (** claimed states per claim-table shard — the shard-balance view;
           a single cell on sequential runs *)
@@ -28,8 +46,13 @@ type stats = {
           starving one (0 on sequential runs) *)
   table_buckets : int;
       (** total hash-table buckets across shards; [claimed /.
-          table_buckets] is the load factor *)
+          table_buckets] is the load factor ([0] once degraded — the
+          exact table was dropped) *)
   max_probe : int;  (** longest bucket chain in any shard — probe cost *)
+  degraded_at : int option;
+      (** [Some n]: the visited set switched to a Bloom filter after [n]
+          expansions (memory budget crossed); coverage is approximate
+          from then on and the result is pinned [Partial] *)
 }
 (** Telemetry from one exploration sweep. *)
 
@@ -41,18 +64,80 @@ val basic_stats : states_expanded:int -> domains_used:int -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** One line: states, claims, shards, donations, table occupancy. *)
 
-type run_result = { result : Final.Set.t bounded; stats : stats }
+type run_result = {
+  result : Final.Set.t bounded;
+  stats : stats;
+  stop : stop_reason option;
+      (** why the sweep stopped early; [None] when the frontier drained
+          (even under degradation, where the result is still [Partial]) *)
+}
 (** The outcome set together with the sweep's telemetry. *)
 
+(** {1 Resilience configuration} *)
+
+val checkpoint_every_default : int
+(** Default periodic-checkpoint interval, in state expansions ([1000]). *)
+
+type rcfg = {
+  budget : Budget.t option;
+      (** wall-clock deadline and memory budget, checked at safe points *)
+  checkpoint_every : int;
+      (** expansions between periodic snapshots (sequential engine only;
+          the parallel engine snapshots at budget stops).  Periodic
+          snapshots self-throttle: one is skipped while taking it would
+          spend more than ~5% of the wall-clock since the last (snapshot
+          cost grows with the visited set), so the overhead stays bounded
+          on big sweeps; stop/final snapshots are never skipped *)
+  snapshot_sink : (string -> unit) option;
+      (** receives framed snapshot bytes (see {!Snapshot}): periodically
+          every [checkpoint_every] expansions, and once at any early stop
+          — the caller decides where they live (a file, an enclosing
+          checkpoint) *)
+  resume : string option;
+      (** framed snapshot bytes to restore before exploring; validated
+          (CRC, version, machine, program) — never silently trusted *)
+  obs : Obs.t;
+      (** receives ["explore"]-category instants for checkpoint, resume
+          and degradation events *)
+  on_event : string -> unit;
+      (** loud human-readable notices (degradation, recovery); the CLI
+          routes this to stderr *)
+}
+(** Everything the resilience layer needs, bundled so engines can thread
+    it without widening every signature.  {!rcfg_default} disables it
+    all. *)
+
+val rcfg_default : rcfg
+
+exception Resume_rejected of string
+(** A resume snapshot failed validation: corrupted (CRC), version-skewed,
+    wrong machine, wrong program, or a degraded (Bloom) snapshot offered
+    to the parallel engine. *)
+
 module Make (M : Machine_sig.MACHINE) : sig
-  val run : ?domains:int -> ?fuel:int -> Prog.t -> run_result
+  val run :
+    ?domains:int -> ?fuel:int -> ?rcfg:rcfg -> Prog.t -> run_result
   (** [run ~domains:n ~fuel p] explores [p]'s state graph.  [n = 1]
       (default) is a sequential DFS; [n > 1] spawns [n - 1] extra domains
       over a sharded claim table.  [fuel] bounds the number of distinct
-      states expanded; without it exploration is exhaustive.  A [Complete]
-      result is identical for every [domains]; a [Partial] result is always
-      a sound subset of the complete set.
-      @raise Invalid_argument on [domains < 1] or negative [fuel]. *)
+      states expanded — across resume, so a resumed run continues the
+      original budget; without it exploration is exhaustive.  A [Complete]
+      result is identical for every [domains]; a [Partial] result is
+      always a sound subset of the complete set.
+
+      With [rcfg]: the budget is checked between expansions and the sweep
+      drains cleanly to [Partial] (with a final snapshot handed to the
+      sink) instead of being killed mid-sweep; under memory pressure the
+      sequential engine degrades the visited set to a Bloom filter and
+      keeps going.
+      @raise Invalid_argument on [domains < 1], negative [fuel], or a
+        non-positive [checkpoint_every]
+      @raise Resume_rejected if [rcfg.resume] fails validation *)
+
+  val snapshot_frontier_length : string -> int
+  (** Frontier length recorded in framed snapshot bytes — introspection
+      for tests and tooling.
+      @raise Resume_rejected on invalid bytes. *)
 
   val outcomes : ?domains:int -> Prog.t -> Final.Set.t
   (** The complete outcome set ({!run} without fuel, result unwrapped). *)

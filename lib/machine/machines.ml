@@ -11,24 +11,38 @@ module Rc_x = Explore.Make (M_rc)
 type t = {
   name : string;
   descr : string;
-  explore : domains:int -> fuel:int option -> Prog.t -> Explore.run_result;
+  explore :
+    domains:int ->
+    fuel:int option ->
+    rcfg:Explore.rcfg ->
+    Prog.t ->
+    Explore.run_result;
+  snapshot_frontier_length : string -> int;
 }
 
 let name m = m.name
 let descr m = m.descr
 
-let explore ?(domains = 1) ?fuel m prog = m.explore ~domains ~fuel prog
+let explore ?(domains = 1) ?fuel ?(rcfg = Explore.rcfg_default) m prog =
+  m.explore ~domains ~fuel ~rcfg prog
+
+let snapshot_frontier_length m bytes = m.snapshot_frontier_length bytes
 
 let outcomes m prog =
-  Explore.bounded_value (m.explore ~domains:1 ~fuel:None prog).Explore.result
+  Explore.bounded_value
+    (m.explore ~domains:1 ~fuel:None ~rcfg:Explore.rcfg_default prog)
+      .Explore.result
 
 let outcomes_bounded m ~fuel prog =
   if fuel < 0 then invalid_arg "Machines.outcomes_bounded: negative fuel";
-  (m.explore ~domains:1 ~fuel:(Some fuel) prog).Explore.result
+  (m.explore ~domains:1 ~fuel:(Some fuel) ~rcfg:Explore.rcfg_default prog)
+    .Explore.result
 
-let of_engine (run : ?domains:int -> ?fuel:int -> Prog.t -> Explore.run_result)
-    =
-  fun ~domains ~fuel prog -> run ~domains ?fuel prog
+let of_engine
+    (run :
+      ?domains:int -> ?fuel:int -> ?rcfg:Explore.rcfg -> Prog.t ->
+      Explore.run_result) =
+  fun ~domains ~fuel ~rcfg prog -> run ~domains ?fuel ~rcfg prog
 
 let sc =
   {
@@ -38,12 +52,35 @@ let sc =
       (* interleaving enumeration, not a Machine_sig sweep: always complete,
          always sequential (its state graph is explored with the POR pass
          instead of extra domains) *)
-      (fun ~domains:_ ~fuel:_ prog ->
-        let set, states = Sc.explore prog in
-        {
-          Explore.result = Explore.Complete set;
-          stats = Explore.basic_stats ~states_expanded:states ~domains_used:1;
-        });
+      (fun ~domains:_ ~fuel:_ ~rcfg prog ->
+        match rcfg.Explore.budget with
+        | None ->
+            let set, states = Sc.explore prog in
+            {
+              Explore.result = Explore.Complete set;
+              stats =
+                Explore.basic_stats ~states_expanded:states ~domains_used:1;
+              stop = None;
+            }
+        | Some budget ->
+            let set, states, complete = Sc.explore_within ~budget prog in
+            {
+              Explore.result =
+                (if complete then Explore.Complete set
+                 else Explore.Partial set);
+              stats =
+                Explore.basic_stats ~states_expanded:states ~domains_used:1;
+              stop =
+                (if complete then None
+                 else if Budget.over_deadline budget then
+                   Some Explore.Deadline_exceeded
+                 else Some Explore.Memory_exhausted);
+            });
+    snapshot_frontier_length =
+      (fun _ ->
+        raise
+          (Explore.Resume_rejected
+             "the sc reference machine does not take snapshots"));
   }
 
 let wbuf =
@@ -52,6 +89,7 @@ let wbuf =
     descr =
       "FIFO write buffers with read bypass — Figure 1's bus configurations";
     explore = of_engine Wbuf_x.run;
+    snapshot_frontier_length = Wbuf_x.snapshot_frontier_length;
   }
 
 let ooo =
@@ -61,6 +99,7 @@ let ooo =
       "out-of-order issue with register interlocks — Figure 1's network \
        configurations";
     explore = of_engine Ooo_x.run;
+    snapshot_frontier_length = Ooo_x.snapshot_frontier_length;
   }
 
 let def1 =
@@ -70,6 +109,7 @@ let def1 =
       "Definition-1 weak ordering (Dubois/Scheurich/Briggs): syncs stall \
        for previous accesses and vice versa";
     explore = of_engine Def1_x.run;
+    snapshot_frontier_length = Def1_x.snapshot_frontier_length;
   }
 
 let def2 =
@@ -79,6 +119,7 @@ let def2 =
       "the paper's implementation (Section 5.3): sync ops commit without \
        stalling; reservations delay other processors' syncs (condition 5)";
     explore = of_engine Def2_x.run;
+    snapshot_frontier_length = Def2_x.snapshot_frontier_length;
   }
 
 let def2_rs =
@@ -88,6 +129,7 @@ let def2_rs =
       "Section 6 refinement of def2: read-only sync ops do not place \
        reservations";
     explore = of_engine Def2_rs_x.run;
+    snapshot_frontier_length = Def2_rs_x.snapshot_frontier_length;
   }
 
 let rp3 =
@@ -97,6 +139,7 @@ let rp3 =
       "RP3 fence option (Section 2.1): syncs travel like data; only an \
        explicit fence waits for outstanding acknowledgements";
     explore = of_engine Rp3_x.run;
+    snapshot_frontier_length = Rp3_x.snapshot_frontier_length;
   }
 
 let rc =
@@ -106,6 +149,7 @@ let rc =
       "release consistency: releases drain the issuer's pending accesses; \
        acquires do not wait (weakly ordered w.r.t. DRF1)";
     explore = of_engine Rc_x.run;
+    snapshot_frontier_length = Rc_x.snapshot_frontier_length;
   }
 
 let all = [ sc; wbuf; ooo; def1; def2; def2_rs; rp3; rc ]

@@ -10,13 +10,27 @@ val name : t -> string
 val descr : t -> string
 val outcomes : t -> Prog.t -> Final.Set.t
 
-val explore : ?domains:int -> ?fuel:int -> t -> Prog.t -> Explore.run_result
+val explore :
+  ?domains:int ->
+  ?fuel:int ->
+  ?rcfg:Explore.rcfg ->
+  t ->
+  Prog.t ->
+  Explore.run_result
 (** The full-control entry point: [~domains:n] explores with [n] parallel
     domains (default 1 — the sequential engine), [~fuel] bounds distinct
-    states expanded, and the result carries {!Explore.stats} telemetry.
-    A [Complete] result is identical for every [domains].  (The [sc]
-    reference machine enumerates interleavings with partial-order
-    reduction instead; it ignores both knobs and is always [Complete].) *)
+    states expanded, [~rcfg] threads the resilience layer (budgets,
+    checkpoints, resume), and the result carries {!Explore.stats}
+    telemetry.  A [Complete] result is identical for every [domains].
+    (The [sc] reference machine enumerates interleavings with
+    partial-order reduction instead; it honours [rcfg.budget] but never
+    snapshots — its frontier is an interleaving prefix, not a state
+    set.) *)
+
+val snapshot_frontier_length : t -> string -> int
+(** Frontier length recorded in a machine's framed snapshot bytes.
+    @raise Explore.Resume_rejected on invalid bytes or the [sc]
+      machine. *)
 
 val outcomes_bounded : t -> fuel:int -> Prog.t -> Final.Set.t Explore.bounded
 (** Fuel-bounded exploration: expand at most [fuel] distinct states.

@@ -300,11 +300,11 @@ module Chrome = struct
     to_buffer ?normalize b (events t);
     Buffer.contents b
 
+  (* Atomic install (temp file + fsync + rename): a crash mid-export
+     leaves either the previous trace or the new one, never a truncated
+     JSON document that the viewer rejects. *)
   let write_file ?normalize path t =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_string ?normalize t))
+    Atomic_io.write_file path (to_string ?normalize t)
 end
 
 (* --- summaries --------------------------------------------------------------- *)

@@ -24,7 +24,8 @@
     table — and {!Hist}, power-of-two histograms for the exploration
     engine's table telemetry.
 
-    This module depends on nothing but the standard library. *)
+    This module depends only on the standard library and the resilience
+    layer's {!Atomic_io} (crash-safe trace export). *)
 
 (** {1 Events} *)
 
@@ -185,7 +186,9 @@ module Chrome : sig
   (** The tracer's retained events as a JSON document string. *)
 
   val write_file : ?normalize:bool -> string -> t -> unit
-  (** Write {!to_string} to a file.
+  (** Write {!to_string} to a file, atomically installed (written to a
+      temp file in the same directory, fsynced, renamed into place) — a
+      crash mid-export never leaves a truncated document.
       @raise Sys_error if the file cannot be written. *)
 end
 

@@ -1,0 +1,26 @@
+(* Temp-file + fsync + atomic-rename writes.
+
+   The temporary lives in the target's own directory (rename is only
+   atomic within a filesystem), is named per-pid so concurrent writers
+   cannot collide, and is unlinked on any failure so an interrupted run
+   leaves the target untouched. *)
+
+let temp_name path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let with_file ?(fsync = true) path f =
+  let tmp = temp_name path in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     f oc;
+     flush oc;
+     if fsync then Unix.fsync fd;
+     close_out oc
+   with e ->
+     (try close_out_noerr oc with _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_file ?fsync path data =
+  with_file ?fsync path (fun oc -> output_string oc data)

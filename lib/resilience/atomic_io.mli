@@ -1,0 +1,20 @@
+(** Crash-safe file writes: write to a temporary file in the target's
+    directory, flush, [fsync], then atomically rename over the target.
+
+    A reader never observes a half-written file: it sees either the old
+    contents or the new ones.  An interrupted writer leaves at worst a
+    [*.tmp.<pid>] file beside the target, never a truncated target.  This
+    is the single write path for checkpoints, [BENCH_<date>.json] dumps
+    and Chrome-trace exports. *)
+
+val write_file : ?fsync:bool -> string -> string -> unit
+(** [write_file path data] atomically replaces [path] with [data].
+    [fsync] (default [true]) forces the data to stable storage before the
+    rename — turn it off only for output whose loss on power failure is
+    acceptable (trace exports, bench dumps).
+    @raise Sys_error if the directory is not writable. *)
+
+val with_file : ?fsync:bool -> string -> (out_channel -> unit) -> unit
+(** [with_file path f] runs [f] on a channel to the temporary file, then
+    commits it to [path] as {!write_file} does.  If [f] raises, the
+    temporary file is removed and [path] is untouched. *)

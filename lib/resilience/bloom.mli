@@ -1,0 +1,40 @@
+(** A Bloom filter over pre-hashed keys: the degraded visited set the
+    exploration engine falls back to under memory pressure.
+
+    The filter answers "possibly seen" / "definitely new".  Used as a
+    transposition table this is {e sound for verdicts by construction}: a
+    false-positive "seen" can only prune a branch, and pruning only ever
+    shrinks the computed outcome set — so any violation found under
+    degradation is real, while completeness claims must be (and are)
+    dropped to [Partial].  A membership bit costs one byte budget what a
+    stored key costs in the hundreds. *)
+
+type t
+
+val create : bits:int -> t
+(** A filter of [bits] bits (rounded up to a power of two, at least
+    [4096]), using 4 probes per key. *)
+
+val add_mem : t -> int -> int -> bool
+(** [add_mem t h1 h2] inserts the key with independent hashes [h1], [h2]
+    (double hashing derives the probe sequence) and returns [true] iff
+    every probed bit was already set — the key was {e possibly} seen
+    before. *)
+
+val bits : t -> int
+(** The filter size in bits. *)
+
+val ones : t -> int
+(** Set bits — the saturation telemetry ([ones]/[bits] near 1 means the
+    filter is blind and nearly everything looks "seen"). *)
+
+type state = { s_bits : int; s_data : Bytes.t }
+(** The marshal-friendly image of a filter, carried inside degraded-mode
+    checkpoints. *)
+
+val export : t -> state
+(** A snapshot copy of the filter (safe to marshal and keep). *)
+
+val import : state -> t
+(** Rebuild a filter from {!export}'s image.
+    @raise Invalid_argument if the image is inconsistent. *)

@@ -1,0 +1,44 @@
+(* Budgets: an absolute wall-clock deadline plus a byte ceiling for the
+   dominant in-memory structure (the visited set).  Both optional; both
+   checked cooperatively at safe points. *)
+
+type reason = Deadline | Memory
+
+type t = {
+  deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  mem_bytes : int option;
+}
+
+let create ?deadline_s ?mem_bytes () =
+  (match deadline_s with
+  | Some d when d < 0. -> invalid_arg "Budget.create: negative deadline"
+  | _ -> ());
+  (match mem_bytes with
+  | Some b when b < 0 -> invalid_arg "Budget.create: negative memory budget"
+  | _ -> ());
+  {
+    deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s;
+    mem_bytes;
+  }
+
+let unlimited = { deadline = None; mem_bytes = None }
+let is_unlimited t = t.deadline = None && t.mem_bytes = None
+
+let over_deadline t =
+  match t.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let over_memory t ~bytes =
+  match t.mem_bytes with None -> false | Some b -> bytes > b
+
+let check t ~bytes =
+  if over_memory t ~bytes then Some Memory
+  else if over_deadline t then Some Deadline
+  else None
+
+let deadline_only t = { t with mem_bytes = None }
+let deadline_s t = Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
+let mem_bytes t = t.mem_bytes
+let reason_string = function Deadline -> "deadline" | Memory -> "memory"
+let pp_reason ppf r = Format.pp_print_string ppf (reason_string r)

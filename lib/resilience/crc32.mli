@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) over strings.
+
+    The checksum that guards every snapshot payload: a bit flip anywhere in
+    a checkpoint is detected before the payload is unmarshalled, so a
+    corrupted snapshot is reported instead of trusted. *)
+
+val digest : string -> int
+(** The CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val digest_sub : string -> pos:int -> len:int -> int
+(** The CRC-32 of a substring.
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -1,0 +1,91 @@
+(* The framed snapshot container: text header, binary payload, CRC-32
+   validated before the payload is handed to anyone. *)
+
+let format_version = 1
+let magic = "WOSNAP"
+
+type container = { kind : string; meta : string; payload : string }
+
+type error =
+  | Not_a_snapshot
+  | Version_skew of { found : int; expected : int }
+  | Truncated
+  | Crc_mismatch
+  | Io_error of string
+
+let error_string = function
+  | Not_a_snapshot -> "not a weakord snapshot (bad magic)"
+  | Version_skew { found; expected } ->
+      Printf.sprintf "snapshot format version %d, this build reads %d" found
+        expected
+  | Truncated -> "snapshot is truncated (payload shorter than declared)"
+  | Crc_mismatch -> "snapshot payload fails its CRC-32 (corrupted)"
+  | Io_error msg -> msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_string e)
+
+let frame ~kind ~meta ~payload =
+  if String.contains kind '\n' || String.contains meta '\n' then
+    invalid_arg "Snapshot.frame: kind/meta must be single-line";
+  Printf.sprintf "%s %d\n%s\n%s\n%d %08x\n%s" magic format_version kind meta
+    (String.length payload) (Crc32.digest payload) payload
+
+(* [line s pos] is the segment [pos .. newline), plus the position after
+   the newline. *)
+let line s pos =
+  match String.index_from_opt s pos '\n' with
+  | None -> None
+  | Some nl -> Some (String.sub s pos (nl - pos), nl + 1)
+
+let unframe s =
+  let ( let* ) o f = match o with None -> Error Truncated | Some v -> f v in
+  let magic_len = String.length magic in
+  if String.length s < magic_len + 2 || not (String.equal (String.sub s 0 magic_len) magic)
+  then Error Not_a_snapshot
+  else
+    let* l0, p1 = line s 0 in
+    match int_of_string_opt (String.sub l0 (magic_len + 1) (String.length l0 - magic_len - 1)) with
+    | exception Invalid_argument _ -> Error Not_a_snapshot
+    | None -> Error Not_a_snapshot
+    | Some v when v <> format_version ->
+        Error (Version_skew { found = v; expected = format_version })
+    | Some _ -> (
+        let* kind, p2 = line s p1 in
+        let* meta, p3 = line s p2 in
+        let* sizes, p4 = line s p3 in
+        match String.split_on_char ' ' sizes with
+        | [ len_s; crc_s ] -> (
+            match
+              (int_of_string_opt len_s, int_of_string_opt ("0x" ^ crc_s))
+            with
+            | Some len, Some crc ->
+                if len < 0 || String.length s - p4 < len then Error Truncated
+                else if Crc32.digest_sub s ~pos:p4 ~len <> crc then
+                  Error Crc_mismatch
+                else Ok { kind; meta; payload = String.sub s p4 len }
+            | _ -> Error Truncated)
+        | _ -> Error Truncated)
+
+let prev_path path = path ^ ".prev"
+
+let write_file path framed =
+  (* Retain the previous generation first: if the process dies between the
+     rotation and the install, [load] recovers from [path ^ ".prev"]. *)
+  if Sys.file_exists path then Sys.rename path (prev_path path);
+  Atomic_io.write_file path framed
+
+type loaded = { container : container; recovered : bool }
+
+let read_validate path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | bytes -> unframe bytes
+
+let load path =
+  match read_validate path with
+  | Ok c -> Ok { container = c; recovered = false }
+  | Error primary -> (
+      match read_validate (prev_path path) with
+      | Ok c -> Ok { container = c; recovered = true }
+      | Error prev -> Error (primary, Some prev)
+      | exception _ -> Error (primary, None))

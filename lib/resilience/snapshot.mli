@@ -1,0 +1,71 @@
+(** The versioned, CRC-checked snapshot container.
+
+    Every checkpoint — an exploration frontier + transposition table, a
+    verification run's corpus position, a fault campaign's schedule
+    position — travels inside this frame:
+
+    {v
+    WOSNAP <format version>\n
+    <kind>\n
+    <meta>\n
+    <payload length> <crc32 of payload, hex>\n
+    <payload bytes>
+    v}
+
+    The header is line-based so a corrupted file is diagnosable with
+    [head]; the payload is opaque (producers marshal their own state into
+    it).  Readers validate magic, version, length and CRC {e before}
+    touching the payload — a snapshot is never silently trusted.
+
+    Files are written via {!Atomic_io} with one retained last-good
+    generation: writing [path] first rotates the existing [path] to
+    [path ^ ".prev"], so a crash between generations (or a corrupted
+    latest generation) still leaves a loadable checkpoint behind. *)
+
+val format_version : int
+(** Bumped on any change to the frame or to a payload's shape; a reader
+    rejects other versions with {!Version_skew} rather than guessing. *)
+
+type container = {
+  kind : string;  (** producer tag, e.g. ["weakord.explore/def2"] *)
+  meta : string;  (** human-readable context, e.g. the program name *)
+  payload : string;  (** opaque producer bytes *)
+}
+
+type error =
+  | Not_a_snapshot  (** magic mismatch: not our file at all *)
+  | Version_skew of { found : int; expected : int }
+  | Truncated  (** header fine, payload shorter than declared *)
+  | Crc_mismatch  (** payload bytes fail the declared CRC-32 *)
+  | Io_error of string  (** unreadable file *)
+
+val error_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val frame : kind:string -> meta:string -> payload:string -> string
+(** Serialize one container.
+    @raise Invalid_argument if [kind] or [meta] contains a newline. *)
+
+val unframe : string -> (container, error) result
+(** Parse and validate one container (magic, version, length, CRC). *)
+
+val prev_path : string -> string
+(** [path ^ ".prev"] — where the last-good generation is retained. *)
+
+val write_file : string -> string -> unit
+(** Atomically install already-framed bytes at a path, rotating any
+    existing file to {!prev_path} first.
+    @raise Sys_error if the directory is not writable. *)
+
+type loaded = {
+  container : container;
+  recovered : bool;
+      (** the primary file was missing or invalid and the last-good
+          generation at {!prev_path} was used instead *)
+}
+
+val load : string -> (loaded, error * error option) result
+(** Read and validate a snapshot, falling back to the retained last-good
+    generation when the primary is corrupt, version-skewed or missing.
+    [Error (primary, prev)] reports why the primary failed and, when a
+    fallback existed, why it failed too. *)

@@ -98,7 +98,8 @@ let rec exec_thread ctx proc regs instrs k =
   | [] -> k ()
   | i :: rest -> exec_instr ctx proc regs i (fun () -> exec_thread ctx proc regs rest k)
 
-let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy prog =
+let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) ?(on_wedged = ignore)
+    policy prog =
   let nprocs = Prog.num_threads prog in
   let cfg =
     match cfg with
@@ -137,21 +138,26 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy prog =
                   ctx.Cpu.stats.(p).Cpu.drained <- Engine.now eng;
                   done_flags.(p) <- true))))
     (Prog.threads prog);
+  (* As in [Sim_run]: the watchdog hook fires with the diagnostic before
+     the abort unwinds, so checkpointed campaigns can dump a resume
+     point. *)
+  let wedge diag =
+    on_wedged diag;
+    raise (Sim_run.Wedged diag)
+  in
   (try Engine.run ~limit eng with
   | Engine.Out_of_time ->
-      raise
-        (Sim_run.Wedged
-           (Printf.sprintf
-              "livelock: %s exceeded the %d-cycle limit with events still \
-               firing\n%s"
-              (Prog.name prog) limit (Proto.dump proto)))
-  | Proto.Stuck diag -> raise (Sim_run.Wedged ("stuck: " ^ diag)));
+      wedge
+        (Printf.sprintf
+           "livelock: %s exceeded the %d-cycle limit with events still \
+            firing\n%s"
+           (Prog.name prog) limit (Proto.dump proto))
+  | Proto.Stuck diag -> wedge ("stuck: " ^ diag));
   if not (Array.for_all Fun.id done_flags) then
-    raise
-      (Sim_run.Wedged
-         (Printf.sprintf
-            "deadlock: %s drained its event queue with blocked thread(s)\n%s"
-            (Prog.name prog) (Proto.dump proto)));
+    wedge
+      (Printf.sprintf
+         "deadlock: %s drained its event queue with blocked thread(s)\n%s"
+         (Prog.name prog) (Proto.dump proto));
   Option.iter Sim_sanitizer.check sanitizer;
   let memory =
     List.fold_left
@@ -178,8 +184,8 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy prog =
     stalls;
   }
 
-let try_run ?cfg ?limit ?obs policy prog =
-  match run ?cfg ?limit ?obs policy prog with
+let try_run ?cfg ?limit ?obs ?on_wedged policy prog =
+  match run ?cfg ?limit ?obs ?on_wedged policy prog with
   | r -> Ok r
   | exception Sim_run.Wedged d ->
       if String.length d >= 8 && String.sub d 0 8 = "livelock" then

@@ -20,11 +20,19 @@ type run = {
 (** What one simulated litmus run reports. *)
 
 val run :
-  ?cfg:Sim_config.t -> ?limit:int -> ?obs:Obs.t -> Cpu.policy -> Prog.t -> run
+  ?cfg:Sim_config.t ->
+  ?limit:int ->
+  ?obs:Obs.t ->
+  ?on_wedged:(string -> unit) ->
+  Cpu.policy ->
+  Prog.t ->
+  run
 (** Deterministic; [cfg.nprocs] is overridden by the program's thread
     count.  [obs] (default {!Obs.null}) receives the same event stream as
     {!Sim_run.run}: op spans, transactions, protocol instants, counter
-    samples and fault marks.
+    samples and fault marks.  [on_wedged] (default [ignore]) runs with
+    the diagnostic just before {!Sim_run.Wedged} is raised — the hook
+    checkpointed campaigns use to dump a final resume point.
     @raise Sim_run.Wedged on deadlock or livelock (with diagnostic dump)
     @raise Sim_sanitizer.Violation on a coherence-invariant violation *)
 
@@ -32,6 +40,7 @@ val try_run :
   ?cfg:Sim_config.t ->
   ?limit:int ->
   ?obs:Obs.t ->
+  ?on_wedged:(string -> unit) ->
   Cpu.policy ->
   Prog.t ->
   (run, Sim_run.failure) result

@@ -59,7 +59,8 @@ let locations_of workload =
   List.sort_uniq String.compare
     (List.map fst workload.Workload.init @ from_threads)
 
-let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy workload =
+let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) ?(on_wedged = ignore)
+    policy workload =
   let nprocs = Workload.num_threads workload in
   let cfg =
     match cfg with
@@ -97,15 +98,21 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy workload =
                   ctx.Cpu.stats.(p).Cpu.drained <- Engine.now eng;
                   done_flags.(p) <- true))))
     workload.Workload.threads;
+  (* [wedge] funnels every no-progress abort through the watchdog hook:
+     callers running checkpointed campaigns dump a final checkpoint there
+     before the exception unwinds the run. *)
+  let wedge diag =
+    on_wedged diag;
+    raise (Wedged diag)
+  in
   (try Engine.run ~limit eng with
   | Engine.Out_of_time ->
-      raise
-        (Wedged
-           (Printf.sprintf
-              "livelock: simulated time exceeded the %d-cycle limit with \
-               events still firing\n%s"
-              limit (Proto.dump proto)))
-  | Proto.Stuck diag -> raise (Wedged ("stuck: " ^ diag)));
+      wedge
+        (Printf.sprintf
+           "livelock: simulated time exceeded the %d-cycle limit with \
+            events still firing\n%s"
+           limit (Proto.dump proto))
+  | Proto.Stuck diag -> wedge ("stuck: " ^ diag));
   (* The no-progress check: the event queue drained, so nothing can ever
      run again — any thread still blocked is deadlocked. *)
   if not (Array.for_all Fun.id done_flags) then begin
@@ -114,12 +121,11 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy workload =
       |> Seq.filter_map (fun (p, d) -> if d then None else Some (string_of_int p))
       |> List.of_seq |> String.concat ", "
     in
-    raise
-      (Wedged
-         (Printf.sprintf
-            "deadlock: event queue drained but thread(s) P%s never \
-             completed/drained\n%s"
-            blocked (Proto.dump proto)))
+    wedge
+      (Printf.sprintf
+         "deadlock: event queue drained but thread(s) P%s never \
+          completed/drained\n%s"
+         blocked (Proto.dump proto))
   end;
   (* One final sweep at quiescence: with everything drained every line is
      quiescent, so the full directory/cache agreement check applies. *)
@@ -152,8 +158,8 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) policy workload =
     stalls;
   }
 
-let try_run ?cfg ?limit ?obs policy workload =
-  match run ?cfg ?limit ?obs policy workload with
+let try_run ?cfg ?limit ?obs ?on_wedged policy workload =
+  match run ?cfg ?limit ?obs ?on_wedged policy workload with
   | r -> Ok r
   | exception Wedged d ->
       if String.length d >= 8 && String.sub d 0 8 = "livelock" then

@@ -39,6 +39,7 @@ val run :
   ?cfg:Sim_config.t ->
   ?limit:int ->
   ?obs:Obs.t ->
+  ?on_wedged:(string -> unit) ->
   Cpu.policy ->
   Workload.t ->
   result
@@ -49,7 +50,9 @@ val run :
     {!Obs.null}) receives the full event stream — op lifecycle spans,
     coherence transactions, NACK/defer/reserve instants, counter samples
     and injected-fault marks; stall attribution is always collected and
-    returned in the result.
+    returned in the result.  [on_wedged] (default [ignore]) runs with the
+    diagnostic just {e before} {!Wedged} is raised — the hook checkpointed
+    campaigns use to dump a final resume point before the abort unwinds.
     @raise Wedged on deadlock or livelock (with diagnostic dump)
     @raise Sim_sanitizer.Violation on an invariant violation *)
 
@@ -57,6 +60,7 @@ val try_run :
   ?cfg:Sim_config.t ->
   ?limit:int ->
   ?obs:Obs.t ->
+  ?on_wedged:(string -> unit) ->
   Cpu.policy ->
   Workload.t ->
   (result, failure) Stdlib.result

@@ -3,7 +3,9 @@
 #   0  success
 #   1  the check ran and failed (data race, verification counterexample,
 #      fault-campaign failure)
-#   2  parse failure or unreadable input
+#   2  parse failure or unreadable input (including an unusable checkpoint)
+#   3  a budget suspended the run cleanly; the checkpoint (if configured)
+#      holds the resume point
 set -u
 
 WEAKORD="$1"
@@ -61,6 +63,58 @@ if ! "$WEAKORD" run "$tmp/bad.litmus" 2>&1 \
   echo "FAIL: parse error report is not located (want bad.litmus:2:3)" >&2
   fails=$((fails + 1))
 fi
+
+# budget suspension: exit 3, with a resumable checkpoint
+expect 3 "verify suspends on an expired deadline" \
+  "$WEAKORD" verify -m def2 --model drf0 --deadline 0 --checkpoint "$tmp/v.ckpt"
+if [ ! -s "$tmp/v.ckpt" ]; then
+  echo "FAIL: suspended verify left no checkpoint" >&2
+  fails=$((fails + 1))
+fi
+expect 3 "suspension without a checkpoint still exits 3" \
+  "$WEAKORD" verify -m def2 --model drf0 --deadline 0
+
+# resuming the suspended run (without the budget) finishes with exit 0 and
+# the same verdicts as an uninterrupted run
+"$WEAKORD" verify -m def2 --model drf0 > "$tmp/uninterrupted.out" 2>/dev/null
+expect 0 "resume completes the suspended verify" \
+  sh -c "\"$WEAKORD\" verify -m def2 --model drf0 --resume \"$tmp/v.ckpt\" > \"$tmp/resumed.out\" 2>/dev/null"
+if ! cmp -s "$tmp/uninterrupted.out" "$tmp/resumed.out"; then
+  echo "FAIL: resumed verify verdicts differ from the uninterrupted run" >&2
+  fails=$((fails + 1))
+fi
+
+# an unusable checkpoint is exit 2, loudly — and with the .prev last-good
+# generation intact, corruption of the primary recovers instead
+"$WEAKORD" verify -m def2 --model drf0 --deadline 0 --checkpoint "$tmp/r.ckpt" >/dev/null 2>&1
+"$WEAKORD" verify -m def2 --model drf0 --deadline 0.5 \
+  --checkpoint "$tmp/r.ckpt" --resume "$tmp/r.ckpt" >/dev/null 2>&1
+if [ -f "$tmp/r.ckpt.prev" ]; then
+  printf 'smashed' > "$tmp/r.ckpt"
+  expect 0 "corrupt primary falls back to .prev" \
+    "$WEAKORD" verify -m def2 --model drf0 --resume "$tmp/r.ckpt"
+fi
+printf 'smashed' > "$tmp/r.ckpt"
+rm -f "$tmp/r.ckpt.prev"
+expect 2 "corrupt checkpoint without .prev is rejected" \
+  "$WEAKORD" verify -m def2 --model drf0 --resume "$tmp/r.ckpt"
+expect 2 "checkpoint resumed under the wrong machine" \
+  sh -c "\"$WEAKORD\" verify -m def2 --model drf0 --deadline 0 --checkpoint \"$tmp/m.ckpt\" >/dev/null 2>&1; \
+         \"$WEAKORD\" verify -m wbuf --model drf0 --resume \"$tmp/m.ckpt\""
+
+# fault campaigns: suspension is exit 3 and a resumed campaign replays the
+# identical deterministic fault schedule
+expect 3 "faults suspends on an expired deadline" \
+  "$WEAKORD" faults --seeds 2 -s delay --deadline 0 --checkpoint "$tmp/f.ckpt" mp_sync
+"$WEAKORD" faults --seeds 2 -s delay mp_sync > "$tmp/f_full.out" 2>/dev/null
+expect 0 "resumed fault campaign completes" \
+  sh -c "\"$WEAKORD\" faults --seeds 2 -s delay --resume \"$tmp/f.ckpt\" mp_sync > \"$tmp/f_resumed.out\" 2>/dev/null"
+if ! cmp -s "$tmp/f_full.out" "$tmp/f_resumed.out"; then
+  echo "FAIL: resumed fault campaign diverged from the uninterrupted schedule" >&2
+  fails=$((fails + 1))
+fi
+expect 2 "fault checkpoint with a different grid is rejected" \
+  "$WEAKORD" faults --seeds 3 -s delay --resume "$tmp/f.ckpt" mp_sync
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails exit-code check(s) failed" >&2

@@ -18,4 +18,5 @@ let () =
       Test_differential.suite;
       Test_delay.suite;
       Test_core.suite;
+      Test_resilience.suite;
     ]
