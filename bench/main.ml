@@ -88,9 +88,23 @@ type json_entry = {
   e_wall_ms : float;
   e_states : int;
   e_outcomes : int;
+  e_states_per_sec : int;
+      (* throughput, so trajectory files capture speed per state, not just
+         wall time *)
+  e_suppressed : int;
+      (* transitions the partial-order reduction suppressed (0 where no
+         reduction applies) *)
 }
 
+let per_sec states ms = if ms <= 0. then 0 else
+  int_of_float (float_of_int states /. ms *. 1000.)
+
+(* Single-shot wall time.  The major collection first keeps entries
+   independent: without it, an entry is randomly charged for the GC debt
+   of whatever ran before it, which on sub-millisecond sweeps dwarfs the
+   work being measured. *)
 let wall f =
+  Gc.full_major ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, (Unix.gettimeofday () -. t0) *. 1000.)
@@ -102,13 +116,16 @@ let json_machine_entries name prog m =
   List.map
     (fun domains ->
       let r, ms = wall (fun () -> Machines.explore ~domains m prog) in
+      let states = r.Explore.stats.Explore.states_expanded in
       {
         e_name = name;
         e_machine = Machines.name m;
         e_domains = domains;
         e_wall_ms = ms;
-        e_states = r.Explore.stats.Explore.states_expanded;
+        e_states = states;
         e_outcomes = Final.Set.cardinal (Explore.bounded_value r.Explore.result);
+        e_states_per_sec = per_sec states ms;
+        e_suppressed = r.Explore.stats.Explore.suppressed;
       })
     json_domains
 
@@ -123,6 +140,8 @@ let json_sc_entries name prog =
         e_wall_ms = ms;
         e_states = states;
         e_outcomes = Final.Set.cardinal set;
+        e_states_per_sec = per_sec states ms;
+        e_suppressed = 0;
       })
     [ ("sc", true); ("sc-nopor", false) ]
 
@@ -169,6 +188,8 @@ let json_trace_entries () =
       e_wall_ms = !best /. float_of_int reps;
       e_states = recorded;
       e_outcomes = !states / (reps * passes);
+      e_states_per_sec = 0;
+      e_suppressed = 0;
     }
   in
   (* Warm up once so neither variant pays first-touch costs. *)
@@ -210,6 +231,8 @@ let json_checkpoint_entries () =
       e_wall_ms = !best /. float_of_int reps;
       e_states = !states;
       e_outcomes = 0;
+      e_states_per_sec = 0;
+      e_suppressed = 0;
     }
   in
   let ckpt_rcfg =
@@ -240,7 +263,7 @@ let json_checkpoint_entries () =
   (try Sys.remove (Snapshot.prev_path path) with Sys_error _ -> ());
   entries
 
-let run_json () =
+let run_json ?out () =
   let entries =
     List.concat_map
       (fun tname ->
@@ -252,7 +275,9 @@ let run_json () =
       json_corpus
     @
     let prog = json_large_prog () in
-    json_machine_entries "big3" prog Machines.def2
+    List.concat_map
+      (json_machine_entries "big3" prog)
+      [ Machines.def2; Machines.wbuf; Machines.ooo ]
     @ json_sc_entries "big3" prog @ json_trace_entries ()
     @ json_checkpoint_entries ()
   in
@@ -261,7 +286,11 @@ let run_json () =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
-  let file = Printf.sprintf "BENCH_%s.json" date in
+  let file =
+    match out with
+    | Some f -> f
+    | None -> Printf.sprintf "BENCH_%s.json" date
+  in
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"date\": %S,\n  \"cores\": %d,\n  \"entries\": [\n"
     date
@@ -270,8 +299,10 @@ let run_json () =
     (fun i e ->
       Printf.bprintf b
         "    {\"name\": %S, \"machine\": %S, \"domains\": %d, \"wall_ms\": \
-         %.3f, \"states_expanded\": %d, \"outcomes\": %d}%s\n"
+         %.3f, \"states_expanded\": %d, \"outcomes\": %d, \
+         \"states_per_sec\": %d, \"suppressed_transitions\": %d}%s\n"
         e.e_name e.e_machine e.e_domains e.e_wall_ms e.e_states e.e_outcomes
+        e.e_states_per_sec e.e_suppressed
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Buffer.add_string b "  ]\n}\n";
@@ -297,9 +328,10 @@ let () =
   | [ "degrade" ] -> Experiments.degrade ()
   | [ "bechamel" ] -> run_bechamel ()
   | [ "json" ] -> run_json ()
+  | [ "json"; "-o"; file ] -> run_json ~out:file ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|degrade|\
-         bechamel|json]";
+         bechamel|json [-o FILE]]";
       exit 2

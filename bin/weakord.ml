@@ -60,17 +60,43 @@ let test_arg =
           "A litmus file, $(b,-) for stdin, or the name of a built-in test \
            (see $(b,weakord list)).")
 
+let jobs_conv =
+  let parse = function
+    | "auto" -> Ok None
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok (Some n)
+        | Some n ->
+            Error (`Msg (Printf.sprintf "--jobs must be at least 1 (got %d)" n))
+        | None ->
+            Error
+              (`Msg (Printf.sprintf "--jobs expects a count or 'auto', got %S" s)))
+  in
+  let print ppf = function
+    | None -> Fmt.string ppf "auto"
+    | Some n -> Fmt.int ppf n
+  in
+  Arg.conv (parse, print)
+
 let jobs_flag =
   Arg.(
-    value & opt int 1
+    value
+    & opt jobs_conv None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Explore machine state spaces with $(docv) parallel domains \
-           (default 1: the sequential engine). The outcome sets are \
-           identical for every value.")
+          "Explore machine state spaces with $(docv) parallel domains, or \
+           $(b,auto) (the default) for the recognized core count. The \
+           engine falls back to the sequential path when extra domains \
+           cannot help (more domains than cores, or a state space too \
+           small to spill). The outcome sets are identical for every \
+           value.")
 
-let check_jobs jobs =
-  if jobs < 1 then Fmt.failwith "--jobs must be at least 1 (got %d)" jobs
+(* [auto] asks the runtime how many cores it recognizes; an explicit
+   count is taken as given (the engine's adaptive fallback still caps it
+   at the recognized cores unless it is disabled). *)
+let resolve_jobs = function
+  | None -> Domain.recommended_domain_count ()
+  | Some n -> n
 
 (* --- resilience flags (verify / faults) ------------------------------------- *)
 
@@ -148,11 +174,20 @@ let run_cmd =
       value & flag
       & info [ "no-por" ]
           ~doc:
-            "Disable the partial-order reduction when enumerating SC \
-             outcomes (the escape hatch; the outcome set is identical).")
+            "Disable partial-order reduction everywhere: the SC \
+             enumeration and the machines' independence oracles (the \
+             escape hatch; every outcome set is identical).")
   in
-  let action test machine_names axiomatic jobs no_por =
-    check_jobs jobs;
+  let por_stats_flag =
+    Arg.(
+      value & flag
+      & info [ "por-stats" ]
+          ~doc:
+            "Print each machine's reduction telemetry: states expanded, \
+             oracle calls, ample hits, suppressed transitions.")
+  in
+  let action test machine_names axiomatic jobs no_por por_stats =
+    let jobs = resolve_jobs jobs in
     let prog = prog_or_classic test in
     (match Prog.validate prog with
     | Ok () -> ()
@@ -174,10 +209,8 @@ let run_cmd =
     Fmt.pr "SC outcomes (%d):@.%a@.@." (Final.Set.cardinal sc) Final.pp_set sc;
     List.iter
       (fun m ->
-        let outs =
-          Explore.bounded_value
-            (Machines.explore ~domains:jobs m prog).Explore.result
-        in
+        let r = Machines.explore ~domains:jobs ~reduce:(not no_por) m prog in
+        let outs = Explore.bounded_value r.Explore.result in
         let extra = Final.Set.diff outs sc in
         Fmt.pr "%-8s %d outcomes%s%s@." (Machines.name m)
           (Final.Set.cardinal outs)
@@ -187,6 +220,14 @@ let run_cmd =
           | Some true -> "; allows 'exists'"
           | Some false -> "; forbids 'exists'"
           | None -> "");
+        if por_stats then begin
+          let st = r.Explore.stats in
+          Fmt.pr "  por: %s, %d state(s), %d oracle call(s), %d ample \
+                  hit(s), %d suppressed@."
+            (if st.Explore.por_enabled then "on" else "off")
+            st.Explore.states_expanded st.Explore.oracle_calls
+            st.Explore.ample_hits st.Explore.suppressed
+        end;
         if not (Final.Set.is_empty extra) then
           Fmt.pr "  non-SC: %a@." Final.pp_set extra)
       machines;
@@ -209,7 +250,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const action $ test_arg $ machines_flag $ axiomatic_flag $ jobs_flag
-      $ no_por_flag)
+      $ no_por_flag $ por_stats_flag)
 
 (* --- races ------------------------------------------------------------------ *)
 
@@ -258,8 +299,9 @@ let verify_cmd =
       value & flag
       & info [ "no-por" ]
           ~doc:
-            "Enumerate the SC reference sets without the partial-order \
-             reduction (the escape hatch; the verdicts are identical).")
+            "Disable partial-order reduction on both sides: the SC \
+             reference enumeration and the machine's oracle (the escape \
+             hatch; the verdicts are identical).")
   in
   let fuel_flag =
     Arg.(
@@ -274,7 +316,7 @@ let verify_cmd =
   in
   let action machine_name model_name files jobs no_por fuel deadline mem
       checkpoint checkpoint_every resume =
-    check_jobs jobs;
+    let jobs = resolve_jobs jobs in
     let machine =
       match Machines.find machine_name with
       | Some m -> m

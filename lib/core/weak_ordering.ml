@@ -45,13 +45,13 @@ let fenced_delays =
 
 type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
 
-let of_machine ?(domains = 1) m =
+let of_machine ?(domains = 1) ?(reduce = true) m =
   {
     hw_name = Machines.name m;
     outcomes =
       (fun prog ->
         Explore.bounded_value
-          (Machines.explore ~domains m prog).Explore.result);
+          (Machines.explore ~domains ~reduce m prog).Explore.result);
   }
 
 let of_model m = { hw_name = Models.name m; outcomes = Models.outcomes m }
@@ -79,6 +79,7 @@ type verdict = {
   ok : bool;  (** [obeys_model] implies [sc_appearance] *)
   coverage : coverage;
   states : int;
+  reduced : bool;
 }
 
 type report = {
@@ -91,12 +92,12 @@ type report = {
 let report_exhaustive r =
   List.for_all (fun v -> v.coverage = Exhaustive) r.verdicts
 
-let verify ?por ~hw ~model corpus =
+let verify ?(por = true) ~hw ~model corpus =
   let verdicts =
     List.map
       (fun program ->
         let obeys_model = model.obeys program in
-        let sc_appearance = appears_sc ?por hw program in
+        let sc_appearance = appears_sc ~por hw program in
         {
           program;
           obeys_model;
@@ -104,6 +105,7 @@ let verify ?por ~hw ~model corpus =
           ok = (not obeys_model) || sc_appearance;
           coverage = Exhaustive;
           states = 0;
+          reduced = por;
         })
       corpus
   in
@@ -123,12 +125,13 @@ let weaker_than_sc ~hw corpus =
   List.exists (fun p -> not (appears_sc hw p)) corpus
 
 let pp_verdict ppf v =
-  Fmt.pf ppf "%-20s obeys=%-5b appears-SC=%-5b %s%s" (Prog.name v.program)
+  Fmt.pf ppf "%-20s obeys=%-5b appears-SC=%-5b %s%s%s" (Prog.name v.program)
     v.obeys_model v.sc_appearance
     (if v.ok then "ok" else "COUNTEREXAMPLE")
     (match v.coverage with
     | Exhaustive -> ""
     | Bounded _ as c -> " [" ^ coverage_string c ^ "]")
+    (if v.reduced then "" else " [unreduced]")
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>hardware %s w.r.t. %s: %s@,%a@]" r.hardware r.model
@@ -276,7 +279,7 @@ let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
       }
     in
     inner_pending := None;
-    let r = Machines.explore ~domains ?fuel ~rcfg machine program in
+    let r = Machines.explore ~domains ~reduce:por ?fuel ~rcfg machine program in
     match r.Explore.stop with
     | Some reason ->
         (* The engine already handed its final snapshot to the sink, so
@@ -334,6 +337,7 @@ let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
               ok = (not obeys_model) || subset;
               coverage;
               states = r.Explore.stats.Explore.states_expanded;
+              reduced = r.Explore.stats.Explore.por_enabled;
             }
             :: !done_rev;
           incr pos;

@@ -21,10 +21,12 @@ val fenced_delays : sync_model
 
 type hardware = { hw_name : string; outcomes : Prog.t -> Final.Set.t }
 
-val of_machine : ?domains:int -> Machines.t -> hardware
-(** [?domains] (default 1) is forwarded to {!Machines.explore}: the
-    hardware's outcome sets are computed with that many parallel
-    domains.  The sets themselves are identical for every value. *)
+val of_machine : ?domains:int -> ?reduce:bool -> Machines.t -> hardware
+(** [?domains] (default 1) and [?reduce] (default [true]) are forwarded
+    to {!Machines.explore}: the hardware's outcome sets are computed with
+    that many parallel domains, with or without the machine's
+    partial-order reduction.  The sets themselves are identical for every
+    combination. *)
 
 val of_model : Models.t -> hardware
 
@@ -54,6 +56,11 @@ type verdict = {
   states : int;
       (** distinct hardware states expanded ([0] when the hardware is not
           a counting engine, e.g. axiomatic models via {!verify}) *)
+  reduced : bool;
+      (** the exploration behind this verdict ran with partial-order
+          reduction enabled (the outcome set, and hence the verdict, is
+          identical either way — this records which strategy produced
+          it) *)
 }
 
 type report = {

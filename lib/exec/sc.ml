@@ -33,56 +33,33 @@ end)
    not be justified by static independence.  The same goes for data
    [Await]s (blocking) and RMWs (conservatively treated as sync). *)
 
-type por = {
-  por_instrs : Instr.t array array;
-  (* suffix.(p).(j): for each location, a 2-bit mask over thread [p]'s
-     instructions from index [j] on — bit 0: some access remains, bit 1:
-     some write remains. *)
-  por_suffix : int Exp.Smap.t array array;
-}
-
-let por_info prog =
-  let por_instrs =
-    Array.of_list (List.map Array.of_list (Prog.threads prog))
-  in
-  let por_suffix =
-    Array.map
-      (fun instrs ->
-        let n = Array.length instrs in
-        let out = Array.make (n + 1) Exp.Smap.empty in
-        for j = n - 1 downto 0 do
-          let m = out.(j + 1) in
-          out.(j) <-
-            (match Instr.location instrs.(j) with
-            | None -> m
-            | Some l ->
-                let prev =
-                  Option.value (Exp.Smap.find_opt l m) ~default:0
-                in
-                let bits = if Instr.is_write instrs.(j) then 3 else 1 in
-                Exp.Smap.add l (prev lor bits) m)
-        done;
-        out)
-      por_instrs
-  in
-  { por_instrs; por_suffix }
+(* The static conflict facts (per-thread suffix masks) come from
+   {!Por_static}, the table this reduction now shares with the abstract
+   machines' independence oracles. *)
 
 (* The first thread whose next instruction can soundly be fired alone, if
    any.  Determinism of the choice keeps the reduced graph canonical. *)
-let por_candidate info st =
+(* The independence test runs once per (state, thread) on the hottest
+   loop in the tree, so it uses [Por_static]'s dense-location-id masks —
+   a shift and a mask per other thread, no map lookup — whenever the
+   program's locations fit one word (every litmus-sized program), and
+   the string-keyed suffix maps otherwise. *)
+let por_candidate (info : Por_static.t) st =
   let nprocs = Array.length st.Sem.threads in
-  let independent p loc ~write =
+  let dense = Por_static.has_dense_ids info in
+  let clear p ~pj loc ~write =
+    let lid = if dense then Por_static.instr_loc_id info ~p ~j:pj else -1 in
     let ok = ref true in
     for q = 0 to nprocs - 1 do
       if !ok && q <> p then begin
         let jq = st.Sem.threads.(q).Sem.next in
-        let jq = min jq (Array.length info.por_suffix.(q) - 1) in
-        let m =
-          Option.value
-            (Exp.Smap.find_opt loc info.por_suffix.(q).(jq))
-            ~default:0
-        in
-        if write then ok := m = 0 else ok := m land 2 = 0
+        if
+          if dense then
+            if write then Por_static.access_remains_id info ~p:q ~j:jq lid
+            else Por_static.write_remains_id info ~p:q ~j:jq lid
+          else if write then Por_static.access_remains info ~p:q ~j:jq loc
+          else Por_static.write_remains info ~p:q ~j:jq loc
+        then ok := false
       end
     done;
     !ok
@@ -91,16 +68,16 @@ let por_candidate info st =
     if p >= nprocs then None
     else
       let j = st.Sem.threads.(p).Sem.next in
-      let instrs = info.por_instrs.(p) in
+      let instrs = info.Por_static.instrs.(p) in
       if j >= Array.length instrs then pick (p + 1)
       else
         let eligible =
           match instrs.(j) with
           | Instr.Fence -> true
           | Instr.Load { kind = Instr.Data; loc; _ } ->
-              independent p loc ~write:false
+              clear p ~pj:j loc ~write:false
           | Instr.Store { kind = Instr.Data; loc; _ } ->
-              independent p loc ~write:true
+              clear p ~pj:j loc ~write:true
           | _ -> false
         in
         if eligible then Some p else pick (p + 1)
@@ -119,7 +96,7 @@ type por_stats = { por_taken : int; por_declined : int }
    visited states; on exhaustion the sweep drains cleanly and the set is
    a sound subset of the complete one (exploration only cuts branches). *)
 let explore_budgeted ?(reduce = true) ?budget prog =
-  let info = if reduce then Some (por_info prog) else None in
+  let info = if reduce then Some (Por_static.cached prog) else None in
   let visited : unit K.t = K.create 1024 in
   let acc = ref Final.Set.empty in
   let taken = ref 0 in
@@ -227,7 +204,7 @@ let iter_traces ?(reduce = false) prog f =
   let nprocs = Prog.num_threads prog in
   (* Event ids of each thread as arrays for O(1) lookup by index. *)
   let ids = Array.init nprocs (fun p -> Array.of_list (Evts.by_proc evts p)) in
-  let info = if reduce then Some (por_info prog) else None in
+  let info = if reduce then Some (Por_static.cached prog) else None in
   let rec explore state trace =
     if Sem.all_done prog state then
       f (List.rev trace) (Sem.final_of_state state)

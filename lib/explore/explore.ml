@@ -16,6 +16,34 @@
    subset property (and, when nothing is cut, equality with the sequential
    result) does not.
 
+   Partial-order reduction.  When the machine declares an oracle
+   ([M.por]), the engine prunes provably outcome-preserving transitions:
+
+   - both engines fire the machine's *ample* transition alone where the
+     oracle proves one exists (the persistent-set argument: the chosen
+     transition commutes with everything other processors can do before
+     it and occurs in every complete run, so reordering recovers every
+     outcome);
+   - the sequential engine additionally runs *sleep sets* (Godefroid's
+     state-caching variant): a transition explored from some earlier
+     branch of the search is not re-fired from sibling states it
+     commutes into, and each visited state remembers the sleep set it
+     was first expanded under so a later visit with a smaller sleep set
+     re-fires exactly the newly awake transitions.  The parallel engine
+     keeps to ample-only reduction — sleep sets depend on the visit
+     order, which a parallel sweep does not fix, and the claimed-state
+     set must stay schedule-independent.
+
+   Every machine graph here is acyclic (issues consume program positions,
+   drains consume buffer entries), finals are sinks, and persistent +
+   sleep sets preserve all sinks, so the reduced sweep reaches the same
+   outcome set; the differential suite pins this machine by machine.
+   Reduction composes with the bound contract unchanged: a reduced
+   [Partial] is still a sound subset.  Degraded Bloom mode disables
+   reduction loudly — the approximate visited set cannot support the
+   sleep-set revisit protocol, and a degraded run is already pinned
+   [Partial].
+
    The resilience layer rides on three hooks:
 
    - every bound is checked *before* a state is claimed, so a stopped
@@ -54,11 +82,16 @@ type stats = {
   table_buckets : int;
   max_probe : int;
   degraded_at : int option;
+  por_enabled : bool;
+  oracle_calls : int;
+  ample_hits : int;
+  suppressed : int;
 }
 
 (* Telemetry for engines that do not run a sharded sweep (the SC
    interleaving enumerator): one "shard" holding every claimed state. *)
-let basic_stats ~states_expanded ~domains_used =
+let basic_stats ?(por_enabled = false) ?(oracle_calls = 0) ?(ample_hits = 0)
+    ?(suppressed = 0) ~states_expanded ~domains_used () =
   {
     states_expanded;
     domains_used;
@@ -68,6 +101,10 @@ let basic_stats ~states_expanded ~domains_used =
     table_buckets = 0;
     max_probe = 0;
     degraded_at = None;
+    por_enabled;
+    oracle_calls;
+    ample_hits;
+    suppressed;
   }
 
 let pp_stats ppf s =
@@ -81,6 +118,10 @@ let pp_stats ppf s =
       s.table_buckets
       (float_of_int s.claimed /. float_of_int s.table_buckets)
       s.max_probe;
+  if s.por_enabled then
+    Format.fprintf ppf
+      "; por: %d oracle call(s), %d ample hit(s), %d transition(s) suppressed"
+      s.oracle_calls s.ample_hits s.suppressed;
   match s.degraded_at with
   | Some n -> Format.fprintf ppf "; DEGRADED to Bloom visited set at %d" n
   | None -> ()
@@ -120,36 +161,64 @@ exception Resume_rejected of string
    sensible domain count keeps lock contention negligible. *)
 let n_shards = 64
 
-module Make (M : Machine_sig.MACHINE) = struct
-  module H = Hashtbl.Make (struct
-    type t = M.key
+(* Reduction is pure overhead on programs whose state space fits in a few
+   thousand states: the oracle tests cost more than the states they save.
+   Every built-in corpus program is under this bar; [big3]-sized programs
+   (12+ instructions) are over it.  Overridable per run for tests. *)
+let por_min_instrs_default = 11
 
-    let hash = M.hash
-    let equal = M.equal
+(* Adaptive parallelism: a requested multi-domain run first sweeps
+   sequentially, and only fans out to domains if it is still going after
+   this many states — spawning domains for a sub-millisecond sweep costs
+   40-200x the sweep itself. *)
+let spill_threshold_default = 2000
+
+module Make (M : Machine_sig.MACHINE) = struct
+  (* Keys are hashed once, when first canonicalized; the table, the
+     shard selector and the Bloom filter all reuse the cached hash, and
+     equality fast-fails on it. *)
+  type hkey = { kh : int; kk : M.key }
+
+  module H = Hashtbl.Make (struct
+    type t = hkey
+
+    let hash k = k.kh
+    let equal a b = a.kh = b.kh && M.equal a.kk b.kk
   end)
+
+  let hkey k = { kh = M.hash k; kk = k }
 
   (* --- snapshots ------------------------------------------------------------ *)
 
   (* A state's canonical key is immutable structural data, so the whole
      resume point marshals cleanly: no closures, no custom blocks.  The
      CRC in the [Snapshot] frame guards the unmarshal — only validated
-     payloads are ever decoded. *)
+     payloads are ever decoded.
+
+     With reduction, visited states carry their stored sleep set and
+     frontier states their arrival sleep set: the sleep-set revisit
+     protocol resumes exactly where it stopped.  A run without reduction
+     (and any parallel run) stores empty sleep lists. *)
 
   type visited_repr =
-    | Exact_keys of M.key array
+    | Exact_keys of (M.key * Machine_sig.action list) array
     | Bloom_filter of Bloom.state
 
   type snap = {
     s_fingerprint : string;  (** name + printed program: identity check *)
+    s_reduce : bool;  (** partial-order reduction active for the run *)
     s_visited : visited_repr;
     s_claimed : int;
-    s_frontier : M.state list;
+    s_frontier : (M.state * Machine_sig.action list) list;
     s_acc : Final.Set.t;
     s_expanded : int;
     s_degraded_at : int option;
   }
 
-  let snap_kind = "weakord.explore/" ^ M.name
+  (* "explore2": the resume payload gained reduction state (sleep sets +
+     the [s_reduce] mode pin); pre-reduction snapshots are rejected by
+     kind rather than misread. *)
+  let snap_kind = "weakord.explore2/" ^ M.name
 
   let fingerprint prog =
     Format.asprintf "%s|%a" (Prog.name prog) Prog.pp prog
@@ -191,6 +260,14 @@ module Make (M : Machine_sig.MACHINE) = struct
         | exception (Failure _ | Invalid_argument _) ->
             raise (Resume_rejected "snapshot payload does not unmarshal"))
 
+  (* Sleep-set state only ever comes from a reduced *sequential* run, and
+     only the sequential engine can honour its revisit protocol. *)
+  let snap_has_sleeps s =
+    (match s.s_visited with
+    | Exact_keys pairs -> Array.exists (fun (_, sl) -> sl <> []) pairs
+    | Bloom_filter _ -> false)
+    || List.exists (fun (_, sl) -> sl <> []) s.s_frontier
+
   (* Rough per-entry cost of the exact visited set: the key's reachable
      words plus a few words of hash-table binding.  Measured once per run
      on the initial state's key — deterministic, so memory-budget
@@ -200,46 +277,60 @@ module Make (M : Machine_sig.MACHINE) = struct
     (Obj.reachable_words (Obj.repr k) + 4) * (Sys.word_size / 8)
 
   (* Bloom probes come from two independent structural hashes of the key:
-     the machine's own and a seeded stdlib traversal. *)
-  let bloom_hashes k =
-    (M.hash k, Hashtbl.seeded_hash_param 128 256 0x9e3779b9 k)
+     the machine's own (cached in the [hkey]) and a seeded stdlib
+     traversal. *)
+  let bloom_hashes hk =
+    (hk.kh, Hashtbl.seeded_hash_param 128 256 0x9e3779b9 hk.kk)
 
   (* --- sequential engine ---------------------------------------------------- *)
 
-  let run_seq ~fuel ~rcfg prog =
+  (* A frontier entry: the state plus the sleep set it arrives with
+     (always [[]] without reduction). *)
+  type fentry = { fs : M.state; fsleep : Machine_sig.action list }
+
+  (* [run_seq] is both the one-domain engine (ample + sleep sets when the
+     oracle is on and [use_sleep]) and the adaptive probe for a
+     multi-domain request ([use_sleep:false], ample-only, so its visited
+     set can be handed to the parallel engine at [spill]).  Returns the
+     spill resume point instead of finishing when the threshold hits. *)
+  let run_seq ~oracle:oracle0 ~use_sleep ?spill ~resumed ~fuel ~(rcfg : rcfg) prog =
     (* The interner doubles as the transposition table: a key's presence
-       means the state was claimed, and its interned int is the visit
-       order.  Keys are stored once; no marshalled strings. *)
-    let interned : int H.t = H.create 4096 in
+       means the state was claimed; its value is the sleep set stored by
+       the first expansion, consulted on revisits.  Keys are stored once;
+       no marshalled strings. *)
+    let visited : Machine_sig.action list ref H.t = H.create 4096 in
     let bloom = ref None in
-    let next_id = ref 0 in
     let claimed = ref 0 in
     let acc = ref Final.Set.empty in
     let expanded = ref 0 in
     let degraded_at = ref None in
-    let stack = ref [ M.initial prog ] in
+    let oracle = ref oracle0 in
+    let reduce_on = oracle0 <> None in
+    let oracle_calls = ref 0 in
+    let ample_hits = ref 0 in
+    let suppressed = ref 0 in
+    let stack = ref [ { fs = M.initial prog; fsleep = [] } ] in
     let stop = ref None in
+    let spilled = ref false in
     let entry_bytes = entry_bytes_estimate prog in
     (* Restore a resume point before the sweep starts. *)
-    (match rcfg.resume with
+    (match resumed with
     | None -> ()
-    | Some bytes ->
-        let s = decode_snap ~prog bytes in
+    | Some s ->
         (match s.s_visited with
-        | Exact_keys keys ->
+        | Exact_keys pairs ->
             Array.iter
-              (fun k ->
-                if not (H.mem interned k) then begin
-                  H.add interned k !next_id;
-                  incr next_id
-                end)
-              keys
+              (fun (k, sl) ->
+                let hk = hkey k in
+                if not (H.mem visited hk) then H.add visited hk (ref sl))
+              pairs
         | Bloom_filter bs -> bloom := Some (Bloom.import bs));
         claimed := s.s_claimed;
         acc := s.s_acc;
         expanded := s.s_expanded;
         degraded_at := s.s_degraded_at;
-        stack := s.s_frontier;
+        if !degraded_at <> None then oracle := None;
+        stack := List.map (fun (st, sl) -> { fs = st; fsleep = sl }) s.s_frontier;
         Obs.instant rcfg.obs ~cat:"explore" ~name:"resume" ~tid:0
           ~ts:s.s_expanded ~loc:"" ~cause:"";
         rcfg.on_event
@@ -250,31 +341,41 @@ module Make (M : Machine_sig.MACHINE) = struct
              | Some n ->
                  Printf.sprintf " (degraded to Bloom visited set at %d)" n
              | None -> "")));
-    let take_snapshot () =
-      let visited =
+    let make_snap () =
+      (* Stored sleep sets exist only to answer the revisit protocol
+         while exploration continues.  Once the frontier is empty nothing
+         will ever be revisited, so the final snapshot drops them — they
+         are the expensive part of the payload (per-key action lists vs.
+         bare keys). *)
+      let keep_sleeps = !stack <> [] in
+      let repr =
         match !bloom with
         | Some b -> Bloom_filter (Bloom.export b)
         | None ->
-            let keys = Array.make (H.length interned) (M.canon (M.initial prog)) in
+            let pairs =
+              Array.make (H.length visited)
+                (M.canon (M.initial prog), ([] : Machine_sig.action list))
+            in
             let i = ref 0 in
             H.iter
-              (fun k _ ->
-                keys.(!i) <- k;
+              (fun hk sl ->
+                pairs.(!i) <- (hk.kk, (if keep_sleeps then !sl else []));
                 incr i)
-              interned;
-            Exact_keys keys
+              visited;
+            Exact_keys pairs
       in
-      encode_snap
-        {
-          s_fingerprint = fingerprint prog;
-          s_visited = visited;
-          s_claimed = !claimed;
-          s_frontier = !stack;
-          s_acc = !acc;
-          s_expanded = !expanded;
-          s_degraded_at = !degraded_at;
-        }
+      {
+        s_fingerprint = fingerprint prog;
+        s_reduce = reduce_on;
+        s_visited = repr;
+        s_claimed = !claimed;
+        s_frontier = List.map (fun f -> (f.fs, f.fsleep)) !stack;
+        s_acc = !acc;
+        s_expanded = !expanded;
+        s_degraded_at = !degraded_at;
+      }
     in
+    let take_snapshot () = encode_snap (make_snap ()) in
     (* Periodic snapshots are throttled by their own cost: one is skipped
        while taking it would spend more than ~5% of the wall-clock since
        the last one (snapshot cost grows with the visited set, so a fixed
@@ -300,57 +401,129 @@ module Make (M : Machine_sig.MACHINE) = struct
     (* Migrate the exact table into a Bloom filter: sized at ~32 bits per
        key already claimed (with a 2^20 floor) the false-positive rate is
        negligible at litmus scale, and the byte cost per future state
-       drops from hundreds to four bits. *)
+       drops from hundreds to four bits.  The approximate table cannot
+       answer the sleep-set revisit protocol, so reduction is switched
+       off for the rest of the sweep — the run is pinned Partial anyway. *)
     let degrade () =
       let bits = max (1 lsl 20) (32 * !claimed) in
       let b = Bloom.create ~bits in
       H.iter
-        (fun k _ ->
-          let h1, h2 = bloom_hashes k in
+        (fun hk _ ->
+          let h1, h2 = bloom_hashes hk in
           ignore (Bloom.add_mem b h1 h2))
-        interned;
-      H.reset interned;
+        visited;
+      H.reset visited;
       bloom := Some b;
       degraded_at := Some !expanded;
+      let por_note =
+        if !oracle <> None then begin
+          oracle := None;
+          "; partial-order reduction disabled for the rest of the sweep"
+        end
+        else ""
+      in
       Obs.instant rcfg.obs ~cat:"explore" ~name:"degrade" ~tid:0 ~ts:!expanded
         ~loc:"" ~cause:"mem-budget";
       rcfg.on_event
         (Printf.sprintf
            "memory budget crossed at %d state(s) (~%d bytes of visited \
             set): degrading to a Bloom-filter visited set (%d bits) — \
-            coverage is now approximate, the verdict will be Partial"
-           !expanded (!claimed * entry_bytes) (Bloom.bits b))
+            coverage is now approximate, the verdict will be Partial%s"
+           !expanded (!claimed * entry_bytes) (Bloom.bits b) por_note)
     in
-    let claim k =
-      match !bloom with
-      | Some b ->
-          let h1, h2 = bloom_hashes k in
-          if Bloom.add_mem b h1 h2 then false
-          else begin
-            incr claimed;
-            true
-          end
-      | None ->
-          if H.mem interned k then false
-          else begin
-            H.add interned k !next_id;
-            incr next_id;
-            incr claimed;
-            (match rcfg.budget with
-            | Some b
-              when !bloom = None
-                   && Budget.over_memory b ~bytes:(!claimed * entry_bytes) ->
-                degrade ()
-            | _ -> ());
-            true
-          end
+    let push fs fsleep = stack := { fs; fsleep } :: !stack in
+    (* Expand a freshly claimed state.  [stored] is its visited-table
+       slot (None once degraded); the first expansion records the arrival
+       sleep restricted to enabled transitions so a later visit with a
+       smaller sleep set knows exactly what to re-fire. *)
+    let expand_fresh st ~stored ~sleep =
+      incr expanded;
+      match M.final prog st with
+      | Some f -> acc := Final.Set.add f !acc
+      | None -> (
+          match !oracle with
+          | None -> List.iter (fun s -> push s []) (M.successors prog st)
+          | Some o -> (
+              incr oracle_calls;
+              let succs = o.Machine_sig.successors_labeled st in
+              let sleep = if use_sleep then sleep else [] in
+              (match stored with
+              | Some r when sleep <> [] ->
+                  r :=
+                    List.filter
+                      (fun a -> List.exists (fun (b, _) -> b = a) succs)
+                      sleep
+              | _ -> ());
+              match o.Machine_sig.ample st succs with
+              | Some (a, s') ->
+                  incr ample_hits;
+                  let n = List.length succs in
+                  if use_sleep && List.mem a sleep then
+                    (* The whole subtree is covered from wherever [a] was
+                       fired before this branch slept it. *)
+                    suppressed := !suppressed + n
+                  else begin
+                    suppressed := !suppressed + n - 1;
+                    push s'
+                      (List.filter
+                         (fun u -> Machine_sig.independent u a)
+                         sleep)
+                  end
+              | None ->
+                  if not use_sleep then
+                    List.iter (fun (_, s') -> push s' []) succs
+                  else begin
+                    (* Full expansion under sleep sets: skip slept
+                       transitions; each fired child sleeps its earlier
+                       siblings (and inherited sleepers) that commute
+                       with it. *)
+                    let fired = ref [] in
+                    List.iter
+                      (fun (a, s') ->
+                        if List.mem a sleep then incr suppressed
+                        else begin
+                          push s'
+                            (List.filter
+                               (fun u -> Machine_sig.independent u a)
+                               (List.rev_append !fired sleep));
+                          fired := a :: !fired
+                        end)
+                      succs
+                  end))
+    in
+    (* Revisit of a cached state: re-fire exactly the transitions the
+       first expansion slept that this visit does not, and shrink the
+       stored sleep to the intersection (Godefroid's state-caching +
+       sleep-sets protocol).  No [expanded] tick: the state was counted
+       when first claimed. *)
+    let revisit st ~stored ~sleep =
+      let need, keep =
+        List.partition (fun a -> not (List.mem a sleep)) !stored
+      in
+      if need <> [] then begin
+        stored := keep;
+        match !oracle with
+        | None -> ()
+        | Some o ->
+            let fired = ref [] in
+            List.iter
+              (fun (a, s') ->
+                if List.mem a need then begin
+                  push s'
+                    (List.filter
+                       (fun u -> Machine_sig.independent u a)
+                       (List.rev_append !fired sleep));
+                  fired := a :: !fired
+                end)
+              (o.Machine_sig.successors_labeled st)
+      end
     in
     let iters = ref 0 in
     let running = ref true in
     while !running do
       match !stack with
       | [] -> running := false
-      | st :: rest ->
+      | { fs = st; fsleep = sleep } :: rest ->
           (* Safe point: every bound is checked before [st] is claimed,
              so on a stop it stays in the frontier and the resume point
              is complete. *)
@@ -362,48 +535,77 @@ module Make (M : Machine_sig.MACHINE) = struct
           | _ -> ());
           incr iters;
           if !expanded >= fuel then stop := Some Fuel_exhausted;
-          if !stop <> None then running := false
+          (match spill with
+          | Some sp when !stop = None && !bloom = None && !expanded >= sp ->
+              spilled := true
+          | _ -> ());
+          if !stop <> None || !spilled then running := false
           else begin
             stack := rest;
-            let k = M.canon st in
-            if claim k then begin
-              incr expanded;
-              (match M.final prog st with
-              | Some f -> acc := Final.Set.add f !acc
-              | None ->
-                  List.iter
-                    (fun s -> stack := s :: !stack)
-                    (M.successors prog st));
-              if
-                rcfg.snapshot_sink <> None
-                && !expanded mod rcfg.checkpoint_every = 0
-              then checkpoint ~force:false ()
-            end
+            let hk = hkey (M.canon st) in
+            (match !bloom with
+            | Some b ->
+                let h1, h2 = bloom_hashes hk in
+                if not (Bloom.add_mem b h1 h2) then begin
+                  incr claimed;
+                  expand_fresh st ~stored:None ~sleep
+                end
+            | None -> (
+                match H.find_opt visited hk with
+                | Some stored -> revisit st ~stored ~sleep
+                | None ->
+                    let stored = ref [] in
+                    H.add visited hk stored;
+                    incr claimed;
+                    (match rcfg.budget with
+                    | Some b
+                      when Budget.over_memory b
+                             ~bytes:(!claimed * entry_bytes) ->
+                        degrade ()
+                    | _ -> ());
+                    expand_fresh st ~stored:(Some stored) ~sleep));
+            if
+              rcfg.snapshot_sink <> None
+              && !expanded mod rcfg.checkpoint_every = 0
+            then checkpoint ~force:false ()
           end
     done;
     if !stop <> None then checkpoint ~force:true ();
+    if reduce_on then begin
+      Obs.counter rcfg.obs ~cat:"explore" ~name:"por_oracle_calls" ~tid:0
+        ~ts:!expanded ~value:!oracle_calls;
+      Obs.counter rcfg.obs ~cat:"explore" ~name:"por_ample_hits" ~tid:0
+        ~ts:!expanded ~value:!ample_hits;
+      Obs.counter rcfg.obs ~cat:"explore" ~name:"por_suppressed" ~tid:0
+        ~ts:!expanded ~value:!suppressed
+    end;
     let table_buckets, max_probe =
       if !bloom = None then
-        let hstats = H.stats interned in
+        let hstats = H.stats visited in
         (hstats.Hashtbl.num_buckets, hstats.Hashtbl.max_bucket_length)
       else (0, 0)
     in
     let partial = !stop <> None || !degraded_at <> None in
-    {
-      result = (if partial then Partial !acc else Complete !acc);
-      stop = !stop;
-      stats =
-        {
-          states_expanded = !expanded;
-          domains_used = 1;
-          claimed = !claimed;
-          claimed_per_shard = [| !claimed |];
-          donations = 0;
-          table_buckets;
-          max_probe;
-          degraded_at = !degraded_at;
-        };
-    }
+    ( {
+        result = (if partial then Partial !acc else Complete !acc);
+        stop = !stop;
+        stats =
+          {
+            states_expanded = !expanded;
+            domains_used = 1;
+            claimed = !claimed;
+            claimed_per_shard = [| !claimed |];
+            donations = 0;
+            table_buckets;
+            max_probe;
+            degraded_at = !degraded_at;
+            por_enabled = reduce_on;
+            oracle_calls = !oracle_calls;
+            ample_hits = !ample_hits;
+            suppressed = !suppressed;
+          };
+      },
+      if !spilled then Some (make_snap ()) else None )
 
   (* --- parallel engine ------------------------------------------------------ *)
 
@@ -431,23 +633,23 @@ module Make (M : Machine_sig.MACHINE) = struct
             of the resume frontier *)
   }
 
-  let shard_of sh k = sh.shards.((M.hash k land max_int) mod Array.length sh.shards)
+  let shard_of sh hk = sh.shards.((hk.kh land max_int) mod Array.length sh.shards)
 
   (* First visit wins: returns [true] iff this domain claimed the key. *)
-  let try_claim sh k =
-    let s = shard_of sh k in
+  let try_claim sh hk =
+    let s = shard_of sh hk in
     Mutex.lock s.lock;
-    let fresh = not (H.mem s.table k) in
-    if fresh then H.add s.table k (Atomic.fetch_and_add sh.next_id 1);
+    let fresh = not (H.mem s.table hk) in
+    if fresh then H.add s.table hk (Atomic.fetch_and_add sh.next_id 1);
     Mutex.unlock s.lock;
     fresh
 
   (* Give a claim back (the claimer hit a bound before expanding): the
      state must stay claimable after resume. *)
-  let unclaim sh k =
-    let s = shard_of sh k in
+  let unclaim sh hk =
+    let s = shard_of sh hk in
     Mutex.lock s.lock;
-    H.remove s.table k;
+    H.remove s.table hk;
     Mutex.unlock s.lock
 
   let set_stop sh reason =
@@ -524,8 +726,16 @@ module Make (M : Machine_sig.MACHINE) = struct
     else
       match l with [] -> (acc, []) | x :: rest -> split_half (n - 1) (x :: acc) rest
 
-  let worker sh prog =
+  (* Parallel workers run ample-only reduction: the ample choice is a
+     function of the state alone, so the claimed-state set stays
+     schedule-independent.  (Sleep sets are a property of the visit
+     order; they stay sequential.)  Per-worker reduction counters avoid
+     atomic traffic; the parent sums them. *)
+  let worker sh oracle prog =
     let acc = ref Final.Set.empty in
+    let oracle_calls = ref 0 in
+    let ample_hits = ref 0 in
+    let suppressed = ref 0 in
     let local = ref [] in
     let iters = ref 0 in
     let process st =
@@ -545,22 +755,38 @@ module Make (M : Machine_sig.MACHINE) = struct
         incr iters;
         if Atomic.get sh.stopping <> None then add_leftover sh st
         else
-          let k = M.canon st in
-          if try_claim sh k then
+          let hk = hkey (M.canon st) in
+          if try_claim sh hk then
             let n = Atomic.fetch_and_add sh.expanded 1 in
             if n >= sh.fuel then begin
               (* Bound reached after the claim: give the claim back so
                  the state survives into the resume frontier. *)
               Atomic.decr sh.expanded;
-              unclaim sh k;
+              unclaim sh hk;
               set_stop sh Fuel_exhausted;
               add_leftover sh st
             end
             else
               match M.final prog st with
               | Some f -> acc := Final.Set.add f !acc
-              | None ->
-                  List.iter (fun s -> local := s :: !local) (M.successors prog st)
+              | None -> (
+                  match oracle with
+                  | None ->
+                      List.iter
+                        (fun s -> local := s :: !local)
+                        (M.successors prog st)
+                  | Some o -> (
+                      incr oracle_calls;
+                      let succs = o.Machine_sig.successors_labeled st in
+                      match o.Machine_sig.ample st succs with
+                      | Some (_, s') ->
+                          incr ample_hits;
+                          suppressed := !suppressed + List.length succs - 1;
+                          local := s' :: !local
+                      | None ->
+                          List.iter
+                            (fun (_, s') -> local := s' :: !local)
+                            succs))
       end
     in
     let rec loop () =
@@ -591,12 +817,9 @@ module Make (M : Machine_sig.MACHINE) = struct
                 List.iter (add_leftover sh) !local)
     in
     loop ();
-    !acc
+    (!acc, !oracle_calls, !ample_hits, !suppressed)
 
-  let run_par ~domains ~fuel ~rcfg prog =
-    let resumed =
-      Option.map (fun bytes -> decode_snap ~prog bytes) rcfg.resume
-    in
+  let run_par ~oracle ~resumed ~domains ~fuel ~(rcfg : rcfg) prog =
     (match resumed with
     | Some { s_visited = Bloom_filter _; _ } ->
         raise
@@ -632,11 +855,11 @@ module Make (M : Machine_sig.MACHINE) = struct
       | None -> Final.Set.empty
       | Some s ->
           (match s.s_visited with
-          | Exact_keys keys ->
-              Array.iter (fun k -> ignore (try_claim sh k)) keys
+          | Exact_keys pairs ->
+              Array.iter (fun (k, _) -> ignore (try_claim sh (hkey k))) pairs
           | Bloom_filter _ -> assert false);
           Atomic.set sh.expanded s.s_expanded;
-          sh.pending <- s.s_frontier;
+          sh.pending <- List.map fst s.s_frontier;
           rcfg.on_event
             (Printf.sprintf
                "resumed %s/%s: %d state(s) already expanded, frontier %d"
@@ -645,28 +868,36 @@ module Make (M : Machine_sig.MACHINE) = struct
           s.s_acc
     in
     let others =
-      Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker sh prog))
+      Array.init (domains - 1) (fun _ ->
+          Domain.spawn (fun () -> worker sh oracle prog))
     in
-    let mine = worker sh prog in
+    let mine = worker sh oracle prog in
+    let results = Array.append [| mine |] (Array.map Domain.join others) in
     let acc =
       Array.fold_left
-        (fun a d -> Final.Set.union (Domain.join d) a)
-        (Final.Set.union resumed_acc mine)
-        others
+        (fun a (w, _, _, _) -> Final.Set.union w a)
+        resumed_acc results
     in
+    let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
+    let oracle_calls = sum (fun (_, oc, _, _) -> oc) in
+    let ample_hits = sum (fun (_, _, ah, _) -> ah) in
+    let suppressed = sum (fun (_, _, _, su) -> su) in
     let stop = Atomic.get sh.stopping in
     (* On an early stop, hand the caller a resume point: every claimed key
        plus the parked frontier. *)
     (match (stop, rcfg.snapshot_sink) with
     | Some _, Some sink ->
         let n = Array.fold_left (fun a s -> a + H.length s.table) 0 sh.shards in
-        let keys = Array.make n (M.canon (M.initial prog)) in
+        let keys =
+          Array.make n
+            (M.canon (M.initial prog), ([] : Machine_sig.action list))
+        in
         let i = ref 0 in
         Array.iter
           (fun s ->
             H.iter
-              (fun k _ ->
-                keys.(!i) <- k;
+              (fun hk _ ->
+                keys.(!i) <- (hk.kk, []);
                 incr i)
               s.table)
           sh.shards;
@@ -674,9 +905,10 @@ module Make (M : Machine_sig.MACHINE) = struct
           (encode_snap
              {
                s_fingerprint = fingerprint prog;
+               s_reduce = oracle <> None;
                s_visited = Exact_keys keys;
                s_claimed = n;
-               s_frontier = sh.leftovers;
+               s_frontier = List.map (fun st -> (st, [])) sh.leftovers;
                s_acc = acc;
                s_expanded = Atomic.get sh.expanded;
                s_degraded_at = None;
@@ -705,12 +937,18 @@ module Make (M : Machine_sig.MACHINE) = struct
           table_buckets = buckets;
           max_probe;
           degraded_at = None;
+          por_enabled = oracle <> None;
+          oracle_calls;
+          ample_hits;
+          suppressed;
         };
     }
 
   (* --- public API ----------------------------------------------------------- *)
 
-  let run ?(domains = 1) ?fuel ?(rcfg = rcfg_default) prog =
+  let run ?(domains = 1) ?(adaptive = true) ?(reduce = true)
+      ?(por_min_instrs = por_min_instrs_default) ?fuel ?(rcfg = rcfg_default)
+      prog =
     if domains < 1 then invalid_arg "Explore.run: domains must be >= 1";
     (match fuel with
     | Some f when f < 0 -> invalid_arg "Explore.run: negative fuel"
@@ -718,10 +956,89 @@ module Make (M : Machine_sig.MACHINE) = struct
     if rcfg.checkpoint_every < 1 then
       invalid_arg "Explore.run: checkpoint_every must be >= 1";
     let fuel = Option.value fuel ~default:max_int in
-    if domains = 1 then run_seq ~fuel ~rcfg prog
-    else run_par ~domains ~fuel ~rcfg prog
+    (* The cheap guard: below the instruction threshold the whole state
+       space is a few thousand states and the oracle costs more than it
+       saves — skip the machinery entirely. *)
+    let oracle =
+      if reduce && Prog.num_instrs prog >= por_min_instrs then M.por prog
+      else None
+    in
+    let reduce_on = oracle <> None in
+    let resumed =
+      Option.map (fun bytes -> decode_snap ~prog bytes) rcfg.resume
+    in
+    (match resumed with
+    | Some s when s.s_reduce <> reduce_on ->
+        raise
+          (Resume_rejected
+             (Printf.sprintf
+                "snapshot was taken with partial-order reduction %s but \
+                 this run has it %s; rerun with a matching --no-por setting"
+                (if s.s_reduce then "on" else "off")
+                (if reduce_on then "on" else "off")))
+    | _ -> ());
+    let reject_sleeps () =
+      match resumed with
+      | Some s when snap_has_sleeps s ->
+          raise
+            (Resume_rejected
+               "this snapshot carries sleep-set state from a reduced \
+                sequential run; resume it with the sequential engine \
+                (--jobs 1)")
+      | _ -> ()
+    in
+    if domains = 1 then
+      fst (run_seq ~oracle ~use_sleep:true ~resumed ~fuel ~rcfg prog)
+    else if not adaptive then begin
+      reject_sleeps ();
+      run_par ~oracle ~resumed ~domains ~fuel ~rcfg prog
+    end
+    else begin
+      (* Adaptive parallelism: never spawn more domains than the machine
+         has cores, and never spawn any before the frontier proves it is
+         worth it — a sequential probe sweeps until [spill_threshold] and
+         hands its visited set over only if it is still going. *)
+      let recommended = Domain.recommended_domain_count () in
+      let eff = min domains recommended in
+      if eff = 1 then begin
+        Obs.instant rcfg.obs ~cat:"explore" ~name:"adaptive" ~tid:0 ~ts:0
+          ~loc:"" ~cause:"cores";
+        rcfg.on_event
+          (Printf.sprintf
+             "adaptive parallelism: %d domain(s) requested but %d core(s) \
+              recognized; using the sequential engine" domains recommended);
+        fst (run_seq ~oracle ~use_sleep:true ~resumed ~fuel ~rcfg prog)
+      end
+      else begin
+        reject_sleeps ();
+        let r, sp =
+          run_seq ~oracle ~use_sleep:false ~resumed ~fuel
+            ~spill:spill_threshold_default ~rcfg prog
+        in
+        match sp with
+        | None ->
+            Obs.instant rcfg.obs ~cat:"explore" ~name:"adaptive" ~tid:0
+              ~ts:r.stats.states_expanded ~loc:"" ~cause:"small-frontier";
+            rcfg.on_event
+              (Printf.sprintf
+                 "adaptive parallelism: sweep ended under %d state(s); \
+                  the sequential engine finished without spawning domains"
+                 spill_threshold_default);
+            r
+        | Some snapv ->
+            Obs.instant rcfg.obs ~cat:"explore" ~name:"adaptive" ~tid:0
+              ~ts:snapv.s_expanded ~loc:"" ~cause:"spill";
+            rcfg.on_event
+              (Printf.sprintf
+                 "adaptive parallelism: frontier spilled at %d state(s); \
+                  fanning out to %d domain(s)" snapv.s_expanded eff);
+            run_par ~oracle ~resumed:(Some snapv) ~domains:eff ~fuel ~rcfg
+              prog
+      end
+    end
 
-  let outcomes ?domains prog = bounded_value (run ?domains prog).result
+  let outcomes ?domains ?reduce prog =
+    bounded_value (run ?domains ?reduce prog).result
 
   let outcomes_bounded ~fuel prog =
     if fuel < 0 then invalid_arg "Explore.outcomes_bounded: negative fuel";

@@ -53,16 +53,36 @@ type stats = {
       (** [Some n]: the visited set switched to a Bloom filter after [n]
           expansions (memory budget crossed); coverage is approximate
           from then on and the result is pinned [Partial] *)
+  por_enabled : bool;
+      (** partial-order reduction was active for this run (the machine
+          declared an oracle and the program cleared the size guard) *)
+  oracle_calls : int;
+      (** non-final expansions that consulted the oracle *)
+  ample_hits : int;
+      (** expansions where the oracle proved a single ample transition
+          sufficient — on parallel runs, summed over workers *)
+  suppressed : int;
+      (** transitions present in the full successor relation that the
+          reduction did not fire (ample- plus sleep-suppressed) *)
 }
 (** Telemetry from one exploration sweep. *)
 
-val basic_stats : states_expanded:int -> domains_used:int -> stats
+val basic_stats :
+  ?por_enabled:bool ->
+  ?oracle_calls:int ->
+  ?ample_hits:int ->
+  ?suppressed:int ->
+  states_expanded:int ->
+  domains_used:int ->
+  unit ->
+  stats
 (** Degenerate telemetry for engines without a sharded sweep (one shard
     holding every claimed state, no table data) — e.g. the SC
     interleaving enumerator. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** One line: states, claims, shards, donations, table occupancy. *)
+(** One line: states, claims, shards, donations, table occupancy,
+    reduction counters. *)
 
 type run_result = {
   result : Final.Set.t bounded;
@@ -111,25 +131,64 @@ val rcfg_default : rcfg
 
 exception Resume_rejected of string
 (** A resume snapshot failed validation: corrupted (CRC), version-skewed,
-    wrong machine, wrong program, or a degraded (Bloom) snapshot offered
-    to the parallel engine. *)
+    wrong machine, wrong program, taken under the opposite reduction
+    setting, a degraded (Bloom) snapshot offered to the parallel engine,
+    or a reduced sequential snapshot (carrying sleep-set state) offered
+    to a parallel run. *)
+
+val por_min_instrs_default : int
+(** Programs with fewer instructions than this skip the reduction
+    machinery entirely (the cheap guard): their state spaces are small
+    enough that oracle tests cost more than the states they would save. *)
+
+val spill_threshold_default : int
+(** A multi-domain request first probes sequentially and only fans out
+    to domains once this many states have been expanded — spawning
+    domains for a sub-millisecond sweep costs more than the sweep. *)
 
 module Make (M : Machine_sig.MACHINE) : sig
   val run :
-    ?domains:int -> ?fuel:int -> ?rcfg:rcfg -> Prog.t -> run_result
+    ?domains:int ->
+    ?adaptive:bool ->
+    ?reduce:bool ->
+    ?por_min_instrs:int ->
+    ?fuel:int ->
+    ?rcfg:rcfg ->
+    Prog.t ->
+    run_result
   (** [run ~domains:n ~fuel p] explores [p]'s state graph.  [n = 1]
-      (default) is a sequential DFS; [n > 1] spawns [n - 1] extra domains
-      over a sharded claim table.  [fuel] bounds the number of distinct
-      states expanded — across resume, so a resumed run continues the
-      original budget; without it exploration is exhaustive.  A [Complete]
-      result is identical for every [domains]; a [Partial] result is
-      always a sound subset of the complete set.
+      (default) is a sequential DFS; [n > 1] spawns extra domains over a
+      sharded claim table.  [fuel] bounds the number of distinct states
+      expanded — across resume, so a resumed run continues the original
+      budget; without it exploration is exhaustive.  A [Complete] result
+      carries the same outcome set for every [domains]; a [Partial]
+      result is always a sound subset of the complete set.
+
+      [reduce] (default [true]) enables partial-order reduction when the
+      machine declares an oracle and the program has at least
+      [por_min_instrs] instructions (default
+      {!por_min_instrs_default}): the sequential engine runs ample-set
+      selection plus sleep-set pruning, the parallel engine ample-set
+      selection only, so reduced sequential runs expand at most as many
+      states as reduced parallel runs.  The outcome set of a [Complete]
+      run is unchanged by [reduce]; only [states_expanded] varies.
+
+      [adaptive] (default [true]) makes a multi-domain request safe on
+      small problems: domains are capped at
+      [Domain.recommended_domain_count ()], and the sweep starts on the
+      sequential engine, fanning out only after
+      {!spill_threshold_default} states ([stats.domains_used] reports
+      what actually ran).  Pass [~adaptive:false] to force the parallel
+      engine at exactly [domains].
 
       With [rcfg]: the budget is checked between expansions and the sweep
       drains cleanly to [Partial] (with a final snapshot handed to the
       sink) instead of being killed mid-sweep; under memory pressure the
       sequential engine degrades the visited set to a Bloom filter and
-      keeps going.
+      keeps going (disabling reduction from that point, loudly).
+      Snapshots record the reduction setting and any sleep-set state; a
+      resume must use the same [reduce] setting, and snapshots from
+      reduced sequential runs can only resume on the sequential engine.
       @raise Invalid_argument on [domains < 1], negative [fuel], or a
         non-positive [checkpoint_every]
       @raise Resume_rejected if [rcfg.resume] fails validation *)
@@ -139,7 +198,7 @@ module Make (M : Machine_sig.MACHINE) : sig
       for tests and tooling.
       @raise Resume_rejected on invalid bytes. *)
 
-  val outcomes : ?domains:int -> Prog.t -> Final.Set.t
+  val outcomes : ?domains:int -> ?reduce:bool -> Prog.t -> Final.Set.t
   (** The complete outcome set ({!run} without fuel, result unwrapped). *)
 
   val outcomes_bounded : fuel:int -> Prog.t -> Final.Set.t bounded

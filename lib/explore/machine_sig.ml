@@ -1,7 +1,55 @@
 (* The interface of an abstract hardware machine: a nondeterministic labeled
    transition system whose complete runs define the outcomes the hardware
    allows for a program.  [Explore] turns any machine into an exhaustive
-   outcome-set computation, sequential or parallel. *)
+   outcome-set computation, sequential or parallel.
+
+   A machine may additionally declare a partial-order reduction oracle: a
+   labeling of its transitions with enough information to decide
+   commutativity, plus an ample-transition selector.  Machines without an
+   oracle ([por _ = None]) are explored in full — the safe default. *)
+
+type action = {
+  a_proc : int;  (** issuing processor *)
+  a_id : int;
+      (** discriminates this transition among [a_proc]'s transitions: the
+          instruction index for issues, the pending-buffer slot for drains.
+          Must be stable across revisits of the same canonical state so
+          that sleep-set membership is meaningful. *)
+  a_loc : string;
+      (** shared location the step touches, or [""] for a purely
+          processor-local step (register write, buffer enqueue, fence) *)
+  a_write : bool;  (** the step can change the value at [a_loc] *)
+  a_sync : bool;
+      (** the step reads or writes global synchronization structures
+          (reservations, lock state) beyond the single location [a_loc];
+          sync steps are never independent of other shared-memory steps *)
+}
+
+(* Commutativity of two transition labels.  Deliberately conservative:
+   same-processor steps are always dependent (program order), sync steps
+   conflict with every non-local step, and two accesses to one location
+   conflict unless both are reads.  A machine's labeling must be honest —
+   [a_loc = ""] promises the step commutes with every step of every other
+   processor. *)
+let independent t u =
+  t.a_proc <> u.a_proc
+  && (t.a_loc = "" || u.a_loc = ""
+     || ((not t.a_sync) && (not u.a_sync)
+        && not (t.a_loc = u.a_loc && (t.a_write || u.a_write))))
+
+type 'state oracle = {
+  successors_labeled : 'state -> (action * 'state) list;
+      (** Same transitions as [successors], in the same order, each
+          carrying its label. *)
+  ample : 'state -> (action * 'state) list -> (action * 'state) option;
+      (** [ample st succs], where [succs = successors_labeled st]:
+          [Some (a, s')] iff the machine can prove firing this single
+          transition alone preserves the outcome set — [(a, s')] must be
+          one of [succs]'s entries, commute with every transition any
+          other processor (and, for non-issue steps, the same processor)
+          can fire before it, and occur in every complete run from [st].
+          [None] means expand everything. *)
+}
 
 module type MACHINE = sig
   type state
@@ -31,8 +79,11 @@ module type MACHINE = sig
       copy of the varying parts, no marshalling. *)
 
   val hash : key -> int
-
   val equal : key -> key -> bool
+
+  val por : Prog.t -> state oracle option
+  (** The machine's partial-order reduction oracle for [prog], or [None]
+      to disable reduction for this machine (always sound). *)
 end
 
 (* The default key hash.  [Hashtbl.hash] caps at 10 meaningful nodes, which

@@ -171,3 +171,9 @@ let canon st : key =
 
 let hash = Machine_sig.structural_hash
 let equal (a : key) (b : key) = a = b
+
+(* No reduction oracle: these machines interleave reservation bookkeeping
+   (global-perform counters, reservation multisets) with every shared
+   access, so a conservative labeling would mark everything [a_sync] and
+   suppress nothing.  Explored in full — always sound. *)
+let por _ = None

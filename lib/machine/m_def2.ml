@@ -264,6 +264,167 @@ module Make (C : CONFIG) = struct
 
   let hash = Machine_sig.structural_hash
   let equal (a : key) (b : key) = a = b
+
+  (* --- partial-order reduction oracle -----------------------------------
+
+     Liveness invariant: in every reachable state, every reservation is
+     live (its owner still has a pending write at or below the
+     watermark).  Initially there are none; [commit_sync] and [perform] —
+     the only steps that create reservations or drop pending writes — end
+     in [cleanup], and data issues only append writes with sequence
+     numbers above every existing watermark.  Hence [cleanup] is a no-op
+     inside fences and sync commits, which makes the labels below honest.
+
+     Labels (issues carry [a_id = next], drains [-(slot + 1)], both stable
+     because [canon] includes the pending list):
+
+     - data store issue, fence: local ([a_loc = ""]) — they touch only the
+       issuing processor's registers/pending/counter, and no foreign step
+       reads those (cleanup liveness is unaffected: a fresh write's
+       sequence number exceeds every watermark).
+     - data load / await of [l]: read [l].
+     - sync-class issues: [a_sync] — they consult and update the global
+       reservation table.
+     - drains of [l]: write [l]; [a_sync] iff the program has any
+       synchronization-class instruction, because draining can drop the
+       processor's own reservations (on any location) and unblock foreign
+       commits — an effect invisible to a plain [(loc, write)] label.
+
+     Ample classes, each of which commutes with every step another
+     processor — and, for drains, the same processor — can fire first,
+     stays enabled, and occurs in every complete run:
+
+     - data store issue: local, unconditionally enabled, must eventually
+       issue.  Own drains commute with it: the new write's sequence number
+       keeps it out of existing watermarks and it drains strictly after
+       same-location predecessors.
+     - fence: local; enabled only once [pending = []], so no own drain can
+       precede it, and no own issue can (program order).
+     - data load of [l] when no other processor has a pending write on
+       [l] or a not-yet-issued write of [l]: no foreign step can change
+       [l] first, and own drains preserve the visible value (forwarding
+       returns the newest same-location entry; draining removes the
+       oldest, and when they coincide memory then holds that value).
+     - drain of [l] when the reservation table is empty, the processor
+       has no synchronization-class instruction left to issue (else a
+       later own commit would build a reservation whose liveness the
+       drain changes), and no other processor has a pending write on [l]
+       or any remaining access of [l].  Pending writes must drain before
+       the run completes, so it occurs in every complete run.
+
+     Data awaits (value-blocking) and sync-class issues (reservation
+     traffic) are never ample. *)
+
+  let issue_labeled prog st p =
+    let pr = st.procs.(p) in
+    match List.nth_opt (Prog.thread prog p) pr.next with
+    | None -> []
+    | Some instr ->
+        let a_loc, a_write, a_sync =
+          match instr with
+          | Instr.Store { kind = Instr.Data; _ } | Instr.Fence ->
+              ("", false, false)
+          | Instr.Load { kind = Instr.Data; loc; _ }
+          | Instr.Await { kind = Instr.Data; loc; _ } ->
+              (loc, false, false)
+          | Instr.Load { kind = Instr.Sync; loc; _ }
+          | Instr.Await { kind = Instr.Sync; loc; _ } ->
+              (loc, C.read_only_syncs_reserve, true)
+          | Instr.Store { kind = Instr.Sync; loc; _ }
+          | Instr.Rmw { loc; _ }
+          | Instr.Lock { loc } ->
+              (loc, true, true)
+        in
+        let a =
+          { Machine_sig.a_proc = p; a_id = pr.next; a_loc; a_write; a_sync }
+        in
+        List.map (fun st' -> (a, st')) (issue prog st p)
+
+  let perform_labeled ~drain_sync st p =
+    let pr = st.procs.(p) in
+    let rec candidates i seen_locs before acc = function
+      | [] -> acc
+      | pw :: rest ->
+          let acc =
+            if List.mem pw.wloc seen_locs then acc
+            else begin
+              let st' =
+                { st with memory = Smap.add pw.wloc pw.wval st.memory }
+              in
+              let st' =
+                with_proc st' p { pr with pending = List.rev_append before rest }
+              in
+              ( {
+                  Machine_sig.a_proc = p;
+                  a_id = -(i + 1);
+                  a_loc = pw.wloc;
+                  a_write = true;
+                  a_sync = drain_sync;
+                },
+                cleanup st' )
+              :: acc
+            end
+          in
+          candidates (i + 1) (pw.wloc :: seen_locs) (pw :: before) acc rest
+    in
+    candidates 0 [] [] [] pr.pending
+
+  let successors_labeled ~drain_sync prog st =
+    let acc = ref [] in
+    for p = Array.length st.procs - 1 downto 0 do
+      acc := issue_labeled prog st p @ perform_labeled ~drain_sync st p @ !acc
+    done;
+    !acc
+
+  let por prog =
+    let info = Por_static.cached prog in
+    let nthreads = Prog.num_threads prog in
+    let has_sync =
+      let rec loop p =
+        p < nthreads
+        && (Por_static.sync_remains info ~p ~j:0 || loop (p + 1))
+      in
+      loop 0
+    in
+    (* No other processor holds a pending write on [loc], nor a
+       not-yet-issued write ([write_only]) / access of it. *)
+    let foreign_clear ~write_only st p loc =
+      let ok = ref true in
+      Array.iteri
+        (fun q pr ->
+          if q <> p && !ok then
+            if
+              (if write_only then
+                 Por_static.write_remains info ~p:q ~j:pr.next loc
+               else Por_static.access_remains info ~p:q ~j:pr.next loc)
+              || List.exists (fun pw -> String.equal pw.wloc loc) pr.pending
+            then ok := false)
+        st.procs;
+      !ok
+    in
+    let ample st succs =
+      List.find_opt
+        (fun ((a : Machine_sig.action), _) ->
+          if a.a_loc = "" then true
+          else if a.a_id >= 0 then
+            match info.Por_static.instrs.(a.a_proc).(a.a_id) with
+            | Instr.Load { kind = Instr.Data; _ } ->
+                foreign_clear ~write_only:true st a.a_proc a.a_loc
+            | _ -> false
+          else
+            st.resvs = []
+            && (not
+                  (Por_static.sync_remains info ~p:a.a_proc
+                     ~j:st.procs.(a.a_proc).next))
+            && foreign_clear ~write_only:false st a.a_proc a.a_loc)
+        succs
+    in
+    Some
+      {
+        Machine_sig.successors_labeled =
+          successors_labeled ~drain_sync:has_sync prog;
+        ample;
+      }
 end
 
 module Base = Make (struct

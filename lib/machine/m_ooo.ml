@@ -85,9 +85,8 @@ let with_proc st p proc =
   procs.(p) <- proc;
   { st with procs }
 
-let execute prog st p j =
+let execute_instr instr st p j =
   let pr = st.procs.(p) in
-  let instr = List.nth (Prog.thread prog p) j in
   let mark regs = { executed = pr.executed lor (1 lsl j); regs } in
   match instr with
   | Instr.Load { loc; reg; _ } ->
@@ -116,6 +115,7 @@ let execute prog st p j =
 
 let successors prog st =
   let masks = preds prog in
+  let instrs = (Por_static.cached prog).Por_static.instrs in
   let acc = ref [] in
   for p = Array.length st.procs - 1 downto 0 do
     let pr = st.procs.(p) in
@@ -124,7 +124,7 @@ let successors prog st =
       let not_done = pr.executed land (1 lsl j) = 0 in
       let ready = masks.(p).(j) land lnot pr.executed = 0 in
       if not_done && ready then
-        match execute prog st p j with
+        match execute_instr instrs.(p).(j) st p j with
         | Some st' -> acc := st' :: !acc
         | None -> ()
     done
@@ -153,3 +153,98 @@ let canon st : key =
 
 let hash = Machine_sig.structural_hash
 let equal (a : key) (b : key) = a = b
+
+(* --- partial-order reduction oracle -------------------------------------
+
+   Transition labels: every ready instruction executes atomically against
+   memory, so the label is just its location and direction; fences are
+   local (they only set an executed bit).  There is no global structure
+   beyond memory, so no label needs [a_sync].
+
+   Ample selection, scanned in successor order; each class's soundness
+   leans on the precedence masks: any two same-location or register-
+   dependent instructions of one processor are ordered by [preds], so a
+   *ready* instruction has no unexecuted same-processor conflict — its
+   earlier conflicts are executed, and its later ones list it in their
+   masks and cannot fire first.  Readiness is monotone (bits only get
+   set), so an ample candidate stays enabled while others fire.
+
+   - a ready fence: its mask contains every earlier instruction and it
+     appears in every later one's mask, so nothing of its own processor
+     can fire before it; it changes nothing but a bit, so every foreign
+     step commutes with it; every complete run performs it.
+   - a ready load of [l] when no *other* processor has an unexecuted
+     instruction writing [l]: all remaining foreign steps are
+     independent of it (read-read sharing is fine).
+   - a ready store or RMW of [l] when no other processor has an
+     unexecuted instruction accessing [l].
+
+   Awaits and locks are never chosen: they block on memory values that
+   foreign writes can change. *)
+
+let successors_labeled prog st =
+  let masks = preds prog in
+  let instrs = (Por_static.cached prog).Por_static.instrs in
+  let acc = ref [] in
+  for p = Array.length st.procs - 1 downto 0 do
+    let pr = st.procs.(p) in
+    let n = Array.length masks.(p) in
+    for j = n - 1 downto 0 do
+      let not_done = pr.executed land (1 lsl j) = 0 in
+      let ready = masks.(p).(j) land lnot pr.executed = 0 in
+      if not_done && ready then
+        let instr = instrs.(p).(j) in
+        match execute_instr instr st p j with
+        | Some st' ->
+            let a_loc, a_write =
+              match instr with
+              | Instr.Fence -> ("", false)
+              | Instr.Load { loc; _ } | Instr.Await { loc; _ } -> (loc, false)
+              | Instr.Store { loc; _ } | Instr.Rmw { loc; _ } | Instr.Lock { loc }
+                ->
+                  (loc, true)
+            in
+            acc :=
+              ( {
+                  Machine_sig.a_proc = p;
+                  a_id = j;
+                  a_loc;
+                  a_write;
+                  a_sync = false;
+                },
+                st' )
+              :: !acc
+        | None -> ()
+    done
+  done;
+  !acc
+
+let por prog =
+  let info = Por_static.cached prog in
+  (* No unexecuted instruction of any other processor writes
+     ([write_only]) or touches [loc]. *)
+  let foreign_clear ~write_only st p loc =
+    let ok = ref true in
+    Array.iteri
+      (fun q pr ->
+        if q <> p && !ok then begin
+          let am, wm = Por_static.loc_bitmasks info ~p:q loc in
+          if (if write_only then wm else am) land lnot pr.executed <> 0 then
+            ok := false
+        end)
+      st.procs;
+    !ok
+  in
+  let ample st succs =
+    List.find_opt
+      (fun ((a : Machine_sig.action), _) ->
+        if a.a_loc = "" then true
+        else
+          match info.Por_static.instrs.(a.a_proc).(a.a_id) with
+          | Instr.Load _ -> foreign_clear ~write_only:true st a.a_proc a.a_loc
+          | Instr.Store _ | Instr.Rmw _ ->
+              foreign_clear ~write_only:false st a.a_proc a.a_loc
+          | Instr.Await _ | Instr.Lock _ | Instr.Fence -> false)
+      succs
+  in
+  Some { Machine_sig.successors_labeled = successors_labeled prog; ample }

@@ -13,6 +13,9 @@ type t = {
   descr : string;
   explore :
     domains:int ->
+    adaptive:bool ->
+    reduce:bool ->
+    por_min:int option ->
     fuel:int option ->
     rcfg:Explore.rcfg ->
     Prog.t ->
@@ -23,26 +26,30 @@ type t = {
 let name m = m.name
 let descr m = m.descr
 
-let explore ?(domains = 1) ?fuel ?(rcfg = Explore.rcfg_default) m prog =
-  m.explore ~domains ~fuel ~rcfg prog
+let explore ?(domains = 1) ?(adaptive = true) ?(reduce = true)
+    ?por_min_instrs ?fuel ?(rcfg = Explore.rcfg_default) m prog =
+  m.explore ~domains ~adaptive ~reduce ~por_min:por_min_instrs ~fuel ~rcfg prog
 
 let snapshot_frontier_length m bytes = m.snapshot_frontier_length bytes
 
 let outcomes m prog =
   Explore.bounded_value
-    (m.explore ~domains:1 ~fuel:None ~rcfg:Explore.rcfg_default prog)
+    (m.explore ~domains:1 ~adaptive:true ~reduce:true ~por_min:None ~fuel:None
+       ~rcfg:Explore.rcfg_default prog)
       .Explore.result
 
 let outcomes_bounded m ~fuel prog =
   if fuel < 0 then invalid_arg "Machines.outcomes_bounded: negative fuel";
-  (m.explore ~domains:1 ~fuel:(Some fuel) ~rcfg:Explore.rcfg_default prog)
+  (m.explore ~domains:1 ~adaptive:true ~reduce:true ~por_min:None
+     ~fuel:(Some fuel) ~rcfg:Explore.rcfg_default prog)
     .Explore.result
 
 let of_engine
     (run :
-      ?domains:int -> ?fuel:int -> ?rcfg:Explore.rcfg -> Prog.t ->
-      Explore.run_result) =
-  fun ~domains ~fuel ~rcfg prog -> run ~domains ?fuel ~rcfg prog
+      ?domains:int -> ?adaptive:bool -> ?reduce:bool -> ?por_min_instrs:int ->
+      ?fuel:int -> ?rcfg:Explore.rcfg -> Prog.t -> Explore.run_result) =
+  fun ~domains ~adaptive ~reduce ~por_min ~fuel ~rcfg prog ->
+    run ~domains ~adaptive ~reduce ?por_min_instrs:por_min ?fuel ~rcfg prog
 
 let sc =
   {
@@ -51,25 +58,37 @@ let sc =
     explore =
       (* interleaving enumeration, not a Machine_sig sweep: always complete,
          always sequential (its state graph is explored with the POR pass
-         instead of extra domains) *)
-      (fun ~domains:_ ~fuel:_ ~rcfg prog ->
+         instead of extra domains).  The same cheap guard as the machine
+         engine applies: programs too small to amortize the oracle are
+         swept unreduced. *)
+      (fun ~domains:_ ~adaptive:_ ~reduce ~por_min ~fuel:_ ~rcfg prog ->
+        let por_min =
+          Option.value por_min ~default:Explore.por_min_instrs_default
+        in
+        let reduce = reduce && Prog.num_instrs prog >= por_min in
         match rcfg.Explore.budget with
         | None ->
-            let set, states = Sc.explore prog in
+            let set, states, por = Sc.explore_counted ~reduce prog in
             {
               Explore.result = Explore.Complete set;
               stats =
-                Explore.basic_stats ~states_expanded:states ~domains_used:1;
+                Explore.basic_stats ~por_enabled:reduce
+                  ~oracle_calls:(por.Sc.por_taken + por.Sc.por_declined)
+                  ~ample_hits:por.Sc.por_taken ~states_expanded:states
+                  ~domains_used:1 ();
               stop = None;
             }
         | Some budget ->
-            let set, states, complete = Sc.explore_within ~budget prog in
+            let set, states, complete =
+              Sc.explore_within ~reduce ~budget prog
+            in
             {
               Explore.result =
                 (if complete then Explore.Complete set
                  else Explore.Partial set);
               stats =
-                Explore.basic_stats ~states_expanded:states ~domains_used:1;
+                Explore.basic_stats ~por_enabled:reduce
+                  ~states_expanded:states ~domains_used:1 ();
               stop =
                 (if complete then None
                  else if Budget.over_deadline budget then

@@ -12,20 +12,32 @@ val outcomes : t -> Prog.t -> Final.Set.t
 
 val explore :
   ?domains:int ->
+  ?adaptive:bool ->
+  ?reduce:bool ->
+  ?por_min_instrs:int ->
   ?fuel:int ->
   ?rcfg:Explore.rcfg ->
   t ->
   Prog.t ->
   Explore.run_result
 (** The full-control entry point: [~domains:n] explores with [n] parallel
-    domains (default 1 — the sequential engine), [~fuel] bounds distinct
-    states expanded, [~rcfg] threads the resilience layer (budgets,
-    checkpoints, resume), and the result carries {!Explore.stats}
-    telemetry.  A [Complete] result is identical for every [domains].
-    (The [sc] reference machine enumerates interleavings with
-    partial-order reduction instead; it honours [rcfg.budget] but never
-    snapshots — its frontier is an interleaving prefix, not a state
-    set.) *)
+    domains (default 1 — the sequential engine), [~adaptive] (default
+    [true]) lets the engine fall back to the sequential path when extra
+    domains cannot help (more domains than recognized cores, or a state
+    space too small to spill), [~reduce] (default [true]) enables each
+    machine's partial-order reduction oracle — outcome sets are identical
+    either way; [~reduce:false] forces the full sweep — [~fuel] bounds
+    distinct states expanded, [~rcfg] threads the resilience layer
+    (budgets, checkpoints, resume), and the result carries
+    {!Explore.stats} telemetry.  A [Complete] result is identical for
+    every [domains].  Programs below [por_min_instrs] instructions
+    (default {!Explore.por_min_instrs_default}) skip the oracle machinery
+    even with [~reduce:true]; [~por_min_instrs:0] forces it on — the
+    differential-test hook.
+    (The [sc] reference machine enumerates interleavings with its own
+    partial-order reduction instead, honouring [~reduce] and the same
+    size guard; it honours [rcfg.budget] but never snapshots — its
+    frontier is an interleaving prefix, not a state set.) *)
 
 val snapshot_frontier_length : t -> string -> int
 (** Frontier length recorded in a machine's framed snapshot bytes.

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a freshly generated `bench json` dump against the committed
+BENCH_*.json baseline and fails when the fresh run expands more states
+than the baseline allows, or when a baseline entry disappeared.
+
+Only state counts are gated: they are deterministic per (test, machine,
+domains) triple, so any growth is a real regression (a reduction oracle
+that stopped firing, a key that stopped canonicalizing).  Wall-clock is
+reported for context but never gates — CI machines are too noisy.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.10]
+Exit 0 on pass, 1 on regression, 2 on unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for e in doc.get("entries", []):
+        key = (e["name"], e["machine"], e["domains"])
+        if key in entries:
+            print(f"bench gate: duplicate entry {key} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries[key] = e
+    if not entries:
+        print(f"bench gate: {path} has no entries", file=sys.stderr)
+        sys.exit(2)
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional state-count growth "
+                         "(default 0.10)")
+    args = ap.parse_args()
+
+    old = load_entries(args.baseline)
+    new = load_entries(args.fresh)
+
+    failures = []
+    for key in sorted(old):
+        name, machine, domains = key
+        label = f"{name}/{machine} d={domains}"
+        if key not in new:
+            failures.append(f"{label}: entry missing from fresh run")
+            continue
+        o, n = old[key]["states_expanded"], new[key]["states_expanded"]
+        limit = o * (1.0 + args.tolerance)
+        if n > limit:
+            failures.append(
+                f"{label}: states_expanded {o} -> {n} "
+                f"(+{(n - o) / o * 100:.1f}%, limit +{args.tolerance:.0%})")
+        elif n != o:
+            print(f"bench gate: note: {label}: states {o} -> {n} "
+                  f"(within tolerance)")
+
+    added = sorted(set(new) - set(old))
+    if added:
+        names = ", ".join(f"{n}/{m} d={d}" for n, m, d in added)
+        print(f"bench gate: note: new entries not in baseline: {names}")
+
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench gate: ok ({len(old)} baseline entries checked)")
+
+
+if __name__ == "__main__":
+    main()

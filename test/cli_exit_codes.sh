@@ -32,8 +32,33 @@ expect 0 "races on a race-free program" "$WEAKORD" races mp_sync
 expect 0 "verify def2 against drf0" "$WEAKORD" verify -m def2 --model drf0
 expect 0 "verify without partial-order reduction" \
   "$WEAKORD" verify --no-por -m def2 --model drf0
+expect 0 "run without partial-order reduction" \
+  "$WEAKORD" run --no-por "$LITMUS_DIR/mp_sync.litmus"
+expect 0 "run with reduction telemetry" \
+  "$WEAKORD" run --por-stats "$LITMUS_DIR/mp_sync.litmus"
+expect 0 "run with explicit --jobs" \
+  "$WEAKORD" run --jobs 2 "$LITMUS_DIR/mp_sync.litmus"
+expect 0 "run with --jobs auto" \
+  "$WEAKORD" run --jobs auto "$LITMUS_DIR/mp_sync.litmus"
 expect 0 "fault campaign that passes" \
   "$WEAKORD" faults --seeds 1 -s delay mp_sync
+
+# --no-por affects both enumerations, never the results: the full run
+# report (SC sets and machine outcome sets) must be byte-identical with
+# the reduction on and off, on either side of the oracle size threshold.
+"$WEAKORD" run "$LITMUS_DIR/mp_sync.litmus" > "$tmp/por.out" 2>/dev/null
+"$WEAKORD" run --no-por "$LITMUS_DIR/mp_sync.litmus" > "$tmp/nopor.out" 2>/dev/null
+if ! cmp -s "$tmp/por.out" "$tmp/nopor.out"; then
+  echo "FAIL: --no-por changed the run report" >&2
+  fails=$((fails + 1))
+fi
+if ! "$WEAKORD" run --por-stats dekker 2>/dev/null | grep -q 'por: '; then
+  echo "FAIL: --por-stats printed no reduction telemetry" >&2
+  fails=$((fails + 1))
+fi
+# the bad --jobs values are usage errors (cmdliner's exit 124)
+expect 124 "rejects --jobs 0" "$WEAKORD" run --jobs 0 dekker
+expect 124 "rejects garbage --jobs" "$WEAKORD" run --jobs tortoise dekker
 expect 0 "trace to stdout summary" "$WEAKORD" trace dekker -m def2
 expect 0 "trace to a file" \
   "$WEAKORD" trace dekker -m def2 --normalize -o "$tmp/dekker.json"

@@ -40,7 +40,10 @@ let test_parallel_matches_sequential () =
             (Explore.is_complete seq.Explore.result);
           List.iter
             (fun domains ->
-              let par = Machines.explore ~domains m prog in
+              (* [~adaptive:false]: on a small host the adaptive fallback
+                 would quietly run these sequentially; the point here is
+                 the genuinely parallel engine. *)
+              let par = Machines.explore ~domains ~adaptive:false m prog in
               check
                 (Printf.sprintf "%s/%s complete at %d domains"
                    (Prog.name prog) (Machines.name m) domains)
@@ -152,6 +155,86 @@ let test_por_traces_cover_outcomes () =
         <= Sc.count_traces ~reduce:false prog))
     corpus
 
+(* --- machine-level partial-order reduction ---------------------------------- *)
+
+(* corpus x machines x {por, no-por} x {seq, par}: the oracle must be
+   invisible in the outcome sets and never expand more states than the
+   full sweep.  [~por_min_instrs:0] forces the oracle machinery on even
+   for litmus-sized programs (the production default skips them);
+   [~adaptive:false] forces the genuinely parallel engine (ample-only —
+   sleep sets are schedule-dependent) instead of the single-core
+   fallback. *)
+let test_machine_por_differential () =
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun m ->
+          let base = Machines.explore ~domains:1 ~reduce:false m prog in
+          let base_set = Explore.bounded_value base.Explore.result in
+          let base_states = base.Explore.stats.Explore.states_expanded in
+          List.iter
+            (fun (label, domains, adaptive) ->
+              let r =
+                Machines.explore ~domains ~adaptive ~reduce:true
+                  ~por_min_instrs:0 m prog
+              in
+              check
+                (Printf.sprintf "%s/%s %s reduced complete" (Prog.name prog)
+                   (Machines.name m) label)
+                true
+                (Explore.is_complete r.Explore.result);
+              check
+                (Printf.sprintf "%s/%s %s reduced outcomes identical"
+                   (Prog.name prog) (Machines.name m) label)
+                true
+                (set_eq base_set (Explore.bounded_value r.Explore.result));
+              check
+                (Printf.sprintf "%s/%s %s reduced expands no more states"
+                   (Prog.name prog) (Machines.name m) label)
+                true
+                (r.Explore.stats.Explore.states_expanded <= base_states))
+            [ ("seq", 1, true); ("par2", 2, false); ("par4", 4, false) ])
+        engine_machines)
+    (corpus @ gen_progs)
+
+(* The tentpole's quantitative claim, pinned: on the bench harness's
+   big3 workload (12 instructions — above the production threshold, so
+   plain defaults engage the oracle) wbuf, ooo and def2 all shed at
+   least 30% of their states with identical outcome sets. *)
+let big3 =
+  Litmus_parse.parse_string
+    "name big3\n\
+     { x=0; y=0; z=0 }\n\
+     P0          | P1          | P2          ;\n\
+     W x 1       | W y 1       | W z 1       ;\n\
+     r0 := R y   | r3 := R z   | r6 := R x   ;\n\
+     W x 2       | W y 2       | W z 2       ;\n\
+     r1 := R z   | r4 := R x   | r7 := R y   ;\n\
+     exists (0:r0=0)\n"
+
+let test_big3_reduction_ratio () =
+  List.iter
+    (fun m ->
+      let un = Machines.explore ~reduce:false m big3 in
+      let red = Machines.explore m big3 in
+      let un_states = un.Explore.stats.Explore.states_expanded in
+      let red_states = red.Explore.stats.Explore.states_expanded in
+      check
+        (Printf.sprintf "big3/%s reduction engaged" (Machines.name m))
+        true red.Explore.stats.Explore.por_enabled;
+      check
+        (Printf.sprintf "big3/%s outcomes identical" (Machines.name m))
+        true
+        (set_eq
+           (Explore.bounded_value un.Explore.result)
+           (Explore.bounded_value red.Explore.result));
+      check
+        (Printf.sprintf "big3/%s >=30%% fewer states (%d vs %d)"
+           (Machines.name m) red_states un_states)
+        true
+        (float_of_int red_states <= 0.7 *. float_of_int un_states))
+    [ Machines.wbuf; Machines.ooo; Machines.def2 ]
+
 (* --- the knobs compose ------------------------------------------------------ *)
 
 let test_verify_jobs_agree () =
@@ -183,6 +266,10 @@ let suite =
         test_por_outcomes_identical;
       Alcotest.test_case "POR traces cover outcomes" `Quick
         test_por_traces_cover_outcomes;
+      Alcotest.test_case "machine POR differential sweep" `Quick
+        test_machine_por_differential;
+      Alcotest.test_case "big3 reduction ratio" `Quick
+        test_big3_reduction_ratio;
       Alcotest.test_case "verify independent of --jobs" `Quick
         test_verify_jobs_agree;
     ] )

@@ -181,7 +181,8 @@ let test_budget () =
 
 (* --- explore: checkpoint / resume ------------------------------------------- *)
 
-let explore_with ?fuel ?domains ?budget ?resume ?(every = 50) ?on_snap m prog =
+let explore_with ?fuel ?domains ?adaptive ?reduce ?budget ?resume
+    ?(every = 50) ?on_snap m prog =
   let last = ref None in
   let rcfg =
     {
@@ -196,7 +197,7 @@ let explore_with ?fuel ?domains ?budget ?resume ?(every = 50) ?on_snap m prog =
       resume;
     }
   in
-  let r = Machines.explore ?domains ?fuel ~rcfg m prog in
+  let r = Machines.explore ?domains ?adaptive ?reduce ?fuel ~rcfg m prog in
   (r, !last)
 
 let test_explore_resume_equals_uninterrupted () =
@@ -341,10 +342,62 @@ let test_degraded_snapshot_resumes_sequentially () =
   check "degraded resume finds everything" true
     (set_eq (Explore.bounded_value resumed.Explore.result) full);
   (* The parallel engine cannot adopt a Bloom visited set: rejected, not
-     silently wrong. *)
-  match explore_with ~resume:snap ~domains:4 m prog with
+     silently wrong.  [~adaptive:false] forces the genuinely parallel
+     path — with the adaptive fallback this machine would (soundly) drop
+     to the sequential engine on a single-core host and accept it. *)
+  match explore_with ~resume:snap ~domains:4 ~adaptive:false m prog with
   | exception Explore.Resume_rejected _ -> ()
   | _ -> Alcotest.fail "parallel engine accepted a degraded snapshot"
+
+(* --- explore: snapshot/resume with reduction enabled ------------------------- *)
+
+(* Reduction changes what a snapshot must carry (per-state sleep sets);
+   resume must reproduce the uninterrupted reduced run exactly — same
+   outcome set, same total states — and a snapshot taken under one
+   reduction setting must be rejected under the other, never silently
+   reinterpreted. *)
+let big3 =
+  Litmus_parse.parse_string
+    "name big3\n\
+     { x=0; y=0; z=0 }\n\
+     P0          | P1          | P2          ;\n\
+     W x 1       | W y 1       | W z 1       ;\n\
+     r0 := R y   | r3 := R z   | r6 := R x   ;\n\
+     W x 2       | W y 2       | W z 2       ;\n\
+     r1 := R z   | r4 := R x   | r7 := R y   ;\n\
+     exists (0:r0=0)\n"
+
+let test_reduced_snapshot_resume () =
+  let m = Machines.def2 in
+  let full = Machines.explore m big3 in
+  check "reduction engaged" true full.Explore.stats.Explore.por_enabled;
+  let full_set = Explore.bounded_value full.Explore.result in
+  let full_states = full.Explore.stats.Explore.states_expanded in
+  let stopped, snap = explore_with ~fuel:(max 1 (full_states / 3)) m big3 in
+  check "reduced run stops on fuel" true
+    (stopped.Explore.stop = Some Explore.Fuel_exhausted);
+  let snap = Option.get snap in
+  let resumed, _ = explore_with ~resume:snap m big3 in
+  check "reduced resume completes" true
+    (Explore.is_complete resumed.Explore.result);
+  check "reduced resume matches uninterrupted set" true
+    (set_eq (Explore.bounded_value resumed.Explore.result) full_set);
+  Alcotest.(check int)
+    "reduced resume expands the same total states" full_states
+    resumed.Explore.stats.Explore.states_expanded;
+  (* A reduced snapshot under --no-por (and vice versa) is a different
+     sweep: rejected loudly. *)
+  (match explore_with ~resume:snap ~reduce:false m big3 with
+  | exception Explore.Resume_rejected _ -> ()
+  | _ -> Alcotest.fail "reduced snapshot accepted by an unreduced run");
+  let stopped_un, snap_un =
+    explore_with ~reduce:false ~fuel:(max 1 (full_states / 3)) m big3
+  in
+  check "unreduced run stops on fuel" true
+    (stopped_un.Explore.stop = Some Explore.Fuel_exhausted);
+  match explore_with ~resume:(Option.get snap_un) m big3 with
+  | exception Explore.Resume_rejected _ -> ()
+  | _ -> Alcotest.fail "unreduced snapshot accepted by a reduced run"
 
 (* --- explore: parallel budgets ---------------------------------------------- *)
 
@@ -529,6 +582,8 @@ let suite =
         test_degraded_never_complete_never_wrong;
       Alcotest.test_case "degraded snapshot resumes sequentially" `Quick
         test_degraded_snapshot_resumes_sequentially;
+      Alcotest.test_case "reduced snapshot resume" `Quick
+        test_reduced_snapshot_resume;
       Alcotest.test_case "parallel stop and resume" `Quick
         test_parallel_stop_and_resume;
       Alcotest.test_case "explore events in obs" `Quick test_obs_events;
