@@ -94,6 +94,9 @@ type json_entry = {
   e_suppressed : int;
       (* transitions the partial-order reduction suppressed (0 where no
          reduction applies) *)
+  e_cache_hits : int;
+  e_cache_misses : int;
+      (* verdict-cache traffic (0 outside the batch-cache entries) *)
 }
 
 let per_sec states ms = if ms <= 0. then 0 else
@@ -126,6 +129,8 @@ let json_machine_entries name prog m =
         e_outcomes = Final.Set.cardinal (Explore.bounded_value r.Explore.result);
         e_states_per_sec = per_sec states ms;
         e_suppressed = r.Explore.stats.Explore.suppressed;
+        e_cache_hits = 0;
+        e_cache_misses = 0;
       })
     json_domains
 
@@ -142,6 +147,8 @@ let json_sc_entries name prog =
         e_outcomes = Final.Set.cardinal set;
         e_states_per_sec = per_sec states ms;
         e_suppressed = 0;
+        e_cache_hits = 0;
+        e_cache_misses = 0;
       })
     [ ("sc", true); ("sc-nopor", false) ]
 
@@ -190,6 +197,8 @@ let json_trace_entries () =
       e_outcomes = !states / (reps * passes);
       e_states_per_sec = 0;
       e_suppressed = 0;
+      e_cache_hits = 0;
+      e_cache_misses = 0;
     }
   in
   (* Warm up once so neither variant pays first-touch costs. *)
@@ -233,6 +242,8 @@ let json_checkpoint_entries () =
       e_outcomes = 0;
       e_states_per_sec = 0;
       e_suppressed = 0;
+      e_cache_hits = 0;
+      e_cache_misses = 0;
     }
   in
   let ckpt_rcfg =
@@ -263,6 +274,65 @@ let json_checkpoint_entries () =
   (try Sys.remove (Snapshot.prev_path path) with Sys_error _ -> ());
   entries
 
+(* Batch verdict-cache throughput: the same generated corpus pushed
+   through the batch worker twice against one persistent cache file — a
+   cold pass (every verdict computed and appended) and a warm pass (every
+   verdict served from the reloaded cache).  In-process, sequential, no
+   forking: the entry isolates the cache layer, and the hit/miss counters
+   land in the json so a regression in the cache key (canonicalization,
+   engine-version handling) shows up as a miss storm, not a mystery
+   slowdown. *)
+let json_batch_entries () =
+  let seeds = 30 in
+  let progs =
+    List.of_seq
+      (Seq.map snd (Litmus_gen.seed_range ~lo:0 ~hi:(seeds - 1) ()))
+  in
+  let machine = Option.get (Machines.find "def2") in
+  let path = Filename.temp_file "weakord_bench" ".wovc" in
+  Sys.remove path;
+  let pass label =
+    let cache = Verdict_cache.open_file path in
+    let states = ref 0 in
+    let (), ms =
+      wall (fun () ->
+          List.iter
+            (fun prog ->
+              let key = Verdict_cache.key ~prog ~machine:"def2" ~model:"drf0" in
+              match Verdict_cache.find cache key with
+              | Some v -> states := !states + v.Verdict_cache.v_states
+              | None -> (
+                  match Worker.run ~model:Worker.Drf0 ~machine prog with
+                  | Ok v ->
+                      Verdict_cache.add cache key v;
+                      states := !states + v.Verdict_cache.v_states
+                  | Error `Cancelled -> ()))
+            progs)
+    in
+    let s = Verdict_cache.stats cache in
+    Verdict_cache.close cache;
+    {
+      e_name = "batch-cache";
+      e_machine = label;
+      e_domains = 1;
+      e_wall_ms = ms;
+      e_states = !states;
+      e_outcomes = seeds;
+      e_states_per_sec = per_sec !states ms;
+      e_suppressed = 0;
+      e_cache_hits = s.Verdict_cache.hits;
+      e_cache_misses = s.Verdict_cache.misses;
+    }
+  in
+  let cold = pass "cache-cold" in
+  let warm = pass "cache-warm" in
+  Fmt.pr
+    "batch verdict cache over %d seeds: cold %.1f ms (%d misses), warm %.1f \
+     ms (%d hits)@."
+    seeds cold.e_wall_ms cold.e_cache_misses warm.e_wall_ms warm.e_cache_hits;
+  (try Sys.remove path with Sys_error _ -> ());
+  [ cold; warm ]
+
 let run_json ?out () =
   let entries =
     List.concat_map
@@ -279,7 +349,7 @@ let run_json ?out () =
       (json_machine_entries "big3" prog)
       [ Machines.def2; Machines.wbuf; Machines.ooo ]
     @ json_sc_entries "big3" prog @ json_trace_entries ()
-    @ json_checkpoint_entries ()
+    @ json_checkpoint_entries () @ json_batch_entries ()
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -300,9 +370,10 @@ let run_json ?out () =
       Printf.bprintf b
         "    {\"name\": %S, \"machine\": %S, \"domains\": %d, \"wall_ms\": \
          %.3f, \"states_expanded\": %d, \"outcomes\": %d, \
-         \"states_per_sec\": %d, \"suppressed_transitions\": %d}%s\n"
+         \"states_per_sec\": %d, \"suppressed_transitions\": %d, \
+         \"cache_hits\": %d, \"cache_misses\": %d}%s\n"
         e.e_name e.e_machine e.e_domains e.e_wall_ms e.e_states e.e_outcomes
-        e.e_states_per_sec e.e_suppressed
+        e.e_states_per_sec e.e_suppressed e.e_cache_hits e.e_cache_misses
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Buffer.add_string b "  ]\n}\n";

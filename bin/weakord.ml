@@ -8,12 +8,19 @@
    - trace:  run a litmus test on the simulator and export the structured
              event trace (Chrome trace_event JSON / summary table)
    - faults: seeded fault-injection campaigns on the protocol simulator
+   - gen:    emit the litmus source for a generator seed (the
+             reproduction half of the batch service's determinism
+             contract)
+   - batch:  the supervised batch verification service — a job file
+             fanned out across forked workers with timeouts, retry,
+             quarantine, a persistent verdict cache and drain/resume
    - list:   what is available
 
    Exit codes: 0 success; 1 a check ran and failed (race, counterexample,
    fault-campaign failure); 2 parse failure, unreadable input, or an
    unusable checkpoint; 3 a budget (deadline, memory, fuel) suspended the
-   run cleanly — a checkpoint, when configured, holds the resume point. *)
+   run cleanly — a checkpoint, when configured, holds the resume point;
+   4 a batch completed but quarantined at least one poison job. *)
 
 open Cmdliner
 
@@ -859,6 +866,277 @@ let fences_cmd =
   let doc = "Shasha-Snir delay-set analysis and fence insertion" in
   Cmd.v (Cmd.info "fences" ~doc) Term.(const action $ test_arg)
 
+(* --- gen --------------------------------------------------------------------- *)
+
+let gen_cmd =
+  let seed_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"SEED" ~doc:"Generator seed (any integer).")
+  in
+  let threads_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.max_threads
+      & info [ "threads" ] ~docv:"N" ~doc:"Maximum threads.")
+  in
+  let instrs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.max_instrs
+      & info [ "instrs" ] ~docv:"N" ~doc:"Maximum instructions per thread.")
+  in
+  let locs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.num_locs
+      & info [ "locs" ] ~docv:"N" ~doc:"Data locations.")
+  in
+  let sync_locs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.num_sync_locs
+      & info [ "sync-locs" ] ~docv:"N" ~doc:"Synchronization locations.")
+  in
+  let no_rmw_flag =
+    Arg.(value & flag & info [ "no-rmw" ] ~doc:"No read-modify-writes.")
+  in
+  let no_await_flag =
+    Arg.(value & flag & info [ "no-await" ] ~doc:"No await spins.")
+  in
+  let live_flag =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Retry (deterministically) until the program has at least one \
+             complete SC execution; exit 1 if none within the attempt \
+             bound.")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the litmus source to $(docv) instead of stdout.")
+  in
+  let action seed threads instrs locs sync_locs no_rmw no_await live out =
+    let config =
+      {
+        Litmus_gen.max_threads = threads;
+        max_instrs = instrs;
+        num_locs = locs;
+        num_sync_locs = sync_locs;
+        allow_rmw = not no_rmw;
+        allow_await = not no_await;
+      }
+    in
+    let prog =
+      if live then
+        match Litmus_gen.generate_live ~config seed with
+        | Some p -> p
+        | None ->
+            Fmt.epr
+              "weakord: seed %d yields no live program within the attempt \
+               bound@."
+              seed;
+            exit 1
+      else Litmus_gen.generate ~config seed
+    in
+    let text = Litmus_print.to_string prog in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        Out_channel.with_open_bin path (fun ch ->
+            Out_channel.output_string ch text)
+  in
+  let doc =
+    "emit the litmus source for a generator seed (deterministic: the same \
+     seed and flags always reproduce the same program)"
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(
+      const action $ seed_arg $ threads_flag $ instrs_flag $ locs_flag
+      $ sync_locs_flag $ no_rmw_flag $ no_await_flag $ live_flag $ out_flag)
+
+(* --- batch ------------------------------------------------------------------- *)
+
+let batch_cmd =
+  let jobfile_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOBFILE"
+          ~doc:
+            "The job file ($(b,-) for stdin): one job per line — see the \
+             format in DESIGN.md ($(b,test NAME), $(b,file PATH), $(b,seed \
+             N), $(b,seeds LO..HI), $(b,wedge), with $(b,machine=M) and \
+             generator options per line).")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Append results as JSONL to $(docv) (default: stdout). One \
+             object per job, in completion order; volatile fields \
+             ($(b,cached), $(b,attempts), $(b,ms)) come last so runs can \
+             be compared after stripping them.")
+  in
+  let workers_flag =
+    Arg.(
+      value & opt int Batch.default_cfg.Batch.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Forked worker processes to keep in flight. Each job attempt \
+             runs in its own process: a crash or wedge costs that attempt, \
+             never the batch.")
+  in
+  let timeout_flag =
+    Arg.(
+      value & opt float Batch.default_cfg.Batch.timeout_s
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-job wall clock; a worker past it is SIGKILLed and the \
+             attempt counts as failed.")
+  in
+  let retries_flag =
+    Arg.(
+      value & opt int Batch.default_cfg.Batch.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per job before quarantine (with exponential backoff \
+             and deterministic jitter between attempts).")
+  in
+  let backoff_flag =
+    Arg.(
+      value & opt int Batch.default_cfg.Batch.backoff_ms
+      & info [ "backoff" ] ~docv:"MS" ~doc:"Base retry backoff.")
+  in
+  let cache_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Persistent verdict cache. Append-only, CRC-validated per \
+             record: a torn or corrupted record is skipped and recomputed, \
+             never trusted. Keyed by canonical program text, machine, \
+             model and engine version, so replaying a corpus is nearly \
+             free and an engine change can never serve stale verdicts.")
+  in
+  let model_flag =
+    Arg.(
+      value & opt string "drf0"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Synchronization model (drf0|drf1|all|none).")
+  in
+  let machine_flag =
+    Arg.(
+      value & opt string "def2"
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:"Default machine for job-file lines that name none.")
+  in
+  let fuel_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Per-job state-expansion bound forwarded to the workers.")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Log per-attempt worker lifecycle events (pids, retries).")
+  in
+  let action jobfile out workers timeout retries backoff cache_path model_name
+      machine deadline checkpoint resume fuel verbose =
+    let model =
+      match Worker.model_of_string model_name with
+      | Some m -> m
+      | None ->
+          Fmt.epr "weakord: unknown model %S (drf0|drf1|all|none)@." model_name;
+          exit 2
+    in
+    (match Machines.find machine with
+    | Some _ -> ()
+    | None ->
+        Fmt.epr "weakord: unknown machine %S@." machine;
+        exit 2);
+    let jobs =
+      let parsed =
+        if String.equal jobfile "-" then
+          Job.parse_string ~default_machine:machine
+            (In_channel.input_all In_channel.stdin)
+        else Job.parse_file ~default_machine:machine jobfile
+      in
+      match parsed with
+      | Ok jobs -> jobs
+      | Error msg ->
+          Fmt.epr "weakord: %s: %s@."
+            (if String.equal jobfile "-" then "<stdin>" else jobfile)
+            msg;
+          exit 2
+    in
+    if jobs = [] then begin
+      Fmt.epr "weakord: %s: no jobs@." jobfile;
+      exit 2
+    end;
+    let cache =
+      match cache_path with
+      | None -> Verdict_cache.in_memory ()
+      | Some p -> Verdict_cache.open_file p
+    in
+    let cfg =
+      {
+        Batch.out;
+        workers;
+        timeout_s = timeout;
+        retries;
+        backoff_ms = backoff;
+        cache;
+        checkpoint;
+        resume;
+        deadline_s = deadline;
+        model;
+        fuel;
+        log = (fun m -> Fmt.epr "weakord: %s@." m);
+        verbose;
+      }
+    in
+    match Batch.run cfg jobs with
+    | exception Batch.Resume_rejected msg ->
+        Verdict_cache.close cache;
+        Fmt.epr "weakord: unusable checkpoint: %s@." msg;
+        exit 2
+    | summary ->
+        Verdict_cache.close cache;
+        Fmt.epr "%a@." Batch.pp_summary summary;
+        if summary.Batch.suspended then
+          Fmt.epr "weakord: batch drained with %d job(s) pending%s@."
+            summary.Batch.pending
+            (match checkpoint with
+            | Some p -> "; resume point written to " ^ p
+            | None -> " (no --checkpoint: progress was discarded)");
+        exit (Batch.exit_code summary)
+  in
+  let doc =
+    "run a batch of verification jobs under a crash-isolating supervisor \
+     (forked workers, timeouts, retry with backoff, poison-job \
+     quarantine, persistent verdict cache, drain/resume)"
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const action $ jobfile_arg $ out_flag $ workers_flag $ timeout_flag
+      $ retries_flag $ backoff_flag $ cache_flag $ model_flag $ machine_flag
+      $ deadline_flag $ checkpoint_flag $ resume_flag $ fuel_flag
+      $ verbose_flag)
+
 (* --- list ------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -899,5 +1177,7 @@ let () =
             trace_cmd;
             faults_cmd;
             fences_cmd;
+            gen_cmd;
+            batch_cmd;
             list_cmd;
           ]))

@@ -276,6 +276,7 @@ let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
         resume = !inner_pending;
         obs;
         on_event;
+        cancel = None;
       }
     in
     inner_pending := None;

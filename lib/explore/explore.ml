@@ -66,12 +66,17 @@ type 'a bounded = Complete of 'a | Partial of 'a
 let bounded_value = function Complete v | Partial v -> v
 let is_complete = function Complete _ -> true | Partial _ -> false
 
-type stop_reason = Fuel_exhausted | Deadline_exceeded | Memory_exhausted
+type stop_reason =
+  | Fuel_exhausted
+  | Deadline_exceeded
+  | Memory_exhausted
+  | Cancelled
 
 let stop_reason_string = function
   | Fuel_exhausted -> "fuel"
   | Deadline_exceeded -> "deadline"
   | Memory_exhausted -> "memory"
+  | Cancelled -> "cancel"
 
 type stats = {
   states_expanded : int;
@@ -143,6 +148,7 @@ type rcfg = {
   resume : string option;
   obs : Obs.t;
   on_event : string -> unit;
+  cancel : (unit -> bool) option;
 }
 
 let rcfg_default =
@@ -153,6 +159,7 @@ let rcfg_default =
     resume = None;
     obs = Obs.null;
     on_event = ignore;
+    cancel = None;
   }
 
 exception Resume_rejected of string
@@ -533,6 +540,14 @@ module Make (M : Machine_sig.MACHINE) = struct
           | Some b when !iters land 63 = 0 && Budget.over_deadline b ->
               stop := Some Deadline_exceeded
           | _ -> ());
+          (* External cancellation (a supervisor's drain signal) stops at
+             the same safe point as the budgets: the state under the
+             cursor stays in the frontier and the final snapshot is a
+             complete resume point. *)
+          (match rcfg.cancel with
+          | Some cancelled when !iters land 63 = 0 && cancelled () ->
+              stop := Some Cancelled
+          | _ -> ());
           incr iters;
           if !expanded >= fuel then stop := Some Fuel_exhausted;
           (match spill with
@@ -626,6 +641,7 @@ module Make (M : Machine_sig.MACHINE) = struct
     donations : int Atomic.t;
     ndomains : int;
     budget : Budget.t option;
+    cancel : (unit -> bool) option;
     entry_bytes : int;
     leftover_lock : Mutex.t;
     mutable leftovers : M.state list;
@@ -752,6 +768,10 @@ module Make (M : Machine_sig.MACHINE) = struct
                 set_stop sh Memory_exhausted
             | None -> ())
         | _ -> ());
+        (match sh.cancel with
+        | Some cancelled when !iters land 63 = 0 && cancelled () ->
+            set_stop sh Cancelled
+        | _ -> ());
         incr iters;
         if Atomic.get sh.stopping <> None then add_leftover sh st
         else
@@ -845,6 +865,7 @@ module Make (M : Machine_sig.MACHINE) = struct
         donations = Atomic.make 0;
         ndomains = domains;
         budget = rcfg.budget;
+        cancel = rcfg.cancel;
         entry_bytes = entry_bytes_estimate prog;
         leftover_lock = Mutex.create ();
         leftovers = [];

@@ -25,9 +25,12 @@ type stop_reason =
   | Memory_exhausted
       (** the parallel engine drained at the memory budget (the
           sequential engine degrades to a Bloom visited set instead) *)
+  | Cancelled
+      (** the [rcfg.cancel] hook asked the sweep to stop — a supervisor
+          draining its workers, a per-job soft timeout *)
 
 val stop_reason_string : stop_reason -> string
-(** ["fuel"], ["deadline"] or ["memory"]. *)
+(** ["fuel"], ["deadline"], ["memory"] or ["cancel"]. *)
 
 type stats = {
   states_expanded : int;
@@ -122,6 +125,13 @@ type rcfg = {
   on_event : string -> unit;
       (** loud human-readable notices (degradation, recovery); the CLI
           routes this to stderr *)
+  cancel : (unit -> bool) option;
+      (** the per-job stop hook: polled at the same safe points as the
+          budget (both engines).  Returning [true] stops the sweep with
+          {!Cancelled} — the in-flight state stays in the frontier and
+          the final snapshot is a complete resume point, exactly like a
+          budget stop.  The batch service routes its drain signal
+          (SIGTERM/SIGINT forwarded to a worker) through this. *)
 }
 (** Everything the resilience layer needs, bundled so engines can thread
     it without widening every signature.  {!rcfg_default} disables it

@@ -111,3 +111,31 @@ let generate_live ?(config = default_config) ?(max_attempts = 50) seed =
       if has_complete_execution prog then Some prog else go (i + 1)
   in
   go 0
+
+(* --- the determinism contract, rendered ------------------------------------
+
+   A generated job is reproducible from (seed, config) alone, so any
+   record that quarantines or reports one must carry both.  [config_args]
+   is the canonical rendering: the exact `weakord gen` flags that rebuild
+   the program, empty for the default config. *)
+
+let config_args cfg =
+  let flag name v dflt = if v = dflt then [] else [ Printf.sprintf "--%s %d" name v ] in
+  let bool name v dflt = if v = dflt then [] else [ "--" ^ name ] in
+  String.concat " "
+    (flag "threads" cfg.max_threads default_config.max_threads
+    @ flag "instrs" cfg.max_instrs default_config.max_instrs
+    @ flag "locs" cfg.num_locs default_config.num_locs
+    @ flag "sync-locs" cfg.num_sync_locs default_config.num_sync_locs
+    @ bool "no-rmw" cfg.allow_rmw default_config.allow_rmw
+    @ bool "no-await" cfg.allow_await default_config.allow_await)
+
+let pp_config ppf cfg =
+  Format.fprintf ppf
+    "threads<=%d instrs<=%d locs=%d sync-locs=%d rmw=%b await=%b"
+    cfg.max_threads cfg.max_instrs cfg.num_locs cfg.num_sync_locs
+    cfg.allow_rmw cfg.allow_await
+
+let seed_range ?(config = default_config) ~lo ~hi () =
+  if lo > hi then invalid_arg "Litmus_gen.seed_range: lo > hi";
+  Seq.map (fun s -> (s, generate ~config s)) (Seq.ints lo |> Seq.take (hi - lo + 1))

@@ -1,7 +1,17 @@
-(** Random litmus-program generation for differential testing.
+(** Random litmus-program generation for differential testing and the
+    batch verification service.
 
-    Deterministic in the seed: the same seed always yields the same
-    program, so any failing property is reproducible from one integer. *)
+    {b The determinism contract.}  Generation is a pure function of
+    [(seed, config)]: the generator draws every choice from a splittable
+    SplitMix64 PRNG seeded with [seed] alone — no global state, no
+    [Random], no environment.  The same [(seed, config)] pair therefore
+    yields the same program on every run, every machine, and every
+    process, so a batch record (a quarantined job, a JSONL result line)
+    that carries the seed and the non-default config flags is a complete
+    reproduction recipe: [weakord gen --seed N <flags>] re-emits the
+    exact litmus source.  Any change to the generation algorithm or to
+    {!default_config} breaks the mapping and must be treated as an
+    engine-version bump (the verdict cache keys on it). *)
 
 type config = {
   max_threads : int;
@@ -24,3 +34,16 @@ val has_complete_execution : Prog.t -> bool
 val generate_live : ?config:config -> ?max_attempts:int -> int -> Prog.t option
 (** Like {!generate}, but retries (deterministically) until the program has
     a complete execution. *)
+
+val config_args : config -> string
+(** The canonical [weakord gen] flag rendering of a config — empty for
+    {!default_config}, e.g. ["--threads 4 --no-await"] otherwise.  A
+    record carrying [seed] plus this string is a complete reproduction
+    recipe (see the determinism contract above). *)
+
+val pp_config : Format.formatter -> config -> unit
+
+val seed_range : ?config:config -> lo:int -> hi:int -> unit -> (int * Prog.t) Seq.t
+(** The corpus driver for seed-range batch jobs: programs [lo..hi]
+    (inclusive), generated lazily in seed order.
+    @raise Invalid_argument when [lo > hi]. *)

@@ -1,0 +1,754 @@
+(* The batch supervisor: a pool of forked workers under one event loop.
+
+   Process architecture: the supervisor forks one worker process per job
+   attempt (never more than [cfg.workers] in flight) and does no
+   verification itself.  A worker computes one verdict, writes it to a
+   CRC-framed result file (atomic install), and [Unix._exit]s — it never
+   touches the parent's channels, cache, or checkpoint.  All parent-side
+   state transitions happen in one thread, in the reap/dispatch loop, so
+   there is no locking anywhere.
+
+   The failure matrix the loop implements:
+
+     worker exit 0 + valid result file   -> verdict (cache + JSONL)
+     worker exit 0 + missing/corrupt file-> failed attempt (torn write)
+     worker exit 9                       -> cancelled (drain): job stays
+                                            pending for the resume
+     any other exit / any signal         -> failed attempt
+     wall-clock past cfg.timeout_s       -> SIGKILL, failed attempt
+     attempts exhausted                  -> quarantine with stderr tail
+
+   Failed attempts requeue with exponential backoff plus deterministic
+   jitter; quarantined jobs keep the batch going (exit code 4, not a
+   crash).  SIGTERM/SIGINT (or the deadline) starts a drain: dispatch
+   stops, in-flight workers get SIGTERM (their exploration stops at a
+   safe point via the rcfg cancel hook), and the queue state is
+   checkpointed so --resume picks up exactly the unfinished jobs. *)
+
+type cfg = {
+  out : string option;
+  workers : int;
+  timeout_s : float;
+  retries : int;
+  backoff_ms : int;
+  cache : Verdict_cache.t;
+  checkpoint : string option;
+  resume : string option;
+  deadline_s : float option;
+  model : Worker.model;
+  fuel : int option;
+  log : string -> unit;
+  verbose : bool;
+}
+
+let default_cfg =
+  {
+    out = None;
+    workers = 4;
+    timeout_s = 10.;
+    retries = 3;
+    backoff_ms = 100;
+    cache = Verdict_cache.in_memory ();
+    checkpoint = None;
+    resume = None;
+    deadline_s = None;
+    model = Worker.Drf0;
+    fuel = None;
+    log = ignore;
+    verbose = false;
+  }
+
+type quarantined = {
+  q_job : Job.t;
+  q_attempts : int;
+  q_reason : string;
+  q_stderr : string;
+}
+
+type summary = {
+  total : int;
+  completed : int;
+  ok : int;
+  violations : int;
+  quarantined : quarantined list;
+  quarantined_total : int;
+  pending : int;
+  served_from_cache : int;
+  cache : Verdict_cache.stats;
+  suspended : bool;
+  wall_s : float;
+}
+
+exception Resume_rejected of string
+
+let exit_code s =
+  if s.suspended then 3
+  else if s.violations > 0 then 1
+  else if s.quarantined_total > 0 then 4
+  else 0
+
+(* Deterministic jitter: a SplitMix64-style scramble of (job_id,
+   attempt), reduced mod base.  Same schedule on every run — a retry
+   storm never synchronizes, and a reproduction run backs off exactly
+   like the original. *)
+let backoff_delay_ms ~base ~attempt ~job_id =
+  if base <= 0 then 0
+  else
+    let z =
+      Int64.mul
+        (Int64.add
+           (Int64.mul (Int64.of_int job_id) 0x9E3779B97F4A7C15L)
+           (Int64.of_int attempt))
+        0xBF58476D1CE4E5B9L
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let jitter = Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int base)) in
+    (base * (1 lsl min (attempt - 1) 16)) + jitter
+
+(* --- JSON rendering ---------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The stable prefix every record shares: job identity plus, for seed
+   jobs, the full reproduction recipe (the determinism contract makes
+   [seed + gen flags] a complete one). *)
+let record_prefix (j : Job.t) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"job\":%d,\"kind\":\"%s\",\"name\":\"%s\",\"machine\":\"%s\"" j.Job.id
+    (Job.kind_string j.Job.source)
+    (json_escape (Job.source_name j.Job.source))
+    (json_escape j.Job.machine);
+  (match j.Job.source with
+  | Job.Seed { seed; _ } ->
+      Printf.bprintf b ",\"seed\":%d,\"gen\":\"%s\"" seed
+        (json_escape (Job.gen_args j.Job.source))
+  | _ -> ());
+  Buffer.contents b
+
+(* Volatile fields last, in a fixed order, so tooling can strip them
+   with one regular expression when comparing runs "modulo timestamps"
+   (resume vs. uninterrupted, cached vs. cold). *)
+let record_trailer ~cached ~attempts ~ms =
+  Printf.sprintf ",\"cached\":%b,\"attempts\":%d,\"ms\":%.1f}" cached attempts
+    ms
+
+let verdict_record j (v : Verdict_cache.verdict) ~cached ~attempts ~ms =
+  Printf.sprintf
+    "%s,\"status\":\"ok\",\"outcomes\":%d,\"appears_sc\":%b,\"obeys_model\":%b,\"violation\":%b,\"exists\":%s,\"states\":%d,\"complete\":%b%s"
+    (record_prefix j)
+    (List.length v.Verdict_cache.v_outcomes)
+    v.Verdict_cache.v_appears_sc v.Verdict_cache.v_obeys_model
+    v.Verdict_cache.v_violation
+    (match v.Verdict_cache.v_allows_exists with
+    | Some true -> "true"
+    | Some false -> "false"
+    | None -> "null")
+    v.Verdict_cache.v_states v.Verdict_cache.v_complete
+    (record_trailer ~cached ~attempts ~ms)
+
+let quarantine_record q ~ms =
+  Printf.sprintf
+    "%s,\"status\":\"quarantined\",\"reason\":\"%s\",\"stderr\":\"%s\"%s"
+    (record_prefix q.q_job)
+    (json_escape q.q_reason) (json_escape q.q_stderr)
+    (record_trailer ~cached:false ~attempts:q.q_attempts ~ms)
+
+(* --- checkpoint -------------------------------------------------------------- *)
+
+let ckpt_kind = "weakord.batch"
+
+type ckpt = {
+  c_fingerprint : string;
+  c_model : string;
+  c_emitted : int list;  (** final records already streamed *)
+  c_attempts : (int * int) list;  (** unfinished jobs: id, failed attempts *)
+  c_completed : int;
+  c_violations : int;
+  c_quarantined : int;
+}
+
+let write_ckpt path ck =
+  Snapshot.write_file path
+    (Snapshot.frame ~kind:ckpt_kind
+       ~meta:
+         (Printf.sprintf "%d emitted, %d quarantined"
+            (List.length ck.c_emitted) ck.c_quarantined)
+       ~payload:(Marshal.to_string ck []))
+
+let load_ckpt path =
+  match Snapshot.load path with
+  | Error (e, _) ->
+      raise
+        (Resume_rejected
+           (Printf.sprintf "%s: %s" path (Snapshot.error_string e)))
+  | Ok { Snapshot.container = c; recovered } ->
+      if not (String.equal c.Snapshot.kind ckpt_kind) then
+        raise
+          (Resume_rejected
+             (Printf.sprintf "%s holds a %S snapshot, expected %S" path
+                c.Snapshot.kind ckpt_kind));
+      (match (Marshal.from_string c.Snapshot.payload 0 : ckpt) with
+      | ck -> (ck, recovered)
+      | exception (Failure _ | Invalid_argument _) ->
+          raise
+            (Resume_rejected
+               (path ^ ": checkpoint payload does not unmarshal")))
+
+(* --- job materialization ----------------------------------------------------- *)
+
+type jstate = {
+  job : Job.t;
+  prog : (Prog.t * string) option;  (** program + cache key; [None] = wedge *)
+  mat_error : string option;
+  mutable attempts : int;
+  mutable eligible_at : float;
+  mutable last_reason : string;
+  mutable last_stderr : string;
+}
+
+let materialize model (j : Job.t) =
+  let with_prog p =
+    ( Some
+        ( p,
+          Verdict_cache.key ~prog:p ~machine:j.Job.machine
+            ~model:(Worker.model_name model) ),
+      None )
+  in
+  let prog, mat_error =
+    match j.Job.source with
+    | Job.Wedge -> (None, None)
+    | Job.Builtin n -> (
+        match Litmus_classics.find n with
+        | Some e -> with_prog e.Litmus_classics.prog
+        | None -> (None, Some (Printf.sprintf "unknown built-in test %S" n)))
+    | Job.File p -> (
+        match Litmus_parse.parse_file p with
+        | prog -> with_prog prog
+        | exception Litmus_parse.Parse_error { line; col; msg } ->
+            ( None,
+              Some (Printf.sprintf "%s:%d:%d: parse error: %s" p line col msg)
+            )
+        | exception Sys_error e -> (None, Some e))
+    | Job.Seed { seed; config } ->
+        with_prog (Litmus_gen.generate ~config seed)
+  in
+  let prog, mat_error =
+    if mat_error <> None then (prog, mat_error)
+    else if Machines.find j.Job.machine = None then
+      (None, Some (Printf.sprintf "unknown machine %S" j.Job.machine))
+    else (prog, mat_error)
+  in
+  {
+    job = j;
+    prog;
+    mat_error;
+    attempts = 0;
+    eligible_at = 0.;
+    last_reason = "";
+    last_stderr = "";
+  }
+
+(* --- the forked worker ------------------------------------------------------- *)
+
+let result_kind = "weakord.batch.result"
+
+(* Runs in the child.  Never returns; never flushes the parent's
+   buffered channels ([Unix._exit], not [exit]). *)
+let child_exec cfg ~result_path ~stderr_path js =
+  let cancelled = ref false in
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> cancelled := true));
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (try
+     let fd =
+       Unix.openfile stderr_path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+     in
+     Unix.dup2 fd Unix.stderr;
+     Unix.close fd
+   with Unix.Unix_error _ -> ());
+  match js.job.Job.source with
+  | Job.Wedge ->
+      (* The poison pill for chaos tests: announce, then spin until the
+         supervisor's SIGKILL (timeout) or SIGTERM (drain) lands. *)
+      prerr_string (Printf.sprintf "job %d: wedged on purpose\n" js.job.Job.id);
+      flush Stdlib.stderr;
+      while not !cancelled do
+        (try Unix.sleepf 0.02 with Unix.Unix_error _ -> ())
+      done;
+      Unix._exit 9
+  | _ -> (
+      let prog, _ = Option.get js.prog in
+      let machine = Option.get (Machines.find js.job.Job.machine) in
+      match
+        Worker.run
+          ~cancel:(fun () -> !cancelled)
+          ?fuel:cfg.fuel ~model:cfg.model ~machine prog
+      with
+      | Ok v ->
+          Atomic_io.write_file ~fsync:false result_path
+            (Snapshot.frame ~kind:result_kind
+               ~meta:(string_of_int js.job.Job.id)
+               ~payload:(Marshal.to_string v []));
+          Unix._exit 0
+      | Error `Cancelled -> Unix._exit 9
+      | exception e ->
+          prerr_string ("worker exception: " ^ Printexc.to_string e ^ "\n");
+          flush Stdlib.stderr;
+          Unix._exit 10)
+
+let read_result path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | bytes -> (
+      match Snapshot.unframe bytes with
+      | Error _ -> None
+      | Ok c ->
+          if not (String.equal c.Snapshot.kind result_kind) then None
+          else (
+            match
+              (Marshal.from_string c.Snapshot.payload 0
+                : Verdict_cache.verdict)
+            with
+            | v -> Some v
+            | exception (Failure _ | Invalid_argument _) -> None))
+
+let read_tail ?(max_bytes = 2048) path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ""
+  | s ->
+      let s =
+        if String.length s <= max_bytes then s
+        else String.sub s (String.length s - max_bytes) max_bytes
+      in
+      String.trim s
+
+(* --- the supervisor loop ----------------------------------------------------- *)
+
+type running = {
+  r_js : jstate;
+  r_pid : int;
+  r_started : float;
+  r_result : string;
+  r_stderr : string;
+  mutable r_timed_out : bool;
+  mutable r_term_sent : bool;
+}
+
+let signal_name = function
+  | s when s = Sys.sigkill -> "SIGKILL"
+  | s when s = Sys.sigterm -> "SIGTERM"
+  | s when s = Sys.sigsegv -> "SIGSEGV"
+  | s when s = Sys.sigabrt -> "SIGABRT"
+  | s -> Printf.sprintf "signal %d" s
+
+let run cfg jobs =
+  if cfg.workers < 1 then invalid_arg "Batch.run: workers must be >= 1";
+  if cfg.retries < 1 then invalid_arg "Batch.run: retries must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let fingerprint = Job.fingerprint jobs in
+  let model_name = Worker.model_name cfg.model in
+  (* Resume: restore the emitted set and attempt counters, after
+     validating that the checkpoint matches this job list and model. *)
+  let resumed =
+    match cfg.resume with
+    | None -> None
+    | Some path ->
+        let ck, recovered = load_ckpt path in
+        if not (String.equal ck.c_fingerprint fingerprint) then
+          raise
+            (Resume_rejected
+               "checkpoint was taken over a different job list (fingerprints \
+                differ)");
+        if not (String.equal ck.c_model model_name) then
+          raise
+            (Resume_rejected
+               (Printf.sprintf
+                  "checkpoint was taken under model %s, this run uses %s"
+                  ck.c_model model_name));
+        cfg.log
+          (Printf.sprintf
+             "resuming batch: %d/%d job(s) already finished%s"
+             (List.length ck.c_emitted) (List.length jobs)
+             (if recovered then
+                " (recovered from the last-good .prev generation)"
+              else ""));
+        Some ck
+  in
+  let emitted = Hashtbl.create 1024 in
+  (match resumed with
+  | Some ck -> List.iter (fun id -> Hashtbl.replace emitted id ()) ck.c_emitted
+  | None -> ());
+  let states =
+    List.filter_map
+      (fun j ->
+        if Hashtbl.mem emitted j.Job.id then None
+        else Some (materialize cfg.model j))
+      jobs
+  in
+  (match resumed with
+  | Some ck ->
+      List.iter
+        (fun js ->
+          match List.assoc_opt js.job.Job.id ck.c_attempts with
+          | Some a -> js.attempts <- a
+          | None -> ())
+        states
+  | None -> ());
+  (* Output stream: append mode, so an interrupted run's file plus its
+     resume's file concatenate into the full result set. *)
+  let out_ch, close_out_ch =
+    match cfg.out with
+    | None -> (Stdlib.stdout, fun () -> flush Stdlib.stdout)
+    | Some p ->
+        let ch = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 p in
+        (ch, fun () -> close_out ch)
+  in
+  let emit line =
+    output_string out_ch line;
+    output_char out_ch '\n';
+    flush out_ch
+  in
+  (* Scratch area for result files and stderr captures. *)
+  let scratch =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "weakord-batch-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let result_path id = Filename.concat scratch (Printf.sprintf "job%d.result" id) in
+  let stderr_path id = Filename.concat scratch (Printf.sprintf "job%d.stderr" id) in
+  (* Drain signal: first SIGTERM/SIGINT flips the flag; the loop does
+     the rest at a safe point.  Handlers are restored before we return
+     (the in-process test harness runs many batches per process). *)
+  let drain = ref false in
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> drain := true)) in
+  let old_term = install Sys.sigterm in
+  let old_int = install Sys.sigint in
+  let restore () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int
+  in
+  (* Mutable tallies; prior-run numbers fold in so exit codes reflect
+     the whole batch, not just the post-resume tail. *)
+  let completed = ref 0 and ok = ref 0 and violations = ref 0 in
+  let served_from_cache = ref 0 in
+  let quarantined = ref [] in
+  let prior =
+    match resumed with
+    | Some ck -> (ck.c_completed, ck.c_violations, ck.c_quarantined)
+    | None -> (0, 0, 0)
+  in
+  let ready : jstate Queue.t = Queue.create () in
+  let delayed : jstate list ref = ref [] in
+  List.iter (fun js -> Queue.add js ready) states;
+  let running : running list ref = ref [] in
+  let last_ckpt = ref 0. in
+  let save_ckpt ~force () =
+    match cfg.checkpoint with
+    | None -> ()
+    | Some path ->
+        let now = Unix.gettimeofday () in
+        if force || now -. !last_ckpt > 0.25 then begin
+          last_ckpt := now;
+          let unfinished =
+            List.filter
+              (fun j -> not (Hashtbl.mem emitted j.Job.id))
+              jobs
+          in
+          let attempts_of id =
+            let find l = List.find_opt (fun js -> js.job.Job.id = id) l in
+            match
+              ( find (List.of_seq (Queue.to_seq ready)),
+                find !delayed,
+                List.find_opt (fun r -> r.r_js.job.Job.id = id) !running )
+            with
+            | Some js, _, _ | _, Some js, _ -> js.attempts
+            | _, _, Some r -> r.r_js.attempts
+            | _ -> 0
+          in
+          let pc, pv, pq = prior in
+          write_ckpt path
+            {
+              c_fingerprint = fingerprint;
+              c_model = model_name;
+              c_emitted =
+                Hashtbl.fold (fun id () acc -> id :: acc) emitted []
+                |> List.sort compare;
+              c_attempts =
+                List.map (fun j -> (j.Job.id, attempts_of j.Job.id)) unfinished;
+              c_completed = pc + !completed;
+              c_violations = pv + !violations;
+              c_quarantined = pq + List.length !quarantined;
+            }
+        end
+  in
+  let mark_emitted id =
+    Hashtbl.replace emitted id ();
+    save_ckpt ~force:false ()
+  in
+  let finish_verdict js v ~cached ~ms =
+    (match js.prog with
+    | Some (_, key) -> Verdict_cache.add cfg.cache key v
+    | None -> ());
+    incr completed;
+    if v.Verdict_cache.v_violation then begin
+      incr violations;
+      cfg.log
+        (Printf.sprintf "VIOLATION %s: %d outcome(s) beyond SC under %s"
+           (Job.label js.job)
+           (List.length v.Verdict_cache.v_outcomes)
+           model_name)
+    end
+    else incr ok;
+    if cached then incr served_from_cache;
+    emit
+      (verdict_record js.job v ~cached ~attempts:(js.attempts + 1) ~ms);
+    mark_emitted js.job.Job.id
+  in
+  let quarantine js ~ms =
+    let q =
+      {
+        q_job = js.job;
+        q_attempts = js.attempts;
+        q_reason = js.last_reason;
+        q_stderr = js.last_stderr;
+      }
+    in
+    quarantined := !quarantined @ [ q ];
+    cfg.log
+      (Printf.sprintf "QUARANTINED %s after %d attempt(s): %s"
+         (Job.label js.job) js.attempts js.last_reason);
+    emit (quarantine_record q ~ms);
+    mark_emitted js.job.Job.id
+  in
+  let requeue js =
+    let delay =
+      backoff_delay_ms ~base:cfg.backoff_ms ~attempt:js.attempts
+        ~job_id:js.job.Job.id
+    in
+    js.eligible_at <- Unix.gettimeofday () +. (float_of_int delay /. 1000.);
+    delayed := !delayed @ [ js ];
+    if cfg.verbose then
+      cfg.log
+        (Printf.sprintf "retrying %s in %d ms (attempt %d/%d: %s)"
+           (Job.label js.job) delay (js.attempts + 1) cfg.retries
+           js.last_reason)
+  in
+  let attempt_failed r reason =
+    let js = r.r_js in
+    js.attempts <- js.attempts + 1;
+    js.last_reason <- reason;
+    js.last_stderr <- read_tail r.r_stderr;
+    if js.attempts >= cfg.retries then
+      quarantine js ~ms:((Unix.gettimeofday () -. r.r_started) *. 1000.)
+    else requeue js
+  in
+  let handle_exit r status =
+    let ms = (Unix.gettimeofday () -. r.r_started) *. 1000. in
+    match status with
+    | Unix.WEXITED 0 -> (
+        match read_result r.r_result with
+        | Some v -> finish_verdict r.r_js v ~cached:false ~ms
+        | None ->
+            attempt_failed r "worker exited 0 but left no valid result file")
+    | Unix.WEXITED 9 ->
+        (* Drain cancellation: not a failure — the job goes back to the
+           queue untouched and lands in the resume checkpoint. *)
+        if cfg.verbose then
+          cfg.log (Printf.sprintf "%s cancelled at a safe point" (Job.label r.r_js.job));
+        Queue.add r.r_js ready
+    | Unix.WEXITED n -> attempt_failed r (Printf.sprintf "worker exited %d" n)
+    | Unix.WSIGNALED _ when r.r_timed_out ->
+        attempt_failed r
+          (Printf.sprintf "timeout: SIGKILL after %.1fs" cfg.timeout_s)
+    | Unix.WSIGNALED s ->
+        attempt_failed r (Printf.sprintf "worker killed by %s" (signal_name s))
+    | Unix.WSTOPPED _ ->
+        (* Not requested (no WUNTRACED); treat defensively. *)
+        (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        attempt_failed r "worker stopped unexpectedly"
+  in
+  let spawn js =
+    let rp = result_path js.job.Job.id and sp = stderr_path js.job.Job.id in
+    (try Sys.remove rp with Sys_error _ -> ());
+    flush out_ch;
+    flush Stdlib.stderr;
+    match Unix.fork () with
+    | 0 -> child_exec cfg ~result_path:rp ~stderr_path:sp js
+    | pid ->
+        if cfg.verbose then
+          cfg.log
+            (Printf.sprintf "worker %d started %s (attempt %d/%d)" pid
+               (Job.label js.job) (js.attempts + 1) cfg.retries);
+        running :=
+          {
+            r_js = js;
+            r_pid = pid;
+            r_started = Unix.gettimeofday ();
+            r_result = rp;
+            r_stderr = sp;
+            r_timed_out = false;
+            r_term_sent = false;
+          }
+          :: !running
+  in
+  let deadline_at = Option.map (fun d -> t0 +. d) cfg.deadline_s in
+  let drain_announced = ref false in
+  let finally () =
+    restore ();
+    close_out_ch ();
+    (* Best-effort scratch cleanup; captured stderr of quarantined jobs
+       already lives in their records. *)
+    (match Sys.readdir scratch with
+    | files ->
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat scratch f) with Sys_error _ -> ())
+          files;
+        (try Unix.rmdir scratch with Unix.Unix_error _ -> ())
+    | exception Sys_error _ -> ())
+  in
+  (try
+     let continue () =
+       !running <> []
+       || ((not !drain)
+          && ((not (Queue.is_empty ready)) || !delayed <> []))
+     in
+     while continue () do
+       let now = Unix.gettimeofday () in
+       (* Deadline is just a self-inflicted drain. *)
+       (match deadline_at with
+       | Some d when (not !drain) && now > d ->
+           drain := true;
+           cfg.log "batch deadline reached; draining"
+       | _ -> ());
+       (* Drain: forward SIGTERM once to every in-flight worker. *)
+       if !drain then begin
+         if not !drain_announced then begin
+           drain_announced := true;
+           cfg.log
+             (Printf.sprintf
+                "draining: %d worker(s) in flight, %d job(s) queued"
+                (List.length !running)
+                (Queue.length ready + List.length !delayed))
+         end;
+         List.iter
+           (fun r ->
+             if not r.r_term_sent then begin
+               r.r_term_sent <- true;
+               try Unix.kill r.r_pid Sys.sigterm
+               with Unix.Unix_error _ -> ()
+             end)
+           !running
+       end;
+       (* Timeouts: SIGKILL, then let the reaper classify it. *)
+       List.iter
+         (fun r ->
+           if (not r.r_timed_out) && now -. r.r_started > cfg.timeout_s
+           then begin
+             r.r_timed_out <- true;
+             try Unix.kill r.r_pid Sys.sigkill
+             with Unix.Unix_error _ -> ()
+           end)
+         !running;
+       (* Reap. *)
+       let progressed = ref false in
+       let still = ref [] in
+       List.iter
+         (fun r ->
+           match Unix.waitpid [ Unix.WNOHANG ] r.r_pid with
+           | 0, _ -> still := r :: !still
+           | _, status ->
+               progressed := true;
+               handle_exit r status
+           | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+               still := r :: !still)
+         !running;
+       running := !still;
+       (* Promote delayed jobs whose backoff expired. *)
+       let due, later =
+         List.partition (fun js -> js.eligible_at <= now) !delayed
+       in
+       delayed := later;
+       List.iter (fun js -> Queue.add js ready) due;
+       (* Dispatch. *)
+       while
+         (not !drain)
+         && List.length !running < cfg.workers
+         && not (Queue.is_empty ready)
+       do
+         progressed := true;
+         let js = Queue.pop ready in
+         match js.mat_error with
+         | Some e ->
+             (* Unreproducible source: retrying cannot help — straight
+                to quarantine, batch keeps going. *)
+             js.last_reason <- "unusable job: " ^ e;
+             js.attempts <- cfg.retries;
+             quarantine js ~ms:0.
+         | None -> (
+             match js.prog with
+             | Some (_, key) -> (
+                 match Verdict_cache.find cfg.cache key with
+                 | Some v ->
+                     finish_verdict js v ~cached:true ~ms:0.
+                 | None -> spawn js)
+             | None -> (* wedge: never cached *) spawn js)
+       done;
+       if not !progressed then (
+         try Unix.sleepf 0.01 with Unix.Unix_error _ -> ())
+     done;
+     save_ckpt ~force:true ()
+   with e ->
+     (try save_ckpt ~force:true () with _ -> ());
+     finally ();
+     raise e);
+  finally ();
+  let pending =
+    Queue.length ready + List.length !delayed + List.length !running
+  in
+  let pc, pv, pq = prior in
+  {
+    total = List.length jobs;
+    completed = pc + !completed;
+    ok = !ok;
+    violations = pv + !violations;
+    quarantined = !quarantined;
+    quarantined_total = pq + List.length !quarantined;
+    pending;
+    served_from_cache = !served_from_cache;
+    cache = Verdict_cache.stats cfg.cache;
+    suspended = !drain && pending > 0;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_summary ppf s =
+  let c = s.cache in
+  Format.fprintf ppf
+    "batch: %d job(s): %d finished (%d ok, %d violation(s), %d quarantined, \
+     %d pending), %d served from cache@\n\
+     cache: %d hit(s), %d miss(es), %d corrupt record(s) skipped, %d \
+     appended, %d entrie(s)@\n\
+     wall %.1fs, %.1f job(s)/s%s"
+    s.total s.completed s.ok s.violations s.quarantined_total s.pending
+    s.served_from_cache c.Verdict_cache.hits c.Verdict_cache.misses
+    c.Verdict_cache.corrupt_skipped c.Verdict_cache.appended
+    c.Verdict_cache.entries s.wall_s
+    (if s.wall_s > 0. then float_of_int s.completed /. s.wall_s else 0.)
+    (if s.suspended then " — SUSPENDED (resume with --resume)" else "")

@@ -1,0 +1,221 @@
+(* Batch jobs and the line-based job-file format. *)
+
+type source =
+  | Builtin of string
+  | File of string
+  | Seed of { seed : int; config : Litmus_gen.config }
+  | Wedge
+
+type t = { id : int; source : source; machine : string }
+
+let kind_string = function
+  | Builtin _ -> "test"
+  | File _ -> "file"
+  | Seed _ -> "seed"
+  | Wedge -> "wedge"
+
+let source_name = function
+  | Builtin n -> n
+  | File p -> Filename.basename p
+  | Seed { seed; _ } -> Printf.sprintf "gen%d" seed
+  | Wedge -> "wedge"
+
+let gen_args = function
+  | Seed { seed; config } ->
+      let extra = Litmus_gen.config_args config in
+      Printf.sprintf "--seed %d%s" seed
+        (if extra = "" then "" else " " ^ extra)
+  | _ -> ""
+
+let label j =
+  Printf.sprintf "job %d: %s %s on %s" j.id (kind_string j.source)
+    (source_name j.source) j.machine
+
+(* --- parsing ---------------------------------------------------------------- *)
+
+let valid_machine m = Machines.find m <> None
+
+(* [key=value] and bare-flag options shared by seed/seeds lines. *)
+let parse_opts ~line_no ~machine opts =
+  let machine = ref machine in
+  let config = ref Litmus_gen.default_config in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_of what v k =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> k n
+    | _ -> err "line %d: %s expects a positive integer, got %S" line_no what v
+  in
+  let rec go = function
+    | [] -> Ok (!machine, !config)
+    | opt :: rest -> (
+        match String.index_opt opt '=' with
+        | Some i -> (
+            let k = String.sub opt 0 i in
+            let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+            match k with
+            | "machine" ->
+                if valid_machine v then begin
+                  machine := v;
+                  go rest
+                end
+                else err "line %d: unknown machine %S" line_no v
+            | "threads" ->
+                int_of "threads" v (fun n ->
+                    config := { !config with Litmus_gen.max_threads = n };
+                    go rest)
+            | "instrs" ->
+                int_of "instrs" v (fun n ->
+                    config := { !config with Litmus_gen.max_instrs = n };
+                    go rest)
+            | "locs" ->
+                int_of "locs" v (fun n ->
+                    config := { !config with Litmus_gen.num_locs = n };
+                    go rest)
+            | "sync-locs" ->
+                int_of "sync-locs" v (fun n ->
+                    config := { !config with Litmus_gen.num_sync_locs = n };
+                    go rest)
+            | _ -> err "line %d: unknown option %S" line_no k)
+        | None -> (
+            match opt with
+            | "no-rmw" ->
+                config := { !config with Litmus_gen.allow_rmw = false };
+                go rest
+            | "no-await" ->
+                config := { !config with Litmus_gen.allow_await = false };
+                go rest
+            | _ -> err "line %d: unknown option %S" line_no opt))
+  in
+  go opts
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_range ~line_no s =
+  match String.index_opt s '.' with
+  | Some i
+    when i + 1 < String.length s
+         && s.[i + 1] = '.'
+         && i > 0
+         && i + 2 < String.length s -> (
+      let lo = String.sub s 0 i in
+      let hi = String.sub s (i + 2) (String.length s - i - 2) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+      | Some lo, Some hi ->
+          Error (Printf.sprintf "line %d: empty seed range %d..%d" line_no lo hi)
+      | _ ->
+          Error (Printf.sprintf "line %d: malformed seed range %S" line_no s))
+  | _ -> Error (Printf.sprintf "line %d: expected LO..HI, got %S" line_no s)
+
+let parse_string ?(default_machine = "def2") text =
+  if not (valid_machine default_machine) then
+    Error (Printf.sprintf "unknown default machine %S" default_machine)
+  else
+    let lines = String.split_on_char '\n' text in
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let rec go line_no machine acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          let line =
+            match String.index_opt line '#' with
+            | Some i -> String.sub line 0 i
+            | None -> line
+          in
+          match split_ws line with
+          | [] -> go (line_no + 1) machine acc rest
+          | [ "machine"; m ] ->
+              if valid_machine m then go (line_no + 1) m acc rest
+              else err "line %d: unknown machine %S" line_no m
+          | "file" :: path :: opts -> (
+              match parse_opts ~line_no ~machine opts with
+              | Error e -> Error e
+              | Ok (m, _) ->
+                  go (line_no + 1) machine
+                    ({ id = List.length acc; source = File path; machine = m }
+                    :: acc)
+                    rest)
+          | "test" :: name :: opts -> (
+              match parse_opts ~line_no ~machine opts with
+              | Error e -> Error e
+              | Ok (m, _) ->
+                  go (line_no + 1) machine
+                    ({
+                       id = List.length acc;
+                       source = Builtin name;
+                       machine = m;
+                     }
+                    :: acc)
+                    rest)
+          | "seed" :: n :: opts -> (
+              match int_of_string_opt n with
+              | None -> err "line %d: seed expects an integer, got %S" line_no n
+              | Some seed -> (
+                  match parse_opts ~line_no ~machine opts with
+                  | Error e -> Error e
+                  | Ok (m, config) ->
+                      go (line_no + 1) machine
+                        ({
+                           id = List.length acc;
+                           source = Seed { seed; config };
+                           machine = m;
+                         }
+                        :: acc)
+                        rest))
+          | "seeds" :: range :: opts -> (
+              match parse_range ~line_no range with
+              | Error e -> Error e
+              | Ok (lo, hi) -> (
+                  match parse_opts ~line_no ~machine opts with
+                  | Error e -> Error e
+                  | Ok (m, config) ->
+                      let acc = ref acc in
+                      for seed = lo to hi do
+                        acc :=
+                          {
+                            id = List.length !acc;
+                            source = Seed { seed; config };
+                            machine = m;
+                          }
+                          :: !acc
+                      done;
+                      go (line_no + 1) machine !acc rest))
+          | "wedge" :: opts -> (
+              match parse_opts ~line_no ~machine opts with
+              | Error e -> Error e
+              | Ok (m, _) ->
+                  go (line_no + 1) machine
+                    ({ id = List.length acc; source = Wedge; machine = m }
+                    :: acc)
+                    rest)
+          | w :: _ ->
+              err
+                "line %d: unknown directive %S \
+                 (machine|file|test|seed|seeds|wedge)"
+                line_no w)
+    in
+    go 1 default_machine [] lines
+
+let parse_file ?default_machine path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse_string ?default_machine text
+  | exception Sys_error e -> Error e
+
+(* --- identity ---------------------------------------------------------------- *)
+
+let canonical j =
+  let src =
+    match j.source with
+    | Builtin n -> "test " ^ n
+    | File p -> "file " ^ p
+    | Seed { seed; config } ->
+        Printf.sprintf "seed %d [%s]" seed
+          (Format.asprintf "%a" Litmus_gen.pp_config config)
+    | Wedge -> "wedge"
+  in
+  Printf.sprintf "%d|%s|%s" j.id src j.machine
+
+let fingerprint jobs =
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map canonical jobs)))

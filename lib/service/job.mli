@@ -1,0 +1,64 @@
+(** Batch verification jobs and the job-file format.
+
+    A job file is line-based so that a 10^5-job corpus can be generated
+    with a shell loop and diffed by eye:
+
+    {v
+    # comment / blank lines ignored
+    machine NAME            set the default machine for following lines
+    file PATH [machine=M]           one litmus file
+    test NAME [machine=M]           one built-in test
+    seed N [machine=M] [GENOPTS]    one generated program
+    seeds LO..HI [machine=M] [GENOPTS]   inclusive seed range, expanded
+    wedge [machine=M]               poison job: the worker spins forever
+    v}
+
+    [GENOPTS] mirror the [weakord gen] flags: [threads=N] [instrs=N]
+    [locs=N] [sync-locs=N] [no-rmw] [no-await].  A [seed] job is
+    reproducible from its line alone — see the determinism contract in
+    {!Litmus_gen}.
+
+    [wedge] exists for chaos testing the supervisor: its worker prints a
+    marker to stderr and spins until killed, exercising the
+    timeout/retry/quarantine path deterministically. *)
+
+type source =
+  | Builtin of string  (** a built-in litmus test, by name *)
+  | File of string  (** a litmus file on disk *)
+  | Seed of { seed : int; config : Litmus_gen.config }
+      (** a generated program — (seed, config) is the full recipe *)
+  | Wedge  (** poison: the worker wedges until the supervisor kills it *)
+
+type t = { id : int; source : source; machine : string }
+(** [id] is the job's position in the expanded job list (0-based) —
+    stable across runs of the same file, so checkpoints and results key
+    on it. *)
+
+val kind_string : source -> string
+(** ["test"], ["file"], ["seed"] or ["wedge"]. *)
+
+val label : t -> string
+(** Human-readable one-liner, e.g. ["job 12: seed 17 on def2"]. *)
+
+val source_name : source -> string
+(** The program name the source will carry (["gen17"], the file
+    basename, the builtin name, or ["wedge"]). *)
+
+val gen_args : source -> string
+(** For a [Seed] source, the [weakord gen] invocation suffix that
+    reproduces it (["--seed 17" ^ non-default config flags]); [""] for
+    other sources. *)
+
+val parse_string : ?default_machine:string -> string -> (t list, string) result
+(** Parse a job file's contents.  [Error msg] carries a located
+    ["line N: ..."] message.  Machines are validated against the
+    machine registry; an unknown machine is a parse error. *)
+
+val parse_file : ?default_machine:string -> string -> (t list, string) result
+(** {!parse_string} on a file's contents; unreadable files are
+    [Error]. *)
+
+val fingerprint : t list -> string
+(** Digest of the canonical rendering of the expanded job list — the
+    identity a batch checkpoint validates before resuming, so a resumed
+    batch can never silently run against an edited job file. *)

@@ -1,0 +1,75 @@
+(** The persistent verdict cache: an append-only, per-record CRC-framed
+    file mapping (canonical program, machine, model, engine version) to a
+    finished verdict.
+
+    Robustness contract: a torn tail (the writer was killed mid-append)
+    or a corrupted record (bit rot, a concurrent writer's garbage) can
+    only ever degrade to a {e recompute} — never to a wrong or stale
+    verdict.  Every record carries its own CRC-32, validated before the
+    payload is decoded; an invalid record is skipped and counted, and the
+    reader resynchronizes on the next record magic.
+
+    The cache key includes {!engine_version}: bumping it (any change to
+    machine semantics, the generator mapping, or the verdict payload
+    shape) orphans every old record wholesale instead of serving stale
+    verdicts.  Keys use the canonical program {e text} (the printed
+    litmus source minus the name line), so the same program reached via a
+    file, a builtin, or a generator seed shares one cache slot. *)
+
+type verdict = {
+  v_outcomes : string list;  (** printed finals, in {!Final.Set} order *)
+  v_appears_sc : bool;
+  v_obeys_model : bool;
+  v_allows_exists : bool option;
+  v_violation : bool;  (** [v_obeys_model] and not [v_appears_sc] *)
+  v_states : int;  (** machine states expanded when first computed *)
+  v_complete : bool;  (** the machine sweep was exhaustive *)
+}
+
+val engine_version : string
+(** Part of every key.  Bump on any change that can alter a verdict for
+    the same program text: machine semantics, SC enumeration, generator
+    mapping, or this record type. *)
+
+val canonical_text : Prog.t -> string
+(** The name-independent canonical program rendering hashed into keys. *)
+
+val key : prog:Prog.t -> machine:string -> model:string -> string
+(** The cache key: canonical-program digest + machine + model +
+    {!engine_version}. *)
+
+type t
+
+val in_memory : unit -> t
+(** A cache with no backing file (a [--no-cache] run still counts
+    intra-batch hits). *)
+
+val open_file : string -> t
+(** Load [path] (tolerating missing files, torn tails and corrupt
+    records — each invalid record is counted and skipped) and open it
+    for appending.
+    @raise Sys_error when the directory is unwritable. *)
+
+val frame : string -> verdict -> string
+(** The on-disk framing of one (key, verdict) record — exposed so tests
+    can fabricate torn and corrupted records. *)
+
+val find : t -> string -> verdict option
+(** Lookup by {!key}; every call counts as a hit or a miss. *)
+
+val add : t -> string -> verdict -> unit
+(** Record a verdict: registered in memory and appended (CRC-framed,
+    flushed) to the backing file when there is one.  Re-adding an
+    existing key is a no-op — first verdict wins. *)
+
+type stats = {
+  entries : int;  (** live entries in memory *)
+  loaded : int;  (** valid records read from the backing file at open *)
+  corrupt_skipped : int;  (** invalid records skipped at open *)
+  hits : int;
+  misses : int;
+  appended : int;  (** records appended this session *)
+}
+
+val stats : t -> stats
+val close : t -> unit

@@ -1,0 +1,30 @@
+(** One verification job, executed in the current process.
+
+    This is the code a forked batch worker runs; it is also callable
+    in-process (tests, benchmarks).  A job computes the machine's
+    complete outcome set, the SC reference set, and the Definition-2
+    check under a synchronization model. *)
+
+type model = Drf0 | Drf1 | Unconstrained | No_check
+
+val model_of_string : string -> model option
+(** ["drf0"], ["drf1"], ["all"] (unconstrained: the check is "appears
+    SC"), or ["none"] (no check — record outcomes only). *)
+
+val model_name : model -> string
+
+val run :
+  ?cancel:(unit -> bool) ->
+  ?fuel:int ->
+  model:model ->
+  machine:Machines.t ->
+  Prog.t ->
+  (Verdict_cache.verdict, [ `Cancelled ]) result
+(** Explore the program on the machine (sequentially — crash isolation
+    comes from the process boundary, not domains), compare against the
+    SC reference, and evaluate the model check.  [cancel] is threaded
+    into the exploration as the per-job stop hook; [Error `Cancelled]
+    means the hook fired and the verdict is unfinished.  With [fuel] the
+    sweep may come back [Partial]: the verdict then has
+    [v_complete = false] and a positive violation is still real, but a
+    clean result is only "no violation found within fuel". *)

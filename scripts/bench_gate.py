@@ -3,20 +3,31 @@
 
 Compares a freshly generated `bench json` dump against the committed
 BENCH_*.json baseline and fails when the fresh run expands more states
-than the baseline allows, or when a baseline entry disappeared.
+than the baseline allows, when a baseline entry disappeared, or when the
+fresh run grew entries the baseline does not know (pass --allow-new for
+the commit that intentionally introduces them, then refresh the
+baseline).
 
 Only state counts are gated: they are deterministic per (test, machine,
 domains) triple, so any growth is a real regression (a reduction oracle
 that stopped firing, a key that stopped canonicalizing).  Wall-clock is
 reported for context but never gates — CI machines are too noisy.
 
+Every failure mode names the offending (name, machine) pair; a malformed
+entry is an exit-2 diagnostic, never a KeyError traceback.
+
 Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.10]
-Exit 0 on pass, 1 on regression, 2 on unusable input.
+                     [--allow-new]
+Exit 0 on pass, 1 on regression or unexplained entry churn, 2 on
+unusable input.
 """
 
 import argparse
 import json
 import sys
+
+
+REQUIRED_FIELDS = ("name", "machine", "domains", "states_expanded")
 
 
 def load_entries(path):
@@ -26,8 +37,27 @@ def load_entries(path):
     except (OSError, ValueError) as e:
         print(f"bench gate: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("entries"), list):
+        print(f"bench gate: {path}: expected an object with an 'entries' "
+              f"list", file=sys.stderr)
+        sys.exit(2)
     entries = {}
-    for e in doc.get("entries", []):
+    for i, e in enumerate(doc["entries"]):
+        if not isinstance(e, dict):
+            print(f"bench gate: {path}: entry #{i} is not an object",
+                  file=sys.stderr)
+            sys.exit(2)
+        missing = [f for f in REQUIRED_FIELDS if f not in e]
+        if missing:
+            ident = f"{e.get('name', '?')}/{e.get('machine', '?')}"
+            print(f"bench gate: {path}: entry #{i} ({ident}) lacks "
+                  f"field(s): {', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        if not isinstance(e["states_expanded"], int):
+            print(f"bench gate: {path}: entry #{i} "
+                  f"({e['name']}/{e['machine']}): states_expanded is not "
+                  f"an integer", file=sys.stderr)
+            sys.exit(2)
         key = (e["name"], e["machine"], e["domains"])
         if key in entries:
             print(f"bench gate: duplicate entry {key} in {path}",
@@ -47,6 +77,9 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional state-count growth "
                          "(default 0.10)")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="tolerate fresh entries absent from the baseline "
+                         "(for the commit that introduces them)")
     args = ap.parse_args()
 
     old = load_entries(args.baseline)
@@ -57,7 +90,9 @@ def main():
         name, machine, domains = key
         label = f"{name}/{machine} d={domains}"
         if key not in new:
-            failures.append(f"{label}: entry missing from fresh run")
+            failures.append(
+                f"{label}: baseline entry vanished from the fresh run "
+                f"(renamed or dropped benchmark? refresh the baseline)")
             continue
         o, n = old[key]["states_expanded"], new[key]["states_expanded"]
         limit = o * (1.0 + args.tolerance)
@@ -72,10 +107,16 @@ def main():
     added = sorted(set(new) - set(old))
     if added:
         names = ", ".join(f"{n}/{m} d={d}" for n, m, d in added)
-        print(f"bench gate: note: new entries not in baseline: {names}")
+        if args.allow_new:
+            print(f"bench gate: note: new entries not in baseline "
+                  f"(allowed): {names}")
+        else:
+            failures.append(
+                f"entries not in baseline: {names} (refresh the committed "
+                f"baseline, or pass --allow-new for the introducing commit)")
 
     if failures:
-        print(f"bench gate: {len(failures)} regression(s):", file=sys.stderr)
+        print(f"bench gate: {len(failures)} failure(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)

@@ -6,6 +6,7 @@
 #   2  parse failure or unreadable input (including an unusable checkpoint)
 #   3  a budget suspended the run cleanly; the checkpoint (if configured)
 #      holds the resume point
+#   4  a batch completed but quarantined at least one poison job
 set -u
 
 WEAKORD="$1"
@@ -140,6 +141,47 @@ if ! cmp -s "$tmp/f_full.out" "$tmp/f_resumed.out"; then
 fi
 expect 2 "fault checkpoint with a different grid is rejected" \
   "$WEAKORD" faults --seeds 3 -s delay --resume "$tmp/f.ckpt" mp_sync
+
+# gen: deterministic seed -> program mapping, usable as run/batch input
+expect 0 "gen emits a program" "$WEAKORD" gen 42
+"$WEAKORD" gen 42 > "$tmp/g1.litmus" 2>/dev/null
+"$WEAKORD" gen 42 > "$tmp/g2.litmus" 2>/dev/null
+if ! cmp -s "$tmp/g1.litmus" "$tmp/g2.litmus"; then
+  echo "FAIL: gen is not deterministic for the same seed" >&2
+  fails=$((fails + 1))
+fi
+"$WEAKORD" gen 42 --no-await --no-rmw > "$tmp/g3.litmus" 2>/dev/null
+if cmp -s "$tmp/g1.litmus" "$tmp/g3.litmus"; then
+  echo "FAIL: gen config flags changed nothing for seed 42" >&2
+  fails=$((fails + 1))
+fi
+expect 0 "gen output parses back in" \
+  sh -c "\"$WEAKORD\" gen 42 | \"$WEAKORD\" run -"
+expect 0 "gen to a file" "$WEAKORD" gen 7 -o "$tmp/g7.litmus"
+expect 124 "gen without a seed is a usage error" "$WEAKORD" gen
+
+# batch: the supervised service's exit-code contract
+printf 'machine def2\ntest mp\ntest mp_sync\nseeds 0..3\n' > "$tmp/ok.jobs"
+expect 0 "clean batch" \
+  "$WEAKORD" batch "$tmp/ok.jobs" --workers 2 --timeout 5
+printf 'test dekker machine=wbuf\n' > "$tmp/viol.jobs"
+expect 1 "batch that finds a violation" \
+  "$WEAKORD" batch "$tmp/viol.jobs" --model all --timeout 5
+printf 'frobnicate 3\n' > "$tmp/bad.jobs"
+expect 2 "unparseable job file" "$WEAKORD" batch "$tmp/bad.jobs"
+printf 'test mp machine=warpdrive\n' > "$tmp/badm.jobs"
+expect 2 "job file naming an unknown machine" "$WEAKORD" batch "$tmp/badm.jobs"
+expect 2 "missing job file" "$WEAKORD" batch "$tmp/no_such.jobs"
+expect 2 "batch with an unknown model" \
+  "$WEAKORD" batch "$tmp/ok.jobs" --model sc9000
+expect 3 "batch suspended by its deadline" \
+  "$WEAKORD" batch "$tmp/ok.jobs" --deadline 0 --checkpoint "$tmp/b.ckpt"
+printf 'wedge\n' > "$tmp/poison.jobs"
+expect 4 "batch that quarantines a poison job" \
+  "$WEAKORD" batch "$tmp/poison.jobs" --timeout 0.3 --retries 1 --backoff 10
+printf 'smashed' > "$tmp/b2.ckpt"
+expect 2 "batch with an unusable resume checkpoint" \
+  "$WEAKORD" batch "$tmp/ok.jobs" --resume "$tmp/b2.ckpt"
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails exit-code check(s) failed" >&2

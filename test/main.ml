@@ -19,4 +19,5 @@ let () =
       Test_delay.suite;
       Test_core.suite;
       Test_resilience.suite;
+      Test_service.suite;
     ]

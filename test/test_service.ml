@@ -1,0 +1,282 @@
+(* The batch verification service's in-process pieces: the job-file
+   parser, the CRC-validated verdict cache, the deterministic retry
+   backoff, and the worker's verdict computation.  The process-level
+   machinery (forked workers, SIGKILL, drain/resume) is exercised by
+   test/batch_chaos.sh against the real binary — forking is not safe
+   in-process here, where earlier suites have already spawned domains. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let prog_of n = (Option.get (Litmus_classics.find n)).Litmus_classics.prog
+let tmp_path suffix = Filename.temp_file "weakord_service" suffix
+
+(* --- job files --------------------------------------------------------------- *)
+
+let parse_ok ?default_machine s =
+  match Job.parse_string ?default_machine s with
+  | Ok jobs -> jobs
+  | Error e -> Alcotest.failf "job file rejected: %s" e
+
+let parse_err ?default_machine s =
+  match Job.parse_string ?default_machine s with
+  | Ok _ -> Alcotest.fail "job file unexpectedly accepted"
+  | Error e -> e
+
+let test_job_parse () =
+  let jobs =
+    parse_ok
+      "# a comment\n\
+       machine wbuf\n\
+       test mp\n\
+       file /some/path.litmus machine=ooo\n\
+       seeds 3..5\n\
+       seed 9 machine=def2 threads=2 no-await\n\
+       wedge\n"
+  in
+  check_int "expanded count" 7 (List.length jobs);
+  let ids = List.map (fun j -> j.Job.id) jobs in
+  check "ids are positions" true (ids = [ 0; 1; 2; 3; 4; 5; 6 ]);
+  let nth n = List.nth jobs n in
+  check_string "default machine directive" "wbuf" (nth 0).Job.machine;
+  check_string "per-line override" "ooo" (nth 1).Job.machine;
+  check "seeds expand inclusively" true
+    (match ((nth 2).Job.source, (nth 4).Job.source) with
+    | Job.Seed { seed = 3; _ }, Job.Seed { seed = 5; _ } -> true
+    | _ -> false);
+  (match (nth 5).Job.source with
+  | Job.Seed { seed = 9; config } ->
+      check_int "genopt threads" 2 config.Litmus_gen.max_threads;
+      check "genopt no-await" false config.Litmus_gen.allow_await;
+      check_string "gen args reproduce the line" "--seed 9 --threads 2 --no-await"
+        (Job.gen_args (nth 5).Job.source)
+  | _ -> Alcotest.fail "seed job not parsed as Seed");
+  check "wedge parsed" true ((nth 6).Job.source = Job.Wedge);
+  check_string "wedge keeps directive machine" "wbuf" (nth 6).Job.machine
+
+let test_job_parse_errors () =
+  let located e = String.length e > 5 && String.sub e 0 5 = "line " in
+  check "unknown machine is located" true
+    (located (parse_err "test mp machine=nope\n"));
+  check "unknown directive is located" true (located (parse_err "frob 3\n"));
+  check "inverted seed range rejected" true (located (parse_err "seeds 5..3\n"));
+  check "garbage seed rejected" true (located (parse_err "seed banana\n"));
+  check "bad genopt rejected" true (located (parse_err "seed 1 threads=x\n"));
+  check "default machine validated" true
+    (Result.is_error (Job.parse_string ~default_machine:"nope" "test mp\n"))
+
+let test_job_fingerprint () =
+  let a = parse_ok "test mp\nseeds 0..3\n" in
+  let b = parse_ok "test mp\nseeds 0..3\n" in
+  let c = parse_ok "test mp\nseeds 0..4\n" in
+  let d = parse_ok "test mp\nseeds 0..3 machine=wbuf\n" in
+  check "same file, same fingerprint" true
+    (Job.fingerprint a = Job.fingerprint b);
+  check "longer range differs" true (Job.fingerprint a <> Job.fingerprint c);
+  check "machine change differs" true (Job.fingerprint a <> Job.fingerprint d)
+
+(* --- verdict cache ----------------------------------------------------------- *)
+
+let sample_verdict =
+  {
+    Verdict_cache.v_outcomes = [ "r1_0=0 r2_0=1" ];
+    v_appears_sc = true;
+    v_obeys_model = true;
+    v_allows_exists = Some false;
+    v_violation = false;
+    v_states = 42;
+    v_complete = true;
+  }
+
+let test_cache_roundtrip () =
+  let path = tmp_path ".wovc" in
+  Sys.remove path;
+  let key = Verdict_cache.key ~prog:(prog_of "mp") ~machine:"def2" ~model:"drf0" in
+  let c = Verdict_cache.open_file path in
+  check "cold miss" true (Verdict_cache.find c key = None);
+  Verdict_cache.add c key sample_verdict;
+  Verdict_cache.close c;
+  let c2 = Verdict_cache.open_file path in
+  (match Verdict_cache.find c2 key with
+  | Some v ->
+      check_int "states survive reload" 42 v.Verdict_cache.v_states;
+      check "exists survives reload" true
+        (v.Verdict_cache.v_allows_exists = Some false)
+  | None -> Alcotest.fail "persisted verdict not found after reopen");
+  let s = Verdict_cache.stats c2 in
+  check_int "hit counted" 1 s.Verdict_cache.hits;
+  check_int "miss not counted on hit path" 0 s.Verdict_cache.misses;
+  check_int "nothing corrupt" 0 s.Verdict_cache.corrupt_skipped;
+  Verdict_cache.close c2;
+  Sys.remove path
+
+(* The cache keys on canonical program text: the same program reached
+   under a different name must share a slot, and a different machine or
+   model must not. *)
+let test_cache_key () =
+  let mp = prog_of "mp" in
+  let renamed =
+    Prog.make ~name:"other_name" ~init:(Prog.init mp)
+      ?exists:(Prog.exists mp) (Prog.threads mp)
+  in
+  let k prog machine model = Verdict_cache.key ~prog ~machine ~model in
+  check "name does not split slots" true
+    (k mp "def2" "drf0" = k renamed "def2" "drf0");
+  check "machine splits slots" true (k mp "def2" "drf0" <> k mp "wbuf" "drf0");
+  check "model splits slots" true (k mp "def2" "drf0" <> k mp "def2" "drf1")
+
+(* A flipped byte inside one record must cost exactly that record — a
+   recompute, never a wrong verdict and never the rest of the file. *)
+let test_cache_corruption () =
+  let path = tmp_path ".wovc" in
+  Sys.remove path;
+  let keys = List.init 5 (fun i -> Printf.sprintf "key-%d|def2|drf0|wovc1" i) in
+  let c = Verdict_cache.open_file path in
+  List.iteri
+    (fun i k ->
+      Verdict_cache.add c k
+        { sample_verdict with Verdict_cache.v_states = 100 + i })
+    keys;
+  Verdict_cache.close c;
+  (* Flip a byte in the middle of the third record's payload. *)
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let target = "key-2|" in
+  let idx =
+    let rec find i =
+      if String.sub data i (String.length target) = target then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let b = Bytes.of_string data in
+  let flip = idx + 40 in
+  Bytes.set b flip (Char.chr (Char.code (Bytes.get b flip) lxor 0xff));
+  Out_channel.with_open_bin path (fun ch ->
+      Out_channel.output_bytes ch b);
+  let c2 = Verdict_cache.open_file path in
+  let s = Verdict_cache.stats c2 in
+  check "corruption detected" true (s.Verdict_cache.corrupt_skipped >= 1);
+  (* The corrupted record reads as a miss (forcing a recompute)... *)
+  check "corrupt record is a miss" true
+    (Verdict_cache.find c2 (List.nth keys 2) = None);
+  (* ...while every other record survives with its own verdict. *)
+  List.iteri
+    (fun i k ->
+      if i <> 2 then
+        match Verdict_cache.find c2 k with
+        | Some v -> check_int "intact record" (100 + i) v.Verdict_cache.v_states
+        | None -> Alcotest.failf "record %d lost to a neighbor's corruption" i)
+    keys;
+  (* The recompute path re-adds and persists over the damage. *)
+  Verdict_cache.add c2 (List.nth keys 2) sample_verdict;
+  Verdict_cache.close c2;
+  let c3 = Verdict_cache.open_file path in
+  check "recomputed verdict persisted" true
+    (Verdict_cache.find c3 (List.nth keys 2) <> None);
+  Verdict_cache.close c3;
+  Sys.remove path
+
+(* A torn tail (partial last record, the crash-mid-append case) must be
+   skipped without losing the intact prefix. *)
+let test_cache_torn_tail () =
+  let path = tmp_path ".wovc" in
+  Sys.remove path;
+  let c = Verdict_cache.open_file path in
+  Verdict_cache.add c "whole|def2|drf0|wovc1" sample_verdict;
+  Verdict_cache.close c;
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun ch ->
+      Out_channel.output_string ch data;
+      (* append a record cut off mid-payload *)
+      let torn =
+        Verdict_cache.frame "torn|def2|drf0|wovc1" sample_verdict
+      in
+      Out_channel.output_string ch
+        (String.sub torn 0 (String.length torn - 7)));
+  let c2 = Verdict_cache.open_file path in
+  check "intact record survives torn tail" true
+    (Verdict_cache.find c2 "whole|def2|drf0|wovc1" <> None);
+  check "torn record is a miss" true
+    (Verdict_cache.find c2 "torn|def2|drf0|wovc1" = None);
+  check "torn tail counted corrupt" true
+    ((Verdict_cache.stats c2).Verdict_cache.corrupt_skipped >= 1);
+  Verdict_cache.close c2;
+  Sys.remove path
+
+(* --- retry backoff ----------------------------------------------------------- *)
+
+let test_backoff () =
+  let d ~attempt ~job_id = Batch.backoff_delay_ms ~base:100 ~attempt ~job_id in
+  check_int "deterministic" (d ~attempt:1 ~job_id:7) (d ~attempt:1 ~job_id:7);
+  (* Exponential envelope: base * 2^(attempt-1) <= delay < that + base. *)
+  List.iter
+    (fun attempt ->
+      let lo = 100 * (1 lsl (attempt - 1)) in
+      let v = d ~attempt ~job_id:3 in
+      check "within envelope" true (v >= lo && v < lo + 100))
+    [ 1; 2; 3; 4 ];
+  (* Jitter decorrelates jobs: not every job gets the same delay. *)
+  let delays = List.init 16 (fun j -> d ~attempt:1 ~job_id:j) in
+  check "jitter varies across jobs" true
+    (List.exists (fun v -> v <> List.hd delays) delays);
+  check_int "zero base is immediate" 0
+    (Batch.backoff_delay_ms ~base:0 ~attempt:3 ~job_id:1)
+
+(* --- worker ------------------------------------------------------------------ *)
+
+let test_worker_verdict () =
+  let mp = prog_of "mp" in
+  let machine = Option.get (Machines.find "def2") in
+  match Worker.run ~model:Worker.Drf0 ~machine mp with
+  | Error `Cancelled -> Alcotest.fail "uncancelled worker reported Cancelled"
+  | Ok v ->
+      (* mp races (it does not obey DRF0), so Definition 2 makes no
+         promise: whatever the machine shows, it is not a violation. *)
+      check "mp does not obey drf0" false v.Verdict_cache.v_obeys_model;
+      check "racing program is never a violation" false
+        v.Verdict_cache.v_violation;
+      check "complete sweep" true v.Verdict_cache.v_complete;
+      check "states counted" true (v.Verdict_cache.v_states > 0)
+
+let test_worker_cancel () =
+  let mp = prog_of "mp" in
+  let machine = Option.get (Machines.find "def2") in
+  match Worker.run ~cancel:(fun () -> true) ~model:Worker.Drf0 ~machine mp with
+  | Error `Cancelled -> ()
+  | Ok _ -> Alcotest.fail "cancel hook ignored"
+
+let test_worker_obeying () =
+  (* The synchronized message-pass obeys DRF0 and must appear SC on
+     def2: the whole point of Definition 2. *)
+  let p = prog_of "mp_sync" in
+  let machine = Option.get (Machines.find "def2") in
+  match Worker.run ~model:Worker.Drf0 ~machine p with
+  | Error `Cancelled -> Alcotest.fail "unexpected cancel"
+  | Ok v ->
+      check "mp_sync obeys drf0" true v.Verdict_cache.v_obeys_model;
+      check "appears SC" true v.Verdict_cache.v_appears_sc;
+      check "no violation" false v.Verdict_cache.v_violation
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "job file parses and expands" `Quick test_job_parse;
+      Alcotest.test_case "job file errors are located" `Quick
+        test_job_parse_errors;
+      Alcotest.test_case "job-list fingerprint" `Quick test_job_fingerprint;
+      Alcotest.test_case "verdict cache round-trips" `Quick
+        test_cache_roundtrip;
+      Alcotest.test_case "cache keys on canonical text" `Quick test_cache_key;
+      Alcotest.test_case "corrupt record recomputed, neighbors kept" `Quick
+        test_cache_corruption;
+      Alcotest.test_case "torn tail skipped" `Quick test_cache_torn_tail;
+      Alcotest.test_case "backoff is deterministic and bounded" `Quick
+        test_backoff;
+      Alcotest.test_case "worker verdict on a racing program" `Quick
+        test_worker_verdict;
+      Alcotest.test_case "worker honors the cancel hook" `Quick
+        test_worker_cancel;
+      Alcotest.test_case "worker verdict on an obeying program" `Quick
+        test_worker_obeying;
+    ] )
