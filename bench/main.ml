@@ -81,7 +81,19 @@ let run_bechamel () =
    timing, not bechamel: the point is one attributable number per
    configuration, including telemetry bechamel cannot see. *)
 
+(* Entries come in four kinds, each with an honest field set (the
+   renderer below emits only the fields that mean something for the
+   kind — no more states_expanded doubling as "events recorded"):
+
+     explore   an engine sweep: states, outcomes, throughput, reduction
+               and symmetry telemetry
+     sym       a symmetry differential: the same sweep with the
+               reduction off and on, plus the outcome-set equality check
+     overhead  an instrumented-vs-idle pair: wall time, the payload the
+               run processed, and the on-row's overhead percentage
+     cache     batch verdict-cache traffic *)
 type json_entry = {
+  e_kind : string;
   e_name : string;
   e_machine : string;
   e_domains : int;
@@ -94,10 +106,39 @@ type json_entry = {
   e_suppressed : int;
       (* transitions the partial-order reduction suppressed (0 where no
          reduction applies) *)
+  e_sym_group : int;  (* automorphism-group order the sweep used *)
+  e_sym_hits : int;
+  e_states_nosym : int;  (* sym rows: the reduction-off state count *)
+  e_reduction_pct : float;
+  e_outcomes_equal : bool;  (* sym rows: differential validity check *)
+  e_payload : int;  (* overhead rows: units of work the run processed *)
+  e_overhead_pct : float option;  (* overhead rows: on-vs-idle, on rows *)
   e_cache_hits : int;
   e_cache_misses : int;
       (* verdict-cache traffic (0 outside the batch-cache entries) *)
 }
+
+let entry_default =
+  {
+    e_kind = "explore";
+    e_name = "";
+    e_machine = "";
+    e_domains = 1;
+    e_wall_ms = 0.;
+    e_states = 0;
+    e_outcomes = 0;
+    e_states_per_sec = 0;
+    e_suppressed = 0;
+    e_sym_group = 1;
+    e_sym_hits = 0;
+    e_states_nosym = 0;
+    e_reduction_pct = 0.;
+    e_outcomes_equal = true;
+    e_payload = 0;
+    e_overhead_pct = None;
+    e_cache_hits = 0;
+    e_cache_misses = 0;
+  }
 
 let per_sec states ms = if ms <= 0. then 0 else
   int_of_float (float_of_int states /. ms *. 1000.)
@@ -121,6 +162,7 @@ let json_machine_entries name prog m =
       let r, ms = wall (fun () -> Machines.explore ~domains m prog) in
       let states = r.Explore.stats.Explore.states_expanded in
       {
+        entry_default with
         e_name = name;
         e_machine = Machines.name m;
         e_domains = domains;
@@ -129,8 +171,8 @@ let json_machine_entries name prog m =
         e_outcomes = Final.Set.cardinal (Explore.bounded_value r.Explore.result);
         e_states_per_sec = per_sec states ms;
         e_suppressed = r.Explore.stats.Explore.suppressed;
-        e_cache_hits = 0;
-        e_cache_misses = 0;
+        e_sym_group = r.Explore.stats.Explore.sym_group;
+        e_sym_hits = r.Explore.stats.Explore.sym_hits;
       })
     json_domains
 
@@ -139,31 +181,15 @@ let json_sc_entries name prog =
     (fun (label, reduce) ->
       let (set, states), ms = wall (fun () -> Sc.explore ~reduce prog) in
       {
+        entry_default with
         e_name = name;
         e_machine = label;
-        e_domains = 1;
         e_wall_ms = ms;
         e_states = states;
         e_outcomes = Final.Set.cardinal set;
         e_states_per_sec = per_sec states ms;
-        e_suppressed = 0;
-        e_cache_hits = 0;
-        e_cache_misses = 0;
       })
     [ ("sc", true); ("sc-nopor", false) ]
-
-(* A workload big enough for the engine knobs to matter: three threads of
-   racing data accesses over three locations, well beyond litmus size. *)
-let json_large_prog () =
-  Litmus_parse.parse_string
-    "name big3\n\
-     { x=0; y=0; z=0 }\n\
-     P0          | P1          | P2          ;\n\
-     W x 1       | W y 1       | W z 1       ;\n\
-     r0 := R y   | r3 := R z   | r6 := R x   ;\n\
-     W x 2       | W y 2       | W z 2       ;\n\
-     r1 := R z   | r4 := R x   | r7 := R y   ;\n\
-     exists (0:r0=0)\n"
 
 (* Tracing overhead on the hottest instrumented path (a full fig3
    simulation): the same run with the null tracer (compiled in, idle) and
@@ -187,18 +213,15 @@ let json_trace_entries () =
       in
       if ms < !best then best := ms
     done;
-    let recorded = match obs with Some o -> Obs.recorded o | None -> 0 in
+    ignore (match obs with Some o -> Obs.recorded o | None -> 0);
     {
+      entry_default with
+      e_kind = "overhead";
       e_name = "sim-fig3-trace";
       e_machine = label;
-      e_domains = 1;
       e_wall_ms = !best /. float_of_int reps;
-      e_states = recorded;
-      e_outcomes = !states / (reps * passes);
-      e_states_per_sec = 0;
-      e_suppressed = 0;
-      e_cache_hits = 0;
-      e_cache_misses = 0;
+      e_payload = !states / (reps * passes);
+          (* cycles simulated per run — the work the tracer rode along on *)
     }
   in
   (* Warm up once so neither variant pays first-touch costs. *)
@@ -209,7 +232,7 @@ let json_trace_entries () =
   Fmt.pr "tracing overhead on sim-fig3: idle %.4f ms/run, on %.4f ms/run \
           (%+.1f%%)@."
     off.e_wall_ms on.e_wall_ms pct;
-  [ off; on ]
+  [ off; { on with e_overhead_pct = Some pct } ]
 
 (* Overhead of --checkpoint-every at its default interval: the same def2
    sweep with no resilience config vs. periodic CRC-framed snapshots
@@ -234,16 +257,13 @@ let json_checkpoint_entries () =
       if ms < !best then best := ms
     done;
     {
+      entry_default with
+      e_kind = "overhead";
       e_name = tname ^ "-ckpt";
       e_machine = label;
-      e_domains = 1;
       e_wall_ms = !best /. float_of_int reps;
-      e_states = !states;
-      e_outcomes = 0;
-      e_states_per_sec = 0;
-      e_suppressed = 0;
-      e_cache_hits = 0;
-      e_cache_misses = 0;
+      e_payload = !states;
+          (* states expanded per run — the work each snapshot pass covered *)
     }
   in
   let ckpt_rcfg =
@@ -264,10 +284,10 @@ let json_checkpoint_entries () =
            ms/run, on %.4f ms/run (%+.1f%%)@."
           tname Explore.checkpoint_every_default off.e_wall_ms on.e_wall_ms
           pct;
-        [ off; on ])
+        [ off; { on with e_overhead_pct = Some pct } ])
       [
         ("dekker", prog_of "dekker", 200);
-        ("big3", json_large_prog (), 3);
+        ("big3", prog_of "big3", 3);
       ]
   in
   (try Sys.remove path with Sys_error _ -> ());
@@ -312,14 +332,14 @@ let json_batch_entries () =
     let s = Verdict_cache.stats cache in
     Verdict_cache.close cache;
     {
+      entry_default with
+      e_kind = "cache";
       e_name = "batch-cache";
       e_machine = label;
-      e_domains = 1;
       e_wall_ms = ms;
       e_states = !states;
       e_outcomes = seeds;
       e_states_per_sec = per_sec !states ms;
-      e_suppressed = 0;
       e_cache_hits = s.Verdict_cache.hits;
       e_cache_misses = s.Verdict_cache.misses;
     }
@@ -333,6 +353,62 @@ let json_batch_entries () =
   (try Sys.remove path with Sys_error _ -> ());
   [ cold; warm ]
 
+(* Symmetry-reduction differential: the same sweep with the orbit
+   reduction off and on.  Two numbers matter per row: the state-count
+   reduction (the point of the feature) and the outcome-set equality
+   check (its soundness probe — the reduction may change how many states
+   are visited, never which outcomes exist).  bench_gate.py requires at
+   least one row per program at >= 30% reduction with equal outcomes, so
+   both claims are re-verified on every commit. *)
+let json_sym_entries () =
+  List.concat_map
+    (fun name ->
+      let prog = prog_of name in
+      List.map
+        (fun m ->
+          let nosym, _ =
+            wall (fun () ->
+                Machines.explore
+                  ~rcfg:{ Explore.rcfg_default with Explore.sym = false }
+                  m prog)
+          in
+          let symr, ms = wall (fun () -> Machines.explore m prog) in
+          let off = nosym.Explore.stats.Explore.states_expanded in
+          let on = symr.Explore.stats.Explore.states_expanded in
+          let equal =
+            Final.Set.equal
+              (Explore.bounded_value nosym.Explore.result)
+              (Explore.bounded_value symr.Explore.result)
+          in
+          let pct =
+            if off = 0 then 0.
+            else float_of_int (off - on) /. float_of_int off *. 100.
+          in
+          Fmt.pr
+            "symmetry on %s/%s: %d -> %d states (-%.1f%%, group %d, \
+             outcomes %s)@."
+            name (Machines.name m) off on pct
+            symr.Explore.stats.Explore.sym_group
+            (if equal then "equal" else "DIFFER");
+          {
+            entry_default with
+            e_kind = "sym";
+            e_name = name;
+            e_machine = Machines.name m;
+            e_wall_ms = ms;
+            e_states = on;
+            e_states_nosym = off;
+            e_reduction_pct = pct;
+            e_sym_group = symr.Explore.stats.Explore.sym_group;
+            e_sym_hits = symr.Explore.stats.Explore.sym_hits;
+            e_outcomes =
+              Final.Set.cardinal (Explore.bounded_value symr.Explore.result);
+            e_outcomes_equal = equal;
+            e_states_per_sec = per_sec on ms;
+          })
+        [ Machines.def2; Machines.ooo ])
+    [ "iriw"; "big3" ]
+
 let run_json ?out () =
   let entries =
     List.concat_map
@@ -344,12 +420,13 @@ let run_json ?out () =
         @ json_sc_entries tname prog)
       json_corpus
     @
-    let prog = json_large_prog () in
+    let prog = prog_of "big3" in
     List.concat_map
       (json_machine_entries "big3" prog)
       [ Machines.def2; Machines.wbuf; Machines.ooo ]
-    @ json_sc_entries "big3" prog @ json_trace_entries ()
-    @ json_checkpoint_entries () @ json_batch_entries ()
+    @ json_sc_entries "big3" prog @ json_sym_entries ()
+    @ json_trace_entries () @ json_checkpoint_entries ()
+    @ json_batch_entries ()
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -365,15 +442,49 @@ let run_json ?out () =
   Printf.bprintf b "{\n  \"date\": %S,\n  \"cores\": %d,\n  \"entries\": [\n"
     date
     (Domain.recommended_domain_count ());
+  (* Per-kind rendering: every row carries only fields that mean
+     something for its kind, so the gate (and any reader) never has to
+     guess whether states_expanded is really a state count. *)
+  let render e =
+    let common =
+      Printf.sprintf
+        "\"name\": %S, \"machine\": %S, \"kind\": %S, \"domains\": %d, \
+         \"wall_ms\": %.3f"
+        e.e_name e.e_machine e.e_kind e.e_domains e.e_wall_ms
+    in
+    match e.e_kind with
+    | "overhead" ->
+        Printf.sprintf "{%s, \"payload\": %d, \"overhead_pct\": %s}" common
+          e.e_payload
+          (match e.e_overhead_pct with
+          | Some p -> Printf.sprintf "%.2f" p
+          | None -> "null")
+    | "sym" ->
+        Printf.sprintf
+          "{%s, \"states_expanded\": %d, \"states_nosym\": %d, \
+           \"reduction_pct\": %.1f, \"sym_group\": %d, \"sym_hits\": %d, \
+           \"outcomes\": %d, \"outcomes_equal\": %s, \"states_per_sec\": %d}"
+          common e.e_states e.e_states_nosym e.e_reduction_pct e.e_sym_group
+          e.e_sym_hits e.e_outcomes
+          (if e.e_outcomes_equal then "true" else "false")
+          e.e_states_per_sec
+    | "cache" ->
+        Printf.sprintf
+          "{%s, \"states_expanded\": %d, \"outcomes\": %d, \
+           \"states_per_sec\": %d, \"cache_hits\": %d, \"cache_misses\": %d}"
+          common e.e_states e.e_outcomes e.e_states_per_sec e.e_cache_hits
+          e.e_cache_misses
+    | _ ->
+        Printf.sprintf
+          "{%s, \"states_expanded\": %d, \"outcomes\": %d, \
+           \"states_per_sec\": %d, \"suppressed_transitions\": %d, \
+           \"sym_group\": %d, \"sym_hits\": %d}"
+          common e.e_states e.e_outcomes e.e_states_per_sec e.e_suppressed
+          e.e_sym_group e.e_sym_hits
+  in
   List.iteri
     (fun i e ->
-      Printf.bprintf b
-        "    {\"name\": %S, \"machine\": %S, \"domains\": %d, \"wall_ms\": \
-         %.3f, \"states_expanded\": %d, \"outcomes\": %d, \
-         \"states_per_sec\": %d, \"suppressed_transitions\": %d, \
-         \"cache_hits\": %d, \"cache_misses\": %d}%s\n"
-        e.e_name e.e_machine e.e_domains e.e_wall_ms e.e_states e.e_outcomes
-        e.e_states_per_sec e.e_suppressed e.e_cache_hits e.e_cache_misses
+      Printf.bprintf b "    %s%s\n" (render e)
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Buffer.add_string b "  ]\n}\n";

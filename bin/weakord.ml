@@ -123,10 +123,45 @@ let mem_budget_flag =
     & opt (some int) None
     & info [ "mem-budget" ] ~docv:"BYTES"
         ~doc:
-          "Memory budget for the exploration visited set. When crossed, \
-           the sequential engine degrades to a Bloom-filter visited set \
-           (sound: verdicts become bounded, never wrong); the parallel \
-           engine suspends with a checkpoint.")
+          "Memory budget for the exploration visited set. When crossed \
+           without $(b,--spill-dir), the sequential engine degrades to a \
+           Bloom-filter visited set (sound: verdicts become bounded, \
+           never wrong) and the parallel engine suspends with a \
+           checkpoint; with $(b,--spill-dir), both engines spill the \
+           visited set to disk instead and coverage stays exhaustive.")
+
+let no_sym_flag =
+  Arg.(
+    value & flag
+    & info [ "no-sym" ]
+        ~doc:
+          "Disable symmetry reduction (exploring modulo the program's \
+           processor/location automorphism group). The escape hatch and \
+           the differential baseline: outcome sets and verdicts are \
+           identical either way, only states expanded changes.")
+
+let spill_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill-dir" ] ~docv:"DIR"
+        ~doc:
+          "Spill the exploration visited set to CRC-checked immutable \
+           runs in $(docv) when the memory budget is crossed (or the \
+           hot-tier cap is hit), instead of degrading to a lossy Bloom \
+           filter: coverage stays exhaustive under $(b,--mem-budget). \
+           The directory must exist; stale runs in it are removed.")
+
+let spill_threshold_flag =
+  Arg.(
+    value
+    & opt int Explore.spill_flush_default
+    & info [ "spill-threshold" ] ~docv:"KEYS"
+        ~doc:
+          "Hot-tier key cap of the spill store (default $(b,65536)): the \
+           in-RAM tier flushes to an on-disk run at this size even \
+           without a memory budget. Only meaningful with \
+           $(b,--spill-dir).")
 
 let checkpoint_flag =
   Arg.(
@@ -193,7 +228,16 @@ let run_cmd =
             "Print each machine's reduction telemetry: states expanded, \
              oracle calls, ample hits, suppressed transitions.")
   in
-  let action test machine_names axiomatic jobs no_por por_stats =
+  let sym_stats_flag =
+    Arg.(
+      value & flag
+      & info [ "sym-stats" ]
+          ~doc:
+            "Print each machine's symmetry telemetry: automorphism-group \
+             order, states expanded, orbit-redirected probes.")
+  in
+  let action test machine_names axiomatic jobs no_por por_stats no_sym
+      sym_stats =
     let jobs = resolve_jobs jobs in
     let prog = prog_or_classic test in
     (match Prog.validate prog with
@@ -214,9 +258,12 @@ let run_cmd =
     in
     let sc = Sc.outcomes ~reduce:(not no_por) prog in
     Fmt.pr "SC outcomes (%d):@.%a@.@." (Final.Set.cardinal sc) Final.pp_set sc;
+    let rcfg = { Explore.rcfg_default with Explore.sym = not no_sym } in
     List.iter
       (fun m ->
-        let r = Machines.explore ~domains:jobs ~reduce:(not no_por) m prog in
+        let r =
+          Machines.explore ~domains:jobs ~reduce:(not no_por) ~rcfg m prog
+        in
         let outs = Explore.bounded_value r.Explore.result in
         let extra = Final.Set.diff outs sc in
         Fmt.pr "%-8s %d outcomes%s%s@." (Machines.name m)
@@ -234,6 +281,12 @@ let run_cmd =
             (if st.Explore.por_enabled then "on" else "off")
             st.Explore.states_expanded st.Explore.oracle_calls
             st.Explore.ample_hits st.Explore.suppressed
+        end;
+        if sym_stats then begin
+          let st = r.Explore.stats in
+          Fmt.pr "  sym: group %d, %d state(s), %d orbit hit(s)@."
+            st.Explore.sym_group st.Explore.states_expanded
+            st.Explore.sym_hits
         end;
         if not (Final.Set.is_empty extra) then
           Fmt.pr "  non-SC: %a@." Final.pp_set extra)
@@ -257,7 +310,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const action $ test_arg $ machines_flag $ axiomatic_flag $ jobs_flag
-      $ no_por_flag $ por_stats_flag)
+      $ no_por_flag $ por_stats_flag $ no_sym_flag $ sym_stats_flag)
 
 (* --- races ------------------------------------------------------------------ *)
 
@@ -299,7 +352,19 @@ let verify_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"FILE"
-          ~doc:"Litmus files for the corpus (default: the built-in corpus).")
+          ~doc:
+            "Litmus files or built-in test names (including the scaling \
+             corpus: big3, big4, big5) for the corpus (default: the \
+             built-in litmus corpus).")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "After the report, print one telemetry line per verdict: \
+             states, symmetry group and orbit hits, degradation point, \
+             spilled runs/keys.")
   in
   let no_por_flag =
     Arg.(
@@ -322,7 +387,8 @@ let verify_cmd =
              budget.")
   in
   let action machine_name model_name files jobs no_por fuel deadline mem
-      checkpoint checkpoint_every resume =
+      checkpoint checkpoint_every resume no_sym spill_dir spill_threshold
+      verbose =
     let jobs = resolve_jobs jobs in
     let machine =
       match Machines.find machine_name with
@@ -337,10 +403,11 @@ let verify_cmd =
       | s -> Fmt.failwith "unknown model %S (drf0|drf1|all)" s
     in
     let programs =
-      match files with [] -> corpus | fs -> List.map load_prog fs
+      match files with [] -> corpus | fs -> List.map prog_or_classic fs
     in
     match
       Weak_ordering.verify_machine ~domains:jobs ?fuel ~por:(not no_por)
+        ~sym:(not no_sym) ?spill_dir ~spill_threshold
         ?budget:(budget_of ~deadline ~mem)
         ?checkpoint ~checkpoint_every ?resume
         ~on_event:(fun m -> Fmt.epr "weakord: %s@." m)
@@ -352,6 +419,23 @@ let verify_cmd =
     | rr ->
         let report = rr.Weak_ordering.report in
         Fmt.pr "%a@." Weak_ordering.pp_report report;
+        if verbose then
+          List.iter
+            (fun v ->
+              Fmt.pr
+                "  %-20s states=%d sym-group=%d sym-hits=%d%s%s@."
+                (Prog.name v.Weak_ordering.program)
+                v.Weak_ordering.states v.Weak_ordering.sym_group
+                v.Weak_ordering.sym_hits
+                (match v.Weak_ordering.degraded_at with
+                | Some n -> Fmt.str " degraded-at=%d" n
+                | None -> "")
+                (if v.Weak_ordering.spilled_runs > 0 then
+                   Fmt.str " spilled-runs=%d spilled-keys=%d"
+                     v.Weak_ordering.spilled_runs
+                     v.Weak_ordering.spilled_keys
+                 else ""))
+            report.Weak_ordering.verdicts;
         (match rr.Weak_ordering.suspended with
         | Some reason ->
             Fmt.epr
@@ -371,7 +455,8 @@ let verify_cmd =
     Term.(
       const action $ machine_flag $ model_flag $ files_arg $ jobs_flag
       $ no_por_flag $ fuel_flag $ deadline_flag $ mem_budget_flag
-      $ checkpoint_flag $ checkpoint_every_flag $ resume_flag)
+      $ checkpoint_flag $ checkpoint_every_flag $ resume_flag $ no_sym_flag
+      $ spill_dir_flag $ spill_threshold_flag $ verbose_flag)
 
 (* --- sim -------------------------------------------------------------------- *)
 
@@ -1054,7 +1139,7 @@ let batch_cmd =
           ~doc:"Log per-attempt worker lifecycle events (pids, retries).")
   in
   let action jobfile out workers timeout retries backoff cache_path model_name
-      machine deadline checkpoint resume fuel verbose =
+      machine deadline checkpoint resume fuel verbose spill_dir mem_budget =
     let model =
       match Worker.model_of_string model_name with
       | Some m -> m
@@ -1104,6 +1189,8 @@ let batch_cmd =
         deadline_s = deadline;
         model;
         fuel;
+        spill_dir;
+        mem_budget;
         log = (fun m -> Fmt.epr "weakord: %s@." m);
         verbose;
       }
@@ -1135,7 +1222,7 @@ let batch_cmd =
       const action $ jobfile_arg $ out_flag $ workers_flag $ timeout_flag
       $ retries_flag $ backoff_flag $ cache_flag $ model_flag $ machine_flag
       $ deadline_flag $ checkpoint_flag $ resume_flag $ fuel_flag
-      $ verbose_flag)
+      $ verbose_flag $ spill_dir_flag $ mem_budget_flag)
 
 (* --- list ------------------------------------------------------------------- *)
 

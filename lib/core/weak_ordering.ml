@@ -80,6 +80,11 @@ type verdict = {
   coverage : coverage;
   states : int;
   reduced : bool;
+  degraded_at : int option;
+  sym_group : int;
+  sym_hits : int;
+  spilled_runs : int;
+  spilled_keys : int;
 }
 
 type report = {
@@ -106,6 +111,11 @@ let verify ?(por = true) ~hw ~model corpus =
           coverage = Exhaustive;
           states = 0;
           reduced = por;
+          degraded_at = None;
+          sym_group = 1;
+          sym_hits = 0;
+          spilled_runs = 0;
+          spilled_keys = 0;
         })
       corpus
   in
@@ -175,7 +185,9 @@ type vckpt = {
   ck_inner : string option;  (* its framed explore snapshot, if any *)
 }
 
-let verify_kind = "weakord.verify"
+(* "verify2": checkpointed verdicts gained the symmetry/spill detail
+   fields; older checkpoints are rejected by kind rather than misread. *)
+let verify_kind = "weakord.verify2"
 
 let write_vckpt path ck =
   Snapshot.write_file path
@@ -208,9 +220,10 @@ let load_vckpt path =
       in
       (ck, recovered)
 
-let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
-    ?(checkpoint_every = Explore.checkpoint_every_default) ?resume
-    ?(obs = Obs.null) ?(on_event = ignore) ~machine ~model corpus =
+let verify_machine ?(domains = 1) ?fuel ?(por = true) ?(sym = true)
+    ?spill_dir ?(spill_threshold = Explore.spill_flush_default) ?budget
+    ?checkpoint ?(checkpoint_every = Explore.checkpoint_every_default)
+    ?resume ?(obs = Obs.null) ?(on_event = ignore) ~machine ~model corpus =
   let corpus_a = Array.of_list corpus in
   let fps = List.map prog_fp corpus in
   let mname = Machines.name machine in
@@ -274,6 +287,9 @@ let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
           (if checkpoint = None then None
            else Some (fun bytes -> save !pos (Some bytes)));
         resume = !inner_pending;
+        sym;
+        spill_dir;
+        spill_threshold;
         obs;
         on_event;
         cancel = None;
@@ -339,6 +355,11 @@ let verify_machine ?(domains = 1) ?fuel ?(por = true) ?budget ?checkpoint
               coverage;
               states = r.Explore.stats.Explore.states_expanded;
               reduced = r.Explore.stats.Explore.por_enabled;
+              degraded_at = r.Explore.stats.Explore.degraded_at;
+              sym_group = r.Explore.stats.Explore.sym_group;
+              sym_hits = r.Explore.stats.Explore.sym_hits;
+              spilled_runs = r.Explore.stats.Explore.spilled_runs;
+              spilled_keys = r.Explore.stats.Explore.spilled_keys;
             }
             :: !done_rev;
           incr pos;

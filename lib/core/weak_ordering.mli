@@ -61,6 +61,17 @@ type verdict = {
           reduction enabled (the outcome set, and hence the verdict, is
           identical either way — this records which strategy produced
           it) *)
+  degraded_at : int option;
+      (** [Some n]: the visited set degraded to a Bloom filter after [n]
+          expansions (the memory budget crossed without a spill store) *)
+  sym_group : int;
+      (** order of the automorphism group the exploration reduced modulo
+          ([1]: symmetry off or trivial) *)
+  sym_hits : int;  (** probes redirected to another orbit representative *)
+  spilled_runs : int;
+      (** visited-set runs flushed to the spill directory ([0] without
+          one) *)
+  spilled_keys : int;  (** visited keys living on disk at the end *)
 }
 
 type report = {
@@ -117,6 +128,9 @@ val verify_machine :
   ?domains:int ->
   ?fuel:int ->
   ?por:bool ->
+  ?sym:bool ->
+  ?spill_dir:string ->
+  ?spill_threshold:int ->
   ?budget:Budget.t ->
   ?checkpoint:string ->
   ?checkpoint_every:int ->
@@ -140,4 +154,12 @@ val verify_machine :
     sequential engine degrades to a Bloom-filter visited set and the
     affected verdicts carry [Bounded] coverage (never reported
     exhaustive).
+
+    [~sym] (default [true]) prunes each exploration modulo the program's
+    automorphism group; verdicts are identical, [states] drops on
+    symmetric programs ([--no-sym] is the differential escape hatch).
+    [~spill_dir] replaces memory-pressure degradation with an exact
+    tiered visited store ({!Spill_store}) in that directory: the sweep
+    spills instead of forgetting and coverage stays {!Exhaustive};
+    [~spill_threshold] caps its RAM tier.
     @raise Explore.Resume_rejected when [~resume] fails validation. *)

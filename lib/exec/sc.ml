@@ -84,6 +84,31 @@ let por_candidate (info : Por_static.t) st =
   in
   pick 0
 
+(* --- symmetry reduction -----------------------------------------------------
+
+   Probe the visited table with the least key in the state's orbit under
+   the program's automorphism group, and close recorded outcomes under
+   the group at record time.  Sound because every automorphism fixes the
+   initial state and maps steps to steps and finals to finals (see
+   {!Sym}): a state whose orbit representative was already expanded has
+   exactly the image outcomes of the expanded one, and those are in the
+   accumulator by closure.  The argument composes with the partial-order
+   reduction above by induction on the (acyclic) SC graph. *)
+
+let permute_key pi ((next, mem, regs) : Sem.key) : Sem.key =
+  ( Sym.permute_procs pi (fun _ n -> n) next,
+    Sym.rename_bindings pi mem,
+    Sym.permute_procs pi
+      (fun p rb -> Sym.rename_reg_bindings pi ~proc:p rb)
+      regs )
+
+let orbit_min perms (k : Sem.key) =
+  List.fold_left
+    (fun m pi ->
+      let k' = permute_key pi k in
+      if compare k' m < 0 then k' else m)
+    k perms
+
 (* --- outcome enumeration ---------------------------------------------------- *)
 
 type por_stats = { por_taken : int; por_declined : int }
@@ -95,8 +120,9 @@ type por_stats = { por_taken : int; por_declined : int }
    completion.  [budget] is checked at a safe point every few dozen
    visited states; on exhaustion the sweep drains cleanly and the set is
    a sound subset of the complete one (exploration only cuts branches). *)
-let explore_budgeted ?(reduce = true) ?budget prog =
+let explore_budgeted ?(reduce = true) ?(sym = false) ?budget prog =
   let info = if reduce then Some (Por_static.cached prog) else None in
+  let perms = if sym then (Sym.cached prog).Sym.perms else [] in
   let visited : unit K.t = K.create 1024 in
   let acc = ref Final.Set.empty in
   let taken = ref 0 in
@@ -126,11 +152,16 @@ let explore_budgeted ?(reduce = true) ?budget prog =
         end
         else begin
         stack := rest;
-        let k = Sem.key_of_state st in
+        let k = orbit_min perms (Sem.key_of_state st) in
         if not (K.mem visited k) then begin
           K.add visited k ();
-          if Sem.all_done prog st then
-            acc := Final.Set.add (Sem.final_of_state st) !acc
+          if Sem.all_done prog st then begin
+            let f = Sem.final_of_state st in
+            acc := Final.Set.add f !acc;
+            List.iter
+              (fun pi -> acc := Final.Set.add (Sym.apply_final pi f) !acc)
+              perms
+          end
           else
             match
               match info with None -> None | Some i -> por_candidate i st
@@ -157,12 +188,14 @@ let explore_budgeted ?(reduce = true) ?budget prog =
     { por_taken = !taken; por_declined = !declined },
     !complete )
 
-let explore_counted ?reduce prog =
-  let set, states, por, _complete = explore_budgeted ?reduce prog in
+let explore_counted ?reduce ?sym prog =
+  let set, states, por, _complete = explore_budgeted ?reduce ?sym prog in
   (set, states, por)
 
-let explore_within ?reduce ~budget prog =
-  let set, states, _por, complete = explore_budgeted ?reduce ~budget prog in
+let explore_within ?reduce ?sym ~budget prog =
+  let set, states, _por, complete =
+    explore_budgeted ?reduce ?sym ~budget prog
+  in
   (set, states, complete)
 
 let explore ?reduce prog =

@@ -23,12 +23,21 @@ type por_stats = {
 }
 (** Hit/miss telemetry for the partial-order reduction. *)
 
-val explore_counted : ?reduce:bool -> Prog.t -> Final.Set.t * int * por_stats
+val explore_counted :
+  ?reduce:bool -> ?sym:bool -> Prog.t -> Final.Set.t * int * por_stats
 (** {!explore} plus the reduction's {!por_stats} — the observability feed
-    for the exploration dashboards. *)
+    for the exploration dashboards.  [sym] (default [false]) additionally
+    prunes modulo the program's automorphism group ({!Sym}): the visited
+    table is probed with the least key of each state's orbit and recorded
+    outcomes are closed under the group, so the outcome set is identical
+    with and without it — only the state count drops. *)
 
 val explore_within :
-  ?reduce:bool -> budget:Budget.t -> Prog.t -> Final.Set.t * int * bool
+  ?reduce:bool ->
+  ?sym:bool ->
+  budget:Budget.t ->
+  Prog.t ->
+  Final.Set.t * int * bool
 (** {!explore} under a {!Budget.t}, checked at a safe point every few
     dozen visited states.  The third component is [true] iff the sweep ran
     to completion; on [false] the set is a sound {e subset} of the

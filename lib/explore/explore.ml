@@ -91,12 +91,17 @@ type stats = {
   oracle_calls : int;
   ample_hits : int;
   suppressed : int;
+  sym_group : int;
+  sym_hits : int;
+  spilled_runs : int;
+  spilled_keys : int;
 }
 
 (* Telemetry for engines that do not run a sharded sweep (the SC
    interleaving enumerator): one "shard" holding every claimed state. *)
 let basic_stats ?(por_enabled = false) ?(oracle_calls = 0) ?(ample_hits = 0)
-    ?(suppressed = 0) ~states_expanded ~domains_used () =
+    ?(suppressed = 0) ?(sym_group = 1) ?(sym_hits = 0) ~states_expanded
+    ~domains_used () =
   {
     states_expanded;
     domains_used;
@@ -110,6 +115,10 @@ let basic_stats ?(por_enabled = false) ?(oracle_calls = 0) ?(ample_hits = 0)
     oracle_calls;
     ample_hits;
     suppressed;
+    sym_group;
+    sym_hits;
+    spilled_runs = 0;
+    spilled_keys = 0;
   }
 
 let pp_stats ppf s =
@@ -127,6 +136,12 @@ let pp_stats ppf s =
     Format.fprintf ppf
       "; por: %d oracle call(s), %d ample hit(s), %d transition(s) suppressed"
       s.oracle_calls s.ample_hits s.suppressed;
+  if s.sym_group > 1 then
+    Format.fprintf ppf "; sym: group order %d, %d orbit hit(s)" s.sym_group
+      s.sym_hits;
+  if s.spilled_runs > 0 then
+    Format.fprintf ppf "; spill: %d run(s), %d key(s) on disk" s.spilled_runs
+      s.spilled_keys;
   match s.degraded_at with
   | Some n -> Format.fprintf ppf "; DEGRADED to Bloom visited set at %d" n
   | None -> ()
@@ -141,11 +156,19 @@ type run_result = {
 
 let checkpoint_every_default = 1000
 
+(* Hot-tier cap of the spill store, in keys: a flush is forced when the
+   RAM tier reaches this many keys even without a memory budget, so a
+   spilling sweep's resident set stays bounded by construction. *)
+let spill_flush_default = 65_536
+
 type rcfg = {
   budget : Budget.t option;
   checkpoint_every : int;
   snapshot_sink : (string -> unit) option;
   resume : string option;
+  sym : bool;
+  spill_dir : string option;
+  spill_threshold : int;
   obs : Obs.t;
   on_event : string -> unit;
   cancel : (unit -> bool) option;
@@ -157,6 +180,9 @@ let rcfg_default =
     checkpoint_every = checkpoint_every_default;
     snapshot_sink = None;
     resume = None;
+    sym = true;
+    spill_dir = None;
+    spill_threshold = spill_flush_default;
     obs = Obs.null;
     on_event = ignore;
     cancel = None;
@@ -210,22 +236,29 @@ module Make (M : Machine_sig.MACHINE) = struct
   type visited_repr =
     | Exact_keys of (M.key * Machine_sig.action list) array
     | Bloom_filter of Bloom.state
+    | Spilled of Spill_store.state
+        (** visited set lives in a tiered spill store: hot keys inline,
+            the rest named by immutable run files on disk *)
 
   type snap = {
     s_fingerprint : string;  (** name + printed program: identity check *)
     s_reduce : bool;  (** partial-order reduction active for the run *)
+    s_sym : bool;  (** symmetry reduction active for the run *)
     s_visited : visited_repr;
     s_claimed : int;
     s_frontier : (M.state * Machine_sig.action list) list;
     s_acc : Final.Set.t;
     s_expanded : int;
+    s_sym_hits : int;
+        (** carried so a resumed run's telemetry continues the count —
+            the verbose report stays byte-identical across kill/resume *)
     s_degraded_at : int option;
   }
 
-  (* "explore2": the resume payload gained reduction state (sleep sets +
-     the [s_reduce] mode pin); pre-reduction snapshots are rejected by
+  (* "explore3": the resume payload gained the symmetry mode pin and the
+     spill-store visited representation; older snapshots are rejected by
      kind rather than misread. *)
-  let snap_kind = "weakord.explore2/" ^ M.name
+  let snap_kind = "weakord.explore3/" ^ M.name
 
   let fingerprint prog =
     Format.asprintf "%s|%a" (Prog.name prog) Prog.pp prog
@@ -272,7 +305,7 @@ module Make (M : Machine_sig.MACHINE) = struct
   let snap_has_sleeps s =
     (match s.s_visited with
     | Exact_keys pairs -> Array.exists (fun (_, sl) -> sl <> []) pairs
-    | Bloom_filter _ -> false)
+    | Bloom_filter _ | Spilled _ -> false)
     || List.exists (fun (_, sl) -> sl <> []) s.s_frontier
 
   (* Rough per-entry cost of the exact visited set: the key's reachable
@@ -300,11 +333,14 @@ module Make (M : Machine_sig.MACHINE) = struct
      multi-domain request ([use_sleep:false], ample-only, so its visited
      set can be handed to the parallel engine at [spill]).  Returns the
      spill resume point instead of finishing when the threshold hits. *)
-  let run_seq ~oracle:oracle0 ~use_sleep ?spill ~resumed ~fuel ~(rcfg : rcfg) prog =
+  let run_seq ~oracle:oracle0 ~use_sleep ?spill ~perms ~store ~resumed ~fuel
+      ~(rcfg : rcfg) prog =
     (* The interner doubles as the transposition table: a key's presence
        means the state was claimed; its value is the sleep set stored by
        the first expansion, consulted on revisits.  Keys are stored once;
-       no marshalled strings. *)
+       no marshalled strings.  With a spill store the table is bypassed
+       entirely: membership lives in the store (hot tier + disk runs),
+       which is valid because a spilling run never uses sleep sets. *)
     let visited : Machine_sig.action list ref H.t = H.create 4096 in
     let bloom = ref None in
     let claimed = ref 0 in
@@ -316,25 +352,49 @@ module Make (M : Machine_sig.MACHINE) = struct
     let oracle_calls = ref 0 in
     let ample_hits = ref 0 in
     let suppressed = ref 0 in
+    let sym_hits = ref 0 in
     let stack = ref [ { fs = M.initial prog; fsleep = [] } ] in
     let stop = ref None in
     let spilled = ref false in
     let entry_bytes = entry_bytes_estimate prog in
+    (* The least key of the state's orbit under the program's automorphism
+       group: the transposition-table probe identifies a state with every
+       symmetric image of it.  [perms = []] is the identity fold — free. *)
+    let orbit_min k =
+      match perms with
+      | [] -> k
+      | _ ->
+          let m =
+            List.fold_left
+              (fun m pi ->
+                let k' = M.permute pi k in
+                if compare k' m < 0 then k' else m)
+              k perms
+          in
+          if m != k then incr sym_hits;
+          m
+    in
     (* Restore a resume point before the sweep starts. *)
     (match resumed with
     | None -> ()
     | Some s ->
-        (match s.s_visited with
-        | Exact_keys pairs ->
+        (match (s.s_visited, store) with
+        | _, Some _ ->
+            (* [run] already loaded the spill store (import, or a fresh
+               store seeded from the snapshot's exact keys). *)
+            ()
+        | Exact_keys pairs, None ->
             Array.iter
               (fun (k, sl) ->
                 let hk = hkey k in
                 if not (H.mem visited hk) then H.add visited hk (ref sl))
               pairs
-        | Bloom_filter bs -> bloom := Some (Bloom.import bs));
+        | Bloom_filter bs, None -> bloom := Some (Bloom.import bs)
+        | Spilled _, None -> assert false (* rejected in [run] *));
         claimed := s.s_claimed;
         acc := s.s_acc;
         expanded := s.s_expanded;
+        sym_hits := s.s_sym_hits;
         degraded_at := s.s_degraded_at;
         if !degraded_at <> None then oracle := None;
         stack := List.map (fun (st, sl) -> { fs = st; fsleep = sl }) s.s_frontier;
@@ -356,29 +416,34 @@ module Make (M : Machine_sig.MACHINE) = struct
          bare keys). *)
       let keep_sleeps = !stack <> [] in
       let repr =
-        match !bloom with
-        | Some b -> Bloom_filter (Bloom.export b)
-        | None ->
-            let pairs =
-              Array.make (H.length visited)
-                (M.canon (M.initial prog), ([] : Machine_sig.action list))
-            in
-            let i = ref 0 in
-            H.iter
-              (fun hk sl ->
-                pairs.(!i) <- (hk.kk, (if keep_sleeps then !sl else []));
-                incr i)
-              visited;
-            Exact_keys pairs
+        match store with
+        | Some sp -> Spilled (Spill_store.export sp)
+        | None -> (
+            match !bloom with
+            | Some b -> Bloom_filter (Bloom.export b)
+            | None ->
+                let pairs =
+                  Array.make (H.length visited)
+                    (M.canon (M.initial prog), ([] : Machine_sig.action list))
+                in
+                let i = ref 0 in
+                H.iter
+                  (fun hk sl ->
+                    pairs.(!i) <- (hk.kk, (if keep_sleeps then !sl else []));
+                    incr i)
+                  visited;
+                Exact_keys pairs)
       in
       {
         s_fingerprint = fingerprint prog;
         s_reduce = reduce_on;
+        s_sym = perms <> [];
         s_visited = repr;
         s_claimed = !claimed;
         s_frontier = List.map (fun f -> (f.fs, f.fsleep)) !stack;
         s_acc = !acc;
         s_expanded = !expanded;
+        s_sym_hits = !sym_hits;
         s_degraded_at = !degraded_at;
       }
     in
@@ -438,6 +503,23 @@ module Make (M : Machine_sig.MACHINE) = struct
             coverage is now approximate, the verdict will be Partial%s"
            !expanded (!claimed * entry_bytes) (Bloom.bits b) por_note)
     in
+    (* The spill-store counterpart of [degrade]: crossing the memory
+       budget flushes the hot tier into an immutable run on disk instead
+       of forgetting anything, so membership stays exact and the result
+       stays [Complete]. *)
+    let spill_flush sp =
+      Spill_store.flush sp;
+      Gc.compact ();
+      let s = Spill_store.stats sp in
+      Obs.instant rcfg.obs ~cat:"explore" ~name:"spill" ~tid:0 ~ts:!expanded
+        ~loc:"" ~cause:"mem-budget";
+      rcfg.on_event
+        (Printf.sprintf
+           "memory budget crossed at %d state(s): flushed the hot visited \
+            tier to disk (%d run(s), %d key(s) spilled) — coverage stays \
+            exact" !expanded s.Spill_store.st_runs
+           s.Spill_store.st_spilled_keys)
+    in
     let push fs fsleep = stack := { fs; fsleep } :: !stack in
     (* Expand a freshly claimed state.  [stored] is its visited-table
        slot (None once degraded); the first expansion records the arrival
@@ -446,7 +528,13 @@ module Make (M : Machine_sig.MACHINE) = struct
     let expand_fresh st ~stored ~sleep =
       incr expanded;
       match M.final prog st with
-      | Some f -> acc := Final.Set.add f !acc
+      | Some f ->
+          (* Close recorded outcomes under the automorphism group: the
+             skipped orbit siblings' finals are exactly these images. *)
+          acc := Final.Set.add f !acc;
+          List.iter
+            (fun pi -> acc := Final.Set.add (Sym.apply_final pi f) !acc)
+            perms
       | None -> (
           match !oracle with
           | None -> List.iter (fun s -> push s []) (M.successors prog st)
@@ -557,28 +645,43 @@ module Make (M : Machine_sig.MACHINE) = struct
           if !stop <> None || !spilled then running := false
           else begin
             stack := rest;
-            let hk = hkey (M.canon st) in
-            (match !bloom with
-            | Some b ->
-                let h1, h2 = bloom_hashes hk in
-                if not (Bloom.add_mem b h1 h2) then begin
+            let kk = orbit_min (M.canon st) in
+            (match store with
+            | Some sp ->
+                if Spill_store.add sp (Marshal.to_string kk [ Marshal.No_sharing ])
+                then begin
                   incr claimed;
+                  (match rcfg.budget with
+                  | Some b
+                    when Budget.over_memory b
+                           ~bytes:(Spill_store.hot_size sp * entry_bytes) ->
+                      spill_flush sp
+                  | _ -> ());
                   expand_fresh st ~stored:None ~sleep
                 end
             | None -> (
-                match H.find_opt visited hk with
-                | Some stored -> revisit st ~stored ~sleep
-                | None ->
-                    let stored = ref [] in
-                    H.add visited hk stored;
-                    incr claimed;
-                    (match rcfg.budget with
-                    | Some b
-                      when Budget.over_memory b
-                             ~bytes:(!claimed * entry_bytes) ->
-                        degrade ()
-                    | _ -> ());
-                    expand_fresh st ~stored:(Some stored) ~sleep));
+                let hk = hkey kk in
+                match !bloom with
+                | Some b ->
+                    let h1, h2 = bloom_hashes hk in
+                    if not (Bloom.add_mem b h1 h2) then begin
+                      incr claimed;
+                      expand_fresh st ~stored:None ~sleep
+                    end
+                | None -> (
+                    match H.find_opt visited hk with
+                    | Some stored -> revisit st ~stored ~sleep
+                    | None ->
+                        let stored = ref [] in
+                        H.add visited hk stored;
+                        incr claimed;
+                        (match rcfg.budget with
+                        | Some b
+                          when Budget.over_memory b
+                                 ~bytes:(!claimed * entry_bytes) ->
+                            degrade ()
+                        | _ -> ());
+                        expand_fresh st ~stored:(Some stored) ~sleep)));
             if
               rcfg.snapshot_sink <> None
               && !expanded mod rcfg.checkpoint_every = 0
@@ -595,10 +698,17 @@ module Make (M : Machine_sig.MACHINE) = struct
         ~ts:!expanded ~value:!suppressed
     end;
     let table_buckets, max_probe =
-      if !bloom = None then
+      if !bloom = None && store = None then
         let hstats = H.stats visited in
         (hstats.Hashtbl.num_buckets, hstats.Hashtbl.max_bucket_length)
       else (0, 0)
+    in
+    let spilled_runs, spilled_keys =
+      match store with
+      | None -> (0, 0)
+      | Some sp ->
+          let s = Spill_store.stats sp in
+          (s.Spill_store.st_runs, s.Spill_store.st_spilled_keys)
     in
     let partial = !stop <> None || !degraded_at <> None in
     ( {
@@ -618,6 +728,10 @@ module Make (M : Machine_sig.MACHINE) = struct
             oracle_calls = !oracle_calls;
             ample_hits = !ample_hits;
             suppressed = !suppressed;
+            sym_group = List.length perms + 1;
+            sym_hits = !sym_hits;
+            spilled_runs;
+            spilled_keys;
           };
       },
       if !spilled then Some (make_snap ()) else None )
@@ -643,6 +757,10 @@ module Make (M : Machine_sig.MACHINE) = struct
     budget : Budget.t option;
     cancel : (unit -> bool) option;
     entry_bytes : int;
+    store : Spill_store.t option;
+        (** shared spill store replacing the sharded claim table; its own
+            mutex serializes claims, and duplicates refund the fuel they
+            reserved (an immutable run cannot be unclaimed) *)
     leftover_lock : Mutex.t;
     mutable leftovers : M.state list;
         (** unclaimed states parked by stopping workers — the other half
@@ -747,25 +865,73 @@ module Make (M : Machine_sig.MACHINE) = struct
      schedule-independent.  (Sleep sets are a property of the visit
      order; they stay sequential.)  Per-worker reduction counters avoid
      atomic traffic; the parent sums them. *)
-  let worker sh oracle prog =
+  let worker sh oracle perms prog =
     let acc = ref Final.Set.empty in
     let oracle_calls = ref 0 in
     let ample_hits = ref 0 in
     let suppressed = ref 0 in
+    let sym_hits = ref 0 in
     let local = ref [] in
     let iters = ref 0 in
+    (* Deterministic function of the state alone, so symmetry pruning
+       keeps the claimed-state set schedule-independent. *)
+    let orbit_min k =
+      match perms with
+      | [] -> k
+      | _ ->
+          let m =
+            List.fold_left
+              (fun m pi ->
+                let k' = M.permute pi k in
+                if compare k' m < 0 then k' else m)
+              k perms
+          in
+          if m != k then incr sym_hits;
+          m
+    in
+    let expand st =
+      match M.final prog st with
+      | Some f ->
+          acc := Final.Set.add f !acc;
+          List.iter
+            (fun pi -> acc := Final.Set.add (Sym.apply_final pi f) !acc)
+            perms
+      | None -> (
+          match oracle with
+          | None ->
+              List.iter (fun s -> local := s :: !local) (M.successors prog st)
+          | Some o -> (
+              incr oracle_calls;
+              let succs = o.Machine_sig.successors_labeled st in
+              match o.Machine_sig.ample st succs with
+              | Some (_, s') ->
+                  incr ample_hits;
+                  suppressed := !suppressed + List.length succs - 1;
+                  local := s' :: !local
+              | None -> List.iter (fun (_, s') -> local := s' :: !local) succs))
+    in
     let process st =
       if Atomic.get sh.stopping <> None then add_leftover sh st
       else begin
         (match sh.budget with
         | Some b when !iters land 63 = 0 ->
-            let bytes = Atomic.get sh.next_id * sh.entry_bytes in
+            let bytes =
+              match sh.store with
+              | Some sp -> Spill_store.hot_size sp * sh.entry_bytes
+              | None -> Atomic.get sh.next_id * sh.entry_bytes
+            in
             (match Budget.check b ~bytes with
             | Some Budget.Deadline -> set_stop sh Deadline_exceeded
-            | Some Budget.Memory ->
-                (* The sharded exact table cannot migrate to a Bloom
-                   filter mid-sweep; drain cleanly instead. *)
-                set_stop sh Memory_exhausted
+            | Some Budget.Memory -> (
+                match sh.store with
+                | Some sp ->
+                    (* Spill instead of stopping: the hot tier flushes to
+                       an immutable run and the sweep stays exact. *)
+                    Spill_store.flush sp
+                | None ->
+                    (* The sharded exact table cannot migrate to a Bloom
+                       filter mid-sweep; drain cleanly instead. *)
+                    set_stop sh Memory_exhausted)
             | None -> ())
         | _ -> ());
         (match sh.cancel with
@@ -775,38 +941,37 @@ module Make (M : Machine_sig.MACHINE) = struct
         incr iters;
         if Atomic.get sh.stopping <> None then add_leftover sh st
         else
-          let hk = hkey (M.canon st) in
-          if try_claim sh hk then
-            let n = Atomic.fetch_and_add sh.expanded 1 in
-            if n >= sh.fuel then begin
-              (* Bound reached after the claim: give the claim back so
-                 the state survives into the resume frontier. *)
-              Atomic.decr sh.expanded;
-              unclaim sh hk;
-              set_stop sh Fuel_exhausted;
-              add_leftover sh st
-            end
-            else
-              match M.final prog st with
-              | Some f -> acc := Final.Set.add f !acc
-              | None -> (
-                  match oracle with
-                  | None ->
-                      List.iter
-                        (fun s -> local := s :: !local)
-                        (M.successors prog st)
-                  | Some o -> (
-                      incr oracle_calls;
-                      let succs = o.Machine_sig.successors_labeled st in
-                      match o.Machine_sig.ample st succs with
-                      | Some (_, s') ->
-                          incr ample_hits;
-                          suppressed := !suppressed + List.length succs - 1;
-                          local := s' :: !local
-                      | None ->
-                          List.iter
-                            (fun (_, s') -> local := s' :: !local)
-                            succs))
+          let kk = orbit_min (M.canon st) in
+          match sh.store with
+          | Some sp ->
+              (* Fuel is reserved *before* the claim: a spilled claim
+                 cannot be given back (runs are immutable), so a
+                 duplicate refunds its reservation instead. *)
+              let n = Atomic.fetch_and_add sh.expanded 1 in
+              if n >= sh.fuel then begin
+                Atomic.decr sh.expanded;
+                set_stop sh Fuel_exhausted;
+                add_leftover sh st
+              end
+              else if
+                not
+                  (Spill_store.add sp
+                     (Marshal.to_string kk [ Marshal.No_sharing ]))
+              then Atomic.decr sh.expanded
+              else expand st
+          | None ->
+              let hk = hkey kk in
+              if try_claim sh hk then
+                let n = Atomic.fetch_and_add sh.expanded 1 in
+                if n >= sh.fuel then begin
+                  (* Bound reached after the claim: give the claim back so
+                     the state survives into the resume frontier. *)
+                  Atomic.decr sh.expanded;
+                  unclaim sh hk;
+                  set_stop sh Fuel_exhausted;
+                  add_leftover sh st
+                end
+                else expand st
       end
     in
     let rec loop () =
@@ -837,9 +1002,10 @@ module Make (M : Machine_sig.MACHINE) = struct
                 List.iter (add_leftover sh) !local)
     in
     loop ();
-    (!acc, !oracle_calls, !ample_hits, !suppressed)
+    (!acc, !oracle_calls, !ample_hits, !suppressed, !sym_hits)
 
-  let run_par ~oracle ~resumed ~domains ~fuel ~(rcfg : rcfg) prog =
+  let run_par ~oracle ~perms ~store ~resumed ~domains ~fuel ~(rcfg : rcfg)
+      prog =
     (match resumed with
     | Some { s_visited = Bloom_filter _; _ } ->
         raise
@@ -867,19 +1033,26 @@ module Make (M : Machine_sig.MACHINE) = struct
         budget = rcfg.budget;
         cancel = rcfg.cancel;
         entry_bytes = entry_bytes_estimate prog;
+        store;
         leftover_lock = Mutex.create ();
         leftovers = [];
       }
     in
+    let resumed_sym_hits = ref 0 in
     let resumed_acc =
       match resumed with
       | None -> Final.Set.empty
       | Some s ->
-          (match s.s_visited with
-          | Exact_keys pairs ->
+          (match (s.s_visited, store) with
+          | _, Some _ ->
+              (* The store already holds the claims: either [run] loaded
+                 it, or the adaptive probe shares this very instance. *)
+              ()
+          | Exact_keys pairs, None ->
               Array.iter (fun (k, _) -> ignore (try_claim sh (hkey k))) pairs
-          | Bloom_filter _ -> assert false);
+          | (Bloom_filter _ | Spilled _), None -> assert false);
           Atomic.set sh.expanded s.s_expanded;
+          resumed_sym_hits := s.s_sym_hits;
           sh.pending <- List.map fst s.s_frontier;
           rcfg.on_event
             (Printf.sprintf
@@ -890,60 +1063,85 @@ module Make (M : Machine_sig.MACHINE) = struct
     in
     let others =
       Array.init (domains - 1) (fun _ ->
-          Domain.spawn (fun () -> worker sh oracle prog))
+          Domain.spawn (fun () -> worker sh oracle perms prog))
     in
-    let mine = worker sh oracle prog in
+    let mine = worker sh oracle perms prog in
     let results = Array.append [| mine |] (Array.map Domain.join others) in
     let acc =
       Array.fold_left
-        (fun a (w, _, _, _) -> Final.Set.union w a)
+        (fun a (w, _, _, _, _) -> Final.Set.union w a)
         resumed_acc results
     in
     let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
-    let oracle_calls = sum (fun (_, oc, _, _) -> oc) in
-    let ample_hits = sum (fun (_, _, ah, _) -> ah) in
-    let suppressed = sum (fun (_, _, _, su) -> su) in
+    let oracle_calls = sum (fun (_, oc, _, _, _) -> oc) in
+    let ample_hits = sum (fun (_, _, ah, _, _) -> ah) in
+    let suppressed = sum (fun (_, _, _, su, _) -> su) in
+    let sym_hits = !resumed_sym_hits + sum (fun (_, _, _, _, sy) -> sy) in
     let stop = Atomic.get sh.stopping in
     (* On an early stop, hand the caller a resume point: every claimed key
        plus the parked frontier. *)
     (match (stop, rcfg.snapshot_sink) with
     | Some _, Some sink ->
-        let n = Array.fold_left (fun a s -> a + H.length s.table) 0 sh.shards in
-        let keys =
-          Array.make n
-            (M.canon (M.initial prog), ([] : Machine_sig.action list))
+        let repr, n =
+          match store with
+          | Some sp -> (Spilled (Spill_store.export sp), Spill_store.total sp)
+          | None ->
+              let n =
+                Array.fold_left (fun a s -> a + H.length s.table) 0 sh.shards
+              in
+              let keys =
+                Array.make n
+                  (M.canon (M.initial prog), ([] : Machine_sig.action list))
+              in
+              let i = ref 0 in
+              Array.iter
+                (fun s ->
+                  H.iter
+                    (fun hk _ ->
+                      keys.(!i) <- (hk.kk, []);
+                      incr i)
+                    s.table)
+                sh.shards;
+              (Exact_keys keys, n)
         in
-        let i = ref 0 in
-        Array.iter
-          (fun s ->
-            H.iter
-              (fun hk _ ->
-                keys.(!i) <- (hk.kk, []);
-                incr i)
-              s.table)
-          sh.shards;
         sink
           (encode_snap
              {
                s_fingerprint = fingerprint prog;
                s_reduce = oracle <> None;
-               s_visited = Exact_keys keys;
+               s_sym = perms <> [];
+               s_visited = repr;
                s_claimed = n;
                s_frontier = List.map (fun st -> (st, [])) sh.leftovers;
                s_acc = acc;
                s_expanded = Atomic.get sh.expanded;
+               s_sym_hits = sym_hits;
                s_degraded_at = None;
              });
         Obs.instant rcfg.obs ~cat:"explore" ~name:"checkpoint" ~tid:0
           ~ts:(Atomic.get sh.expanded) ~loc:"" ~cause:""
     | _ -> ());
-    let per_shard = Array.map (fun s -> H.length s.table) sh.shards in
-    let buckets, max_probe =
-      Array.fold_left
-        (fun (b, m) s ->
-          let st = H.stats s.table in
-          (b + st.Hashtbl.num_buckets, max m st.Hashtbl.max_bucket_length))
-        (0, 0) sh.shards
+    let claimed, per_shard, buckets, max_probe =
+      match store with
+      | Some sp -> (Spill_store.total sp, [| Spill_store.total sp |], 0, 0)
+      | None ->
+          let per_shard = Array.map (fun s -> H.length s.table) sh.shards in
+          let buckets, max_probe =
+            Array.fold_left
+              (fun (b, m) s ->
+                let st = H.stats s.table in
+                ( b + st.Hashtbl.num_buckets,
+                  max m st.Hashtbl.max_bucket_length ))
+              (0, 0) sh.shards
+          in
+          (Array.fold_left ( + ) 0 per_shard, per_shard, buckets, max_probe)
+    in
+    let spilled_runs, spilled_keys =
+      match store with
+      | None -> (0, 0)
+      | Some sp ->
+          let s = Spill_store.stats sp in
+          (s.Spill_store.st_runs, s.Spill_store.st_spilled_keys)
     in
     {
       result = (if stop <> None then Partial acc else Complete acc);
@@ -952,7 +1150,7 @@ module Make (M : Machine_sig.MACHINE) = struct
         {
           states_expanded = Atomic.get sh.expanded;
           domains_used = domains;
-          claimed = Array.fold_left ( + ) 0 per_shard;
+          claimed;
           claimed_per_shard = per_shard;
           donations = Atomic.get sh.donations;
           table_buckets = buckets;
@@ -962,6 +1160,10 @@ module Make (M : Machine_sig.MACHINE) = struct
           oracle_calls;
           ample_hits;
           suppressed;
+          sym_group = List.length perms + 1;
+          sym_hits;
+          spilled_runs;
+          spilled_keys;
         };
     }
 
@@ -976,6 +1178,8 @@ module Make (M : Machine_sig.MACHINE) = struct
     | _ -> ());
     if rcfg.checkpoint_every < 1 then
       invalid_arg "Explore.run: checkpoint_every must be >= 1";
+    if rcfg.spill_threshold < 1 then
+      invalid_arg "Explore.run: spill_threshold must be >= 1";
     let fuel = Option.value fuel ~default:max_int in
     (* The cheap guard: below the instruction threshold the whole state
        space is a few thousand states and the oracle costs more than it
@@ -985,6 +1189,11 @@ module Make (M : Machine_sig.MACHINE) = struct
       else None
     in
     let reduce_on = oracle <> None in
+    (* Symmetry reduction activates whenever the program's automorphism
+       group is nontrivial — unlike the oracle it has no size guard, the
+       trivial group costing nothing. *)
+    let perms = if rcfg.sym then (Sym.cached prog).Sym.perms else [] in
+    let sym_on = perms <> [] in
     let resumed =
       Option.map (fun bytes -> decode_snap ~prog bytes) rcfg.resume
     in
@@ -998,6 +1207,63 @@ module Make (M : Machine_sig.MACHINE) = struct
                 (if s.s_reduce then "on" else "off")
                 (if reduce_on then "on" else "off")))
     | _ -> ());
+    (match resumed with
+    | Some s when s.s_sym <> sym_on ->
+        raise
+          (Resume_rejected
+             (Printf.sprintf
+                "snapshot was taken with symmetry reduction %s but this \
+                 run has it %s; rerun with a matching --no-sym setting"
+                (if s.s_sym then "on" else "off")
+                (if sym_on then "on" else "off")))
+    | _ -> ());
+    (* The spill store is decided (and loaded) before any engine starts:
+       it is active from the very first claim or not at all — no
+       mid-sweep migration. *)
+    let store =
+      match rcfg.spill_dir with
+      | None -> (
+          match resumed with
+          | Some { s_visited = Spilled _; _ } ->
+              raise
+                (Resume_rejected
+                   "this snapshot's visited set lives in a spill store; \
+                    resume it with the same --spill-dir")
+          | _ -> None)
+      | Some dir -> (
+          let threshold = rcfg.spill_threshold in
+          match resumed with
+          | Some { s_visited = Spilled xs; _ } -> (
+              match Spill_store.import ~dir ~threshold xs with
+              | sp -> Some sp
+              | exception Spill_store.Corrupt msg ->
+                  raise
+                    (Resume_rejected ("spill store failed validation: " ^ msg)))
+          | Some { s_visited = Bloom_filter _; _ } ->
+              raise
+                (Resume_rejected
+                   "this snapshot's visited set is a Bloom filter (degraded \
+                    run); it cannot seed an exact spill store")
+          | Some { s_visited = Exact_keys pairs; _ } ->
+              let sp = Spill_store.create ~dir ~threshold in
+              Array.iter
+                (fun (k, _) ->
+                  ignore
+                    (Spill_store.add sp
+                       (Marshal.to_string k [ Marshal.No_sharing ])))
+                pairs;
+              Some sp
+          | None -> Some (Spill_store.create ~dir ~threshold))
+    in
+    (* Sleep sets are path-dependent: a revisit under a smaller sleep set
+       must re-fire transitions, which neither the membership-only store
+       nor orbit-merged visits can answer.  Ample-set reduction (a
+       function of the state alone) stays on. *)
+    let use_sleep = (not sym_on) && store = None in
+    let finish r =
+      Option.iter Spill_store.close store;
+      r
+    in
     let reject_sleeps () =
       match resumed with
       | Some s when snap_has_sleeps s ->
@@ -1008,11 +1274,17 @@ module Make (M : Machine_sig.MACHINE) = struct
                 (--jobs 1)")
       | _ -> ()
     in
+    (* A sleep-carrying snapshot can only resume where the revisit
+       protocol still runs: sequential, no symmetry, no spill store. *)
+    if not use_sleep then reject_sleeps ();
     if domains = 1 then
-      fst (run_seq ~oracle ~use_sleep:true ~resumed ~fuel ~rcfg prog)
+      finish
+        (fst
+           (run_seq ~oracle ~use_sleep ~perms ~store ~resumed ~fuel ~rcfg
+              prog))
     else if not adaptive then begin
       reject_sleeps ();
-      run_par ~oracle ~resumed ~domains ~fuel ~rcfg prog
+      finish (run_par ~oracle ~perms ~store ~resumed ~domains ~fuel ~rcfg prog)
     end
     else begin
       (* Adaptive parallelism: never spawn more domains than the machine
@@ -1028,12 +1300,15 @@ module Make (M : Machine_sig.MACHINE) = struct
           (Printf.sprintf
              "adaptive parallelism: %d domain(s) requested but %d core(s) \
               recognized; using the sequential engine" domains recommended);
-        fst (run_seq ~oracle ~use_sleep:true ~resumed ~fuel ~rcfg prog)
+        finish
+          (fst
+             (run_seq ~oracle ~use_sleep ~perms ~store ~resumed ~fuel ~rcfg
+                prog))
       end
       else begin
         reject_sleeps ();
         let r, sp =
-          run_seq ~oracle ~use_sleep:false ~resumed ~fuel
+          run_seq ~oracle ~use_sleep:false ~perms ~store ~resumed ~fuel
             ~spill:spill_threshold_default ~rcfg prog
         in
         match sp with
@@ -1045,7 +1320,7 @@ module Make (M : Machine_sig.MACHINE) = struct
                  "adaptive parallelism: sweep ended under %d state(s); \
                   the sequential engine finished without spawning domains"
                  spill_threshold_default);
-            r
+            finish r
         | Some snapv ->
             Obs.instant rcfg.obs ~cat:"explore" ~name:"adaptive" ~tid:0
               ~ts:snapv.s_expanded ~loc:"" ~cause:"spill";
@@ -1053,8 +1328,9 @@ module Make (M : Machine_sig.MACHINE) = struct
               (Printf.sprintf
                  "adaptive parallelism: frontier spilled at %d state(s); \
                   fanning out to %d domain(s)" snapv.s_expanded eff);
-            run_par ~oracle ~resumed:(Some snapv) ~domains:eff ~fuel ~rcfg
-              prog
+            finish
+              (run_par ~oracle ~perms ~store ~resumed:(Some snapv)
+                 ~domains:eff ~fuel ~rcfg prog)
       end
     end
 

@@ -67,6 +67,17 @@ type stats = {
   suppressed : int;
       (** transitions present in the full successor relation that the
           reduction did not fire (ample- plus sleep-suppressed) *)
+  sym_group : int;
+      (** order of the program's automorphism group used by this run
+          ([1]: symmetry reduction off or the group is trivial) *)
+  sym_hits : int;
+      (** frontier states whose transposition-table probe was redirected
+          to a different orbit representative — each is a state class the
+          symmetry reduction may merge *)
+  spilled_runs : int;
+      (** immutable visited-set runs written to the spill directory
+          ([0] without [--spill-dir]) *)
+  spilled_keys : int;  (** visited keys resident on disk rather than RAM *)
 }
 (** Telemetry from one exploration sweep. *)
 
@@ -75,6 +86,8 @@ val basic_stats :
   ?oracle_calls:int ->
   ?ample_hits:int ->
   ?suppressed:int ->
+  ?sym_group:int ->
+  ?sym_hits:int ->
   states_expanded:int ->
   domains_used:int ->
   unit ->
@@ -119,6 +132,24 @@ type rcfg = {
   resume : string option;
       (** framed snapshot bytes to restore before exploring; validated
           (CRC, version, machine, program) — never silently trusted *)
+  sym : bool;
+      (** prune modulo the program's automorphism group ({!Sym}): the
+          transposition table is probed with the least key of each
+          state's orbit and recorded outcomes are closed under the
+          group.  A [Complete] outcome set is identical either way; on
+          symmetric programs [states_expanded] drops by up to the group
+          order.  Activating symmetry (a nontrivial group) disables
+          sleep-set pruning — orbit-merged visits cannot answer the
+          revisit protocol — while ample-set reduction stays on. *)
+  spill_dir : string option;
+      (** directory for a tiered exact visited store ({!Spill_store}):
+          under memory pressure the sweep flushes its hot visited tier
+          into immutable runs there instead of degrading to a lossy
+          Bloom filter, so the result stays [Complete].  Active from the
+          first claim or not at all; disables sleep sets like [sym]. *)
+  spill_threshold : int;
+      (** hot-tier key cap of the spill store (flush happens at the cap
+          even without a memory budget); {!spill_flush_default} *)
   obs : Obs.t;
       (** receives ["explore"]-category instants for checkpoint, resume
           and degradation events *)
@@ -141,10 +172,12 @@ val rcfg_default : rcfg
 
 exception Resume_rejected of string
 (** A resume snapshot failed validation: corrupted (CRC), version-skewed,
-    wrong machine, wrong program, taken under the opposite reduction
-    setting, a degraded (Bloom) snapshot offered to the parallel engine,
-    or a reduced sequential snapshot (carrying sleep-set state) offered
-    to a parallel run. *)
+    wrong machine, wrong program, taken under the opposite reduction or
+    symmetry setting, a degraded (Bloom) snapshot offered to the parallel
+    engine, a reduced sequential snapshot (carrying sleep-set state)
+    offered to a parallel run, a spill-store snapshot resumed without its
+    [spill_dir] (or with a corrupted store), or a degraded snapshot
+    offered to a spilling run. *)
 
 val por_min_instrs_default : int
 (** Programs with fewer instructions than this skip the reduction
@@ -154,7 +187,13 @@ val por_min_instrs_default : int
 val spill_threshold_default : int
 (** A multi-domain request first probes sequentially and only fans out
     to domains once this many states have been expanded — spawning
-    domains for a sub-millisecond sweep costs more than the sweep. *)
+    domains for a sub-millisecond sweep costs more than the sweep.
+    (Unrelated to the spill {e store}; see {!spill_flush_default}.) *)
+
+val spill_flush_default : int
+(** Default hot-tier key cap of the spill store ([rcfg.spill_threshold]):
+    the RAM tier flushes to an immutable on-disk run at this size even
+    without a memory budget. *)
 
 module Make (M : Machine_sig.MACHINE) : sig
   val run :

@@ -81,6 +81,17 @@ module type MACHINE = sig
   val hash : key -> int
   val equal : key -> key -> bool
 
+  val permute : Sym.perm -> key -> key
+  (** The image of a canonical key under a program automorphism: memory
+      bindings relocated (and re-sorted — renaming does not preserve
+      binding order), per-processor components moved to the image
+      processor with registers/locations renamed, and any global
+      synchronization structures (reservation lists) renamed and
+      re-normalized.  Must satisfy
+      [canon (sigma st) = permute sigma (canon st)] for the state map
+      [sigma] the automorphism induces; the orbit-representative pruning
+      in [Explore] is sound exactly because of that equation. *)
+
   val por : Prog.t -> state oracle option
   (** The machine's partial-order reduction oracle for [prog], or [None]
       to disable reduction for this machine (always sound). *)

@@ -421,8 +421,68 @@ let all =
     wrc;
   ]
 
+(* --- Scaling corpus -------------------------------------------------------
+
+   Programs deliberately beyond litmus size, for exercising the engine
+   knobs (symmetry reduction, spill store, memory budgets) rather than the
+   checkers.  Each is a ring of racing write/read pairs: thread i writes
+   its own location and reads its neighbours', cyclically, so the program
+   has a nontrivial (cyclic) automorphism group — the symmetry reduction's
+   best case — and a state space that grows steeply with the thread count.
+   They are kept out of [all]: the expectation fields are real but the
+   test-suite sweeps over [all] would pay minutes re-verifying them. *)
+
+(* Ring of [n] threads over [locs]: thread i runs
+   W l_i 1; r := R l_{i+1}; W l_i 2; r' := R l_{i+2}. *)
+let ring_prog ~name locs =
+  let n = List.length locs in
+  let loc i = List.nth locs (i mod n) in
+  let threads =
+    List.init n (fun i ->
+        [
+          write (loc i) 1;
+          read (loc (i + 1)) (Printf.sprintf "r%d" (3 * i));
+          write (loc i) 2;
+          read (loc (i + 2)) (Printf.sprintf "r%d" ((3 * i) + 1));
+        ])
+  in
+  Prog.make ~name
+    ~init:(List.map (fun l -> (l, 0)) locs)
+    ~exists:(reg_eq 0 "r0" 0) threads
+
+(* The bench harness's original "big3", byte-for-byte the same program
+   (three threads racing over three locations) so bench baselines stay
+   comparable now that it lives here. *)
+let big3 =
+  {
+    prog = ring_prog ~name:"big3" [ "x"; "y"; "z" ];
+    drf0 = false;
+    sc_allows = true;
+    descr = "scaling: 3-thread ring of racing accesses over 3 locations";
+  }
+
+let big4 =
+  {
+    prog = ring_prog ~name:"big4" [ "w"; "x"; "y"; "z" ];
+    drf0 = false;
+    sc_allows = true;
+    descr = "scaling: 4-thread ring; ~10^5 def2 states, Z4 symmetry";
+  }
+
+let big5 =
+  {
+    prog = ring_prog ~name:"big5" [ "v"; "w"; "x"; "y"; "z" ];
+    drf0 = false;
+    sc_allows = true;
+    descr = "scaling: 5-thread ring; ~10^6+ def2 states, Z5 symmetry";
+  }
+
+let scaling = [ big3; big4; big5 ]
+
 let find name =
-  List.find_opt (fun e -> String.equal (Prog.name e.prog) name) all
+  List.find_opt
+    (fun e -> String.equal (Prog.name e.prog) name)
+    (all @ scaling)
 
 let names = List.map (fun e -> Prog.name e.prog) all
 

@@ -53,8 +53,27 @@ val fadd_release : entry
 val wrc : entry
 
 val all : entry list
+
+val big3 : entry
+(** The bench harness's 3-thread ring of racing accesses — same program
+    the harness always measured, now shared. *)
+
+val big4 : entry
+(** 4-thread ring: ~10^5 def2 states with a Z4 automorphism group — the
+    scale-smoke workload for the symmetry reduction and spill store. *)
+
+val big5 : entry
+(** 5-thread ring: the stretch workload (10^6+ def2 states). *)
+
+val scaling : entry list
+(** [big3; big4; big5] — deliberately beyond litmus size, kept out of
+    {!all} so corpus-wide test sweeps stay fast.  {!find} sees them. *)
+
 val find : string -> entry option
+(** Looks through {!all} and {!scaling}. *)
+
 val names : string list
+(** Names of {!all} only (the litmus-size corpus). *)
 
 val fig2a_execution : Prog.t
 (** Reconstruction of Figure 2(a): every conflicting access ordered by

@@ -265,6 +265,27 @@ module Make (C : CONFIG) = struct
   let hash = Machine_sig.structural_hash
   let equal (a : key) (b : key) = a = b
 
+  (* Sequence numbers are per-processor counters, so they move with the
+     processor unchanged.  Reservations are kept sorted (outer list by
+     location, each owner list by processor), so renaming must re-sort
+     both levels to land back in canonical form. *)
+  let permute pi ((mem, procs, resvs) : key) : key =
+    ( Sym.rename_bindings pi mem,
+      Sym.permute_procs pi
+        (fun p (next, regs, pend, nseq) ->
+          ( next,
+            Sym.rename_reg_bindings pi ~proc:p regs,
+            List.map (fun (l, v, s) -> (Sym.rename_loc pi l, v, s)) pend,
+            nseq ))
+        procs,
+      List.map
+        (fun (l, rs) ->
+          ( Sym.rename_loc pi l,
+            List.sort compare
+              (List.map (fun (rp, w) -> (Sym.proc pi rp, w)) rs) ))
+        resvs
+      |> List.sort compare )
+
   (* --- partial-order reduction oracle -----------------------------------
 
      Liveness invariant: in every reachable state, every reservation is

@@ -154,6 +154,16 @@ let canon st : key =
 let hash = Machine_sig.structural_hash
 let equal (a : key) (b : key) = a = b
 
+(* The executed bitmask indexes instructions; automorphisms map thread [p]'s
+   instruction [i] to the image thread's instruction [i], so the mask moves
+   with the processor unchanged. *)
+let permute pi ((mem, procs) : key) : key =
+  ( Sym.rename_bindings pi mem,
+    Sym.permute_procs pi
+      (fun p (executed, regs) ->
+        (executed, Sym.rename_reg_bindings pi ~proc:p regs))
+      procs )
+
 (* --- partial-order reduction oracle -------------------------------------
 
    Transition labels: every ready instruction executes atomically against

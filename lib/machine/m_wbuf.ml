@@ -248,3 +248,12 @@ let canon st : key =
 
 let hash = Machine_sig.structural_hash
 let equal (a : key) (b : key) = a = b
+
+let permute pi ((mem, procs) : key) : key =
+  ( Sym.rename_bindings pi mem,
+    Sym.permute_procs pi
+      (fun p (next, regs, wbuf) ->
+        ( next,
+          Sym.rename_reg_bindings pi ~proc:p regs,
+          List.map (fun (l, v) -> (Sym.rename_loc pi l, v)) wbuf ))
+      procs )

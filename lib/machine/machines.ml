@@ -66,28 +66,30 @@ let sc =
           Option.value por_min ~default:Explore.por_min_instrs_default
         in
         let reduce = reduce && Prog.num_instrs prog >= por_min in
+        let sym = rcfg.Explore.sym in
+        let sym_group = if sym then (Sym.cached prog).Sym.order else 1 in
         match rcfg.Explore.budget with
         | None ->
-            let set, states, por = Sc.explore_counted ~reduce prog in
+            let set, states, por = Sc.explore_counted ~reduce ~sym prog in
             {
               Explore.result = Explore.Complete set;
               stats =
                 Explore.basic_stats ~por_enabled:reduce
                   ~oracle_calls:(por.Sc.por_taken + por.Sc.por_declined)
-                  ~ample_hits:por.Sc.por_taken ~states_expanded:states
-                  ~domains_used:1 ();
+                  ~ample_hits:por.Sc.por_taken ~sym_group
+                  ~states_expanded:states ~domains_used:1 ();
               stop = None;
             }
         | Some budget ->
             let set, states, complete =
-              Sc.explore_within ~reduce ~budget prog
+              Sc.explore_within ~reduce ~sym ~budget prog
             in
             {
               Explore.result =
                 (if complete then Explore.Complete set
                  else Explore.Partial set);
               stats =
-                Explore.basic_stats ~por_enabled:reduce
+                Explore.basic_stats ~por_enabled:reduce ~sym_group
                   ~states_expanded:states ~domains_used:1 ();
               stop =
                 (if complete then None

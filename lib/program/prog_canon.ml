@@ -1,0 +1,156 @@
+(* Orbit-canonical program text.
+
+   Two programs that differ only by a renaming — of processors, memory
+   locations, or registers — explore isomorphic state graphs and receive
+   isomorphic verdicts, so a verdict cache keyed on raw program text
+   leaves symmetric duplicates uncached.  [text] renders a program to a
+   string invariant under those renamings: for every processor
+   permutation (up to {!max_threads} processors) the program is
+   re-rendered with locations and registers renamed by first occurrence,
+   and the lexicographically least rendering wins.
+
+   The rendering covers everything verdict-relevant: instruction kinds
+   and shapes, initial memory (values attached to renamed locations),
+   and the "exists" clause with its thread indices remapped through the
+   permutation.  The program's name is deliberately absent.  The
+   canonicalization is purely syntactic — unlike the exploration-time
+   {!Sym} oracle it never proves a permutation is an automorphism, it
+   just quotients the cache key by renaming, which is exactly the
+   invariance verdicts have. *)
+
+module Smap = Map.Make (String)
+
+let max_threads = 6
+
+type renamer = {
+  mutable map : string Smap.t;
+  mutable next : int;
+  prefix : string;
+}
+
+let fresh prefix = { map = Smap.empty; next = 0; prefix }
+
+let rename rn x =
+  match Smap.find_opt x rn.map with
+  | Some y -> y
+  | None ->
+      let y = Printf.sprintf "%s%d" rn.prefix rn.next in
+      rn.next <- rn.next + 1;
+      rn.map <- Smap.add x y rn.map;
+      y
+
+(* All permutations of [0 .. n-1]. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+(* One candidate rendering: threads visited in [order], names assigned by
+   first occurrence along that visit.  Evaluation order matters (each
+   [rename] call may mint a name), so every renamed component is bound
+   with [let] before the surrounding string is assembled. *)
+let render prog order =
+  let n = Prog.num_threads prog in
+  let locs = fresh "l" in
+  let regs = Array.init n (fun _ -> fresh "r") in
+  let inv = Array.make n 0 in
+  List.iteri (fun newp oldp -> inv.(oldp) <- newp) order;
+  let buf = Buffer.create 256 in
+  let rec exp rn = function
+    | Exp.Const v -> string_of_int v
+    | Exp.Reg r -> rename rn r
+    | Exp.Add (a, b) ->
+        let a = exp rn a in
+        let b = exp rn b in
+        "(" ^ a ^ "+" ^ b ^ ")"
+    | Exp.Sub (a, b) ->
+        let a = exp rn a in
+        let b = exp rn b in
+        "(" ^ a ^ "-" ^ b ^ ")"
+  in
+  let kind = function Instr.Data -> "d" | Instr.Sync -> "s" in
+  let instr p = function
+    | Instr.Load { kind = k; loc; reg } ->
+        let loc = rename locs loc in
+        let reg = rename regs.(p) reg in
+        Printf.sprintf "L%s %s %s" (kind k) loc reg
+    | Instr.Store { kind = k; loc; value } ->
+        let loc = rename locs loc in
+        let value = exp regs.(p) value in
+        Printf.sprintf "S%s %s %s" (kind k) loc value
+    | Instr.Rmw { kind = k; loc; reg; value } ->
+        let loc = rename locs loc in
+        let reg = rename regs.(p) reg in
+        let value = exp regs.(p) value in
+        Printf.sprintf "M%s %s %s %s" (kind k) loc reg value
+    | Instr.Await { kind = k; loc; expect; reg } ->
+        let loc = rename locs loc in
+        let reg =
+          match reg with None -> "_" | Some r -> rename regs.(p) r
+        in
+        Printf.sprintf "A%s %s %d %s" (kind k) loc expect reg
+    | Instr.Lock { loc } -> Printf.sprintf "K %s" (rename locs loc)
+    | Instr.Fence -> "F"
+  in
+  List.iter
+    (fun oldp ->
+      Buffer.add_char buf 'P';
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (instr oldp i);
+          Buffer.add_char buf ';')
+        (Prog.thread prog oldp);
+      Buffer.add_char buf '\n')
+    order;
+  (* Init entries keep their values; locations only initialized (never
+     accessed) are named in original-name order, and the final sort is
+     over renamed names so the section is order-insensitive. *)
+  let init =
+    List.sort compare
+      (List.map
+         (fun (l, v) -> (rename locs l, v))
+         (List.sort compare (Prog.init prog)))
+  in
+  List.iter (fun (l, v) -> Buffer.add_string buf
+                (Printf.sprintf "I %s %d\n" l v)) init;
+  (match Prog.exists prog with
+  | None -> ()
+  | Some c ->
+      let rec cond = function
+        | Cond.True -> "T"
+        | Cond.Reg_eq (p, r, v) when p >= 0 && p < n ->
+            let r = rename regs.(p) r in
+            Printf.sprintf "%d:%s=%d" inv.(p) r v
+        | Cond.Reg_eq (p, r, v) ->
+            (* malformed thread index: keep it verbatim *)
+            Printf.sprintf "%d:%s=%d" p r v
+        | Cond.Mem_eq (l, v) -> Printf.sprintf "%s=%d" (rename locs l) v
+        | Cond.Not c -> "!(" ^ cond c ^ ")"
+        | Cond.And (a, b) ->
+            let a = cond a in
+            let b = cond b in
+            "(" ^ a ^ "&" ^ b ^ ")"
+        | Cond.Or (a, b) ->
+            let a = cond a in
+            let b = cond b in
+            "(" ^ a ^ "|" ^ b ^ ")"
+      in
+      Buffer.add_string buf ("E " ^ cond c ^ "\n"));
+  Buffer.contents buf
+
+let text prog =
+  let n = Prog.num_threads prog in
+  let orders =
+    if n = 0 || n > max_threads then [ List.init n Fun.id ]
+    else permutations (List.init n Fun.id)
+  in
+  List.fold_left
+    (fun best o ->
+      let c = render prog o in
+      match best with Some b when b <= c -> best | _ -> Some c)
+    None orders
+  |> Option.get

@@ -1,0 +1,16 @@
+(** Orbit-canonical program text: a rendering invariant under processor
+    reordering and location/register renaming, for symmetry-deduplicating
+    cache keys. *)
+
+val max_threads : int
+(** Processor-permutation search cap ([6]); beyond it only the identity
+    ordering is rendered (the text is still renaming-invariant for
+    locations and registers, just not for processor order). *)
+
+val text : Prog.t -> string
+(** The least rendering of the program over all processor permutations,
+    with locations and registers renamed by first occurrence.  Two
+    programs related by any processor/location/register renaming yield
+    the same text (for at most {!max_threads} processors); programs with
+    different semantics never share one.  The program's name does not
+    participate. *)

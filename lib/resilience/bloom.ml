@@ -27,6 +27,19 @@ let add_mem t h1 h2 =
   done;
   !all_set
 
+let mem t h1 h2 =
+  let mask = t.bits - 1 in
+  let step = h2 lor 1 in
+  let rec probe i =
+    if i >= probes then true
+    else
+      let bit = (h1 + (i * step)) land max_int land mask in
+      let byte = bit lsr 3 and off = bit land 7 in
+      if Char.code (Bytes.get t.data byte) land (1 lsl off) = 0 then false
+      else probe (i + 1)
+  in
+  probe 0
+
 let bits t = t.bits
 let ones t = t.ones
 

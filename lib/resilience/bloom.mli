@@ -21,6 +21,12 @@ val add_mem : t -> int -> int -> bool
     every probed bit was already set — the key was {e possibly} seen
     before. *)
 
+val mem : t -> int -> int -> bool
+(** [mem t h1 h2] is [true] iff the key with hashes [h1], [h2] was
+    {e possibly} inserted before — the pure membership probe ({!add_mem}
+    without the insertion), used as the spill store's negative
+    front-filter. *)
+
 val bits : t -> int
 (** The filter size in bits. *)
 

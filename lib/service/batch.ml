@@ -37,6 +37,8 @@ type cfg = {
   deadline_s : float option;
   model : Worker.model;
   fuel : int option;
+  spill_dir : string option;
+  mem_budget : int option;
   log : string -> unit;
   verbose : bool;
 }
@@ -54,6 +56,8 @@ let default_cfg =
     deadline_s = None;
     model = Worker.Drf0;
     fuel = None;
+    spill_dir = None;
+    mem_budget = None;
     log = ignore;
     verbose = false;
   }
@@ -74,6 +78,7 @@ type summary = {
   quarantined_total : int;
   pending : int;
   served_from_cache : int;
+  sym_dedup : int;
   cache : Verdict_cache.stats;
   suspended : bool;
   wall_s : float;
@@ -148,7 +153,7 @@ let record_trailer ~cached ~attempts ~ms =
 
 let verdict_record j (v : Verdict_cache.verdict) ~cached ~attempts ~ms =
   Printf.sprintf
-    "%s,\"status\":\"ok\",\"outcomes\":%d,\"appears_sc\":%b,\"obeys_model\":%b,\"violation\":%b,\"exists\":%s,\"states\":%d,\"complete\":%b%s"
+    "%s,\"status\":\"ok\",\"outcomes\":%d,\"appears_sc\":%b,\"obeys_model\":%b,\"violation\":%b,\"exists\":%s,\"states\":%d,\"complete\":%b,\"degraded\":%s,\"spilled_runs\":%d%s"
     (record_prefix j)
     (List.length v.Verdict_cache.v_outcomes)
     v.Verdict_cache.v_appears_sc v.Verdict_cache.v_obeys_model
@@ -158,6 +163,10 @@ let verdict_record j (v : Verdict_cache.verdict) ~cached ~attempts ~ms =
     | Some false -> "false"
     | None -> "null")
     v.Verdict_cache.v_states v.Verdict_cache.v_complete
+    (match v.Verdict_cache.v_degraded with
+    | Some n -> string_of_int n
+    | None -> "null")
+    v.Verdict_cache.v_spilled_runs
     (record_trailer ~cached ~attempts ~ms)
 
 let quarantine_record q ~ms =
@@ -212,7 +221,8 @@ let load_ckpt path =
 
 type jstate = {
   job : Job.t;
-  prog : (Prog.t * string) option;  (** program + cache key; [None] = wedge *)
+  prog : (Prog.t * string * string) option;
+      (** program + cache key + symmetry key; [None] = wedge *)
   mat_error : string option;
   mutable attempts : int;
   mutable eligible_at : float;
@@ -222,10 +232,11 @@ type jstate = {
 
 let materialize model (j : Job.t) =
   let with_prog p =
+    let model = Worker.model_name model in
     ( Some
         ( p,
-          Verdict_cache.key ~prog:p ~machine:j.Job.machine
-            ~model:(Worker.model_name model) ),
+          Verdict_cache.key ~prog:p ~machine:j.Job.machine ~model,
+          Verdict_cache.sym_key ~prog:p ~machine:j.Job.machine ~model ),
       None )
   in
   let prog, mat_error =
@@ -291,12 +302,28 @@ let child_exec cfg ~result_path ~stderr_path js =
       done;
       Unix._exit 9
   | _ -> (
-      let prog, _ = Option.get js.prog in
+      let prog, _, _ = Option.get js.prog in
       let machine = Option.get (Machines.find js.job.Job.machine) in
+      (* Each attempt spills into its own subdirectory: concurrent
+         workers must never share run files, and a retry must not trip
+         over a killed attempt's leftovers (the store wipes stale runs
+         at creation). *)
+      let spill_dir =
+        Option.map
+          (fun d ->
+            let sub =
+              Filename.concat d (Printf.sprintf "job%d" js.job.Job.id)
+            in
+            (try Unix.mkdir sub 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            sub)
+          cfg.spill_dir
+      in
       match
         Worker.run
           ~cancel:(fun () -> !cancelled)
-          ?fuel:cfg.fuel ~model:cfg.model ~machine prog
+          ?fuel:cfg.fuel ?spill_dir ?mem_budget:cfg.mem_budget
+          ~model:cfg.model ~machine prog
       with
       | Ok v ->
           Atomic_io.write_file ~fsync:false result_path
@@ -449,6 +476,7 @@ let run cfg jobs =
      the whole batch, not just the post-resume tail. *)
   let completed = ref 0 and ok = ref 0 and violations = ref 0 in
   let served_from_cache = ref 0 in
+  let sym_dedup = ref 0 in
   let quarantined = ref [] in
   let prior =
     match resumed with
@@ -505,7 +533,9 @@ let run cfg jobs =
   in
   let finish_verdict js v ~cached ~ms =
     (match js.prog with
-    | Some (_, key) -> Verdict_cache.add cfg.cache key v
+    | Some (_, key, skey) ->
+        Verdict_cache.add cfg.cache key v;
+        Verdict_cache.add cfg.cache skey v
     | None -> ());
     incr completed;
     if v.Verdict_cache.v_violation then begin
@@ -704,11 +734,19 @@ let run cfg jobs =
              quarantine js ~ms:0.
          | None -> (
              match js.prog with
-             | Some (_, key) -> (
+             | Some (_, key, skey) -> (
                  match Verdict_cache.find cfg.cache key with
-                 | Some v ->
-                     finish_verdict js v ~cached:true ~ms:0.
-                 | None -> spawn js)
+                 | Some v -> finish_verdict js v ~cached:true ~ms:0.
+                 | None -> (
+                     (* Exact text never verified — but a renaming of it
+                        may have been: the symmetry key answers with the
+                        class representative's verdict (identical up to
+                        the names inside v_outcomes strings). *)
+                     match Verdict_cache.find cfg.cache skey with
+                     | Some v ->
+                         incr sym_dedup;
+                         finish_verdict js v ~cached:true ~ms:0.
+                     | None -> spawn js))
              | None -> (* wedge: never cached *) spawn js)
        done;
        if not !progressed then (
@@ -733,6 +771,7 @@ let run cfg jobs =
     quarantined_total = pq + List.length !quarantined;
     pending;
     served_from_cache = !served_from_cache;
+    sym_dedup = !sym_dedup;
     cache = Verdict_cache.stats cfg.cache;
     suspended = !drain && pending > 0;
     wall_s = Unix.gettimeofday () -. t0;
@@ -742,12 +781,16 @@ let pp_summary ppf s =
   let c = s.cache in
   Format.fprintf ppf
     "batch: %d job(s): %d finished (%d ok, %d violation(s), %d quarantined, \
-     %d pending), %d served from cache@\n\
+     %d pending), %d served from cache (%d via symmetry, %.0f%%)@\n\
      cache: %d hit(s), %d miss(es), %d corrupt record(s) skipped, %d \
      appended, %d entrie(s)@\n\
      wall %.1fs, %.1f job(s)/s%s"
     s.total s.completed s.ok s.violations s.quarantined_total s.pending
-    s.served_from_cache c.Verdict_cache.hits c.Verdict_cache.misses
+    s.served_from_cache s.sym_dedup
+    (if s.completed > 0 then
+       100. *. float_of_int s.sym_dedup /. float_of_int s.completed
+     else 0.)
+    c.Verdict_cache.hits c.Verdict_cache.misses
     c.Verdict_cache.corrupt_skipped c.Verdict_cache.appended
     c.Verdict_cache.entries s.wall_s
     (if s.wall_s > 0. then float_of_int s.completed /. s.wall_s else 0.)

@@ -40,6 +40,12 @@ type cfg = {
   deadline_s : float option;  (** whole-batch budget; drains at expiry *)
   model : Worker.model;  (** the Definition-2 synchronization model *)
   fuel : int option;  (** per-job state bound forwarded to workers *)
+  spill_dir : string option;
+      (** visited-set spill area: each worker spills into its own
+          [jobN] subdirectory (created on demand, removed after the
+          attempt), so memory-budgeted jobs stay complete instead of
+          degrading *)
+  mem_budget : int option;  (** per-job visited-set byte budget *)
   log : string -> unit;  (** supervisor event log (CLI: stderr) *)
   verbose : bool;  (** log per-attempt worker lifecycle events *)
 }
@@ -64,6 +70,9 @@ type summary = {
   quarantined_total : int;  (** including resumed-from runs *)
   pending : int;  (** jobs not finished (> 0 only when suspended) *)
   served_from_cache : int;  (** verdicts answered without forking *)
+  sym_dedup : int;
+      (** cache hits served through the symmetry key: the job's exact
+          text was never verified, a renaming of it was *)
   cache : Verdict_cache.stats;
   suspended : bool;  (** a signal or the deadline drained the batch *)
   wall_s : float;

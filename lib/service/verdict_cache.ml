@@ -22,12 +22,16 @@ type verdict = {
   v_violation : bool;
   v_states : int;
   v_complete : bool;
+  v_degraded : int option;
+  v_spilled_runs : int;
 }
 
 (* Bump on any change that can alter a verdict for the same program
    text: machine semantics, the SC enumeration, the generator mapping,
-   or the [verdict] record shape (the payload is marshalled). *)
-let engine_version = "wovc1"
+   or the [verdict] record shape (the payload is marshalled).
+   wovc2: symmetry reduction in the engines; v_degraded/v_spilled_runs
+   added to the record. *)
+let engine_version = "wovc2"
 
 let magic = "WOVC "
 
@@ -41,6 +45,16 @@ let canonical_text prog =
 let key ~prog ~machine ~model =
   Printf.sprintf "%s|%s|%s|%s"
     (Digest.to_hex (Digest.string (canonical_text prog)))
+    machine model engine_version
+
+(* Secondary, coarser key: the orbit-canonical rendering quotients the
+   program by processor/location/register renaming, so every member of a
+   symmetry class shares this slot.  Kept distinct from [key] by the
+   prefix — the plain key stays exact-text so a hit there never needed
+   the renaming argument at all. *)
+let sym_key ~prog ~machine ~model =
+  Printf.sprintf "sym:%s|%s|%s|%s"
+    (Digest.to_hex (Digest.string (Prog_canon.text prog)))
     machine model engine_version
 
 type t = {

@@ -24,6 +24,12 @@ type verdict = {
   v_violation : bool;  (** [v_obeys_model] and not [v_appears_sc] *)
   v_states : int;  (** machine states expanded when first computed *)
   v_complete : bool;  (** the machine sweep was exhaustive *)
+  v_degraded : int option;
+      (** the sweep degraded to a Bloom visited set after this many
+          expansions ([None]: it never did) *)
+  v_spilled_runs : int;
+      (** visited-set runs the sweep spilled to disk ([0] without a
+          spill directory) *)
 }
 
 val engine_version : string
@@ -37,6 +43,14 @@ val canonical_text : Prog.t -> string
 val key : prog:Prog.t -> machine:string -> model:string -> string
 (** The cache key: canonical-program digest + machine + model +
     {!engine_version}. *)
+
+val sym_key : prog:Prog.t -> machine:string -> model:string -> string
+(** The symmetry-dedup key: like {!key} but digesting the
+    orbit-canonical rendering ({!Prog_canon.text}), so every program in
+    one processor/location/register-renaming class shares the slot.
+    Verdict fields are renaming-invariant except [v_outcomes], whose
+    strings mention the {e first} class member's names — consumers that
+    only count outcomes (the batch JSONL) are unaffected. *)
 
 type t
 

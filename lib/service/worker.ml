@@ -24,8 +24,11 @@ let obeys model prog =
   | Unconstrained -> true
   | No_check -> false
 
-let run ?cancel ?fuel ~model ~machine prog =
-  let rcfg = { Explore.rcfg_default with Explore.cancel } in
+let run ?cancel ?fuel ?spill_dir ?mem_budget ~model ~machine prog =
+  let budget =
+    Option.map (fun b -> Budget.create ~mem_bytes:b ()) mem_budget
+  in
+  let rcfg = { Explore.rcfg_default with Explore.cancel; spill_dir; budget } in
   let r =
     Machines.explore ~domains:1 ?fuel ~rcfg machine prog
   in
@@ -55,4 +58,6 @@ let run ?cancel ?fuel ~model ~machine prog =
           v_violation = obeys_model && not appears_sc;
           v_states = r.Explore.stats.Explore.states_expanded;
           v_complete = complete;
+          v_degraded = r.Explore.stats.Explore.degraded_at;
+          v_spilled_runs = r.Explore.stats.Explore.spilled_runs;
         }

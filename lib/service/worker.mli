@@ -16,6 +16,8 @@ val model_name : model -> string
 val run :
   ?cancel:(unit -> bool) ->
   ?fuel:int ->
+  ?spill_dir:string ->
+  ?mem_budget:int ->
   model:model ->
   machine:Machines.t ->
   Prog.t ->
@@ -27,4 +29,10 @@ val run :
     means the hook fired and the verdict is unfinished.  With [fuel] the
     sweep may come back [Partial]: the verdict then has
     [v_complete = false] and a positive violation is still real, but a
-    clean result is only "no violation found within fuel". *)
+    clean result is only "no violation found within fuel".
+
+    [mem_budget] bounds the visited set: without [spill_dir] the sweep
+    degrades to a Bloom filter when crossed ([v_degraded] records where,
+    [v_complete] goes false); with [spill_dir] (a directory private to
+    this job) it spills to disk instead and stays complete
+    ([v_spilled_runs] counts the runs). *)

@@ -8,16 +8,30 @@ fresh run grew entries the baseline does not know (pass --allow-new for
 the commit that intentionally introduces them, then refresh the
 baseline).
 
-Only state counts are gated: they are deterministic per (test, machine,
-domains) triple, so any growth is a real regression (a reduction oracle
-that stopped firing, a key that stopped canonicalizing).  Wall-clock is
-reported for context but never gates — CI machines are too noisy.
+Entries are typed by their "kind" field (entries without one are treated
+as "explore", which is what every pre-kind baseline contained):
+
+  explore / sym / cache   carry a real states_expanded count — gated,
+                          since state counts are deterministic per
+                          (kind, name, machine, domains) and any growth
+                          is a real regression (a reduction oracle that
+                          stopped firing, a key that stopped
+                          canonicalizing);
+  overhead                carry payload + overhead_pct, NOT a state
+                          count — wall-clock overhead pairs are reported
+                          for context but never gated (CI machines are
+                          too noisy).
+
+Additionally, sym rows in the fresh run are validated on their own
+terms: every row's outcomes_equal must be true (the reduction may never
+change the outcome set), and each benchmarked program must show at least
+one machine at >= --sym-floor percent state reduction.
 
 Every failure mode names the offending (name, machine) pair; a malformed
 entry is an exit-2 diagnostic, never a KeyError traceback.
 
 Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.10]
-                     [--allow-new]
+                     [--allow-new] [--sym-floor 30]
 Exit 0 on pass, 1 on regression or unexplained entry churn, 2 on
 unusable input.
 """
@@ -27,7 +41,21 @@ import json
 import sys
 
 
-REQUIRED_FIELDS = ("name", "machine", "domains", "states_expanded")
+# Fields every entry must carry, then per-kind obligations on top.
+COMMON_FIELDS = ("name", "machine", "domains")
+KIND_FIELDS = {
+    "explore": ("states_expanded",),
+    "cache": ("states_expanded",),
+    "sym": ("states_expanded", "states_nosym", "reduction_pct",
+            "outcomes_equal"),
+    "overhead": ("payload", "overhead_pct"),
+}
+# Kinds whose states_expanded is deterministic and therefore gated.
+GATED_KINDS = ("explore", "cache", "sym")
+
+
+def entry_kind(e):
+    return e.get("kind", "explore")
 
 
 def load_entries(path):
@@ -47,18 +75,25 @@ def load_entries(path):
             print(f"bench gate: {path}: entry #{i} is not an object",
                   file=sys.stderr)
             sys.exit(2)
-        missing = [f for f in REQUIRED_FIELDS if f not in e]
+        kind = entry_kind(e)
+        if kind not in KIND_FIELDS:
+            print(f"bench gate: {path}: entry #{i} has unknown kind "
+                  f"{kind!r}", file=sys.stderr)
+            sys.exit(2)
+        required = COMMON_FIELDS + KIND_FIELDS[kind]
+        missing = [f for f in required if f not in e]
         if missing:
             ident = f"{e.get('name', '?')}/{e.get('machine', '?')}"
-            print(f"bench gate: {path}: entry #{i} ({ident}) lacks "
-                  f"field(s): {', '.join(missing)}", file=sys.stderr)
+            print(f"bench gate: {path}: entry #{i} ({ident}, kind {kind}) "
+                  f"lacks field(s): {', '.join(missing)}", file=sys.stderr)
             sys.exit(2)
-        if not isinstance(e["states_expanded"], int):
+        count_field = "payload" if kind == "overhead" else "states_expanded"
+        if not isinstance(e[count_field], int):
             print(f"bench gate: {path}: entry #{i} "
-                  f"({e['name']}/{e['machine']}): states_expanded is not "
+                  f"({e['name']}/{e['machine']}): {count_field} is not "
                   f"an integer", file=sys.stderr)
             sys.exit(2)
-        key = (e["name"], e["machine"], e["domains"])
+        key = (kind, e["name"], e["machine"], e["domains"])
         if key in entries:
             print(f"bench gate: duplicate entry {key} in {path}",
                   file=sys.stderr)
@@ -68,6 +103,39 @@ def load_entries(path):
         print(f"bench gate: {path} has no entries", file=sys.stderr)
         sys.exit(2)
     return entries
+
+
+def check_sym_rows(new, floor, failures):
+    """Fresh-run obligations on the symmetry differential rows."""
+    rows = [e for key, e in new.items() if key[0] == "sym"]
+    if not rows:
+        failures.append(
+            "no sym entries in the fresh run: the symmetry differential "
+            "must be benchmarked (did `bench json` lose json_sym_entries?)")
+        return
+    best = {}
+    for e in rows:
+        label = f"sym {e['name']}/{e['machine']}"
+        if e["outcomes_equal"] is not True:
+            failures.append(
+                f"{label}: outcomes_equal is {e['outcomes_equal']!r} — "
+                f"symmetry reduction changed the outcome set (soundness "
+                f"bug, do not ship)")
+        pct = e["reduction_pct"]
+        if not isinstance(pct, (int, float)):
+            failures.append(f"{label}: reduction_pct is not a number")
+            continue
+        prev = best.get(e["name"])
+        if prev is None or pct > prev:
+            best[e["name"]] = pct
+    for name, pct in sorted(best.items()):
+        if pct < floor:
+            failures.append(
+                f"sym {name}: best reduction across machines is "
+                f"{pct:.1f}%, below the {floor:.0f}% floor")
+        else:
+            print(f"bench gate: sym {name}: best reduction {pct:.1f}% "
+                  f"(floor {floor:.0f}%)")
 
 
 def main():
@@ -80,6 +148,10 @@ def main():
     ap.add_argument("--allow-new", action="store_true",
                     help="tolerate fresh entries absent from the baseline "
                          "(for the commit that introduces them)")
+    ap.add_argument("--sym-floor", type=float, default=30.0,
+                    help="minimum best-machine state reduction percent "
+                         "each sym-benchmarked program must reach "
+                         "(default 30)")
     args = ap.parse_args()
 
     old = load_entries(args.baseline)
@@ -87,12 +159,14 @@ def main():
 
     failures = []
     for key in sorted(old):
-        name, machine, domains = key
+        kind, name, machine, domains = key
         label = f"{name}/{machine} d={domains}"
         if key not in new:
             failures.append(
                 f"{label}: baseline entry vanished from the fresh run "
                 f"(renamed or dropped benchmark? refresh the baseline)")
+            continue
+        if kind not in GATED_KINDS:
             continue
         o, n = old[key]["states_expanded"], new[key]["states_expanded"]
         limit = o * (1.0 + args.tolerance)
@@ -106,7 +180,7 @@ def main():
 
     added = sorted(set(new) - set(old))
     if added:
-        names = ", ".join(f"{n}/{m} d={d}" for n, m, d in added)
+        names = ", ".join(f"{n}/{m} d={d}" for _, n, m, d in added)
         if args.allow_new:
             print(f"bench gate: note: new entries not in baseline "
                   f"(allowed): {names}")
@@ -114,6 +188,8 @@ def main():
             failures.append(
                 f"entries not in baseline: {names} (refresh the committed "
                 f"baseline, or pass --allow-new for the introducing commit)")
+
+    check_sym_rows(new, args.sym_floor, failures)
 
     if failures:
         print(f"bench gate: {len(failures)} failure(s):", file=sys.stderr)

@@ -19,5 +19,6 @@ let () =
       Test_delay.suite;
       Test_core.suite;
       Test_resilience.suite;
+      Test_sym.suite;
       Test_service.suite;
     ]

@@ -70,6 +70,68 @@ if ! cmp -s "$tmp/baseline.out" "$tmp/resumed.out"; then
   fails=$((fails + 1))
 fi
 
+# --- SIGKILL mid-spill -------------------------------------------------------
+# The same round trip under a memory budget tight enough that the visited
+# set spills to disk: the kill lands while immutable run files exist, and
+# the resumed run must re-open exactly those runs and finish with the
+# verbose report — including spill statistics — byte-identical to an
+# uninterrupted spilling run.
+MEM=2000000
+spill_base="$tmp/spill-base"; mkdir -p "$spill_base"
+spill="$tmp/spill"; mkdir -p "$spill"
+
+run_verify -v --mem-budget "$MEM" --spill-dir "$spill_base" \
+  > "$tmp/spill-baseline.out" 2>/dev/null
+spill_base_code=$?
+
+if ! grep -q "spilled-runs=" "$tmp/spill-baseline.out"; then
+  echo "FAIL: spilling baseline wrote no runs (budget too generous?)" >&2
+  fails=$((fails + 1))
+fi
+if grep -q "degraded-at=" "$tmp/spill-baseline.out"; then
+  echo "FAIL: spilling baseline degraded — spill should prevent that" >&2
+  fails=$((fails + 1))
+fi
+
+run_verify -v --mem-budget "$MEM" --spill-dir "$spill" \
+  --checkpoint "$tmp/ck-spill.snap" --checkpoint-every 200 \
+  > /dev/null 2>&1 &
+pid=$!
+# Kill only once at least one run file has been spilled and a checkpoint
+# exists: the kill lands mid-spill, the worst moment for the store.
+for _ in $(seq 1 600); do
+  if ls "$spill"/run-*.spill >/dev/null 2>&1 && [ -s "$tmp/ck-spill.snap" ]; then
+    break
+  fi
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.05
+done
+if ! kill -0 "$pid" 2>/dev/null; then
+  echo "note: spilling verify finished before SIGKILL; resuming from the final checkpoint" >&2
+else
+  kill -9 "$pid" 2>/dev/null
+fi
+wait "$pid" 2>/dev/null
+
+if [ ! -s "$tmp/ck-spill.snap" ]; then
+  echo "FAIL: no checkpoint on disk after the mid-spill kill" >&2
+  exit 1
+fi
+
+run_verify -v --mem-budget "$MEM" --spill-dir "$spill" \
+  --resume "$tmp/ck-spill.snap" > "$tmp/spill-resumed.out" 2>/dev/null
+spill_resumed_code=$?
+
+if [ "$spill_resumed_code" -ne "$spill_base_code" ]; then
+  echo "FAIL: spill-resumed exit $spill_resumed_code, uninterrupted exit $spill_base_code" >&2
+  fails=$((fails + 1))
+fi
+if ! cmp -s "$tmp/spill-baseline.out" "$tmp/spill-resumed.out"; then
+  echo "FAIL: spill-resumed report differs from the uninterrupted run:" >&2
+  diff "$tmp/spill-baseline.out" "$tmp/spill-resumed.out" >&2
+  fails=$((fails + 1))
+fi
+
 if [ "$fails" -ne 0 ]; then
   # Keep the checkpoint around for the CI artifact upload.
   if [ -n "${RESILIENCE_ARTIFACT_DIR:-}" ]; then

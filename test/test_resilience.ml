@@ -181,8 +181,8 @@ let test_budget () =
 
 (* --- explore: checkpoint / resume ------------------------------------------- *)
 
-let explore_with ?fuel ?domains ?adaptive ?reduce ?budget ?resume
-    ?(every = 50) ?on_snap m prog =
+let explore_with ?fuel ?domains ?adaptive ?reduce ?(sym = true) ?spill_dir
+    ?budget ?resume ?(every = 50) ?on_snap m prog =
   let last = ref None in
   let rcfg =
     {
@@ -195,6 +195,8 @@ let explore_with ?fuel ?domains ?adaptive ?reduce ?budget ?resume
             last := Some bytes;
             match on_snap with Some f -> f bytes | None -> ());
       resume;
+      sym;
+      spill_dir;
     }
   in
   let r = Machines.explore ?domains ?adaptive ?reduce ?fuel ~rcfg m prog in
@@ -292,7 +294,10 @@ let test_degraded_never_complete_never_wrong () =
         (fun prog ->
           let exact = Machines.explore m prog in
           let exact_set = Explore.bounded_value exact.Explore.result in
-          let degraded, _ = explore_with ~budget:tiny_mem m prog in
+          (* [~sym:false]: symmetry can finish a tiny symmetric program
+             in a handful of states, under the degradation bar this test
+             exists to cross. *)
+          let degraded, _ = explore_with ~sym:false ~budget:tiny_mem m prog in
           (* Soundness by construction: degraded coverage must never be
              reported complete... *)
           check
@@ -348,6 +353,145 @@ let test_degraded_snapshot_resumes_sequentially () =
   match explore_with ~resume:snap ~domains:4 ~adaptive:false m prog with
   | exception Explore.Resume_rejected _ -> ()
   | _ -> Alcotest.fail "parallel engine accepted a degraded snapshot"
+
+(* --- spill store: spill instead of degrading --------------------------------- *)
+
+let tmp_dir () =
+  let d = Filename.temp_file "weakord_spill" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let test_spill_store_unit () =
+  let dir = tmp_dir () in
+  let key i = Marshal.to_string (i, "spill-key") [ Marshal.No_sharing ] in
+  let t = Spill_store.create ~dir ~threshold:16 in
+  for i = 0 to 99 do
+    check (Printf.sprintf "key %d fresh" i) true (Spill_store.add t (key i))
+  done;
+  for i = 0 to 99 do
+    check "re-add seen" false (Spill_store.add t (key i));
+    check "mem" true (Spill_store.mem t (key i))
+  done;
+  check "absent key" false (Spill_store.mem t (key 1000));
+  check_int "total" 100 (Spill_store.total t);
+  let st = Spill_store.stats t in
+  check "runs written" true (st.Spill_store.st_runs > 0);
+  check "keys spilled" true (st.Spill_store.st_spilled_keys > 0);
+  check "hot tier capped" true (Spill_store.hot_size t <= 16);
+  Spill_store.flush t;
+  let image = Spill_store.export t in
+  Spill_store.close t;
+  (* Import rebuilds the same membership from the immutable runs. *)
+  let t' = Spill_store.import ~dir ~threshold:16 image in
+  for i = 0 to 99 do
+    check "imported mem" true (Spill_store.mem t' (key i))
+  done;
+  check_int "imported total" 100 (Spill_store.total t');
+  Spill_store.close t';
+  (* A bit flip in any run file is a loud [Corrupt], not wrong answers. *)
+  let run =
+    List.find
+      (fun f -> Filename.check_suffix f ".spill")
+      (Array.to_list (Sys.readdir dir))
+  in
+  let path = Filename.concat dir run in
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string content in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> output_bytes oc b);
+  (match Spill_store.import ~dir ~threshold:16 image with
+  | exception Spill_store.Corrupt _ -> ()
+  | t ->
+      Spill_store.close t;
+      Alcotest.fail "corrupted run file accepted");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_spill_stays_complete () =
+  (* The same memory pressure that degrades the Bloom path to [Partial]
+     spills to disk and stays [Complete] — same outcomes as the exact
+     sweep, nonzero run files, no degradation event. *)
+  List.iter
+    (fun (mname, tname) ->
+      let m = Option.get (Machines.find mname) in
+      let prog = prog_of tname in
+      let exact = Machines.outcomes m prog in
+      let dir = tmp_dir () in
+      let r, _ =
+        explore_with ~sym:false ~spill_dir:dir
+          ~budget:(Budget.create ~mem_bytes:512 ())
+          m prog
+      in
+      check
+        (Printf.sprintf "%s/%s spilling run is Complete" mname tname)
+        true
+        (Explore.is_complete r.Explore.result);
+      check
+        (Printf.sprintf "%s/%s no degradation" mname tname)
+        true
+        (r.Explore.stats.Explore.degraded_at = None);
+      check
+        (Printf.sprintf "%s/%s runs spilled" mname tname)
+        true
+        (r.Explore.stats.Explore.spilled_runs > 0);
+      check
+        (Printf.sprintf "%s/%s keys on disk" mname tname)
+        true
+        (r.Explore.stats.Explore.spilled_keys > 0);
+      check
+        (Printf.sprintf "%s/%s outcomes == exact" mname tname)
+        true
+        (set_eq (Explore.bounded_value r.Explore.result) exact);
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    [ ("def2", "iriw"); ("wbuf", "dekker") ]
+
+let test_spill_snapshot_resume () =
+  let m = Machines.def2 and prog = prog_of "iriw" in
+  let full = Machines.outcomes m prog in
+  let budget () = Budget.create ~mem_bytes:512 () in
+  let dir = tmp_dir () in
+  let uninterrupted, _ =
+    explore_with ~sym:false ~spill_dir:dir ~budget:(budget ()) m prog
+  in
+  let total_states =
+    uninterrupted.Explore.stats.Explore.states_expanded
+  in
+  (* Stop a spilling sweep mid-way; the snapshot names the immutable runs
+     and the resume re-opens exactly them. *)
+  let dir2 = tmp_dir () in
+  let stopped, snap =
+    explore_with ~sym:false ~spill_dir:dir2 ~budget:(budget ())
+      ~fuel:(max 1 (total_states / 2))
+      m prog
+  in
+  check "spilling run stops on fuel" true
+    (stopped.Explore.stop = Some Explore.Fuel_exhausted);
+  let snap = Option.get snap in
+  let resumed, _ =
+    explore_with ~sym:false ~spill_dir:dir2 ~budget:(budget ()) ~resume:snap
+      m prog
+  in
+  check "spill resume completes" true
+    (Explore.is_complete resumed.Explore.result);
+  check "spill resume outcomes == uninterrupted" true
+    (set_eq (Explore.bounded_value resumed.Explore.result) full);
+  check_int "spill resume total states == uninterrupted" total_states
+    resumed.Explore.stats.Explore.states_expanded;
+  (* The snapshot is useless without its store: rejected, never silently
+     re-explored with partial memory. *)
+  (match explore_with ~sym:false ~resume:snap m prog with
+  | exception Explore.Resume_rejected _ -> ()
+  | _ -> Alcotest.fail "spill snapshot resumed without its spill dir");
+  List.iter
+    (fun d ->
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Unix.rmdir d)
+    [ dir; dir2 ]
 
 (* --- explore: snapshot/resume with reduction enabled ------------------------- *)
 
@@ -582,6 +726,11 @@ let suite =
         test_degraded_never_complete_never_wrong;
       Alcotest.test_case "degraded snapshot resumes sequentially" `Quick
         test_degraded_snapshot_resumes_sequentially;
+      Alcotest.test_case "spill store unit" `Quick test_spill_store_unit;
+      Alcotest.test_case "spill stays Complete under memory pressure" `Quick
+        test_spill_stays_complete;
+      Alcotest.test_case "spill snapshot resume" `Quick
+        test_spill_snapshot_resume;
       Alcotest.test_case "reduced snapshot resume" `Quick
         test_reduced_snapshot_resume;
       Alcotest.test_case "parallel stop and resume" `Quick

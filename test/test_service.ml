@@ -87,6 +87,8 @@ let sample_verdict =
     v_violation = false;
     v_states = 42;
     v_complete = true;
+    v_degraded = None;
+    v_spilled_runs = 0;
   }
 
 let test_cache_roundtrip () =
