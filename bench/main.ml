@@ -91,7 +91,10 @@ let run_bechamel () =
                reduction off and on, plus the outcome-set equality check
      overhead  an instrumented-vs-idle pair: wall time, the payload the
                run processed, and the on-row's overhead percentage
-     cache     batch verdict-cache traffic *)
+     cache     batch verdict-cache traffic
+     service   the differential fuzzer behind weakord fuzz/serve:
+               programs, oracle checks, disagreements (gated to zero)
+               and the states/s throughput headline *)
 type json_entry = {
   e_kind : string;
   e_name : string;
@@ -116,6 +119,9 @@ type json_entry = {
   e_cache_hits : int;
   e_cache_misses : int;
       (* verdict-cache traffic (0 outside the batch-cache entries) *)
+  e_programs : int;  (* service rows: seeds checked *)
+  e_checks : int;  (* service rows: oracle comparisons *)
+  e_disagreements : int;  (* service rows: must be 0 (gated) *)
 }
 
 let entry_default =
@@ -138,6 +144,9 @@ let entry_default =
     e_overhead_pct = None;
     e_cache_hits = 0;
     e_cache_misses = 0;
+    e_programs = 0;
+    e_checks = 0;
+    e_disagreements = 0;
   }
 
 let per_sec states ms = if ms <= 0. then 0 else
@@ -353,6 +362,39 @@ let json_batch_entries () =
   (try Sys.remove path with Sys_error _ -> ());
   [ cold; warm ]
 
+(* Differential-fuzzer throughput: the oracle pipeline behind
+   [weakord fuzz] (and the per-job pipeline [weakord serve] multiplexes)
+   over a fixed seed range, with and without the simulator leg.  The
+   state count is deterministic per (range, flags) so the gate treats it
+   like any exploration row, and the disagreement count rides along so a
+   soundness break in any engine fails the bench gate, not just the
+   (slower) nightly fuzz campaign. *)
+let json_service_entries () =
+  let row label sim lo hi =
+    let cfg = { Fuzz.default_cfg with Fuzz.sim; sim_limit = 100_000 } in
+    let s, ms = wall (fun () -> Fuzz.run cfg ~lo ~hi) in
+    Fmt.pr
+      "fuzz oracle (%s) over seeds %d..%d: %d checks, %d disagreements, %.1f \
+       ms, %d states/s@."
+      label lo hi s.Fuzz.checks
+      (List.length s.Fuzz.disagreements)
+      ms
+      (per_sec s.Fuzz.states_total ms);
+    {
+      entry_default with
+      e_kind = "service";
+      e_name = "fuzz-oracle";
+      e_machine = label;
+      e_wall_ms = ms;
+      e_states = s.Fuzz.states_total;
+      e_states_per_sec = per_sec s.Fuzz.states_total ms;
+      e_programs = s.Fuzz.programs;
+      e_checks = s.Fuzz.checks;
+      e_disagreements = List.length s.Fuzz.disagreements;
+    }
+  in
+  [ row "oracle-sim" true 0 19; row "oracle-nosim" false 0 49 ]
+
 (* Symmetry-reduction differential: the same sweep with the orbit
    reduction off and on.  Two numbers matter per row: the state-count
    reduction (the point of the feature) and the outcome-set equality
@@ -426,7 +468,7 @@ let run_json ?out () =
       [ Machines.def2; Machines.wbuf; Machines.ooo ]
     @ json_sc_entries "big3" prog @ json_sym_entries ()
     @ json_trace_entries () @ json_checkpoint_entries ()
-    @ json_batch_entries ()
+    @ json_batch_entries () @ json_service_entries ()
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -467,6 +509,12 @@ let run_json ?out () =
           common e.e_states e.e_states_nosym e.e_reduction_pct e.e_sym_group
           e.e_sym_hits e.e_outcomes
           (if e.e_outcomes_equal then "true" else "false")
+          e.e_states_per_sec
+    | "service" ->
+        Printf.sprintf
+          "{%s, \"states_expanded\": %d, \"programs\": %d, \"checks\": %d, \
+           \"disagreements\": %d, \"states_per_sec\": %d}"
+          common e.e_states e.e_programs e.e_checks e.e_disagreements
           e.e_states_per_sec
     | "cache" ->
         Printf.sprintf

@@ -14,6 +14,13 @@
    - batch:  the supervised batch verification service — a job file
              fanned out across forked workers with timeouts, retry,
              quarantine, a persistent verdict cache and drain/resume
+   - serve:  the batch machinery as a long-lived daemon — many clients
+             over a Unix-domain socket, per-client fair scheduling, one
+             shared verdict cache (protocol: docs/PROTOCOL.md)
+   - client: stdin-driven protocol client for a running daemon
+   - fuzz:   generated corpus through the three-way differential oracle
+             (machines vs axiomatic models vs simulator), disagreements
+             quarantined with seed-exact repro recipes
    - list:   what is available
 
    Exit codes: 0 success; 1 a check ran and failed (race, counterexample,
@@ -1038,7 +1045,9 @@ let gen_cmd =
   in
   let doc =
     "emit the litmus source for a generator seed (deterministic: the same \
-     seed and flags always reproduce the same program)"
+     seed and flags always reproduce the same program — the $(b,seed) and \
+     $(b,gen) fields in batch/serve JSONL records and in fuzz quarantine \
+     reports name exactly this invocation)"
   in
   Cmd.v
     (Cmd.info "gen" ~doc)
@@ -1067,7 +1076,11 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:
             "Append results as JSONL to $(docv) (default: stdout). One \
-             object per job, in completion order; volatile fields \
+             object per job, in completion order, carrying the engine \
+             telemetry ($(b,states), $(b,complete), $(b,degraded) — where \
+             the visited set fell back to a Bloom filter under \
+             $(b,--mem-budget), or $(b,null) — and $(b,spilled_runs), \
+             disk-spill sweeps under $(b,--spill-dir)); volatile fields \
              ($(b,cached), $(b,attempts), $(b,ms)) come last so runs can \
              be compared after stripping them.")
   in
@@ -1136,7 +1149,10 @@ let batch_cmd =
     Arg.(
       value & flag
       & info [ "v"; "verbose" ]
-          ~doc:"Log per-attempt worker lifecycle events (pids, retries).")
+          ~doc:
+            "Log per-attempt worker lifecycle events: pids, retries, \
+             exact-key cache hits and symmetry-key dedups (the \
+             $(b,sym_dedup) counter in the closing summary).")
   in
   let action jobfile out workers timeout retries backoff cache_path model_name
       machine deadline checkpoint resume fuel verbose spill_dir mem_budget =
@@ -1224,6 +1240,473 @@ let batch_cmd =
       $ deadline_flag $ checkpoint_flag $ resume_flag $ fuel_flag
       $ verbose_flag $ spill_dir_flag $ mem_budget_flag)
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Append every finished ticket as JSONL to $(docv) — the same \
+             record schema as $(b,weakord batch) (including the \
+             $(b,degraded) and $(b,spilled_runs) telemetry fields), with \
+             ticket numbers as job ids.")
+  in
+  let workers_flag =
+    Arg.(
+      value & opt int Daemon.default_cfg.Daemon.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Forked worker processes to keep in flight across all clients.")
+  in
+  let timeout_flag =
+    Arg.(
+      value & opt float Daemon.default_cfg.Daemon.timeout_s
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-job wall clock; a worker past it is SIGKILLed and the \
+             attempt counts as failed.")
+  in
+  let retries_flag =
+    Arg.(
+      value & opt int Daemon.default_cfg.Daemon.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Attempts per job before quarantine.")
+  in
+  let backoff_flag =
+    Arg.(
+      value & opt int Daemon.default_cfg.Daemon.backoff_ms
+      & info [ "backoff" ] ~docv:"MS" ~doc:"Base retry backoff.")
+  in
+  let cache_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Persistent verdict cache shared by every client (exact key \
+             plus the orbit-canonical symmetry key) — the daemon's whole \
+             point: verdicts amortize across clients and restarts.")
+  in
+  let model_flag =
+    Arg.(
+      value & opt string "drf0"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Synchronization model (drf0|drf1|all|none).")
+  in
+  let machine_flag =
+    Arg.(
+      value & opt string "def2"
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:"Default machine for SUBMIT lines that name none.")
+  in
+  let fuel_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Per-job state-expansion bound forwarded to the workers.")
+  in
+  let max_clients_flag =
+    Arg.(
+      value & opt int Daemon.default_cfg.Daemon.max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent connections before new ones are refused (503).")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Log connections and per-attempt worker lifecycle events \
+             (pids, retries, cache/sym-dedup hits).")
+  in
+  let action socket out workers timeout retries backoff cache_path model_name
+      machine checkpoint resume fuel spill_dir mem_budget max_clients verbose =
+    let model =
+      match Worker.model_of_string model_name with
+      | Some m -> m
+      | None ->
+          Fmt.epr "weakord: unknown model %S (drf0|drf1|all|none)@." model_name;
+          exit 2
+    in
+    (match Machines.find machine with
+    | Some _ -> ()
+    | None ->
+        Fmt.epr "weakord: unknown machine %S@." machine;
+        exit 2);
+    let cache =
+      match cache_path with
+      | None -> Verdict_cache.in_memory ()
+      | Some p -> Verdict_cache.open_file p
+    in
+    let cfg =
+      {
+        Daemon.socket;
+        out;
+        workers;
+        timeout_s = timeout;
+        retries;
+        backoff_ms = backoff;
+        cache;
+        checkpoint;
+        resume;
+        model;
+        machine;
+        fuel;
+        spill_dir;
+        mem_budget;
+        max_clients;
+        log = (fun m -> Fmt.epr "weakord: %s@." m);
+        verbose;
+      }
+    in
+    match Daemon.run cfg with
+    | exception Daemon.Startup_error msg ->
+        Verdict_cache.close cache;
+        Fmt.epr "weakord: %s@." msg;
+        exit 2
+    | summary ->
+        Verdict_cache.close cache;
+        Fmt.epr "%a@." Daemon.pp_summary summary;
+        if summary.Daemon.suspended then
+          Fmt.epr "weakord: daemon drained with %d job(s) pending%s@."
+            summary.Daemon.pending
+            (match checkpoint with
+            | Some p -> "; resume point written to " ^ p
+            | None -> " (no --checkpoint: progress was discarded)");
+        exit (Daemon.exit_code summary)
+  in
+  let doc =
+    "serve verification jobs to many concurrent clients over a Unix-domain \
+     socket (wire protocol in docs/PROTOCOL.md; per-client fair \
+     scheduling, one shared verdict cache, SIGTERM drain + checkpoint + \
+     resume like batch)"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const action $ socket_arg $ out_flag $ workers_flag $ timeout_flag
+      $ retries_flag $ backoff_flag $ cache_flag $ model_flag $ machine_flag
+      $ checkpoint_flag $ resume_flag $ fuel_flag $ spill_dir_flag
+      $ mem_budget_flag $ max_clients_flag $ verbose_flag)
+
+(* --- client ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let timeout_flag =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Give up waiting for a response after $(docv).")
+  in
+  let no_hello_flag =
+    Arg.(
+      value & flag
+      & info [ "no-hello" ]
+          ~doc:
+            "Skip the HELLO handshake (for exercising the server's \
+             handshake enforcement; normal requests will be refused with \
+             ERR 401).")
+  in
+  let action socket timeout no_hello =
+    let fd =
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | fd -> (
+          match Unix.connect fd (Unix.ADDR_UNIX socket) with
+          | () -> fd
+          | exception Unix.Unix_error (e, _, _) ->
+              Fmt.epr "weakord: cannot connect to %s: %s@." socket
+                (Unix.error_message e);
+              exit 2)
+      | exception Unix.Unix_error (e, _, _) ->
+          Fmt.epr "weakord: socket: %s@." (Unix.error_message e);
+          exit 2
+    in
+    let dec = Wire.decoder () in
+    let buf = Bytes.create 4096 in
+    (* A drain can close the socket under us between requests; report
+       that as a closed connection, not a crash — and as success when
+       we were only saying BYE anyway. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let closing = ref false in
+    let closed_by_server () =
+      if !closing then exit 0
+      else begin
+        Fmt.epr "weakord: server closed the connection@.";
+        exit 1
+      end
+    in
+    (* Lockstep: one request on the wire at a time, so responses cannot
+       interleave (RESULT WAIT simply blocks here until the job is
+       done). *)
+    let recv () =
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec go () =
+        match Wire.next dec with
+        | Ok (Some payload) -> payload
+        | Error e ->
+            Fmt.epr "weakord: protocol error: %s@." e;
+            exit 1
+        | Ok None -> (
+            if Unix.gettimeofday () > deadline then begin
+              Fmt.epr "weakord: timed out waiting for a response@.";
+              exit 1
+            end;
+            match Unix.select [ fd ] [] [] 0.25 with
+            | [], _, _ -> go ()
+            | _ -> (
+                match Unix.read fd buf 0 4096 with
+                | 0 -> closed_by_server ()
+                | n ->
+                    Wire.feed dec (Bytes.sub_string buf 0 n);
+                    go ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+                | exception
+                    Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                    closed_by_server ()))
+      in
+      go ()
+    in
+    let send payload =
+      let s = Wire.frame payload in
+      match Unix.write_substring fd s 0 (String.length s) with
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          closed_by_server ()
+    in
+    let roundtrip payload =
+      send payload;
+      let resp = recv () in
+      print_endline resp;
+      flush Stdlib.stdout;
+      resp
+    in
+    if not no_hello then begin
+      let hello = roundtrip ("HELLO " ^ Wire.greeting) in
+      if not (String.length hello >= 2 && String.sub hello 0 2 = "OK")
+      then begin
+        Fmt.epr "weakord: handshake refused@.";
+        exit 1
+      end
+    end;
+    let rec loop () =
+      match In_channel.input_line In_channel.stdin with
+      | None ->
+          closing := true;
+          ignore (roundtrip "BYE")
+      | Some line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then loop ()
+          else begin
+            if String.uppercase_ascii line = "BYE" then closing := true;
+            ignore (roundtrip line);
+            if !closing then () else loop ()
+          end
+    in
+    loop ();
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit 0
+  in
+  let doc =
+    "drive a running weakord daemon from stdin: each input line is sent \
+     as one protocol request (SUBMIT/STATUS/RESULT/CANCEL/STATS/DRAIN/ \
+     PING/BYE) and each response is printed to stdout — the HELLO \
+     handshake and length-prefixed framing are handled for you"
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(const action $ socket_arg $ timeout_flag $ no_hello_flag)
+
+(* --- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seeds_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seeds" ] ~docv:"LO..HI"
+          ~doc:"Inclusive seed range to check (e.g. $(b,0..9999)).")
+  in
+  let count_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Shorthand for $(b,--seeds) $(i,0..N-1).")
+  in
+  let threads_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.max_threads
+      & info [ "threads" ] ~docv:"N" ~doc:"Maximum threads per program.")
+  in
+  let instrs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.max_instrs
+      & info [ "instrs" ] ~docv:"N" ~doc:"Maximum instructions per thread.")
+  in
+  let locs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.num_locs
+      & info [ "locs" ] ~docv:"N" ~doc:"Data locations.")
+  in
+  let sync_locs_flag =
+    Arg.(
+      value
+      & opt int Litmus_gen.default_config.Litmus_gen.num_sync_locs
+      & info [ "sync-locs" ] ~docv:"N" ~doc:"Synchronization locations.")
+  in
+  let no_rmw_flag =
+    Arg.(value & flag & info [ "no-rmw" ] ~doc:"No read-modify-writes.")
+  in
+  let no_await_flag =
+    Arg.(value & flag & info [ "no-await" ] ~doc:"No await spins.")
+  in
+  let machines_flag =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:
+            "Operational machine(s) to sweep (repeatable; default: all of \
+             them).")
+  in
+  let no_sim_flag =
+    Arg.(
+      value & flag
+      & info [ "no-sim" ] ~doc:"Skip the timing-simulator oracle leg.")
+  in
+  let sim_limit_flag =
+    Arg.(
+      value & opt int Fuzz.default_cfg.Fuzz.sim_limit
+      & info [ "sim-limit" ] ~docv:"N"
+          ~doc:"Simulator event budget per run (wedge = livelock past it).")
+  in
+  let quarantine_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:
+            "Write each disagreement's program source and report (with the \
+             seed-exact repro recipe) into $(docv).")
+  in
+  let progress_flag =
+    Arg.(
+      value & opt int 0
+      & info [ "progress" ] ~docv:"N"
+          ~doc:"Log a progress line every $(docv) programs.")
+  in
+  let action seeds count threads instrs locs sync_locs no_rmw no_await
+      machine_names no_sim sim_limit quarantine deadline progress =
+    let lo, hi =
+      match (seeds, count) with
+      | Some _, Some _ ->
+          Fmt.epr "weakord: --seeds and --count are mutually exclusive@.";
+          exit 2
+      | None, Some n when n > 0 -> (0, n - 1)
+      | None, Some _ ->
+          Fmt.epr "weakord: --count must be positive@.";
+          exit 2
+      | Some s, None -> (
+          match String.index_opt s '.' with
+          | Some i
+            when i + 1 < String.length s
+                 && s.[i + 1] = '.'
+                 && i > 0 ->
+              let parse what v =
+                match int_of_string_opt v with
+                | Some n -> n
+                | None ->
+                    Fmt.epr "weakord: --seeds: bad %s %S@." what v;
+                    exit 2
+              in
+              let lo = parse "low bound" (String.sub s 0 i) in
+              let hi =
+                parse "high bound"
+                  (String.sub s (i + 2) (String.length s - i - 2))
+              in
+              if lo > hi then begin
+                Fmt.epr "weakord: --seeds: empty range %s@." s;
+                exit 2
+              end;
+              (lo, hi)
+          | _ ->
+              Fmt.epr "weakord: --seeds expects LO..HI, got %S@." s;
+              exit 2)
+      | None, None ->
+          Fmt.epr "weakord: need --seeds LO..HI or --count N@.";
+          exit 2
+    in
+    let machines =
+      match machine_names with
+      | [] -> Machines.all
+      | names ->
+          List.map
+            (fun n ->
+              match Machines.find n with
+              | Some m -> m
+              | None ->
+                  Fmt.epr "weakord: unknown machine %S@." n;
+                  exit 2)
+            names
+    in
+    let cfg =
+      {
+        Fuzz.config =
+          {
+            Litmus_gen.max_threads = threads;
+            max_instrs = instrs;
+            num_locs = locs;
+            num_sync_locs = sync_locs;
+            allow_rmw = not no_rmw;
+            allow_await = not no_await;
+          };
+        machines;
+        sim = not no_sim;
+        sim_limit;
+        quarantine;
+        deadline_s = deadline;
+        progress;
+        log = (fun m -> Fmt.epr "weakord: %s@." m);
+      }
+    in
+    let summary = Fuzz.run cfg ~lo ~hi in
+    Fmt.epr "%a@." Fuzz.pp_summary summary;
+    List.iter
+      (fun d ->
+        Fmt.pr "DISAGREEMENT seed=%d check=%s%s@." d.Fuzz.d_seed
+          d.Fuzz.d_check
+          (match d.Fuzz.d_quarantined with
+          | Some p -> " report=" ^ p
+          | None -> ""))
+      summary.Fuzz.disagreements;
+    exit (Fuzz.exit_code summary)
+  in
+  let doc =
+    "stream a generated corpus through the three-way differential oracle \
+     (operational machines vs axiomatic models vs timing simulator) and \
+     quarantine any disagreement with a seed-exact repro recipe"
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const action $ seeds_flag $ count_flag $ threads_flag $ instrs_flag
+      $ locs_flag $ sync_locs_flag $ no_rmw_flag $ no_await_flag
+      $ machines_flag $ no_sim_flag $ sim_limit_flag $ quarantine_flag
+      $ deadline_flag $ progress_flag)
+
 (* --- list ------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -1266,5 +1749,8 @@ let () =
             fences_cmd;
             gen_cmd;
             batch_cmd;
+            serve_cmd;
+            client_cmd;
+            fuzz_cmd;
             list_cmd;
           ]))

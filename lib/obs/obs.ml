@@ -190,6 +190,26 @@ module Hist = struct
       (buckets t)
 end
 
+module Gauge = struct
+  type t = { mutable cur : int; mutable gmax : int; mutable sum : int; mutable n : int }
+
+  let create () = { cur = 0; gmax = 0; sum = 0; n = 0 }
+
+  let set t v =
+    let v = if v < 0 then 0 else v in
+    t.cur <- v;
+    if v > t.gmax then t.gmax <- v;
+    t.sum <- t.sum + v;
+    t.n <- t.n + 1
+
+  let incr t = set t (t.cur + 1)
+  let decr t = set t (t.cur - 1)
+  let current t = t.cur
+  let max_level t = t.gmax
+  let samples t = t.n
+  let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+end
+
 (* --- Chrome trace_event export ----------------------------------------------- *)
 
 module Chrome = struct

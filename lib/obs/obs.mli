@@ -167,6 +167,46 @@ module Hist : sig
   (** One line: count, mean, max and the nonempty buckets. *)
 end
 
+(** {1 Gauges} *)
+
+(** Level gauges for quantities that rise and fall — queue depth,
+    in-flight workers, connected clients.  Unlike {!Hist}, which
+    records a stream of independent measurements, a gauge tracks the
+    {e current} level and summarizes its history: every {!Gauge.set}
+    is one observation folded into the running mean and maximum.
+    Used by the service daemon to report queue-depth and concurrency
+    statistics in [STATS] responses. *)
+module Gauge : sig
+  type t
+  (** A mutable gauge. *)
+
+  val create : unit -> t
+  (** A gauge at level [0] with no observations. *)
+
+  val set : t -> int -> unit
+  (** [set g v] moves the gauge to level [v] (clamped at [0]) and
+      records the observation. *)
+
+  val incr : t -> unit
+  (** [incr g] is [set g (current g + 1)]. *)
+
+  val decr : t -> unit
+  (** [decr g] is [set g (current g - 1)]; the level never goes below
+      [0]. *)
+
+  val current : t -> int
+  (** The level as of the last {!set}. *)
+
+  val max_level : t -> int
+  (** The highest level ever observed ([0] when untouched). *)
+
+  val mean : t -> float
+  (** Arithmetic mean over all observations ([0.] when untouched). *)
+
+  val samples : t -> int
+  (** Number of observations recorded. *)
+end
+
 (** {1 Exporters} *)
 
 (** Chrome [trace_event] JSON export, loadable in [chrome://tracing] and

@@ -110,71 +110,13 @@ let backoff_delay_ms ~base ~attempt ~job_id =
     let jitter = Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int base)) in
     (base * (1 lsl min (attempt - 1) 16)) + jitter
 
-(* --- JSON rendering ---------------------------------------------------------- *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-(* The stable prefix every record shares: job identity plus, for seed
-   jobs, the full reproduction recipe (the determinism contract makes
-   [seed + gen flags] a complete one). *)
-let record_prefix (j : Job.t) =
-  let b = Buffer.create 128 in
-  Printf.bprintf b "{\"job\":%d,\"kind\":\"%s\",\"name\":\"%s\",\"machine\":\"%s\"" j.Job.id
-    (Job.kind_string j.Job.source)
-    (json_escape (Job.source_name j.Job.source))
-    (json_escape j.Job.machine);
-  (match j.Job.source with
-  | Job.Seed { seed; _ } ->
-      Printf.bprintf b ",\"seed\":%d,\"gen\":\"%s\"" seed
-        (json_escape (Job.gen_args j.Job.source))
-  | _ -> ());
-  Buffer.contents b
-
-(* Volatile fields last, in a fixed order, so tooling can strip them
-   with one regular expression when comparing runs "modulo timestamps"
-   (resume vs. uninterrupted, cached vs. cold). *)
-let record_trailer ~cached ~attempts ~ms =
-  Printf.sprintf ",\"cached\":%b,\"attempts\":%d,\"ms\":%.1f}" cached attempts
-    ms
-
-let verdict_record j (v : Verdict_cache.verdict) ~cached ~attempts ~ms =
-  Printf.sprintf
-    "%s,\"status\":\"ok\",\"outcomes\":%d,\"appears_sc\":%b,\"obeys_model\":%b,\"violation\":%b,\"exists\":%s,\"states\":%d,\"complete\":%b,\"degraded\":%s,\"spilled_runs\":%d%s"
-    (record_prefix j)
-    (List.length v.Verdict_cache.v_outcomes)
-    v.Verdict_cache.v_appears_sc v.Verdict_cache.v_obeys_model
-    v.Verdict_cache.v_violation
-    (match v.Verdict_cache.v_allows_exists with
-    | Some true -> "true"
-    | Some false -> "false"
-    | None -> "null")
-    v.Verdict_cache.v_states v.Verdict_cache.v_complete
-    (match v.Verdict_cache.v_degraded with
-    | Some n -> string_of_int n
-    | None -> "null")
-    v.Verdict_cache.v_spilled_runs
-    (record_trailer ~cached ~attempts ~ms)
+(* JSONL rendering and the fork-per-attempt machinery live in [Runner],
+   shared with the socket daemon; this file keeps only the scheduling
+   policy (queues, retries, drain, checkpoint). *)
 
 let quarantine_record q ~ms =
-  Printf.sprintf
-    "%s,\"status\":\"quarantined\",\"reason\":\"%s\",\"stderr\":\"%s\"%s"
-    (record_prefix q.q_job)
-    (json_escape q.q_reason) (json_escape q.q_stderr)
-    (record_trailer ~cached:false ~attempts:q.q_attempts ~ms)
+  Runner.quarantine_record q.q_job ~reason:q.q_reason ~stderr:q.q_stderr
+    ~attempts:q.q_attempts ~ms
 
 (* --- checkpoint -------------------------------------------------------------- *)
 
@@ -231,137 +173,16 @@ type jstate = {
 }
 
 let materialize model (j : Job.t) =
-  let with_prog p =
-    let model = Worker.model_name model in
-    ( Some
-        ( p,
-          Verdict_cache.key ~prog:p ~machine:j.Job.machine ~model,
-          Verdict_cache.sym_key ~prog:p ~machine:j.Job.machine ~model ),
-      None )
-  in
-  let prog, mat_error =
-    match j.Job.source with
-    | Job.Wedge -> (None, None)
-    | Job.Builtin n -> (
-        match Litmus_classics.find n with
-        | Some e -> with_prog e.Litmus_classics.prog
-        | None -> (None, Some (Printf.sprintf "unknown built-in test %S" n)))
-    | Job.File p -> (
-        match Litmus_parse.parse_file p with
-        | prog -> with_prog prog
-        | exception Litmus_parse.Parse_error { line; col; msg } ->
-            ( None,
-              Some (Printf.sprintf "%s:%d:%d: parse error: %s" p line col msg)
-            )
-        | exception Sys_error e -> (None, Some e))
-    | Job.Seed { seed; config } ->
-        with_prog (Litmus_gen.generate ~config seed)
-  in
-  let prog, mat_error =
-    if mat_error <> None then (prog, mat_error)
-    else if Machines.find j.Job.machine = None then
-      (None, Some (Printf.sprintf "unknown machine %S" j.Job.machine))
-    else (prog, mat_error)
-  in
+  let m = Runner.materialize ~model j in
   {
     job = j;
-    prog;
-    mat_error;
+    prog = m.Runner.m_prog;
+    mat_error = m.Runner.m_error;
     attempts = 0;
     eligible_at = 0.;
     last_reason = "";
     last_stderr = "";
   }
-
-(* --- the forked worker ------------------------------------------------------- *)
-
-let result_kind = "weakord.batch.result"
-
-(* Runs in the child.  Never returns; never flushes the parent's
-   buffered channels ([Unix._exit], not [exit]). *)
-let child_exec cfg ~result_path ~stderr_path js =
-  let cancelled = ref false in
-  Sys.set_signal Sys.sigterm
-    (Sys.Signal_handle (fun _ -> cancelled := true));
-  Sys.set_signal Sys.sigint Sys.Signal_ignore;
-  (try
-     let fd =
-       Unix.openfile stderr_path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
-     in
-     Unix.dup2 fd Unix.stderr;
-     Unix.close fd
-   with Unix.Unix_error _ -> ());
-  match js.job.Job.source with
-  | Job.Wedge ->
-      (* The poison pill for chaos tests: announce, then spin until the
-         supervisor's SIGKILL (timeout) or SIGTERM (drain) lands. *)
-      prerr_string (Printf.sprintf "job %d: wedged on purpose\n" js.job.Job.id);
-      flush Stdlib.stderr;
-      while not !cancelled do
-        (try Unix.sleepf 0.02 with Unix.Unix_error _ -> ())
-      done;
-      Unix._exit 9
-  | _ -> (
-      let prog, _, _ = Option.get js.prog in
-      let machine = Option.get (Machines.find js.job.Job.machine) in
-      (* Each attempt spills into its own subdirectory: concurrent
-         workers must never share run files, and a retry must not trip
-         over a killed attempt's leftovers (the store wipes stale runs
-         at creation). *)
-      let spill_dir =
-        Option.map
-          (fun d ->
-            let sub =
-              Filename.concat d (Printf.sprintf "job%d" js.job.Job.id)
-            in
-            (try Unix.mkdir sub 0o755
-             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-            sub)
-          cfg.spill_dir
-      in
-      match
-        Worker.run
-          ~cancel:(fun () -> !cancelled)
-          ?fuel:cfg.fuel ?spill_dir ?mem_budget:cfg.mem_budget
-          ~model:cfg.model ~machine prog
-      with
-      | Ok v ->
-          Atomic_io.write_file ~fsync:false result_path
-            (Snapshot.frame ~kind:result_kind
-               ~meta:(string_of_int js.job.Job.id)
-               ~payload:(Marshal.to_string v []));
-          Unix._exit 0
-      | Error `Cancelled -> Unix._exit 9
-      | exception e ->
-          prerr_string ("worker exception: " ^ Printexc.to_string e ^ "\n");
-          flush Stdlib.stderr;
-          Unix._exit 10)
-
-let read_result path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> None
-  | bytes -> (
-      match Snapshot.unframe bytes with
-      | Error _ -> None
-      | Ok c ->
-          if not (String.equal c.Snapshot.kind result_kind) then None
-          else (
-            match
-              (Marshal.from_string c.Snapshot.payload 0
-                : Verdict_cache.verdict)
-            with
-            | v -> Some v
-            | exception (Failure _ | Invalid_argument _) -> None))
-
-let read_tail ?(max_bytes = 2048) path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> ""
-  | s ->
-      let s =
-        if String.length s <= max_bytes then s
-        else String.sub s (String.length s - max_bytes) max_bytes
-      in
-      String.trim s
 
 (* --- the supervisor loop ----------------------------------------------------- *)
 
@@ -374,13 +195,6 @@ type running = {
   mutable r_timed_out : bool;
   mutable r_term_sent : bool;
 }
-
-let signal_name = function
-  | s when s = Sys.sigkill -> "SIGKILL"
-  | s when s = Sys.sigterm -> "SIGTERM"
-  | s when s = Sys.sigsegv -> "SIGSEGV"
-  | s when s = Sys.sigabrt -> "SIGABRT"
-  | s -> Printf.sprintf "signal %d" s
 
 let run cfg jobs =
   if cfg.workers < 1 then invalid_arg "Batch.run: workers must be >= 1";
@@ -549,7 +363,7 @@ let run cfg jobs =
     else incr ok;
     if cached then incr served_from_cache;
     emit
-      (verdict_record js.job v ~cached ~attempts:(js.attempts + 1) ~ms);
+      (Runner.verdict_record js.job v ~cached ~attempts:(js.attempts + 1) ~ms);
     mark_emitted js.job.Job.id
   in
   let quarantine js ~ms =
@@ -585,7 +399,7 @@ let run cfg jobs =
     let js = r.r_js in
     js.attempts <- js.attempts + 1;
     js.last_reason <- reason;
-    js.last_stderr <- read_tail r.r_stderr;
+    js.last_stderr <- Runner.read_tail r.r_stderr;
     if js.attempts >= cfg.retries then
       quarantine js ~ms:((Unix.gettimeofday () -. r.r_started) *. 1000.)
     else requeue js
@@ -594,7 +408,7 @@ let run cfg jobs =
     let ms = (Unix.gettimeofday () -. r.r_started) *. 1000. in
     match status with
     | Unix.WEXITED 0 -> (
-        match read_result r.r_result with
+        match Runner.read_result r.r_result with
         | Some v -> finish_verdict r.r_js v ~cached:false ~ms
         | None ->
             attempt_failed r "worker exited 0 but left no valid result file")
@@ -609,35 +423,43 @@ let run cfg jobs =
         attempt_failed r
           (Printf.sprintf "timeout: SIGKILL after %.1fs" cfg.timeout_s)
     | Unix.WSIGNALED s ->
-        attempt_failed r (Printf.sprintf "worker killed by %s" (signal_name s))
+        attempt_failed r
+          (Printf.sprintf "worker killed by %s" (Runner.signal_name s))
     | Unix.WSTOPPED _ ->
         (* Not requested (no WUNTRACED); treat defensively. *)
         (try Unix.kill r.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
         attempt_failed r "worker stopped unexpectedly"
   in
+  let exec =
+    {
+      Runner.x_model = cfg.model;
+      x_fuel = cfg.fuel;
+      x_spill_dir = cfg.spill_dir;
+      x_mem_budget = cfg.mem_budget;
+    }
+  in
   let spawn js =
     let rp = result_path js.job.Job.id and sp = stderr_path js.job.Job.id in
-    (try Sys.remove rp with Sys_error _ -> ());
     flush out_ch;
-    flush Stdlib.stderr;
-    match Unix.fork () with
-    | 0 -> child_exec cfg ~result_path:rp ~stderr_path:sp js
-    | pid ->
-        if cfg.verbose then
-          cfg.log
-            (Printf.sprintf "worker %d started %s (attempt %d/%d)" pid
-               (Job.label js.job) (js.attempts + 1) cfg.retries);
-        running :=
-          {
-            r_js = js;
-            r_pid = pid;
-            r_started = Unix.gettimeofday ();
-            r_result = rp;
-            r_stderr = sp;
-            r_timed_out = false;
-            r_term_sent = false;
-          }
-          :: !running
+    let pid =
+      Runner.spawn exec ~result_path:rp ~stderr_path:sp js.job
+        { Runner.m_prog = js.prog; m_error = js.mat_error }
+    in
+    if cfg.verbose then
+      cfg.log
+        (Printf.sprintf "worker %d started %s (attempt %d/%d)" pid
+           (Job.label js.job) (js.attempts + 1) cfg.retries);
+    running :=
+      {
+        r_js = js;
+        r_pid = pid;
+        r_started = Unix.gettimeofday ();
+        r_result = rp;
+        r_stderr = sp;
+        r_timed_out = false;
+        r_term_sent = false;
+      }
+      :: !running
   in
   let deadline_at = Option.map (fun d -> t0 +. d) cfg.deadline_s in
   let drain_announced = ref false in

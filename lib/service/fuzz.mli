@@ -1,0 +1,105 @@
+(** The corpus soundness fuzzer behind [weakord fuzz]: a three-way
+    differential oracle over generated programs.
+
+    Three independent implementations of the paper's semantics coexist
+    in this repository — the operational machines ([lib/machine]), the
+    axiomatic models ([lib/axiomatic]), and the cycle-accurate protocol
+    simulator ([lib/sim]).  Each was written against the paper, not
+    against the others, so agreement over a large generated corpus is
+    real evidence of soundness and any disagreement is a bug somewhere.
+    This module streams a seed range through all three and compares.
+
+    {1 The oracle relations}
+
+    Per program, mirroring the hand-picked corpus suite in
+    [test/test_differential.ml]:
+
+    - the axiomatic SC outcome set {e equals} the operational SC set;
+    - SC is a {e subset} of every machine's outcome set (weakening a
+      machine only ever adds behaviours);
+    - the write-buffer machine stays within the TSO axioms, and the
+      def1/def2 machines within their axiomatic renderings (envelopes);
+    - the machine hierarchy [def1 ⊆ def2 ⊆ def2-rs] holds;
+    - the paper's theorem: a DRF0-obeying program {e appears SC} on
+      def1 and def2; the Section-6 refinement: a DRF1-obeying program
+      appears SC on def2-rs and rc;
+    - the simulator's deterministic final state is SC-allowed whenever
+      its policy guarantees it (always for the [sc] policy; gated on
+      DRF0 for [def1]/[def2] and on DRF1 for [def2-rs]).
+
+    Blocking programs ([Await]) may legally wedge the simulator — its
+    fixed timing can miss an await's satisfying window even when some
+    SC interleaving completes — so wedges on blocking programs are
+    counted, not flagged; a wedge on a straight-line program is a
+    disagreement like any other.
+
+    {1 Quarantine}
+
+    Each disagreement is written to the quarantine directory as
+    [seedN.litmus] (the full program source) plus [seedN.report]
+    carrying the failed relation, the diverging outcome sets, and a
+    seed-exact reproduction recipe ([weakord gen --seed N <flags>] and
+    the one-seed [weakord fuzz] rerun) — the generator's determinism
+    contract makes the seed a complete repro. *)
+
+type cfg = {
+  config : Litmus_gen.config;  (** generator shape for every seed *)
+  machines : Machines.t list;  (** operational machines to sweep *)
+  sim : bool;  (** run the simulator leg *)
+  sim_limit : int;  (** simulator event budget per run *)
+  quarantine : string option;  (** directory for disagreement dossiers *)
+  deadline_s : float option;
+      (** wall-clock budget; on expiry the run suspends and reports
+          the first unchecked seed *)
+  progress : int;  (** log a progress line every N programs; 0 = off *)
+  log : string -> unit;  (** log sink *)
+}
+
+val default_cfg : cfg
+(** Default generator config, all machines, simulator on with a
+    200k-event budget, no quarantine dir, silent. *)
+
+type disagreement = {
+  d_seed : int;  (** the generator seed — the complete repro *)
+  d_check : string;  (** which oracle relation failed *)
+  d_detail : string;  (** the diverging sets / final state *)
+  d_quarantined : string option;  (** report path when a dir was given *)
+}
+
+type summary = {
+  programs : int;  (** seeds generated and checked *)
+  checks : int;  (** individual oracle comparisons *)
+  disagreements : disagreement list;  (** in seed order *)
+  sim_runs : int;  (** simulator executions across policies *)
+  sim_wedged : int;  (** legal wedges on blocking programs *)
+  sim_skipped : int;  (** programs with no complete execution *)
+  states_total : int;
+      (** machine states expanded across the corpus — numerator of
+          the [states_per_sec] throughput headline tracked in
+          [BENCH_*.json] ([kind:"service"] rows) *)
+  wall_s : float;
+  suspended : bool;  (** the deadline cut the run short *)
+  next_seed : int;  (** first unchecked seed (resume point) *)
+}
+
+val quarantine_seed :
+  cfg -> seed:int -> prog:Prog.t -> check:string -> detail:string ->
+  string option
+(** Write the disagreement dossier for [seed] ([seedN.litmus] +
+    [seedN.report] with the repro recipes) into [cfg.quarantine],
+    creating the directory on first use; returns the report path, or
+    [None] when no quarantine directory is configured. *)
+
+val run : cfg -> lo:int -> hi:int -> summary
+(** [run cfg ~lo ~hi] checks seeds [lo..hi] inclusive.  Keeps going
+    past disagreements (a nightly run reports every divergence, not
+    just the first); stops early only on the deadline.
+    @raise Invalid_argument when [lo > hi]. *)
+
+val exit_code : summary -> int
+(** [1] on any disagreement, [3] when suspended by the deadline with
+    none found, else [0] — disagreement outranks suspension. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Operator summary: corpus size, check count, wedge bookkeeping and
+    the states/s headline. *)

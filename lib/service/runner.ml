@@ -1,0 +1,226 @@
+(* The shared job-execution layer under both front ends of the service:
+   the one-shot [Batch] supervisor and the long-lived [Daemon].
+
+   Everything here is the per-attempt machinery: turning a job into a
+   program plus cache keys, forking the single-verdict worker process,
+   reading back its CRC-framed result file, and rendering the JSONL
+   records both front ends stream.  The scheduling policies (retry
+   queues, fairness, drain) stay with the callers. *)
+
+type exec = {
+  x_model : Worker.model;
+  x_fuel : int option;
+  x_spill_dir : string option;
+  x_mem_budget : int option;
+}
+
+type mat = {
+  m_prog : (Prog.t * string * string) option;
+  m_error : string option;
+}
+
+let materialize ~model (j : Job.t) =
+  let with_prog p =
+    let model = Worker.model_name model in
+    ( Some
+        ( p,
+          Verdict_cache.key ~prog:p ~machine:j.Job.machine ~model,
+          Verdict_cache.sym_key ~prog:p ~machine:j.Job.machine ~model ),
+      None )
+  in
+  let prog, m_error =
+    match j.Job.source with
+    | Job.Wedge -> (None, None)
+    | Job.Builtin n -> (
+        match Litmus_classics.find n with
+        | Some e -> with_prog e.Litmus_classics.prog
+        | None -> (None, Some (Printf.sprintf "unknown built-in test %S" n)))
+    | Job.File p -> (
+        match Litmus_parse.parse_file p with
+        | prog -> with_prog prog
+        | exception Litmus_parse.Parse_error { line; col; msg } ->
+            ( None,
+              Some (Printf.sprintf "%s:%d:%d: parse error: %s" p line col msg)
+            )
+        | exception Sys_error e -> (None, Some e))
+    | Job.Seed { seed; config } ->
+        with_prog (Litmus_gen.generate ~config seed)
+  in
+  let m_prog, m_error =
+    if m_error <> None then (prog, m_error)
+    else if Machines.find j.Job.machine = None then
+      (None, Some (Printf.sprintf "unknown machine %S" j.Job.machine))
+    else (prog, m_error)
+  in
+  { m_prog; m_error }
+
+(* --- the forked worker ------------------------------------------------------- *)
+
+let result_kind = "weakord.batch.result"
+
+(* Runs in the child.  Never returns; never flushes the parent's
+   buffered channels ([Unix._exit], not [exit]). *)
+let child_exec x ~result_path ~stderr_path (j : Job.t) mat =
+  let cancelled = ref false in
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> cancelled := true));
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (try
+     let fd =
+       Unix.openfile stderr_path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+     in
+     Unix.dup2 fd Unix.stderr;
+     Unix.close fd
+   with Unix.Unix_error _ -> ());
+  match j.Job.source with
+  | Job.Wedge ->
+      (* The poison pill for chaos tests: announce, then spin until the
+         supervisor's SIGKILL (timeout) or SIGTERM (drain) lands. *)
+      prerr_string (Printf.sprintf "job %d: wedged on purpose\n" j.Job.id);
+      flush Stdlib.stderr;
+      while not !cancelled do
+        (try Unix.sleepf 0.02 with Unix.Unix_error _ -> ())
+      done;
+      Unix._exit 9
+  | _ -> (
+      let prog, _, _ = Option.get mat.m_prog in
+      let machine = Option.get (Machines.find j.Job.machine) in
+      (* Each attempt spills into its own subdirectory: concurrent
+         workers must never share run files, and a retry must not trip
+         over a killed attempt's leftovers (the store wipes stale runs
+         at creation). *)
+      let spill_dir =
+        Option.map
+          (fun d ->
+            let sub = Filename.concat d (Printf.sprintf "job%d" j.Job.id) in
+            (try Unix.mkdir sub 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            sub)
+          x.x_spill_dir
+      in
+      match
+        Worker.run
+          ~cancel:(fun () -> !cancelled)
+          ?fuel:x.x_fuel ?spill_dir ?mem_budget:x.x_mem_budget
+          ~model:x.x_model ~machine prog
+      with
+      | Ok v ->
+          Atomic_io.write_file ~fsync:false result_path
+            (Snapshot.frame ~kind:result_kind
+               ~meta:(string_of_int j.Job.id)
+               ~payload:(Marshal.to_string v []));
+          Unix._exit 0
+      | Error `Cancelled -> Unix._exit 9
+      | exception e ->
+          prerr_string ("worker exception: " ^ Printexc.to_string e ^ "\n");
+          flush Stdlib.stderr;
+          Unix._exit 10)
+
+let spawn x ~result_path ~stderr_path j mat =
+  (try Sys.remove result_path with Sys_error _ -> ());
+  (* The child exits via [Unix._exit], so anything sitting in the
+     parent's buffered channels at fork time would otherwise be written
+     twice (once per process). *)
+  flush Stdlib.stdout;
+  flush Stdlib.stderr;
+  match Unix.fork () with
+  | 0 -> child_exec x ~result_path ~stderr_path j mat
+  | pid -> pid
+
+let read_result path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | bytes -> (
+      match Snapshot.unframe bytes with
+      | Error _ -> None
+      | Ok c ->
+          if not (String.equal c.Snapshot.kind result_kind) then None
+          else (
+            match
+              (Marshal.from_string c.Snapshot.payload 0
+                : Verdict_cache.verdict)
+            with
+            | v -> Some v
+            | exception (Failure _ | Invalid_argument _) -> None))
+
+let read_tail ?(max_bytes = 2048) path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ""
+  | s ->
+      let s =
+        if String.length s <= max_bytes then s
+        else String.sub s (String.length s - max_bytes) max_bytes
+      in
+      String.trim s
+
+let signal_name = function
+  | s when s = Sys.sigkill -> "SIGKILL"
+  | s when s = Sys.sigterm -> "SIGTERM"
+  | s when s = Sys.sigsegv -> "SIGSEGV"
+  | s when s = Sys.sigabrt -> "SIGABRT"
+  | s -> Printf.sprintf "signal %d" s
+
+(* --- JSONL rendering --------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The stable prefix every record shares: job identity plus, for seed
+   jobs, the full reproduction recipe (the determinism contract makes
+   [seed + gen flags] a complete one). *)
+let record_prefix (j : Job.t) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"job\":%d,\"kind\":\"%s\",\"name\":\"%s\",\"machine\":\"%s\"" j.Job.id
+    (Job.kind_string j.Job.source)
+    (json_escape (Job.source_name j.Job.source))
+    (json_escape j.Job.machine);
+  (match j.Job.source with
+  | Job.Seed { seed; _ } ->
+      Printf.bprintf b ",\"seed\":%d,\"gen\":\"%s\"" seed
+        (json_escape (Job.gen_args j.Job.source))
+  | _ -> ());
+  Buffer.contents b
+
+(* Volatile fields last, in a fixed order, so tooling can strip them
+   with one regular expression when comparing runs "modulo timestamps"
+   (resume vs. uninterrupted, cached vs. cold). *)
+let record_trailer ~cached ~attempts ~ms =
+  Printf.sprintf ",\"cached\":%b,\"attempts\":%d,\"ms\":%.1f}" cached attempts
+    ms
+
+let verdict_record j (v : Verdict_cache.verdict) ~cached ~attempts ~ms =
+  Printf.sprintf
+    "%s,\"status\":\"ok\",\"outcomes\":%d,\"appears_sc\":%b,\"obeys_model\":%b,\"violation\":%b,\"exists\":%s,\"states\":%d,\"complete\":%b,\"degraded\":%s,\"spilled_runs\":%d%s"
+    (record_prefix j)
+    (List.length v.Verdict_cache.v_outcomes)
+    v.Verdict_cache.v_appears_sc v.Verdict_cache.v_obeys_model
+    v.Verdict_cache.v_violation
+    (match v.Verdict_cache.v_allows_exists with
+    | Some true -> "true"
+    | Some false -> "false"
+    | None -> "null")
+    v.Verdict_cache.v_states v.Verdict_cache.v_complete
+    (match v.Verdict_cache.v_degraded with
+    | Some n -> string_of_int n
+    | None -> "null")
+    v.Verdict_cache.v_spilled_runs
+    (record_trailer ~cached ~attempts ~ms)
+
+let quarantine_record j ~reason ~stderr ~attempts ~ms =
+  Printf.sprintf
+    "%s,\"status\":\"quarantined\",\"reason\":\"%s\",\"stderr\":\"%s\"%s"
+    (record_prefix j) (json_escape reason) (json_escape stderr)
+    (record_trailer ~cached:false ~attempts ~ms)

@@ -1,0 +1,116 @@
+(** Shared job-execution machinery under the service front ends.
+
+    Both the one-shot {!Batch} supervisor and the long-lived {!Daemon}
+    schedule jobs, but neither verifies anything in-process: every
+    attempt runs in a forked worker that computes one verdict, installs
+    it atomically into a CRC-framed result file, and [_exit]s.  This
+    module is that per-attempt layer — materializing a {!Job.t} into a
+    program plus cache keys, forking the worker, reading its result
+    back, and rendering the JSONL records both front ends stream — so
+    the two supervisors cannot drift apart on exit-status conventions
+    or record shapes.
+
+    Scheduling policy (retry queues, backoff, fairness, drain) stays
+    with the callers; nothing here blocks or loops.
+
+    {1 Worker exit-status contract}
+
+    A forked worker terminates in exactly one of these ways, and both
+    supervisors classify them identically:
+
+    - exit [0] and a valid result file — a verdict; the supervisor
+      caches and streams it.
+    - exit [0] with a missing or corrupt result file — a torn write;
+      counts as a failed attempt.
+    - exit [9] — cancelled at a safe point (drain); the job is {e not}
+      failed, it returns to the pending queue for the resume.
+    - exit [10] — the verification engine raised; the exception text is
+      on stderr.  Failed attempt.
+    - killed by a signal — [SIGKILL] from the supervisor's timeout, or
+      anything else (OOM killer, crash).  Failed attempt. *)
+
+(** {1 Execution parameters} *)
+
+type exec = {
+  x_model : Worker.model;  (** synchronization model checked per job *)
+  x_fuel : int option;  (** optional exploration fuel bound *)
+  x_spill_dir : string option;
+      (** root for disk-spilled visited stores; each attempt gets a
+          private [jobN/] subdirectory so concurrent workers and
+          retries never share run files *)
+  x_mem_budget : int option;  (** visited-set memory budget, bytes *)
+}
+(** What a worker needs beyond the job itself.  One value is built per
+    supervisor run and shared by every spawn. *)
+
+(** {1 Materialization} *)
+
+type mat = {
+  m_prog : (Prog.t * string * string) option;
+      (** program, exact cache key, orbit-canonical symmetry key;
+          [None] for wedge jobs (which have no program) and for
+          unusable jobs (see [m_error]) *)
+  m_error : string option;
+      (** why the job cannot run (unknown builtin, parse error,
+          unknown machine); retrying cannot help — supervisors send
+          such jobs straight to quarantine *)
+}
+(** The result of turning a job description into something runnable. *)
+
+val materialize : model:Worker.model -> Job.t -> mat
+(** [materialize ~model j] resolves [j]'s source (builtin name, litmus
+    file, generator seed) into a program and computes both verdict-cache
+    keys under [model].  Deterministic; safe to call in the parent
+    before forking (generation is pure, file reads happen once). *)
+
+(** {1 The forked worker} *)
+
+val spawn : exec -> result_path:string -> stderr_path:string -> Job.t -> mat -> int
+(** [spawn x ~result_path ~stderr_path j m] forks a worker for one
+    attempt at [j] and returns its pid.  The child redirects stderr to
+    [stderr_path], runs {!Worker.run} (or the wedge spin loop for
+    {!Job.Wedge} jobs), writes its verdict to [result_path] via an
+    atomic install, and terminates per the exit-status contract above.
+    Any stale [result_path] is removed before the fork, and the
+    parent's [stdout]/[stderr] channels are flushed so buffered bytes
+    are not emitted twice; callers streaming to other channels must
+    flush those themselves first. *)
+
+val read_result : string -> Verdict_cache.verdict option
+(** [read_result path] loads and validates a worker's result file.
+    [None] on any defect — missing file, CRC mismatch, wrong snapshot
+    kind, truncation — so a torn write degrades to a retried attempt,
+    never a wrong verdict. *)
+
+val read_tail : ?max_bytes:int -> string -> string
+(** [read_tail path] returns the trimmed last [max_bytes] (default
+    2048) of a worker's captured stderr, for quarantine diagnostics.
+    [""] if the file is missing. *)
+
+val signal_name : int -> string
+(** [signal_name s] renders an OCaml signal number ([Sys.sigkill] etc.)
+    as its conventional name, for diagnostics. *)
+
+(** {1 JSONL rendering}
+
+    Every record is a single line.  The stable fields come first (job
+    identity, and for seed jobs the [seed] + [gen] reproduction
+    recipe); the volatile trailer [,"cached":_,"attempts":_,"ms":_}]
+    always comes last in a fixed order so tooling can strip it with one
+    regular expression when diffing runs modulo timing. *)
+
+val verdict_record :
+  Job.t -> Verdict_cache.verdict -> cached:bool -> attempts:int -> ms:float -> string
+(** [verdict_record j v ~cached ~attempts ~ms] renders a completed
+    job's verdict as one JSONL line ([status:"ok"]), including the
+    engine telemetry fields [degraded] and [spilled_runs]. *)
+
+val quarantine_record :
+  Job.t -> reason:string -> stderr:string -> attempts:int -> ms:float -> string
+(** [quarantine_record j ~reason ~stderr ~attempts ~ms] renders a
+    poison job's terminal record ([status:"quarantined"]) carrying the
+    last failure reason and the worker's captured stderr tail. *)
+
+val json_escape : string -> string
+(** [json_escape s] escapes [s] for embedding inside a JSON string
+    literal (quotes, backslashes, control characters). *)

@@ -19,8 +19,12 @@
 type verdict = {
   v_outcomes : string list;  (** printed finals, in {!Final.Set} order *)
   v_appears_sc : bool;
+      (** the machine's outcome set equals the SC reference set *)
   v_obeys_model : bool;
+      (** the program meets its synchronization-model obligation *)
   v_allows_exists : bool option;
+      (** whether the program's [exists] clause is reachable ([None]
+          when it has no such clause) *)
   v_violation : bool;  (** [v_obeys_model] and not [v_appears_sc] *)
   v_states : int;  (** machine states expanded when first computed *)
   v_complete : bool;  (** the machine sweep was exhaustive *)
@@ -53,6 +57,8 @@ val sym_key : prog:Prog.t -> machine:string -> model:string -> string
     only count outcomes (the batch JSONL) are unaffected. *)
 
 type t
+(** An open cache: the in-memory index plus, for {!open_file} caches,
+    the append-only backing file. *)
 
 val in_memory : unit -> t
 (** A cache with no backing file (a [--no-cache] run still counts
@@ -80,10 +86,15 @@ type stats = {
   entries : int;  (** live entries in memory *)
   loaded : int;  (** valid records read from the backing file at open *)
   corrupt_skipped : int;  (** invalid records skipped at open *)
-  hits : int;
-  misses : int;
+  hits : int;  (** {!find} calls answered *)
+  misses : int;  (** {!find} calls not answered *)
   appended : int;  (** records appended this session *)
 }
+(** Lifetime counters, reported in the batch/daemon summaries. *)
 
 val stats : t -> stats
+(** A snapshot of the counters so far. *)
+
 val close : t -> unit
+(** Flush and close the backing file, if any.  The [t] must not be
+    used afterwards. *)

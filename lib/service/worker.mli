@@ -5,13 +5,19 @@
     complete outcome set, the SC reference set, and the Definition-2
     check under a synchronization model. *)
 
-type model = Drf0 | Drf1 | Unconstrained | No_check
+type model =
+  | Drf0  (** the paper's Definition 2 check under DRF0 *)
+  | Drf1  (** the Section-6 refinement: the check under DRF1 *)
+  | Unconstrained  (** no obligation filter: the check is "appears SC" *)
+  | No_check  (** record outcome sets only, no verdict *)
 
 val model_of_string : string -> model option
 (** ["drf0"], ["drf1"], ["all"] (unconstrained: the check is "appears
     SC"), or ["none"] (no check — record outcomes only). *)
 
 val model_name : model -> string
+(** Inverse of {!model_of_string}; the [model] field of cache keys and
+    JSONL records. *)
 
 val run :
   ?cancel:(unit -> bool) ->

@@ -11,7 +11,8 @@ baseline).
 Entries are typed by their "kind" field (entries without one are treated
 as "explore", which is what every pre-kind baseline contained):
 
-  explore / sym / cache   carry a real states_expanded count — gated,
+  explore / sym / cache / service
+                          carry a real states_expanded count — gated,
                           since state counts are deterministic per
                           (kind, name, machine, domains) and any growth
                           is a real regression (a reduction oracle that
@@ -25,7 +26,10 @@ as "explore", which is what every pre-kind baseline contained):
 Additionally, sym rows in the fresh run are validated on their own
 terms: every row's outcomes_equal must be true (the reduction may never
 change the outcome set), and each benchmarked program must show at least
-one machine at >= --sym-floor percent state reduction.
+one machine at >= --sym-floor percent state reduction.  Service rows
+(the differential-fuzzer oracle) must report disagreements == 0: the
+three engines agreeing is a soundness invariant, not a performance
+number, so a single disagreement fails the gate outright.
 
 Every failure mode names the offending (name, machine) pair; a malformed
 entry is an exit-2 diagnostic, never a KeyError traceback.
@@ -49,9 +53,10 @@ KIND_FIELDS = {
     "sym": ("states_expanded", "states_nosym", "reduction_pct",
             "outcomes_equal"),
     "overhead": ("payload", "overhead_pct"),
+    "service": ("states_expanded", "programs", "checks", "disagreements"),
 }
 # Kinds whose states_expanded is deterministic and therefore gated.
-GATED_KINDS = ("explore", "cache", "sym")
+GATED_KINDS = ("explore", "cache", "sym", "service")
 
 
 def entry_kind(e):
@@ -138,6 +143,23 @@ def check_sym_rows(new, floor, failures):
                   f"(floor {floor:.0f}%)")
 
 
+def check_service_rows(new, failures):
+    """Fresh-run obligations on the differential-fuzzer rows."""
+    rows = [e for key, e in new.items() if key[0] == "service"]
+    for e in rows:
+        label = f"service {e['name']}/{e['machine']}"
+        d = e["disagreements"]
+        if d != 0:
+            failures.append(
+                f"{label}: {d} oracle disagreement(s) — an engine "
+                f"(machine, axiomatic model, or simulator) diverged on a "
+                f"generated program (soundness bug, do not ship; rerun "
+                f"`weakord fuzz` with --quarantine for the dossier)")
+        else:
+            print(f"bench gate: {label}: {e['programs']} programs, "
+                  f"{e['checks']} checks, 0 disagreements")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -190,6 +212,7 @@ def main():
                 f"baseline, or pass --allow-new for the introducing commit)")
 
     check_sym_rows(new, args.sym_floor, failures)
+    check_service_rows(new, failures)
 
     if failures:
         print(f"bench gate: {len(failures)} failure(s):", file=sys.stderr)

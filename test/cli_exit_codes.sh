@@ -183,6 +183,52 @@ printf 'smashed' > "$tmp/b2.ckpt"
 expect 2 "batch with an unusable resume checkpoint" \
   "$WEAKORD" batch "$tmp/ok.jobs" --resume "$tmp/b2.ckpt"
 
+# the batch/serve --help must document the JSONL telemetry fields the
+# records actually carry, and -v must explain the dedup counters
+for sub in batch serve; do
+  if ! "$WEAKORD" "$sub" --help=plain 2>/dev/null \
+    | grep -q 'spilled_runs'; then
+    echo "FAIL: $sub --help does not document the spilled_runs field" >&2
+    fails=$((fails + 1))
+  fi
+  if ! "$WEAKORD" "$sub" --help=plain 2>/dev/null | grep -q 'degraded'; then
+    echo "FAIL: $sub --help does not document the degraded field" >&2
+    fails=$((fails + 1))
+  fi
+done
+if ! "$WEAKORD" batch --help=plain 2>/dev/null | grep -q 'sym_dedup'; then
+  echo "FAIL: batch --help does not explain the sym_dedup counter" >&2
+  fails=$((fails + 1))
+fi
+if ! "$WEAKORD" gen --help=plain 2>/dev/null | grep -q 'JSONL'; then
+  echo "FAIL: gen --help does not mention the JSONL repro contract" >&2
+  fails=$((fails + 1))
+fi
+
+# serve: startup misconfiguration is exit 2 before any job runs
+expect 2 "serve with an unknown model" \
+  "$WEAKORD" serve "$tmp/s.sock" --model sc9000
+expect 2 "serve with an unknown machine" \
+  "$WEAKORD" serve "$tmp/s.sock" -m warpdrive
+expect 2 "serve with an unusable resume checkpoint" \
+  sh -c "printf smashed > \"$tmp/s.ckpt\"; \
+         \"$WEAKORD\" serve \"$tmp/s.sock\" --resume \"$tmp/s.ckpt\""
+
+# client: connecting to nothing is exit 2
+expect 2 "client against a dead socket" \
+  "$WEAKORD" client "$tmp/no_such.sock"
+
+# fuzz: seed-range validation is exit 2; a clean range exits 0; the
+# deadline suspends with exit 3
+expect 2 "fuzz without a range" "$WEAKORD" fuzz
+expect 2 "fuzz with a backwards range" "$WEAKORD" fuzz --seeds 9..3
+expect 2 "fuzz with both --seeds and --count" \
+  "$WEAKORD" fuzz --seeds 0..3 --count 4
+expect 0 "fuzz over a clean seed range" \
+  "$WEAKORD" fuzz --seeds 0..3 --no-sim
+expect 3 "fuzz suspended by its deadline" \
+  "$WEAKORD" fuzz --count 500 --deadline 0
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails exit-code check(s) failed" >&2
   exit 1

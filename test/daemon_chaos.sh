@@ -1,0 +1,224 @@
+#!/usr/bin/env bash
+# Chaos-test the weakord daemon against the real binary, through the
+# bundled protocol client:
+#   - two concurrent clients submit overlapping job sets; both see their
+#     verdicts, the overlap is served from the shared cache (>=1
+#     cross-client "cached":true), and the normalized verdicts agree
+#     with a direct `weakord batch` run over the same corpus;
+#   - protocol enforcement: requests before HELLO are 401, unknown
+#     verbs and tickets are 404;
+#   - SIGTERM mid-stream drains gracefully: exit 3, checkpoint written,
+#     and a --resume daemon finishes the orphaned tickets so the
+#     combined JSONL still matches an uninterrupted batch run.
+set -u
+
+WEAKORD="$1"
+fails=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  fails=$((fails + 1))
+}
+
+tmp="$(mktemp -d)"
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+SOCK="$tmp/d.sock"
+
+# Normalize JSONL for comparison across daemon/batch runs: job ids are
+# ticket numbers on the daemon side, and cached/attempts/ms are
+# volatile, so strip both and sort.
+norm() {
+  sed -E -e 's/,"cached":(true|false),"attempts":[0-9]+,"ms":[0-9.]+\}/}/' \
+    -e 's/^\{"job":[0-9]+,/\{/' "$@" | sort
+}
+
+# Wait (briefly) for the daemon to bind its socket.
+await_sock() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+# Poll STATS until the daemon reports >=N completed tickets.
+await_completed() {
+  local want="$1" got=""
+  for _ in $(seq 1 300); do
+    got="$(echo STATS | "$WEAKORD" client "$SOCK" 2>/dev/null \
+      | grep -o '"completed":[0-9]*' | head -1 | cut -d: -f2)"
+    [ -n "$got" ] && [ "$got" -ge "$want" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# --- reference: the same corpus through weakord batch ------------------------
+{
+  echo "test mp"
+  echo "test mp_sync"
+  echo "seeds 0..39"
+} > "$tmp/jobs.txt"
+"$WEAKORD" batch "$tmp/jobs.txt" --workers 4 --timeout 5 \
+  -o "$tmp/batch.jsonl" 2>/dev/null
+if [ "$(wc -l < "$tmp/batch.jsonl")" -ne 42 ]; then
+  fail "reference batch did not produce 42 records"
+fi
+
+# --- 1. two concurrent clients, overlapping work -----------------------------
+"$WEAKORD" serve "$SOCK" --workers 4 --timeout 5 --retries 2 --backoff 50 \
+  --cache "$tmp/verdicts.wovc" -o "$tmp/serve.jsonl" 2> "$tmp/serve.err" &
+SRV=$!
+await_sock || fail "daemon did not bind $SOCK"
+
+# Client 1 owns 32 tickets, client 2 owns 21; ids interleave under
+# concurrency, but after a client's own submissions at least that many
+# tickets exist globally, so these RESULT WAIT targets are always valid
+# (tickets are visible across connections by design).
+{
+  echo "SUBMIT test mp"
+  echo "SUBMIT test mp_sync"
+  echo "SUBMIT seeds 0..29"
+  echo "RESULT 31 WAIT"
+  echo "STATS"
+} | "$WEAKORD" client "$SOCK" --timeout 30 > "$tmp/c1.out" 2> "$tmp/c1.err" &
+C1=$!
+{
+  echo "SUBMIT seeds 20..39"
+  echo "SUBMIT test mp"
+  echo "RESULT 20 WAIT"
+  echo "STATS"
+} | "$WEAKORD" client "$SOCK" --timeout 30 > "$tmp/c2.out" 2> "$tmp/c2.err" &
+C2=$!
+wait "$C1" || fail "client 1 failed: $(cat "$tmp/c1.err")"
+wait "$C2" || fail "client 2 failed: $(cat "$tmp/c2.err")"
+
+# Let the daemon finish everything both clients queued, then drain it.
+await_completed 53 || fail "daemon never completed all 53 tickets"
+echo "DRAIN" | "$WEAKORD" client "$SOCK" --timeout 60 > "$tmp/cd.out" 2>&1
+wait "$SRV"
+code=$?
+SRV=""
+if [ "$code" -ne 0 ]; then
+  fail "drained daemon with no pending work: expected exit 0, got $code"
+fi
+
+if [ "$(wc -l < "$tmp/serve.jsonl")" -ne 53 ]; then
+  fail "expected 53 ticket records, got $(wc -l < "$tmp/serve.jsonl")"
+fi
+# The overlap (seeds 20..29 and mp) must hit the shared cache across
+# clients: at least one record is served from cache, and STATS agrees.
+if ! grep -q '"cached":true' "$tmp/serve.jsonl"; then
+  fail "no cross-client cache hit in the daemon JSONL"
+fi
+if ! grep -q '"served_from_cache":' "$tmp/c1.out" "$tmp/c2.out"; then
+  fail "STATS response lacks the served_from_cache counter"
+fi
+# Both clients' RESULT WAIT responses carry real verdict records.
+if ! grep -q '"status":"ok"' "$tmp/c1.out"; then
+  fail "client 1 never saw its verdict"
+fi
+if ! grep -q '"status":"ok"' "$tmp/c2.out"; then
+  fail "client 2 never saw its verdict"
+fi
+# Every verdict from the direct batch run appears among the daemon's
+# records once job ids and volatile fields are stripped (the daemon set
+# is a superset: the overlap completed once per submitting client).
+if comm -13 <(norm "$tmp/serve.jsonl" | uniq) <(norm "$tmp/batch.jsonl") \
+  | grep -q .; then
+  fail "daemon verdicts diverge from the direct batch run"
+fi
+
+# --- 2. protocol enforcement -------------------------------------------------
+"$WEAKORD" serve "$SOCK" --cache "$tmp/verdicts.wovc" 2>> "$tmp/serve.err" &
+SRV=$!
+await_sock || fail "daemon did not rebind $SOCK"
+echo "SUBMIT test mp" | "$WEAKORD" client "$SOCK" --no-hello \
+  > "$tmp/nohello.out" 2>&1
+if ! grep -q 'ERR 401' "$tmp/nohello.out"; then
+  fail "SUBMIT before HELLO did not produce ERR 401"
+fi
+{
+  echo "STATUS 99999"
+  echo "NONSENSE"
+} | "$WEAKORD" client "$SOCK" > "$tmp/err.out" 2>&1
+if [ "$(grep -c 'ERR 404' "$tmp/err.out")" -ne 2 ]; then
+  fail "unknown ticket / unknown verb did not both produce ERR 404"
+fi
+kill -TERM "$SRV" 2>/dev/null
+wait "$SRV" 2>/dev/null
+SRV=""
+rm -f "$SOCK"
+
+# --- 3. SIGTERM mid-stream: drain, checkpoint, resume ------------------------
+# One worker against 100 queued jobs guarantees the SIGTERM lands with
+# most of the queue still pending.
+"$WEAKORD" serve "$SOCK" --workers 1 --timeout 5 --retries 2 --backoff 50 \
+  --cache "$tmp/verdicts2.wovc" -o "$tmp/drain.jsonl" \
+  --checkpoint "$tmp/daemon.ckpt" 2> "$tmp/drain.err" &
+SRV=$!
+await_sock || fail "slow daemon did not bind $SOCK"
+echo "SUBMIT seeds 100..199" | "$WEAKORD" client "$SOCK" >/dev/null 2>&1
+sleep 0.3
+kill -TERM "$SRV" 2>/dev/null
+wait "$SRV"
+code=$?
+SRV=""
+if [ "$code" -ne 3 ]; then
+  fail "SIGTERM mid-stream: expected exit 3 (suspended), got $code"
+fi
+if [ ! -s "$tmp/daemon.ckpt" ]; then
+  fail "drained daemon left no checkpoint"
+fi
+if ! grep -q 'SUSPENDED' "$tmp/drain.err"; then
+  fail "drained daemon summary does not say SUSPENDED"
+fi
+rm -f "$SOCK"
+"$WEAKORD" serve "$SOCK" --workers 4 --timeout 5 --retries 2 --backoff 50 \
+  --cache "$tmp/verdicts2.wovc" -o "$tmp/drain.jsonl" \
+  --checkpoint "$tmp/daemon.ckpt" --resume "$tmp/daemon.ckpt" \
+  2> "$tmp/resume.err" &
+SRV=$!
+await_sock || fail "resumed daemon did not bind $SOCK"
+# Orphaned tickets finish without any client asking; drain once done.
+await_completed 100 || true # completed counts this lifetime's finishes only
+for _ in $(seq 1 300); do
+  [ "$(wc -l < "$tmp/drain.jsonl")" -ge 100 ] && break
+  sleep 0.1
+done
+echo "DRAIN" | "$WEAKORD" client "$SOCK" --timeout 60 >/dev/null 2>&1
+wait "$SRV"
+code=$?
+SRV=""
+if [ "$code" -ne 0 ]; then
+  fail "resumed daemon: expected exit 0 after finishing orphans, got $code"
+fi
+if [ "$(wc -l < "$tmp/drain.jsonl")" -ne 100 ]; then
+  fail "drain + resume lost tickets: $(wc -l < "$tmp/drain.jsonl")/100 records"
+fi
+# The interrupted-and-resumed corpus matches an uninterrupted batch run.
+echo "seeds 100..199" > "$tmp/jobs2.txt"
+"$WEAKORD" batch "$tmp/jobs2.txt" --workers 4 --timeout 5 \
+  -o "$tmp/batch2.jsonl" 2>/dev/null
+if ! diff <(norm "$tmp/drain.jsonl") <(norm "$tmp/batch2.jsonl"); then
+  fail "drain + resume diverged from the uninterrupted batch run"
+fi
+
+# Keep the evidence (CI uploads this directory as an artifact).
+if [ -n "${DAEMON_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$DAEMON_ARTIFACT_DIR"
+  cp "$tmp"/*.jsonl "$DAEMON_ARTIFACT_DIR/" 2>/dev/null
+  cp "$tmp"/*.out "$tmp"/*.err "$DAEMON_ARTIFACT_DIR/" 2>/dev/null
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails daemon chaos check(s) failed" >&2
+  exit 1
+fi
+echo "daemon chaos: ok"

@@ -327,6 +327,25 @@ let test_por_counters () =
   check_int "no reduction, none declined" 0 st_f.Sc.por_declined;
   check "same outcomes either way" true (Final.Set.equal set_r set_f)
 
+(* --- gauges -------------------------------------------------------------------- *)
+
+let test_gauge () =
+  let g = Obs.Gauge.create () in
+  check_int "starts at zero" 0 (Obs.Gauge.current g);
+  check_int "no samples yet" 0 (Obs.Gauge.samples g);
+  Obs.Gauge.incr g;
+  Obs.Gauge.incr g;
+  Obs.Gauge.incr g;
+  Obs.Gauge.decr g;
+  check_int "incr/decr track the level" 2 (Obs.Gauge.current g);
+  check_int "max is the high-water mark" 3 (Obs.Gauge.max_level g);
+  (* samples: 0->1->2->3->2, mean = (1+2+3+2)/4 = 2.0 *)
+  check_int "each transition sampled" 4 (Obs.Gauge.samples g);
+  Alcotest.(check (float 1e-9)) "mean over samples" 2.0 (Obs.Gauge.mean g);
+  Obs.Gauge.set g (-5);
+  check_int "set clamps below zero" 0 (Obs.Gauge.current g);
+  check_int "max survives the clamp" 3 (Obs.Gauge.max_level g)
+
 (* --- fault window ------------------------------------------------------------- *)
 
 let test_fault_events_and_window () =
@@ -369,6 +388,7 @@ let suite =
       Alcotest.test_case "explore metrics consistent" `Quick
         test_explore_metrics_consistent;
       Alcotest.test_case "por counters" `Quick test_por_counters;
+      Alcotest.test_case "gauge levels and means" `Quick test_gauge;
       Alcotest.test_case "fault events and window" `Quick
         test_fault_events_and_window;
     ] )

@@ -12,6 +12,11 @@ let check_string = Alcotest.(check string)
 let prog_of n = (Option.get (Litmus_classics.find n)).Litmus_classics.prog
 let tmp_path suffix = Filename.temp_file "weakord_service" suffix
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 (* --- job files --------------------------------------------------------------- *)
 
 let parse_ok ?default_machine s =
@@ -260,6 +265,145 @@ let test_worker_obeying () =
       check "appears SC" true v.Verdict_cache.v_appears_sc;
       check "no violation" false v.Verdict_cache.v_violation
 
+(* --- wire protocol ------------------------------------------------------------ *)
+
+let feed_all dec s =
+  Wire.feed dec s;
+  let rec drain acc =
+    match Wire.next dec with
+    | Ok (Some p) -> drain (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  drain []
+
+let test_wire_roundtrip () =
+  let dec = Wire.decoder () in
+  let msgs = [ "HELLO weakord/1"; "SUBMIT test mp"; "OK ticket=7"; "" ] in
+  let stream = String.concat "" (List.map Wire.frame msgs) in
+  match feed_all dec stream with
+  | Ok got -> Alcotest.(check (list string)) "all frames decode" msgs got
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_wire_incremental () =
+  (* A frame split at every possible byte boundary still decodes. *)
+  let payload = "RESULT 42 WAIT" in
+  let s = Wire.frame payload in
+  for cut = 1 to String.length s - 1 do
+    let dec = Wire.decoder () in
+    Wire.feed dec (String.sub s 0 cut);
+    (match Wire.next dec with
+    | Ok None -> ()
+    | Ok (Some _) ->
+        if cut < String.length s then
+          Alcotest.failf "frame complete after %d bytes" cut
+    | Error e -> Alcotest.failf "split at %d rejected: %s" cut e);
+    Wire.feed dec (String.sub s cut (String.length s - cut));
+    match Wire.next dec with
+    | Ok (Some p) -> check_string "reassembled" payload p
+    | Ok None -> Alcotest.failf "frame incomplete after split at %d" cut
+    | Error e -> Alcotest.failf "reassembly at %d failed: %s" cut e
+  done
+
+let test_wire_latching () =
+  (* After a framing error the decoder must stay dead: a byte stream
+     that lost sync cannot be trusted again. *)
+  let dec = Wire.decoder () in
+  Wire.feed dec "nonsense without a length\n";
+  (match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  Wire.feed dec (Wire.frame "PING");
+  match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder recovered after a framing error"
+
+let test_wire_oversize () =
+  let dec = Wire.decoder () in
+  Wire.feed dec (Printf.sprintf "%d " (Wire.max_frame + 1));
+  match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversize length accepted"
+
+let test_wire_parse () =
+  let ok s =
+    match Wire.parse_request s with
+    | Ok r -> r
+    | Error (c, m) -> Alcotest.failf "%S rejected: %d %s" s c m
+  in
+  let err s =
+    match Wire.parse_request s with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" s
+    | Error (code, _) -> code
+  in
+  (match ok "HELLO weakord/1" with
+  | Wire.Hello v -> check_string "hello version" "weakord/1" v
+  | _ -> Alcotest.fail "not a Hello");
+  (match ok "submit seed 3 machine=def1" with
+  | Wire.Submit line -> check_string "job line" "seed 3 machine=def1" line
+  | _ -> Alcotest.fail "not a Submit");
+  (match ok "RESULT 42 WAIT" with
+  | Wire.Result { ticket; wait } ->
+      check_int "ticket" 42 ticket;
+      check "wait flag" true wait
+  | _ -> Alcotest.fail "not a Result");
+  (match ok "STATUS 7" with
+  | Wire.Status 7 -> ()
+  | _ -> Alcotest.fail "not STATUS 7");
+  check_int "unknown verb is 404" Wire.e_unknown (err "FROBNICATE 1");
+  check_int "bad ticket is 400" Wire.e_bad (err "STATUS seven");
+  check_int "bare RESULT is 400" Wire.e_bad (err "RESULT");
+  check_int "empty request is 400" Wire.e_bad (err "")
+
+(* --- fuzz --------------------------------------------------------------------- *)
+
+let test_fuzz_clean_range () =
+  (* A small slice of the corpus through the full three-way oracle: the
+     three implementations must agree (this is the in-process miniature
+     of the 10^4-seed acceptance run). *)
+  let cfg = { Fuzz.default_cfg with sim_limit = 50_000 } in
+  let s = Fuzz.run cfg ~lo:0 ~hi:11 in
+  check_int "all programs checked" 12 s.Fuzz.programs;
+  check "many oracle comparisons" true (s.Fuzz.checks > 100);
+  (match s.Fuzz.disagreements with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "oracle disagreement at seed %d: %s (%s)" d.Fuzz.d_seed
+        d.Fuzz.d_check d.Fuzz.d_detail);
+  check "not suspended" false s.Fuzz.suspended;
+  check_int "resume point past the range" 12 s.Fuzz.next_seed;
+  check_int "clean range exits 0" 0 (Fuzz.exit_code s)
+
+let test_fuzz_deadline () =
+  let cfg = { Fuzz.default_cfg with deadline_s = Some 0. } in
+  let s = Fuzz.run cfg ~lo:0 ~hi:99 in
+  check "deadline suspends" true s.Fuzz.suspended;
+  check "resume point within range" true (s.Fuzz.next_seed <= 99);
+  check_int "suspension exits 3" 3 (Fuzz.exit_code s)
+
+let test_fuzz_quarantine_recipe () =
+  (* The quarantine dossier must carry a seed-exact repro recipe even
+     though no real disagreement exists to trigger it. *)
+  let dir = Filename.temp_file "weakord_quar" "" in
+  Sys.remove dir;
+  let cfg = { Fuzz.default_cfg with quarantine = Some dir } in
+  let prog = Litmus_gen.generate ~config:cfg.Fuzz.config 5 in
+  let d =
+    Fuzz.quarantine_seed cfg ~seed:5 ~prog ~check:"unit-test" ~detail:"forced"
+  in
+  (match d with
+  | None -> Alcotest.fail "quarantine wrote nothing"
+  | Some report ->
+      let body = In_channel.with_open_bin report In_channel.input_all in
+      check "report names the seed recipe" true
+        (contains ~sub:"weakord gen --seed 5" body);
+      check "report names the fuzz rerun" true
+        (contains ~sub:"--seeds 5..5" body);
+      check "litmus source written" true
+        (Sys.file_exists (Filename.concat dir "seed5.litmus")));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 let suite =
   ( "service",
     [
@@ -281,4 +425,18 @@ let suite =
         test_worker_cancel;
       Alcotest.test_case "worker verdict on an obeying program" `Quick
         test_worker_obeying;
+      Alcotest.test_case "wire frames round-trip" `Quick test_wire_roundtrip;
+      Alcotest.test_case "wire decoder is incremental" `Quick
+        test_wire_incremental;
+      Alcotest.test_case "wire decoder latches on error" `Quick
+        test_wire_latching;
+      Alcotest.test_case "wire rejects oversize frames" `Quick
+        test_wire_oversize;
+      Alcotest.test_case "wire request grammar" `Quick test_wire_parse;
+      Alcotest.test_case "fuzz: clean oracle over a seed range" `Quick
+        test_fuzz_clean_range;
+      Alcotest.test_case "fuzz: deadline suspends with resume seed" `Quick
+        test_fuzz_deadline;
+      Alcotest.test_case "fuzz: quarantine carries the repro recipe" `Quick
+        test_fuzz_quarantine_recipe;
     ] )
