@@ -395,6 +395,45 @@ let json_service_entries () =
   in
   [ row "oracle-sim" true 0 19; row "oracle-nosim" false 0 49 ]
 
+(* The sharded fleet behind [weakord fleet]: the same oracle driven
+   through the full supervisor pipeline — forked shard workers,
+   heartbeats, result framing, merge accounting.  States and check
+   counts are deterministic per (range, flags) so the row gates like any
+   service row, and poison seeds count as disagreements (a clean corpus
+   must quarantine nothing).  Must run before any exploration row:
+   forking is only reliable while no domain has ever been spawned in
+   this process. *)
+let json_fleet_entries () =
+  let cfg =
+    {
+      Fleet.default_cfg with
+      Fleet.oracle = { Fuzz.default_cfg with Fuzz.sim_limit = 100_000 };
+      shards = 4;
+      unit_seeds = 10;
+    }
+  in
+  let s, ms = wall (fun () -> Fleet.run cfg ~lo:0 ~hi:39) in
+  Fmt.pr
+    "fleet (4 shards, 10-seed units) over seeds 0..39: %d checks, %d \
+     disagreements, %d poison, %.1f ms, %d states/s@."
+    s.Fleet.f_checks s.Fleet.f_disagreements s.Fleet.f_poison_total ms
+    (per_sec s.Fleet.f_states ms);
+  [
+    {
+      entry_default with
+      e_kind = "service";
+      e_name = "fleet";
+      e_machine = "4-shards";
+      e_domains = 4;
+      e_wall_ms = ms;
+      e_states = s.Fleet.f_states;
+      e_states_per_sec = per_sec s.Fleet.f_states ms;
+      e_programs = s.Fleet.f_programs;
+      e_checks = s.Fleet.f_checks;
+      e_disagreements = s.Fleet.f_disagreements + s.Fleet.f_poison_total;
+    };
+  ]
+
 (* Symmetry-reduction differential: the same sweep with the orbit
    reduction off and on.  Two numbers matter per row: the state-count
    reduction (the point of the feature) and the outcome-set equality
@@ -452,6 +491,9 @@ let json_sym_entries () =
     [ "iriw"; "big3" ]
 
 let run_json ?out () =
+  (* Fleet first: it forks shard workers, and fork is only reliable
+     before the exploration rows below spawn any domain. *)
+  let fleet_entries = json_fleet_entries () in
   let entries =
     List.concat_map
       (fun tname ->
@@ -468,7 +510,7 @@ let run_json ?out () =
       [ Machines.def2; Machines.wbuf; Machines.ooo ]
     @ json_sc_entries "big3" prog @ json_sym_entries ()
     @ json_trace_entries () @ json_checkpoint_entries ()
-    @ json_batch_entries () @ json_service_entries ()
+    @ json_batch_entries () @ json_service_entries () @ fleet_entries
   in
   let tm = Unix.localtime (Unix.time ()) in
   let date =

@@ -960,6 +960,40 @@ let fences_cmd =
 
 (* --- gen --------------------------------------------------------------------- *)
 
+let profile_conv =
+  let parse s =
+    match Litmus_gen.profile_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown profile %S (default|wide|deep-await|mixed-sync)" s))
+  in
+  let print ppf p = Fmt.string ppf (Litmus_gen.profile_name p) in
+  Arg.conv (parse, print)
+
+let profile_flag =
+  Arg.(
+    value
+    & opt profile_conv Litmus_gen.default_config.Litmus_gen.profile
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:
+          "Generator shape profile: $(b,default), $(b,wide) (more, shorter \
+           threads), $(b,deep-await) (await-heavy synchronization chains), \
+           $(b,mixed-sync) (a location accessed both plainly and as a \
+           synchronization point). Each profile is its own frozen \
+           seed-to-program mapping; the profile is part of every repro \
+           recipe.")
+
+let no_shrink_flag =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:
+          "Skip ddmin minimization of quarantined programs (dossiers ship \
+           only the full generated program).")
+
 let gen_cmd =
   let seed_arg =
     Arg.(
@@ -1013,7 +1047,8 @@ let gen_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the litmus source to $(docv) instead of stdout.")
   in
-  let action seed threads instrs locs sync_locs no_rmw no_await live out =
+  let action seed threads instrs locs sync_locs no_rmw no_await profile live
+      out =
     let config =
       {
         Litmus_gen.max_threads = threads;
@@ -1022,6 +1057,7 @@ let gen_cmd =
         num_sync_locs = sync_locs;
         allow_rmw = not no_rmw;
         allow_await = not no_await;
+        profile;
       }
     in
     let prog =
@@ -1053,7 +1089,8 @@ let gen_cmd =
     (Cmd.info "gen" ~doc)
     Term.(
       const action $ seed_arg $ threads_flag $ instrs_flag $ locs_flag
-      $ sync_locs_flag $ no_rmw_flag $ no_await_flag $ live_flag $ out_flag)
+      $ sync_locs_flag $ no_rmw_flag $ no_await_flag $ profile_flag
+      $ live_flag $ out_flag)
 
 (* --- batch ------------------------------------------------------------------- *)
 
@@ -1528,140 +1565,137 @@ let client_cmd =
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
+(* Shared by fuzz and fleet: --seeds LO..HI / --count N resolution. *)
+let resolve_seed_range ~seeds ~count =
+  match (seeds, count) with
+  | Some _, Some _ ->
+      Fmt.epr "weakord: --seeds and --count are mutually exclusive@.";
+      exit 2
+  | None, Some n when n > 0 -> (0, n - 1)
+  | None, Some _ ->
+      Fmt.epr "weakord: --count must be positive@.";
+      exit 2
+  | Some s, None -> (
+      match String.index_opt s '.' with
+      | Some i when i + 1 < String.length s && s.[i + 1] = '.' && i > 0 ->
+          let parse what v =
+            match int_of_string_opt v with
+            | Some n -> n
+            | None ->
+                Fmt.epr "weakord: --seeds: bad %s %S@." what v;
+                exit 2
+          in
+          let lo = parse "low bound" (String.sub s 0 i) in
+          let hi =
+            parse "high bound" (String.sub s (i + 2) (String.length s - i - 2))
+          in
+          if lo > hi then begin
+            Fmt.epr "weakord: --seeds: empty range %s@." s;
+            exit 2
+          end;
+          (lo, hi)
+      | _ ->
+          Fmt.epr "weakord: --seeds expects LO..HI, got %S@." s;
+          exit 2)
+  | None, None ->
+      Fmt.epr "weakord: need --seeds LO..HI or --count N@.";
+      exit 2
+
+let resolve_machines = function
+  | [] -> Machines.all
+  | names ->
+      List.map
+        (fun n ->
+          match Machines.find n with
+          | Some m -> m
+          | None ->
+              Fmt.epr "weakord: unknown machine %S@." n;
+              exit 2)
+        names
+
+(* Flags shared by fuzz and fleet. *)
+let seeds_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "seeds" ] ~docv:"LO..HI"
+        ~doc:"Inclusive seed range to check (e.g. $(b,0..9999)).")
+
+let count_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "count" ] ~docv:"N" ~doc:"Shorthand for $(b,--seeds) $(i,0..N-1).")
+
+let fz_threads_flag =
+  Arg.(
+    value
+    & opt int Litmus_gen.default_config.Litmus_gen.max_threads
+    & info [ "threads" ] ~docv:"N" ~doc:"Maximum threads per program.")
+
+let fz_instrs_flag =
+  Arg.(
+    value
+    & opt int Litmus_gen.default_config.Litmus_gen.max_instrs
+    & info [ "instrs" ] ~docv:"N" ~doc:"Maximum instructions per thread.")
+
+let fz_locs_flag =
+  Arg.(
+    value
+    & opt int Litmus_gen.default_config.Litmus_gen.num_locs
+    & info [ "locs" ] ~docv:"N" ~doc:"Data locations.")
+
+let fz_sync_locs_flag =
+  Arg.(
+    value
+    & opt int Litmus_gen.default_config.Litmus_gen.num_sync_locs
+    & info [ "sync-locs" ] ~docv:"N" ~doc:"Synchronization locations.")
+
+let fz_no_rmw_flag =
+  Arg.(value & flag & info [ "no-rmw" ] ~doc:"No read-modify-writes.")
+
+let fz_no_await_flag =
+  Arg.(value & flag & info [ "no-await" ] ~doc:"No await spins.")
+
+let fz_machines_flag =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "m"; "machine" ] ~docv:"NAME"
+        ~doc:
+          "Operational machine(s) to sweep (repeatable; default: all of \
+           them).")
+
+let fz_no_sim_flag =
+  Arg.(
+    value & flag & info [ "no-sim" ] ~doc:"Skip the timing-simulator oracle leg.")
+
+let fz_sim_limit_flag =
+  Arg.(
+    value & opt int Fuzz.default_cfg.Fuzz.sim_limit
+    & info [ "sim-limit" ] ~docv:"N"
+        ~doc:"Simulator event budget per run (wedge = livelock past it).")
+
+let fz_quarantine_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quarantine" ] ~docv:"DIR"
+        ~doc:
+          "Write each disagreement's program source and report (with the \
+           seed-exact repro recipe) into $(docv).")
+
 let fuzz_cmd =
-  let seeds_flag =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "seeds" ] ~docv:"LO..HI"
-          ~doc:"Inclusive seed range to check (e.g. $(b,0..9999)).")
-  in
-  let count_flag =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "count" ] ~docv:"N"
-          ~doc:"Shorthand for $(b,--seeds) $(i,0..N-1).")
-  in
-  let threads_flag =
-    Arg.(
-      value
-      & opt int Litmus_gen.default_config.Litmus_gen.max_threads
-      & info [ "threads" ] ~docv:"N" ~doc:"Maximum threads per program.")
-  in
-  let instrs_flag =
-    Arg.(
-      value
-      & opt int Litmus_gen.default_config.Litmus_gen.max_instrs
-      & info [ "instrs" ] ~docv:"N" ~doc:"Maximum instructions per thread.")
-  in
-  let locs_flag =
-    Arg.(
-      value
-      & opt int Litmus_gen.default_config.Litmus_gen.num_locs
-      & info [ "locs" ] ~docv:"N" ~doc:"Data locations.")
-  in
-  let sync_locs_flag =
-    Arg.(
-      value
-      & opt int Litmus_gen.default_config.Litmus_gen.num_sync_locs
-      & info [ "sync-locs" ] ~docv:"N" ~doc:"Synchronization locations.")
-  in
-  let no_rmw_flag =
-    Arg.(value & flag & info [ "no-rmw" ] ~doc:"No read-modify-writes.")
-  in
-  let no_await_flag =
-    Arg.(value & flag & info [ "no-await" ] ~doc:"No await spins.")
-  in
-  let machines_flag =
-    Arg.(
-      value
-      & opt_all string []
-      & info [ "m"; "machine" ] ~docv:"NAME"
-          ~doc:
-            "Operational machine(s) to sweep (repeatable; default: all of \
-             them).")
-  in
-  let no_sim_flag =
-    Arg.(
-      value & flag
-      & info [ "no-sim" ] ~doc:"Skip the timing-simulator oracle leg.")
-  in
-  let sim_limit_flag =
-    Arg.(
-      value & opt int Fuzz.default_cfg.Fuzz.sim_limit
-      & info [ "sim-limit" ] ~docv:"N"
-          ~doc:"Simulator event budget per run (wedge = livelock past it).")
-  in
-  let quarantine_flag =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "quarantine" ] ~docv:"DIR"
-          ~doc:
-            "Write each disagreement's program source and report (with the \
-             seed-exact repro recipe) into $(docv).")
-  in
   let progress_flag =
     Arg.(
       value & opt int 0
       & info [ "progress" ] ~docv:"N"
           ~doc:"Log a progress line every $(docv) programs.")
   in
-  let action seeds count threads instrs locs sync_locs no_rmw no_await
-      machine_names no_sim sim_limit quarantine deadline progress =
-    let lo, hi =
-      match (seeds, count) with
-      | Some _, Some _ ->
-          Fmt.epr "weakord: --seeds and --count are mutually exclusive@.";
-          exit 2
-      | None, Some n when n > 0 -> (0, n - 1)
-      | None, Some _ ->
-          Fmt.epr "weakord: --count must be positive@.";
-          exit 2
-      | Some s, None -> (
-          match String.index_opt s '.' with
-          | Some i
-            when i + 1 < String.length s
-                 && s.[i + 1] = '.'
-                 && i > 0 ->
-              let parse what v =
-                match int_of_string_opt v with
-                | Some n -> n
-                | None ->
-                    Fmt.epr "weakord: --seeds: bad %s %S@." what v;
-                    exit 2
-              in
-              let lo = parse "low bound" (String.sub s 0 i) in
-              let hi =
-                parse "high bound"
-                  (String.sub s (i + 2) (String.length s - i - 2))
-              in
-              if lo > hi then begin
-                Fmt.epr "weakord: --seeds: empty range %s@." s;
-                exit 2
-              end;
-              (lo, hi)
-          | _ ->
-              Fmt.epr "weakord: --seeds expects LO..HI, got %S@." s;
-              exit 2)
-      | None, None ->
-          Fmt.epr "weakord: need --seeds LO..HI or --count N@.";
-          exit 2
-    in
-    let machines =
-      match machine_names with
-      | [] -> Machines.all
-      | names ->
-          List.map
-            (fun n ->
-              match Machines.find n with
-              | Some m -> m
-              | None ->
-                  Fmt.epr "weakord: unknown machine %S@." n;
-                  exit 2)
-            names
-    in
+  let action seeds count threads instrs locs sync_locs no_rmw no_await profile
+      machine_names no_sim sim_limit quarantine no_shrink deadline progress =
+    let lo, hi = resolve_seed_range ~seeds ~count in
+    let machines = resolve_machines machine_names in
     let cfg =
       {
         Fuzz.config =
@@ -1672,11 +1706,13 @@ let fuzz_cmd =
             num_sync_locs = sync_locs;
             allow_rmw = not no_rmw;
             allow_await = not no_await;
+            profile;
           };
         machines;
         sim = not no_sim;
         sim_limit;
         quarantine;
+        shrink = not no_shrink;
         deadline_s = deadline;
         progress;
         log = (fun m -> Fmt.epr "weakord: %s@." m);
@@ -1702,10 +1738,169 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const action $ seeds_flag $ count_flag $ threads_flag $ instrs_flag
-      $ locs_flag $ sync_locs_flag $ no_rmw_flag $ no_await_flag
-      $ machines_flag $ no_sim_flag $ sim_limit_flag $ quarantine_flag
-      $ deadline_flag $ progress_flag)
+      const action $ seeds_flag $ count_flag $ fz_threads_flag $ fz_instrs_flag
+      $ fz_locs_flag $ fz_sync_locs_flag $ fz_no_rmw_flag $ fz_no_await_flag
+      $ profile_flag $ fz_machines_flag $ fz_no_sim_flag $ fz_sim_limit_flag
+      $ fz_quarantine_flag $ no_shrink_flag $ deadline_flag $ progress_flag)
+
+(* --- fleet ------------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let shards_flag =
+    Arg.(
+      value & opt int Fleet.default_cfg.Fleet.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Concurrent fork-isolated shard workers.")
+  in
+  let unit_flag =
+    Arg.(
+      value & opt int Fleet.default_cfg.Fleet.unit_seeds
+      & info [ "unit" ] ~docv:"N"
+          ~doc:
+            "Seeds per work unit — the granularity of scheduling, retry \
+             and checkpoint accounting.")
+  in
+  let hang_timeout_flag =
+    Arg.(
+      value & opt float Fleet.default_cfg.Fleet.hang_timeout_s
+      & info [ "hang-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-seed heartbeat budget. A shard that has not advanced past \
+             a seed within $(docv) is SIGKILLed and the unit is bisected \
+             around the suspect seed.")
+  in
+  let retries_flag =
+    Arg.(
+      value & opt int Fleet.default_cfg.Fleet.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Hang strikes (or failed attempts) before a seed is poison and \
+             quarantined with a minimized reproducer.")
+  in
+  let backoff_flag =
+    Arg.(
+      value & opt int Fleet.default_cfg.Fleet.backoff_ms
+      & info [ "backoff" ] ~docv:"MS"
+          ~doc:"Base delay for suspect-retry exponential backoff.")
+  in
+  let wedge_seed_flag =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "wedge-seed" ] ~docv:"SEED"
+          ~doc:
+            "Chaos injection (repeatable): wedge the shard on $(docv) \
+             forever, deterministically exercising the hang-hunting and \
+             poison-quarantine path.")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Append unit/disagreement/poison JSONL records to $(docv) \
+             instead of stdout (append mode, so a resumed campaign \
+             continues the same stream).")
+  in
+  let stats_socket_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-socket" ] ~docv:"SOCKET"
+          ~doc:
+            "Serve live campaign gauges over this Unix socket (daemon \
+             wire protocol; poke it with $(b,weakord client) $(docv) \
+             $(b,stats)).")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Log shard lifecycle events: spawns (with pids), heartbeat \
+             kills, bisections, requeues and checkpoint writes.")
+  in
+  let action seeds count threads instrs locs sync_locs no_rmw no_await profile
+      machine_names no_sim sim_limit quarantine no_shrink shards unit_seeds
+      hang_timeout retries backoff wedge_seeds out checkpoint resume deadline
+      mem_budget stats_socket verbose =
+    let lo, hi = resolve_seed_range ~seeds ~count in
+    let machines = resolve_machines machine_names in
+    let oracle =
+      {
+        Fuzz.config =
+          {
+            Litmus_gen.max_threads = threads;
+            max_instrs = instrs;
+            num_locs = locs;
+            num_sync_locs = sync_locs;
+            allow_rmw = not no_rmw;
+            allow_await = not no_await;
+            profile;
+          };
+        machines;
+        sim = not no_sim;
+        sim_limit;
+        quarantine;
+        shrink = not no_shrink;
+        deadline_s = None;
+        progress = 0;
+        log = ignore;
+      }
+    in
+    let cfg =
+      {
+        Fleet.oracle;
+        shards;
+        unit_seeds;
+        hang_timeout_s = hang_timeout;
+        retries;
+        backoff_ms = backoff;
+        out;
+        checkpoint;
+        resume;
+        deadline_s = deadline;
+        mem_budget;
+        wedge_seeds;
+        stats_socket;
+        log = (fun m -> Fmt.epr "weakord: %s@." m);
+        verbose;
+      }
+    in
+    match Fleet.run cfg ~lo ~hi with
+    | exception Fleet.Resume_rejected msg ->
+        Fmt.epr "weakord: unusable checkpoint: %s@." msg;
+        exit 2
+    | exception Invalid_argument msg ->
+        Fmt.epr "weakord: %s@." msg;
+        exit 2
+    | summary ->
+        Fmt.epr "%a@." Fleet.pp_summary summary;
+        if summary.Fleet.f_suspended then
+          Fmt.epr "weakord: fleet drained with %d unit(s) pending%s@."
+            summary.Fleet.f_pending
+            (match checkpoint with
+            | Some p -> "; resume point written to " ^ p
+            | None -> " (no --checkpoint: progress was discarded)");
+        exit (Fleet.exit_code summary)
+  in
+  let doc =
+    "drive the differential fuzz oracle across a fault-tolerant sharded \
+     fleet: fork-isolated shard workers, heartbeat hang-hunting with \
+     seed bisection, poison quarantine with ddmin-minimized reproducers, \
+     and drain/resume checkpoints"
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(
+      const action $ seeds_flag $ count_flag $ fz_threads_flag $ fz_instrs_flag
+      $ fz_locs_flag $ fz_sync_locs_flag $ fz_no_rmw_flag $ fz_no_await_flag
+      $ profile_flag $ fz_machines_flag $ fz_no_sim_flag $ fz_sim_limit_flag
+      $ fz_quarantine_flag $ no_shrink_flag $ shards_flag $ unit_flag
+      $ hang_timeout_flag $ retries_flag $ backoff_flag $ wedge_seed_flag
+      $ out_flag $ checkpoint_flag $ resume_flag $ deadline_flag
+      $ mem_budget_flag $ stats_socket_flag $ verbose_flag)
 
 (* --- list ------------------------------------------------------------------- *)
 
@@ -1752,5 +1947,6 @@ let () =
             serve_cmd;
             client_cmd;
             fuzz_cmd;
+            fleet_cmd;
             list_cmd;
           ]))

@@ -14,6 +14,28 @@
    location first), keeping deadlock-only programs rare but not impossible
    — exhaustive analyses handle those anyway. *)
 
+(* Weighted generator shapes.  [Default] is the historical corpus and
+   is frozen: its draw sequence must stay byte-identical (the verdict
+   cache and every recorded seed recipe key on it).  The other profiles
+   cover the shapes ROADMAP names as underweighted — they are *new*
+   mappings from seed to program, free to draw differently. *)
+type profile = Default | Wide | Deep_await | Mixed_sync
+
+let profile_name = function
+  | Default -> "default"
+  | Wide -> "wide"
+  | Deep_await -> "deep-await"
+  | Mixed_sync -> "mixed-sync"
+
+let profile_of_string = function
+  | "default" -> Some Default
+  | "wide" -> Some Wide
+  | "deep-await" -> Some Deep_await
+  | "mixed-sync" -> Some Mixed_sync
+  | _ -> None
+
+let all_profiles = [ Default; Wide; Deep_await; Mixed_sync ]
+
 type config = {
   max_threads : int;
   max_instrs : int;  (** per thread *)
@@ -21,6 +43,7 @@ type config = {
   num_sync_locs : int;
   allow_rmw : bool;
   allow_await : bool;
+  profile : profile;
 }
 
 let default_config =
@@ -31,6 +54,7 @@ let default_config =
     num_sync_locs = 2;
     allow_rmw = true;
     allow_await = true;
+    profile = Default;
   }
 
 (* A tiny deterministic PRNG (SplitMix64-style) so generation depends only
@@ -63,14 +87,31 @@ let sync_loc i = Printf.sprintf "s%d" i
    awaits have a real chance to find their expected value. *)
 let gen_value rng = 1 + Rng.int rng 2
 
+(* The location every [Mixed_sync] program routes both kinds through:
+   the paper keeps data and synchronization locations disjoint, so a
+   location carrying both is exactly the corpus shape the default
+   profile never produces. *)
+let mixed_loc = data_loc 0
+
 let gen_instr cfg rng ~proc ~idx =
   let reg = Printf.sprintf "r%d_%d" proc idx in
   let dloc () = data_loc (Rng.int rng cfg.num_locs) in
   let sloc () = sync_loc (Rng.int rng cfg.num_sync_locs) in
-  let choices =
+  let base =
     [ `Data_read; `Data_write; `Sync_read; `Sync_write ]
     @ (if cfg.allow_rmw then [ `Rmw ] else [])
     @ if cfg.allow_await then [ `Await; `Await_data ] else []
+  in
+  let choices =
+    match cfg.profile with
+    | Default | Wide -> base
+    | Deep_await ->
+        (* Triple the blocking weight: threads stack several awaits, the
+           nesting depth the default mix almost never reaches. *)
+        base
+        @ (if cfg.allow_await then [ `Await; `Await; `Await_data ]
+           else [ `Sync_write ])
+    | Mixed_sync -> base @ [ `Mixed_access; `Mixed_access ]
   in
   match Rng.pick rng choices with
   | `Data_read -> Instr.read (dloc ()) reg
@@ -86,13 +127,37 @@ let gen_instr cfg rng ~proc ~idx =
          (racy under DRF0 — exactly the behaviours the theorems must
          distinguish). *)
       Instr.await ~kind:Instr.Data (dloc ()) (gen_value rng)
+  | `Mixed_access -> (
+      (* One location, both kinds: half the draws touch [mixed_loc] as
+         data, half as synchronization. *)
+      match (Rng.bool rng, Rng.bool rng) with
+      | true, true -> Instr.read mixed_loc reg
+      | true, false -> Instr.write mixed_loc (gen_value rng)
+      | false, true -> Instr.load ~kind:Instr.Sync mixed_loc reg
+      | false, false ->
+          Instr.store ~kind:Instr.Sync mixed_loc
+            (Exp.Const (gen_value rng)))
 
 let generate ?(config = default_config) seed =
   let rng = Rng.make seed in
-  let nthreads = 2 + Rng.int rng (config.max_threads - 1) in
+  let nthreads =
+    match config.profile with
+    | Default | Deep_await | Mixed_sync ->
+        2 + Rng.int rng (config.max_threads - 1)
+    | Wide ->
+        (* More threads than the default cap, each kept short below, so
+           wide programs stay exhaustively explorable. *)
+        3 + Rng.int rng config.max_threads
+  in
+  let instrs_per_thread () =
+    match config.profile with
+    | Default | Mixed_sync -> 1 + Rng.int rng config.max_instrs
+    | Wide -> 1 + Rng.int rng (max 1 (config.max_instrs - 1))
+    | Deep_await -> 2 + Rng.int rng (config.max_instrs + 1)
+  in
   let threads =
     List.init nthreads (fun proc ->
-        let n = 1 + Rng.int rng config.max_instrs in
+        let n = instrs_per_thread () in
         List.init n (fun idx -> gen_instr config rng ~proc ~idx))
   in
   Prog.make ~name:(Printf.sprintf "gen%d" seed) threads
@@ -128,13 +193,16 @@ let config_args cfg =
     @ flag "locs" cfg.num_locs default_config.num_locs
     @ flag "sync-locs" cfg.num_sync_locs default_config.num_sync_locs
     @ bool "no-rmw" cfg.allow_rmw default_config.allow_rmw
-    @ bool "no-await" cfg.allow_await default_config.allow_await)
+    @ bool "no-await" cfg.allow_await default_config.allow_await
+    @
+    if cfg.profile = Default then []
+    else [ "--profile " ^ profile_name cfg.profile ])
 
 let pp_config ppf cfg =
   Format.fprintf ppf
-    "threads<=%d instrs<=%d locs=%d sync-locs=%d rmw=%b await=%b"
+    "threads<=%d instrs<=%d locs=%d sync-locs=%d rmw=%b await=%b profile=%s"
     cfg.max_threads cfg.max_instrs cfg.num_locs cfg.num_sync_locs
-    cfg.allow_rmw cfg.allow_await
+    cfg.allow_rmw cfg.allow_await (profile_name cfg.profile)
 
 let seed_range ?(config = default_config) ~lo ~hi () =
   if lo > hi then invalid_arg "Litmus_gen.seed_range: lo > hi";

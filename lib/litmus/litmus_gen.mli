@@ -13,6 +13,31 @@
     {!default_config} breaks the mapping and must be treated as an
     engine-version bump (the verdict cache keys on it). *)
 
+(** Weighted generator shape.  {!Default} is the frozen historical
+    corpus (its seed→program mapping is part of the determinism
+    contract and never changes); the others cover shapes the default
+    mix underweights:
+
+    - {!Wide}: more threads than the default cap (3 up to
+      [max_threads + 2]), each kept short — stresses the machines'
+      cross-processor orderings wider than the usual 2–3 threads.
+    - {!Deep_await}: longer threads with triple the blocking weight, so
+      programs stack several [Await]s per thread — the nesting depth
+      the default mix almost never reaches.
+    - {!Mixed_sync}: routes extra accesses through one location touched
+      both as data {e and} as synchronization — legal for the machines
+      but outside the paper's disjoint-location discussion, so a shape
+      the theorems must survive, not assume away. *)
+type profile = Default | Wide | Deep_await | Mixed_sync
+
+val profile_name : profile -> string
+(** ["default"], ["wide"], ["deep-await"], ["mixed-sync"]. *)
+
+val profile_of_string : string -> profile option
+(** Inverse of {!profile_name}. *)
+
+val all_profiles : profile list
+
 type config = {
   max_threads : int;
   max_instrs : int;
@@ -20,6 +45,7 @@ type config = {
   num_sync_locs : int;
   allow_rmw : bool;
   allow_await : bool;
+  profile : profile;
 }
 
 val default_config : config

@@ -20,9 +20,15 @@
      DRF1 program      ⇒ def2-rs/rc appear SC    (Section 6)
      simulator final   ∈ SC set                  (policy- and DRF-gated)
 
-   A disagreement quarantines the seed with its full program text and a
-   seed-exact reproduction recipe; the fuzzer itself keeps going, so a
-   nightly 10^5-seed run reports every divergence, not just the first. *)
+   A disagreement quarantines the seed with its full program text, a
+   seed-exact reproduction recipe and a ddmin-minimized reproducer; the
+   fuzzer itself keeps going, so a nightly 10^5-seed run reports every
+   divergence, not just the first.
+
+   The per-seed oracle is exposed as [check_prog]/[check_seed] so the
+   sharded fleet supervisor ([Fleet]) can run exactly the same checks
+   inside its fork-isolated shard workers: one seed, in, one
+   [seed_report] out, no shared state. *)
 
 type cfg = {
   config : Litmus_gen.config;
@@ -30,6 +36,7 @@ type cfg = {
   sim : bool;
   sim_limit : int;
   quarantine : string option;
+  shrink : bool;
   deadline_s : float option;
   progress : int;
   log : string -> unit;
@@ -42,6 +49,7 @@ let default_cfg =
     sim = true;
     sim_limit = 200_000;
     quarantine = None;
+    shrink = true;
     deadline_s = None;
     progress = 0;
     log = ignore;
@@ -52,6 +60,15 @@ type disagreement = {
   d_check : string;
   d_detail : string;
   d_quarantined : string option;  (* report path, when a dir was given *)
+}
+
+type seed_report = {
+  sr_checks : int;
+  sr_disagreements : (string * string) list;  (* check name, detail *)
+  sr_sim_runs : int;
+  sr_sim_wedged : int;
+  sr_sim_skipped : int;
+  sr_states : int;
 }
 
 type summary = {
@@ -84,7 +101,198 @@ let envelope_of = function
   | "def2" -> Some Models.def2
   | _ -> None
 
-let quarantine_seed cfg ~seed ~prog ~check ~detail =
+(* --- the per-program oracle --------------------------------------------------- *)
+
+let check_prog cfg prog =
+  let checks = ref 0 in
+  let disagreements = ref [] in
+  let sim_runs = ref 0 in
+  let sim_wedged = ref 0 in
+  let sim_skipped = ref 0 in
+  let states = ref 0 in
+  let record ~check ~detail =
+    disagreements := (check, detail) :: !disagreements
+  in
+  let check name cond detail =
+    incr checks;
+    if not (cond ()) then record ~check:name ~detail:(detail ())
+  in
+  (* Leg 1: the two SC implementations must agree exactly. *)
+  let sc_set = Sc.outcomes_cached prog in
+  let sc_ax = Models.outcomes Models.sc prog in
+  check "sc-axiomatic-vs-operational"
+    (fun () -> Final.Set.equal sc_set sc_ax)
+    (fun () ->
+      Printf.sprintf "operational SC %s vs axiomatic SC %s"
+        (set_to_string prog sc_set) (set_to_string prog sc_ax));
+  (* The synchronization-model predicates, computed once. *)
+  let drf0 = lazy (Drf.obeys ~model:Drf.DRF0 prog) in
+  let drf1 = lazy (Drf.obeys ~model:Drf.DRF1 prog) in
+  (* Leg 2: every operational machine against SC, its axiomatic
+     envelope, and the paper's appears-SC theorem. *)
+  let outs_by_name = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let name = Machines.name m in
+      let res = Machines.explore m prog in
+      states := !states + res.Explore.stats.Explore.states_expanded;
+      let outs =
+        match res.Explore.result with
+        | Explore.Complete out | Explore.Partial out -> out
+      in
+      Hashtbl.replace outs_by_name name outs;
+      check
+        (Printf.sprintf "sc-subset-of-%s" name)
+        (fun () -> Final.Set.subset sc_set outs)
+        (fun () ->
+          Printf.sprintf "SC outcome(s) %s missing from %s's set %s"
+            (set_to_string prog (Final.Set.diff sc_set outs))
+            name (set_to_string prog outs));
+      (match envelope_of name with
+      | None -> ()
+      | Some model ->
+          let ax = Models.outcomes model prog in
+          check
+            (Printf.sprintf "%s-within-%s-axioms" name (Models.name model))
+            (fun () -> Final.Set.subset outs ax)
+            (fun () ->
+              Printf.sprintf "machine outcome(s) %s beyond the axioms %s"
+                (set_to_string prog (Final.Set.diff outs ax))
+                (set_to_string prog ax)));
+      let appears_sc () = Final.Set.subset outs sc_set in
+      match name with
+      | "def1" | "def2" ->
+          check
+            (Printf.sprintf "drf0-implies-%s-appears-sc" name)
+            (fun () -> (not (Lazy.force drf0)) || appears_sc ())
+            (fun () ->
+              Printf.sprintf
+                "program obeys DRF0 but %s shows non-SC outcome(s) %s" name
+                (set_to_string prog (Final.Set.diff outs sc_set)))
+      | "def2-rs" | "rc" ->
+          check
+            (Printf.sprintf "drf1-implies-%s-appears-sc" name)
+            (fun () -> (not (Lazy.force drf1)) || appears_sc ())
+            (fun () ->
+              Printf.sprintf
+                "program obeys DRF1 but %s shows non-SC outcome(s) %s" name
+                (set_to_string prog (Final.Set.diff outs sc_set)))
+      | _ -> ())
+    cfg.machines;
+  (* Machine hierarchy, when the relevant machines were swept. *)
+  let pair lo hi =
+    match
+      (Hashtbl.find_opt outs_by_name lo, Hashtbl.find_opt outs_by_name hi)
+    with
+    | Some a, Some b ->
+        check
+          (Printf.sprintf "%s-subset-of-%s" lo hi)
+          (fun () -> Final.Set.subset a b)
+          (fun () ->
+            Printf.sprintf "%s outcome(s) %s missing from %s" lo
+              (set_to_string prog (Final.Set.diff a b))
+              hi)
+    | _ -> ()
+  in
+  pair "def1" "def2";
+  pair "def2" "def2-rs";
+  (* Leg 3: the timing simulator.  One deterministic run per policy;
+     its final state must be in the policy's guaranteed envelope.
+     Blocking programs may legally wedge (the simulator's fixed timing
+     can miss an await's window even when some SC interleaving
+     completes); non-blocking ones never. *)
+  if cfg.sim then begin
+    if not (Litmus_gen.has_complete_execution prog) then incr sim_skipped
+    else
+      let blocking =
+        List.exists (List.exists Instr.is_blocking) (Prog.threads prog)
+      in
+      List.iter
+        (fun policy ->
+          let pname = Cpu.policy_name policy in
+          incr sim_runs;
+          match Sim_litmus.try_run ~limit:cfg.sim_limit policy prog with
+          | Ok run ->
+              let must_be_sc =
+                match policy with
+                | Cpu.Sc -> true
+                | Cpu.Def1 | Cpu.Def2 -> Lazy.force drf0
+                | Cpu.Def2_rs -> Lazy.force drf1
+                | Cpu.Def2_noresv -> false
+              in
+              if must_be_sc then
+                check
+                  (Printf.sprintf "sim-%s-final-in-sc" pname)
+                  (fun () ->
+                    Sim_litmus.allowed_by_sc prog run.Sim_litmus.final)
+                  (fun () ->
+                    Format.asprintf
+                      "simulator final %a is outside the SC set %s"
+                      Final.pp run.Sim_litmus.final
+                      (set_to_string prog sc_set))
+              else incr checks
+          | Error (Sim_run.Deadlock _ | Sim_run.Livelock _) when blocking ->
+              incr sim_wedged
+          | Error f ->
+              let what =
+                match f with
+                | Sim_run.Deadlock d -> "deadlock: " ^ d
+                | Sim_run.Livelock d -> "livelock: " ^ d
+                | Sim_run.Invariant d -> "invariant violation: " ^ d
+              in
+              record
+                ~check:(Printf.sprintf "sim-%s-run" pname)
+                ~detail:what)
+        Cpu.all_policies
+  end;
+  {
+    sr_checks = !checks;
+    sr_disagreements = List.rev !disagreements;
+    sr_sim_runs = !sim_runs;
+    sr_sim_wedged = !sim_wedged;
+    sr_sim_skipped = !sim_skipped;
+    sr_states = !states;
+  }
+
+let check_seed cfg seed =
+  let prog = Litmus_gen.generate ~config:cfg.config seed in
+  (prog, check_prog cfg prog)
+
+(* --- shrinking ---------------------------------------------------------------- *)
+
+(* A minimization predicate must re-run the oracle without the campaign
+   plumbing: no quarantine writes, no shrinking recursion, no logging —
+   just "does the named relation still fail on this candidate". *)
+let still_fails cfg ~check prog =
+  let probe_cfg =
+    { cfg with quarantine = None; shrink = false; progress = 0; log = ignore }
+  in
+  let r = check_prog probe_cfg prog in
+  List.exists (fun (c, _) -> String.equal c check) r.sr_disagreements
+
+let minimize cfg ~check prog =
+  if not cfg.shrink then None
+  else
+    match Shrink.ddmin ~pred:(still_fails cfg ~check) prog with
+    | minimal, st ->
+        cfg.log
+          (Printf.sprintf
+             "shrink [%s]: %d -> %d instruction(s) in %d predicate run(s)%s"
+             check
+             (Shrink.instr_count prog)
+             (Shrink.instr_count minimal)
+             st.Shrink.s_tests
+             (if st.Shrink.s_gave_up then " (budget exhausted)" else ""));
+        Some minimal
+    | exception Invalid_argument _ ->
+        (* The failure did not reproduce under the probe config (e.g. a
+           nondeterministic engine bug).  The dossier still ships the
+           full program; minimization is best-effort. *)
+        None
+
+(* --- quarantine --------------------------------------------------------------- *)
+
+let quarantine_seed ?minimal cfg ~seed ~prog ~check ~detail =
   match cfg.quarantine with
   | None -> None
   | Some dir ->
@@ -94,24 +302,48 @@ let quarantine_seed cfg ~seed ~prog ~check ~detail =
       let litmus = base ^ ".litmus" in
       let report = base ^ ".report" in
       Atomic_io.write_file litmus (Litmus_print.to_string prog);
+      let minimal_line =
+        match minimal with
+        | None -> []
+        | Some m ->
+            Atomic_io.write_file (base ^ ".min.litmus")
+              (Litmus_print.to_string m);
+            [
+              Printf.sprintf
+                "minimal reproducer: seed%d.min.litmus (%d of %d \
+                 instruction(s))"
+                seed (Shrink.instr_count m) (Shrink.instr_count prog);
+            ]
+      in
       let recipe_flags = Litmus_gen.config_args cfg.config in
       Atomic_io.write_file report
         (String.concat "\n"
-           [
-             Printf.sprintf "seed: %d" seed;
-             Printf.sprintf "check: %s" check;
-             Printf.sprintf "detail: %s" detail;
-             "";
-             "reproduce the program:";
-             Printf.sprintf "  weakord gen --seed %d%s" seed
-               (if recipe_flags = "" then "" else " " ^ recipe_flags);
-             "re-run this oracle on just this seed:";
-             Printf.sprintf "  weakord fuzz --seeds %d..%d%s" seed seed
-               (if recipe_flags = "" then ""
-                else " " ^ recipe_flags);
-             "";
-           ]);
+           ([
+              Printf.sprintf "seed: %d" seed;
+              Printf.sprintf "check: %s" check;
+              Printf.sprintf "detail: %s" detail;
+              (* The generator flag set in effect, spelled out even when
+                 empty: a dossier produced under a non-default profile
+                 must replay under that profile, not the default. *)
+              Printf.sprintf "gen flags: %s"
+                (if recipe_flags = "" then "(default)" else recipe_flags);
+              Printf.sprintf "gen config: %s"
+                (Format.asprintf "%a" Litmus_gen.pp_config cfg.config);
+            ]
+           @ minimal_line
+           @ [
+               "";
+               "reproduce the program:";
+               Printf.sprintf "  weakord gen --seed %d%s" seed
+                 (if recipe_flags = "" then "" else " " ^ recipe_flags);
+               "re-run this oracle on just this seed:";
+               Printf.sprintf "  weakord fuzz --seeds %d..%d%s" seed seed
+                 (if recipe_flags = "" then "" else " " ^ recipe_flags);
+               "";
+             ]));
       Some report
+
+(* --- the campaign loop -------------------------------------------------------- *)
 
 let run cfg ~lo ~hi =
   if lo > hi then invalid_arg "Fuzz.run: empty seed range";
@@ -127,7 +359,8 @@ let run cfg ~lo ~hi =
   let next_seed = ref lo in
   let suspended = ref false in
   let record_disagreement ~seed ~prog ~check ~detail =
-    let q = quarantine_seed cfg ~seed ~prog ~check ~detail in
+    let minimal = minimize cfg ~check prog in
+    let q = quarantine_seed ?minimal cfg ~seed ~prog ~check ~detail in
     cfg.log
       (Printf.sprintf "DISAGREEMENT seed %d [%s]: %s%s" seed check detail
          (match q with Some p -> " (quarantined: " ^ p ^ ")" | None -> ""));
@@ -145,144 +378,17 @@ let run cfg ~lo ~hi =
            raise Exit
        | _ -> ());
        let s = !seed in
-       let prog = Litmus_gen.generate ~config:cfg.config s in
+       let prog, r = check_seed cfg s in
        incr programs;
-       let check name cond detail =
-         incr checks;
-         if not (cond ()) then
-           record_disagreement ~seed:s ~prog ~check:name ~detail:(detail ())
-       in
-       (* Leg 1: the two SC implementations must agree exactly. *)
-       let sc_set = Sc.outcomes_cached prog in
-       let sc_ax = Models.outcomes Models.sc prog in
-       check "sc-axiomatic-vs-operational"
-         (fun () -> Final.Set.equal sc_set sc_ax)
-         (fun () ->
-           Printf.sprintf "operational SC %s vs axiomatic SC %s"
-             (set_to_string prog sc_set) (set_to_string prog sc_ax));
-       (* The synchronization-model predicates, computed once. *)
-       let drf0 = lazy (Drf.obeys ~model:Drf.DRF0 prog) in
-       let drf1 = lazy (Drf.obeys ~model:Drf.DRF1 prog) in
-       (* Leg 2: every operational machine against SC, its axiomatic
-          envelope, and the paper's appears-SC theorem. *)
-       let outs_by_name = Hashtbl.create 8 in
+       checks := !checks + r.sr_checks;
+       sim_runs := !sim_runs + r.sr_sim_runs;
+       sim_wedged := !sim_wedged + r.sr_sim_wedged;
+       sim_skipped := !sim_skipped + r.sr_sim_skipped;
+       states_total := !states_total + r.sr_states;
        List.iter
-         (fun m ->
-           let name = Machines.name m in
-           let res = Machines.explore m prog in
-           states_total :=
-             !states_total + res.Explore.stats.Explore.states_expanded;
-           let outs =
-             match res.Explore.result with
-             | Explore.Complete out | Explore.Partial out -> out
-           in
-           Hashtbl.replace outs_by_name name outs;
-           check
-             (Printf.sprintf "sc-subset-of-%s" name)
-             (fun () -> Final.Set.subset sc_set outs)
-             (fun () ->
-               Printf.sprintf "SC outcome(s) %s missing from %s's set %s"
-                 (set_to_string prog (Final.Set.diff sc_set outs))
-                 name (set_to_string prog outs));
-           (match envelope_of name with
-           | None -> ()
-           | Some model ->
-               let ax = Models.outcomes model prog in
-               check
-                 (Printf.sprintf "%s-within-%s-axioms" name
-                    (Models.name model))
-                 (fun () -> Final.Set.subset outs ax)
-                 (fun () ->
-                   Printf.sprintf "machine outcome(s) %s beyond the axioms %s"
-                     (set_to_string prog (Final.Set.diff outs ax))
-                     (set_to_string prog ax)));
-           let appears_sc () = Final.Set.subset outs sc_set in
-           (match name with
-           | "def1" | "def2" ->
-               check
-                 (Printf.sprintf "drf0-implies-%s-appears-sc" name)
-                 (fun () -> (not (Lazy.force drf0)) || appears_sc ())
-                 (fun () ->
-                   Printf.sprintf
-                     "program obeys DRF0 but %s shows non-SC outcome(s) %s"
-                     name
-                     (set_to_string prog (Final.Set.diff outs sc_set)))
-           | "def2-rs" | "rc" ->
-               check
-                 (Printf.sprintf "drf1-implies-%s-appears-sc" name)
-                 (fun () -> (not (Lazy.force drf1)) || appears_sc ())
-                 (fun () ->
-                   Printf.sprintf
-                     "program obeys DRF1 but %s shows non-SC outcome(s) %s"
-                     name
-                     (set_to_string prog (Final.Set.diff outs sc_set)))
-           | _ -> ()))
-         cfg.machines;
-       (* Machine hierarchy, when the relevant machines were swept. *)
-       let pair lo hi =
-         match (Hashtbl.find_opt outs_by_name lo, Hashtbl.find_opt outs_by_name hi) with
-         | Some a, Some b ->
-             check
-               (Printf.sprintf "%s-subset-of-%s" lo hi)
-               (fun () -> Final.Set.subset a b)
-               (fun () ->
-                 Printf.sprintf "%s outcome(s) %s missing from %s" lo
-                   (set_to_string prog (Final.Set.diff a b))
-                   hi)
-         | _ -> ()
-       in
-       pair "def1" "def2";
-       pair "def2" "def2-rs";
-       (* Leg 3: the timing simulator.  One deterministic run per
-          policy; its final state must be in the policy's guaranteed
-          envelope.  Blocking programs may legally wedge (the
-          simulator's fixed timing can miss an await's window even when
-          some SC interleaving completes); non-blocking ones never. *)
-       if cfg.sim then begin
-         if not (Litmus_gen.has_complete_execution prog) then
-           incr sim_skipped
-         else
-           let blocking =
-             List.exists (List.exists Instr.is_blocking) (Prog.threads prog)
-           in
-           List.iter
-             (fun policy ->
-               let pname = Cpu.policy_name policy in
-               incr sim_runs;
-               match Sim_litmus.try_run ~limit:cfg.sim_limit policy prog with
-               | Ok run ->
-                   let must_be_sc =
-                     match policy with
-                     | Cpu.Sc -> true
-                     | Cpu.Def1 | Cpu.Def2 -> Lazy.force drf0
-                     | Cpu.Def2_rs -> Lazy.force drf1
-                     | Cpu.Def2_noresv -> false
-                   in
-                   if must_be_sc then
-                     check
-                       (Printf.sprintf "sim-%s-final-in-sc" pname)
-                       (fun () -> Sim_litmus.allowed_by_sc prog run.Sim_litmus.final)
-                       (fun () ->
-                         Format.asprintf
-                           "simulator final %a is outside the SC set %s"
-                           Final.pp run.Sim_litmus.final
-                           (set_to_string prog sc_set))
-                   else incr checks
-               | Error (Sim_run.Deadlock _ | Sim_run.Livelock _)
-                 when blocking ->
-                   incr sim_wedged
-               | Error f ->
-                   let what =
-                     match f with
-                     | Sim_run.Deadlock d -> "deadlock: " ^ d
-                     | Sim_run.Livelock d -> "livelock: " ^ d
-                     | Sim_run.Invariant d -> "invariant violation: " ^ d
-                   in
-                   record_disagreement ~seed:s ~prog
-                     ~check:(Printf.sprintf "sim-%s-run" pname)
-                     ~detail:what)
-             Cpu.all_policies
-       end;
+         (fun (check, detail) ->
+           record_disagreement ~seed:s ~prog ~check ~detail)
+         r.sr_disagreements;
        if cfg.progress > 0 && (!programs mod cfg.progress) = 0 then
          cfg.log
            (Printf.sprintf

@@ -37,10 +37,22 @@
 
     Each disagreement is written to the quarantine directory as
     [seedN.litmus] (the full program source) plus [seedN.report]
-    carrying the failed relation, the diverging outcome sets, and a
+    carrying the failed relation, the diverging outcome sets, the
+    generator flag set in effect (so a dossier produced under a
+    non-default [gen] profile replays under that profile) and a
     seed-exact reproduction recipe ([weakord gen --seed N <flags>] and
     the one-seed [weakord fuzz] rerun) — the generator's determinism
-    contract makes the seed a complete repro. *)
+    contract makes the seed a complete repro.  When shrinking is on
+    (the default), the dossier also ships [seedN.min.litmus], a
+    {!Shrink.ddmin}-minimized reproducer re-verified against the same
+    failing relation.
+
+    {1 The per-seed oracle}
+
+    {!check_prog} and {!check_seed} expose one seed's worth of checks
+    as a pure-ish function (no quarantine, no logging, no campaign
+    state) so the sharded fleet supervisor ({!Fleet}) can run the exact
+    same oracle inside fork-isolated shard workers. *)
 
 type cfg = {
   config : Litmus_gen.config;  (** generator shape for every seed *)
@@ -48,6 +60,9 @@ type cfg = {
   sim : bool;  (** run the simulator leg *)
   sim_limit : int;  (** simulator event budget per run *)
   quarantine : string option;  (** directory for disagreement dossiers *)
+  shrink : bool;
+      (** ddmin-minimize each disagreement's program before writing its
+          dossier (re-running the oracle as the shrink predicate) *)
   deadline_s : float option;
       (** wall-clock budget; on expiry the run suspends and reports
           the first unchecked seed *)
@@ -57,7 +72,7 @@ type cfg = {
 
 val default_cfg : cfg
 (** Default generator config, all machines, simulator on with a
-    200k-event budget, no quarantine dir, silent. *)
+    200k-event budget, shrinking on, no quarantine dir, silent. *)
 
 type disagreement = {
   d_seed : int;  (** the generator seed — the complete repro *)
@@ -65,6 +80,18 @@ type disagreement = {
   d_detail : string;  (** the diverging sets / final state *)
   d_quarantined : string option;  (** report path when a dir was given *)
 }
+
+type seed_report = {
+  sr_checks : int;  (** oracle comparisons made on this seed *)
+  sr_disagreements : (string * string) list;
+      (** failed relations as [(check, detail)] pairs, in check order *)
+  sr_sim_runs : int;
+  sr_sim_wedged : int;  (** legal wedges (blocking program) *)
+  sr_sim_skipped : int;  (** [1] when the program has no complete run *)
+  sr_states : int;  (** machine states expanded *)
+}
+(** One seed's oracle outcome — the unit the fleet's shard workers
+    accumulate and ship back to their supervisor. *)
 
 type summary = {
   programs : int;  (** seeds generated and checked *)
@@ -82,11 +109,30 @@ type summary = {
   next_seed : int;  (** first unchecked seed (resume point) *)
 }
 
+val check_prog : cfg -> Prog.t -> seed_report
+(** [check_prog cfg prog] runs every oracle relation on one program and
+    returns the tallies.  No quarantine, no shrinking, no logging —
+    side-effect-free campaign-wise (it explores machines and runs the
+    simulator, but touches no files and no [cfg] sinks). *)
+
+val check_seed : cfg -> int -> Prog.t * seed_report
+(** [check_seed cfg seed] generates program [seed] under [cfg.config]
+    and {!check_prog}s it. *)
+
+val still_fails : cfg -> check:string -> Prog.t -> bool
+(** [still_fails cfg ~check prog] — does relation [check] still fail on
+    [prog] under a probe copy of [cfg] (quarantine, shrinking and
+    logging disabled)?  This is the shrink predicate used for
+    disagreement minimization; exposed so the fleet can minimize
+    disagreements reported by its shards. *)
+
 val quarantine_seed :
+  ?minimal:Prog.t ->
   cfg -> seed:int -> prog:Prog.t -> check:string -> detail:string ->
   string option
 (** Write the disagreement dossier for [seed] ([seedN.litmus] +
-    [seedN.report] with the repro recipes) into [cfg.quarantine],
+    [seedN.report] with the gen-flags line and the repro recipes, plus
+    [seedN.min.litmus] when [minimal] is given) into [cfg.quarantine],
     creating the directory on first use; returns the report path, or
     [None] when no quarantine directory is configured. *)
 

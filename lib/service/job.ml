@@ -75,6 +75,14 @@ let parse_opts ~line_no ~machine opts =
                 int_of "sync-locs" v (fun n ->
                     config := { !config with Litmus_gen.num_sync_locs = n };
                     go rest)
+            | "profile" -> (
+                match Litmus_gen.profile_of_string v with
+                | Some p ->
+                    config := { !config with Litmus_gen.profile = p };
+                    go rest
+                | None ->
+                    err "line %d: unknown profile %S (default|wide|deep-await|mixed-sync)"
+                      line_no v)
             | _ -> err "line %d: unknown option %S" line_no k)
         | None -> (
             match opt with

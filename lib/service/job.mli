@@ -14,7 +14,8 @@
     v}
 
     [GENOPTS] mirror the [weakord gen] flags: [threads=N] [instrs=N]
-    [locs=N] [sync-locs=N] [no-rmw] [no-await].  A [seed] job is
+    [locs=N] [sync-locs=N] [no-rmw] [no-await]
+    [profile=default|wide|deep-await|mixed-sync].  A [seed] job is
     reproducible from its line alone — see the determinism contract in
     {!Litmus_gen}.
 

@@ -58,6 +58,45 @@ let materialize ~model (j : Job.t) =
 
 let result_kind = "weakord.batch.result"
 
+(* The CRC-framed result-file protocol, shared by every forked worker
+   kind (batch/daemon verdict workers and the fleet's shard workers):
+   a child installs its payload atomically under a snapshot kind; the
+   parent accepts it only when the frame validates under that exact
+   kind, so a torn write or a stale file of another kind degrades to a
+   retried attempt, never a wrong result. *)
+let write_framed ~kind ~meta path payload =
+  Atomic_io.write_file ~fsync:false path
+    (Snapshot.frame ~kind ~meta ~payload)
+
+let read_framed ~kind path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | bytes -> (
+      match Snapshot.unframe bytes with
+      | Error _ -> None
+      | Ok c ->
+          if String.equal c.Snapshot.kind kind then Some c.Snapshot.payload
+          else None)
+
+let redirect_stderr path =
+  try
+    let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Unix.dup2 fd Unix.stderr;
+    Unix.close fd
+  with Unix.Unix_error _ -> ()
+
+let fork_worker child =
+  (* The child exits via [Unix._exit], so anything sitting in the
+     parent's buffered channels at fork time would otherwise be written
+     twice (once per process). *)
+  flush Stdlib.stdout;
+  flush Stdlib.stderr;
+  match Unix.fork () with
+  | 0 ->
+      (child () : unit);
+      Unix._exit 0
+  | pid -> pid
+
 (* Runs in the child.  Never returns; never flushes the parent's
    buffered channels ([Unix._exit], not [exit]). *)
 let child_exec x ~result_path ~stderr_path (j : Job.t) mat =
@@ -65,13 +104,7 @@ let child_exec x ~result_path ~stderr_path (j : Job.t) mat =
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> cancelled := true));
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
-  (try
-     let fd =
-       Unix.openfile stderr_path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
-     in
-     Unix.dup2 fd Unix.stderr;
-     Unix.close fd
-   with Unix.Unix_error _ -> ());
+  redirect_stderr stderr_path;
   match j.Job.source with
   | Job.Wedge ->
       (* The poison pill for chaos tests: announce, then spin until the
@@ -105,10 +138,10 @@ let child_exec x ~result_path ~stderr_path (j : Job.t) mat =
           ~model:x.x_model ~machine prog
       with
       | Ok v ->
-          Atomic_io.write_file ~fsync:false result_path
-            (Snapshot.frame ~kind:result_kind
-               ~meta:(string_of_int j.Job.id)
-               ~payload:(Marshal.to_string v []));
+          write_framed ~kind:result_kind
+            ~meta:(string_of_int j.Job.id)
+            result_path
+            (Marshal.to_string v []);
           Unix._exit 0
       | Error `Cancelled -> Unix._exit 9
       | exception e ->
@@ -118,30 +151,15 @@ let child_exec x ~result_path ~stderr_path (j : Job.t) mat =
 
 let spawn x ~result_path ~stderr_path j mat =
   (try Sys.remove result_path with Sys_error _ -> ());
-  (* The child exits via [Unix._exit], so anything sitting in the
-     parent's buffered channels at fork time would otherwise be written
-     twice (once per process). *)
-  flush Stdlib.stdout;
-  flush Stdlib.stderr;
-  match Unix.fork () with
-  | 0 -> child_exec x ~result_path ~stderr_path j mat
-  | pid -> pid
+  fork_worker (fun () -> child_exec x ~result_path ~stderr_path j mat)
 
 let read_result path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> None
-  | bytes -> (
-      match Snapshot.unframe bytes with
-      | Error _ -> None
-      | Ok c ->
-          if not (String.equal c.Snapshot.kind result_kind) then None
-          else (
-            match
-              (Marshal.from_string c.Snapshot.payload 0
-                : Verdict_cache.verdict)
-            with
-            | v -> Some v
-            | exception (Failure _ | Invalid_argument _) -> None))
+  match read_framed ~kind:result_kind path with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : Verdict_cache.verdict) with
+      | v -> Some v
+      | exception (Failure _ | Invalid_argument _) -> None)
 
 let read_tail ?(max_bytes = 2048) path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -65,6 +65,28 @@ val materialize : model:Worker.model -> Job.t -> mat
 
 (** {1 The forked worker} *)
 
+val fork_worker : (unit -> unit) -> int
+(** [fork_worker child] flushes the parent's [stdout]/[stderr] (so
+    buffered bytes are not emitted twice), forks, runs [child] in the
+    child process and [_exit 0]s if it returns; the parent gets the
+    pid.  The generic fork under {!spawn} and the fleet's shard
+    workers — any [child] must honor the exit-status contract above. *)
+
+val redirect_stderr : string -> unit
+(** Point the process's [stderr] at a capture file (truncating);
+    best-effort, for use inside forked workers before any output. *)
+
+val write_framed : kind:string -> meta:string -> string -> string -> unit
+(** [write_framed ~kind ~meta path payload] atomically installs a
+    CRC-framed result file — the child half of the result-file
+    protocol.  No [fsync] (a torn write is detected, not prevented). *)
+
+val read_framed : kind:string -> string -> string option
+(** [read_framed ~kind path] loads a result file and returns its
+    payload only when the CRC validates and the snapshot kind matches
+    [kind] exactly; [None] on any defect.  The parent half of the
+    result-file protocol. *)
+
 val spawn : exec -> result_path:string -> stderr_path:string -> Job.t -> mat -> int
 (** [spawn x ~result_path ~stderr_path j m] forks a worker for one
     attempt at [j] and returns its pid.  The child redirects stderr to
@@ -98,6 +120,12 @@ val signal_name : int -> string
     recipe); the volatile trailer [,"cached":_,"attempts":_,"ms":_}]
     always comes last in a fixed order so tooling can strip it with one
     regular expression when diffing runs modulo timing. *)
+
+val record_trailer : cached:bool -> attempts:int -> ms:float -> string
+(** The volatile trailer every JSONL record ends with, in the fixed
+    order tooling strips: [,"cached":_,"attempts":_,"ms":_}].  Exposed
+    so the fleet's unit/poison records stay strippable by the same
+    regular expression as batch and daemon records. *)
 
 val verdict_record :
   Job.t -> Verdict_cache.verdict -> cached:bool -> attempts:int -> ms:float -> string

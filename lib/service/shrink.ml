@@ -1,0 +1,182 @@
+(* Reproducer minimization by delta debugging (Zeller's ddmin), plus two
+   coarser phases the instruction-level search cannot express: dropping
+   whole threads and merging locations.  The predicate is opaque — the
+   fuzzer passes "the same oracle relation still fails", the fleet
+   passes "the seed still wedges" — so nothing here knows what failure
+   is being preserved, only that every accepted candidate exhibits it. *)
+
+type stats = { s_tests : int; s_rounds : int; s_gave_up : bool }
+
+exception Budget
+
+let instr_count prog =
+  List.fold_left (fun n t -> n + List.length t) 0 (Prog.threads prog)
+
+(* Rebuild a program from a thread list, dropping threads left empty by
+   instruction removal.  Generated programs carry no init section and no
+   exists condition; for hand-written inputs the init is preserved and
+   the exists clause is kept only while the thread count is intact (its
+   register references are positional). *)
+let rebuild base threads =
+  let threads = List.filter (fun t -> t <> []) threads in
+  if threads = [] then None
+  else
+    let exists =
+      if List.length threads = Prog.num_threads base then Prog.exists base
+      else None
+    in
+    Some (Prog.make ~name:(Prog.name base) ~init:(Prog.init base) ?exists threads)
+
+(* --- phase 1: ddmin over the flattened instruction list ---------------------- *)
+
+(* Instructions are addressed by position (thread, index); a candidate
+   is the subset of positions kept, mapped back through [rebuild]. *)
+let prog_of_subset base keep =
+  rebuild base
+    (List.mapi
+       (fun t instrs ->
+         List.filteri (fun i _ -> Hashtbl.mem keep (t, i)) instrs)
+       (Prog.threads base))
+
+let subset_of_list l =
+  let h = Hashtbl.create (List.length l) in
+  List.iter (fun p -> Hashtbl.replace h p ()) l;
+  h
+
+let ddmin_instrs ~test base =
+  let positions =
+    List.concat
+      (List.mapi
+         (fun t instrs -> List.mapi (fun i _ -> (t, i)) instrs)
+         (Prog.threads base))
+  in
+  let accepts l =
+    match prog_of_subset base (subset_of_list l) with
+    | None -> false
+    | Some p -> test p
+  in
+  (* Classic ddmin: split the current failing set into n chunks; recurse
+     into a failing chunk (n := 2) or a failing complement (n := n - 1);
+     otherwise double the granularity until n = |set|. *)
+  let chunks n l =
+    let len = List.length l in
+    let base_sz = len / n and extra = len mod n in
+    let rec go i l acc =
+      if i >= n then List.rev acc
+      else
+        let sz = base_sz + if i < extra then 1 else 0 in
+        let rec take k l acc =
+          if k = 0 then (List.rev acc, l)
+          else match l with [] -> (List.rev acc, []) | x :: r -> take (k - 1) r (x :: acc)
+        in
+        let c, rest = take sz l [] in
+        go (i + 1) rest (c :: acc)
+    in
+    go 0 l []
+  in
+  let rec loop cur n =
+    if List.length cur <= 1 then cur
+    else
+      let cs = List.filter (fun c -> c <> []) (chunks n cur) in
+      match List.find_opt accepts cs with
+      | Some c -> loop c 2
+      | None -> (
+          let complements =
+            List.map (fun c -> List.filter (fun x -> not (List.mem x c)) cur) cs
+          in
+          match List.find_opt (fun c -> c <> [] && accepts c) complements with
+          | Some c -> loop c (max 2 (n - 1))
+          | None ->
+              if n >= List.length cur then cur
+              else loop cur (min (List.length cur) (2 * n)))
+  in
+  let minimal = loop positions 2 in
+  match prog_of_subset base (subset_of_list minimal) with
+  | Some p -> p
+  | None -> base
+
+(* --- phase 2: whole-thread removal ------------------------------------------- *)
+
+let drop_threads ~test base =
+  let rec go prog t =
+    if t >= Prog.num_threads prog then prog
+    else
+      let threads = Prog.threads prog in
+      match rebuild prog (List.filteri (fun i _ -> i <> t) threads) with
+      | Some cand when Prog.num_threads prog > 1 && test cand -> go cand t
+      | _ -> go prog (t + 1)
+  in
+  go base 0
+
+(* --- phase 3: location merging ----------------------------------------------- *)
+
+let rename_loc ~from ~to_ i =
+  let r l = if String.equal l from then to_ else l in
+  match i with
+  | Instr.Load l -> Instr.Load { l with loc = r l.loc }
+  | Instr.Store s -> Instr.Store { s with loc = r s.loc }
+  | Instr.Rmw m -> Instr.Rmw { m with loc = r m.loc }
+  | Instr.Await a -> Instr.Await { a with loc = r a.loc }
+  | Instr.Lock l -> Instr.Lock { loc = r l.loc }
+  | Instr.Fence -> Instr.Fence
+
+let merge_locations ~test base =
+  (* Greedy: for each location after the first, try folding it into each
+     earlier survivor; accept the first merge that still fails. *)
+  let rec go prog =
+    let locs = Prog.locations prog in
+    let try_merge from =
+      List.find_map
+        (fun to_ ->
+          if String.equal to_ from then None
+          else
+            let threads =
+              List.map (List.map (rename_loc ~from ~to_)) (Prog.threads prog)
+            in
+            match rebuild prog threads with
+            | Some cand when test cand -> Some cand
+            | _ -> None)
+        locs
+    in
+    match List.find_map (fun from -> try_merge from) locs with
+    | Some cand -> go cand
+    | None -> prog
+  in
+  go base
+
+(* --- the fixpoint driver ------------------------------------------------------ *)
+
+(* Lexicographic size: instructions first (the headline), then threads,
+   then distinct locations — so a location merge that removes no
+   instruction still counts as progress. *)
+let size p =
+  (instr_count p, Prog.num_threads p, List.length (Prog.locations p))
+
+let ddmin ?(max_tests = 2000) ~pred prog =
+  if not (pred prog) then
+    invalid_arg "Shrink.ddmin: predicate rejects the input program";
+  let tests = ref 0 in
+  let best = ref prog in
+  let test p =
+    if !tests >= max_tests then raise Budget;
+    incr tests;
+    let ok = pred p in
+    if ok && compare (size p) (size !best) < 0 then best := p;
+    ok
+  in
+  let rounds = ref 0 in
+  let gave_up = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       incr rounds;
+       let before = size !best in
+       let p = ddmin_instrs ~test !best in
+       let p = drop_threads ~test p in
+       ignore (merge_locations ~test p : Prog.t);
+       (* Thread/location merges can re-open instruction removals (and
+          vice versa); iterate until a whole round changes nothing. *)
+       continue := compare (size !best) before < 0
+     done
+   with Budget -> gave_up := true);
+  (!best, { s_tests = !tests; s_rounds = !rounds; s_gave_up = !gave_up })

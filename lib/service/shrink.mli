@@ -1,0 +1,43 @@
+(** Delta-debugging reproducer minimization for disagreement dossiers.
+
+    A fuzz or fleet campaign that quarantines a seed hands the operator
+    a {e generated} program — typically a dozen instructions across
+    several threads, most of them irrelevant to the failing oracle
+    relation.  This module shrinks it: classic ddmin over the
+    instruction list, then whole-thread removal, then location merging,
+    each phase re-running a caller-supplied predicate that decides
+    whether a candidate still exhibits the failure.
+
+    {b Soundness.}  The shrinker only ever returns a program the
+    predicate accepted (or the untouched original), so when the
+    predicate is "re-run the differential oracle and check the same
+    relation still fails", the minimized reproducer is guaranteed to
+    still fail it — minimization can lose nothing but bulk.  The result
+    is 1-minimal at instruction granularity: removing any single
+    remaining instruction makes the predicate reject (this is ddmin's
+    termination guarantee, checked again after the thread and location
+    phases since those can re-open instruction removals).
+
+    The predicate must hold on the input program; [ddmin] raises
+    [Invalid_argument] otherwise, because "minimize a program that does
+    not fail" has no meaningful answer. *)
+
+type stats = {
+  s_tests : int;  (** predicate invocations spent *)
+  s_rounds : int;  (** outer fixpoint rounds *)
+  s_gave_up : bool;  (** the test budget ran out before the fixpoint *)
+}
+
+val ddmin : ?max_tests:int -> pred:(Prog.t -> bool) -> Prog.t -> Prog.t * stats
+(** [ddmin ~pred prog] returns the smallest program found that still
+    satisfies [pred], plus the search statistics.  Phases: ddmin over
+    the flattened instruction list, greedy whole-thread removal, greedy
+    location merging (renaming a location to another one already in the
+    program), iterated to a fixpoint.  [max_tests] (default [2000])
+    bounds predicate invocations; on exhaustion the best program so far
+    is returned with [s_gave_up = true] — still sound, possibly not
+    minimal.
+    @raise Invalid_argument when [pred prog] is [false]. *)
+
+val instr_count : Prog.t -> int
+(** Total instructions across threads — the size measure minimized. *)

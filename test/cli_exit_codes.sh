@@ -229,6 +229,37 @@ expect 0 "fuzz over a clean seed range" \
 expect 3 "fuzz suspended by its deadline" \
   "$WEAKORD" fuzz --count 500 --deadline 0
 
+# gen --profile: each named profile is a distinct deterministic mapping
+expect 0 "gen with a named profile" "$WEAKORD" gen 42 --profile wide
+expect 124 "gen with an unknown profile is a usage error" \
+  "$WEAKORD" gen 42 --profile sideways
+"$WEAKORD" gen 42 --profile wide > "$tmp/p1.litmus" 2>/dev/null
+"$WEAKORD" gen 42 --profile wide > "$tmp/p2.litmus" 2>/dev/null
+if ! cmp -s "$tmp/p1.litmus" "$tmp/p2.litmus"; then
+  echo "FAIL: gen --profile wide is not deterministic for the same seed" >&2
+  fails=$((fails + 1))
+fi
+if cmp -s "$tmp/g1.litmus" "$tmp/p1.litmus"; then
+  echo "FAIL: gen --profile wide matched the default mapping for seed 42" >&2
+  fails=$((fails + 1))
+fi
+
+# fleet: range/flag validation is exit 2; a clean range exits 0; the
+# deadline drains with exit 3; a wedge seed quarantines with exit 4
+expect 2 "fleet without a range" "$WEAKORD" fleet
+expect 2 "fleet with a backwards range" "$WEAKORD" fleet --seeds 9..3
+expect 2 "fleet with zero shards" "$WEAKORD" fleet --count 10 --shards 0
+expect 2 "fleet with an unusable resume checkpoint" \
+  sh -c "printf smashed > \"$tmp/fl.ckpt\"; \
+         \"$WEAKORD\" fleet --count 10 --resume \"$tmp/fl.ckpt\""
+expect 0 "fleet over a clean seed range" \
+  "$WEAKORD" fleet --count 20 --unit 5 --shards 2 --no-sim
+expect 3 "fleet drained by its deadline" \
+  "$WEAKORD" fleet --count 5000 --deadline 0 --checkpoint "$tmp/fd.ckpt"
+expect 4 "fleet that quarantines a wedge seed" \
+  "$WEAKORD" fleet --count 8 --unit 4 --shards 2 --wedge-seed 3 \
+  --hang-timeout 0.5 --retries 1 --backoff 10
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails exit-code check(s) failed" >&2
   exit 1

@@ -158,6 +158,96 @@ let test_generator_determinism () =
            (Prog.threads a) (Prog.threads b)))
     [ 0; 1; 42; 1000 ]
 
+let profile_config p =
+  { Litmus_gen.default_config with Litmus_gen.profile = p }
+
+let test_profile_determinism () =
+  (* (seed, config) → program stays a pure function under every profile,
+     and the name mapping round-trips (records carry the name). *)
+  List.iter
+    (fun p ->
+      let config = profile_config p in
+      List.iter
+        (fun seed ->
+          let a = Litmus_gen.generate ~config seed
+          and b = Litmus_gen.generate ~config seed in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %d deterministic"
+               (Litmus_gen.profile_name p) seed)
+            (Litmus_print.to_string a) (Litmus_print.to_string b))
+        [ 0; 1; 42; 1000 ];
+      Alcotest.(check bool)
+        (Litmus_gen.profile_name p ^ " name round-trips")
+        true
+        (Litmus_gen.profile_of_string (Litmus_gen.profile_name p) = Some p))
+    Litmus_gen.all_profiles
+
+let test_profile_golden () =
+  (* Pinned seed→program digests: the Default mapping is frozen by the
+     determinism contract (bare [generate] must agree with it), and the
+     other profiles are distinct mappings whose drift would silently
+     invalidate every recorded repro recipe — so any change here must be
+     a deliberate engine-version bump. *)
+  let digest p seed =
+    Digest.to_hex
+      (Digest.string
+         (Litmus_print.to_string
+            (Litmus_gen.generate ~config:(profile_config p) seed)))
+  in
+  Alcotest.(check string)
+    "explicit Default = bare generate"
+    (Digest.to_hex (Digest.string (Litmus_print.to_string (Litmus_gen.generate 42))))
+    (digest Litmus_gen.Default 42);
+  List.iter
+    (fun (p, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "profile %s seed 42 pinned" (Litmus_gen.profile_name p))
+        expect (digest p 42))
+    [
+      (Litmus_gen.Default, "dec21493483a56f85795e5bcd5dbe2a1");
+      (Litmus_gen.Wide, "f335fda76eafd572a59a747dcf48d5ee");
+      (Litmus_gen.Deep_await, "4c66da43afe0aa31d36f263120f96ab9");
+      (Litmus_gen.Mixed_sync, "3e7db0fa297a59ae64e0ddf7e7a23b4e");
+    ]
+
+let test_profile_shapes () =
+  (* Each profile must actually reach the corpus shape it exists for. *)
+  let gen p seed = Litmus_gen.generate ~config:(profile_config p) seed in
+  let seeds = List.init 60 Fun.id in
+  Alcotest.(check bool)
+    "wide exceeds the default thread cap" true
+    (List.exists
+       (fun s ->
+         Prog.num_threads (gen Litmus_gen.Wide s)
+         > Litmus_gen.default_config.Litmus_gen.max_threads)
+       seeds);
+  let stacks_awaits p =
+    List.exists
+      (fun th ->
+        List.length
+          (List.filter (function Instr.Await _ -> true | _ -> false) th)
+        >= 2)
+      (Prog.threads p)
+  in
+  Alcotest.(check bool)
+    "deep-await stacks awaits in one thread" true
+    (List.exists (fun s -> stacks_awaits (gen Litmus_gen.Deep_await s)) seeds);
+  let mixes p =
+    let locs k =
+      List.concat_map
+        (List.filter_map (fun i ->
+             if Instr.kind i = Some k then Instr.location i else None))
+      (Prog.threads p)
+    in
+    List.exists (fun l -> List.mem l (locs Instr.Sync)) (locs Instr.Data)
+  in
+  Alcotest.(check bool)
+    "mixed-sync reuses a location across kinds" true
+    (List.exists (fun s -> mixes (gen Litmus_gen.Mixed_sync s)) seeds);
+  Alcotest.(check bool)
+    "default keeps data and sync locations disjoint" false
+    (List.exists (fun s -> mixes (gen Litmus_gen.Default s)) seeds)
+
 let test_generated_programs_validate () =
   List.iter
     (fun prog ->
@@ -183,6 +273,9 @@ let suite =
   ( "differential",
     [
       tq "generator determinism" test_generator_determinism;
+      tq "profile determinism" test_profile_determinism;
+      tq "profile mappings pinned" test_profile_golden;
+      tq "profile shapes reached" test_profile_shapes;
       t "print/parse round-trip on random programs" test_print_parse_roundtrip_random;
       tq "generated programs validate" test_generated_programs_validate;
       tq "live corpus size" test_corpus_size;

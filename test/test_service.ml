@@ -404,6 +404,120 @@ let test_fuzz_quarantine_recipe () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+let test_fuzz_check_seed_matches_run () =
+  (* The fleet's shard workers accumulate [check_seed] reports; their
+     sums must reproduce exactly what an in-process [Fuzz.run] over the
+     same range tallies, or resumed fleet campaigns would drift from
+     uninterrupted fuzz runs. *)
+  let cfg = { Fuzz.default_cfg with sim_limit = 50_000 } in
+  let lo, hi = (0, 7) in
+  let s = Fuzz.run cfg ~lo ~hi in
+  let checks = ref 0
+  and dis = ref 0
+  and sim_runs = ref 0
+  and wedged = ref 0
+  and skipped = ref 0
+  and states = ref 0 in
+  for seed = lo to hi do
+    let _prog, r = Fuzz.check_seed cfg seed in
+    checks := !checks + r.Fuzz.sr_checks;
+    dis := !dis + List.length r.Fuzz.sr_disagreements;
+    sim_runs := !sim_runs + r.Fuzz.sr_sim_runs;
+    wedged := !wedged + r.Fuzz.sr_sim_wedged;
+    skipped := !skipped + r.Fuzz.sr_sim_skipped;
+    states := !states + r.Fuzz.sr_states
+  done;
+  check_int "checks agree" s.Fuzz.checks !checks;
+  check_int "disagreements agree" (List.length s.Fuzz.disagreements) !dis;
+  check_int "sim runs agree" s.Fuzz.sim_runs !sim_runs;
+  check_int "sim wedges agree" s.Fuzz.sim_wedged !wedged;
+  check_int "sim skips agree" s.Fuzz.sim_skipped !skipped;
+  check_int "states agree" s.Fuzz.states_total !states
+
+(* --- shrink ------------------------------------------------------------------- *)
+
+let test_shrink_ddmin_minimal () =
+  (* Against a pure size predicate, ddmin must reach the exact floor:
+     any surviving instruction beyond it would violate 1-minimality. *)
+  let prog = Litmus_gen.generate 11 in
+  check "sample program is big enough" true (Shrink.instr_count prog >= 4);
+  let pred p = Shrink.instr_count p >= 2 in
+  let min, stats = Shrink.ddmin ~pred prog in
+  check "result satisfies the predicate" true (pred min);
+  check_int "shrunk to the 2-instruction floor" 2 (Shrink.instr_count min);
+  check "search spent tests" true (stats.Shrink.s_tests > 0);
+  check "budget not exhausted" false stats.Shrink.s_gave_up
+
+let test_shrink_rejects_passing_input () =
+  let prog = Litmus_gen.generate 3 in
+  match Shrink.ddmin ~pred:(fun _ -> false) prog with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ddmin accepted a program the predicate rejects"
+
+let test_shrink_budget_sound () =
+  (* A starved budget must still return a predicate-satisfying program
+     (possibly non-minimal) and own up via [s_gave_up]. *)
+  let prog = Litmus_gen.generate 11 in
+  let pred p = Shrink.instr_count p >= 2 in
+  let min, stats = Shrink.ddmin ~max_tests:3 ~pred prog in
+  check "starved result still satisfies pred" true (pred min);
+  check "gave up reported" true stats.Shrink.s_gave_up
+
+(* --- fleet internals ---------------------------------------------------------- *)
+
+let test_fleet_unit_plan () =
+  let plan = Fleet.units_of_range ~lo:0 ~hi:9 ~unit_seeds:4 in
+  check "plan partitions the range" true (plan = [ (0, 3); (4, 7); (8, 9) ]);
+  check "oversized unit collapses to one" true
+    (Fleet.units_of_range ~lo:5 ~hi:9 ~unit_seeds:100 = [ (5, 9) ]);
+  check "single-seed range" true
+    (Fleet.units_of_range ~lo:7 ~hi:7 ~unit_seeds:4 = [ (7, 7) ]);
+  (* Exhaustive coverage check over a few shapes: every seed in exactly
+     one unit, units contiguous and ordered. *)
+  List.iter
+    (fun (lo, hi, us) ->
+      let plan = Fleet.units_of_range ~lo ~hi ~unit_seeds:us in
+      let covered =
+        List.concat_map
+          (fun (a, b) -> List.init (b - a + 1) (fun i -> a + i))
+          plan
+      in
+      check "plan covers the range exactly" true
+        (covered = List.init (hi - lo + 1) (fun i -> lo + i)))
+    [ (0, 9, 1); (0, 9, 3); (3, 17, 5); (0, 0, 256) ]
+
+let test_fleet_wedge_rule () =
+  (* The injected-hang rule doubles as the poison-shrink predicate: it
+     must be deterministic, fire only on listed seeds, and keep firing
+     down to (exactly) a two-instruction program so ddmin has a floor. *)
+  let prog = Litmus_gen.generate 57 in
+  check "fires on a listed seed" true
+    (Fleet.wedge_fires ~wedge_seeds:[ 57 ] ~seed:57 prog);
+  check "ignores unlisted seeds" false
+    (Fleet.wedge_fires ~wedge_seeds:[ 57 ] ~seed:58 prog);
+  check "ignores an empty wedge list" false
+    (Fleet.wedge_fires ~wedge_seeds:[] ~seed:57 prog);
+  let min, _ =
+    Shrink.ddmin ~pred:(Fleet.wedge_fires ~wedge_seeds:[ 57 ] ~seed:57) prog
+  in
+  check_int "poison reproducer shrinks to the wedge floor" 2
+    (Shrink.instr_count min);
+  check "minimal reproducer is strictly smaller" true
+    (Shrink.instr_count min < Shrink.instr_count prog)
+
+let test_job_profile_opt () =
+  let jobs = parse_ok "seed 4 profile=wide\n" in
+  (match (List.hd jobs).Job.source with
+  | Job.Seed { config; _ } ->
+      check "profile genopt lands in the config" true
+        (config.Litmus_gen.profile = Litmus_gen.Wide);
+      check_string "gen args reproduce the profile" "--seed 4 --profile wide"
+        (Job.gen_args (List.hd jobs).Job.source)
+  | _ -> Alcotest.fail "seed job not parsed as Seed");
+  check "unknown profile rejected with location" true
+    (let e = parse_err "seed 4 profile=sideways\n" in
+     String.length e > 5 && String.sub e 0 5 = "line ")
+
 let suite =
   ( "service",
     [
@@ -439,4 +553,18 @@ let suite =
         test_fuzz_deadline;
       Alcotest.test_case "fuzz: quarantine carries the repro recipe" `Quick
         test_fuzz_quarantine_recipe;
+      Alcotest.test_case "fuzz: check_seed sums match run" `Quick
+        test_fuzz_check_seed_matches_run;
+      Alcotest.test_case "shrink: ddmin reaches the minimal floor" `Quick
+        test_shrink_ddmin_minimal;
+      Alcotest.test_case "shrink: passing input rejected" `Quick
+        test_shrink_rejects_passing_input;
+      Alcotest.test_case "shrink: starved budget stays sound" `Quick
+        test_shrink_budget_sound;
+      Alcotest.test_case "fleet: unit plan partitions the range" `Quick
+        test_fleet_unit_plan;
+      Alcotest.test_case "fleet: wedge rule and poison shrink floor" `Quick
+        test_fleet_wedge_rule;
+      Alcotest.test_case "job profile genopt round-trips" `Quick
+        test_job_profile_opt;
     ] )
