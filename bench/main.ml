@@ -122,6 +122,9 @@ type json_entry = {
   e_programs : int;  (* service rows: seeds checked *)
   e_checks : int;  (* service rows: oracle comparisons *)
   e_disagreements : int;  (* service rows: must be 0 (gated) *)
+  e_total_cycles : int;  (* sim rows: simulated completion time *)
+  e_finals_crc : int;  (* sim rows: crc32 of the settled memory image *)
+  e_stalls_crc : int;  (* sim rows: crc32 of the stall-attribution table *)
 }
 
 let entry_default =
@@ -147,6 +150,9 @@ let entry_default =
     e_programs = 0;
     e_checks = 0;
     e_disagreements = 0;
+    e_total_cycles = 0;
+    e_finals_crc = 0;
+    e_stalls_crc = 0;
   }
 
 let per_sec states ms = if ms <= 0. then 0 else
@@ -490,28 +496,76 @@ let json_sym_entries () =
         [ Machines.def2; Machines.ooo ])
     [ "iriw"; "big3" ]
 
-let run_json ?out () =
-  (* Fleet first: it forks shard workers, and fork is only reliable
-     before the exploration rows below spawn any domain. *)
-  let fleet_entries = json_fleet_entries () in
-  let entries =
-    List.concat_map
-      (fun tname ->
-        let prog = prog_of tname in
-        List.concat_map
-          (json_machine_entries tname prog)
-          [ Machines.def2; Machines.wbuf; Machines.ooo ]
-        @ json_sc_entries tname prog)
-      json_corpus
-    @
-    let prog = prog_of "big3" in
-    List.concat_map
-      (json_machine_entries "big3" prog)
-      [ Machines.def2; Machines.wbuf; Machines.ooo ]
-    @ json_sc_entries "big3" prog @ json_sym_entries ()
-    @ json_trace_entries () @ json_checkpoint_entries ()
-    @ json_batch_entries () @ json_service_entries () @ fleet_entries
+(* Timing-simulator scale rows: the spin-heavy workloads at 8..64 cores
+   under both definitions in the shipping engine configuration (heap
+   queue, batching, spin parking), plus one naive reference row per
+   definition — pipeline at 64 cores with parking and batching off — for
+   the events-shed ratio the gate enforces.  The settled memory image and
+   the stall-attribution table are pinned by CRC: simulation is
+   deterministic, so a sim row whose crc or total_cycles moves without a
+   deliberate baseline refresh is a timing regression, not noise.
+   Sanitizer off: these rows measure the engine, not the checker. *)
+let sim_workloads =
+  [
+    ("locks", fun nprocs -> Workload.critical_sections ~nprocs ());
+    ("ticket", fun nprocs -> Workload.ticket_lock ~nprocs ());
+    ("sense", fun nprocs -> Workload.sense_barrier ~nprocs ());
+    ("pipeline", fun nprocs -> Workload.pipeline ~nprocs ());
+  ]
+
+let json_sim_entries () =
+  let finals_crc finals =
+    Crc32.digest
+      (String.concat ";"
+         (List.map (fun (l, v) -> Printf.sprintf "%s=%d" l v) finals))
   in
+  let stalls_crc stalls =
+    Crc32.digest
+      (String.concat ";"
+         (List.map
+            (fun (p, cause, loc, c) -> Printf.sprintf "%d,%s,%s,%d" p cause loc c)
+            (Obs.Stall.rows stalls)))
+  in
+  let row name gen policy label ~nprocs ~naive =
+    let cfg =
+      Sim_config.make ~sanitize:false ~park_spins:(not naive)
+        ~batch_events:(not naive) ()
+    in
+    let r, ms = wall (fun () -> Sim_run.run ~cfg policy (gen nprocs)) in
+    Fmt.pr "sim %-9s %-12s n=%-3d %8d events %7d cycles %8.1f ms@." name label
+      nprocs r.Sim_run.events r.Sim_run.total_cycles ms;
+    {
+      entry_default with
+      e_kind = "sim";
+      e_name = name;
+      e_machine = label;
+      e_domains = nprocs;
+      e_wall_ms = ms;
+      e_states = r.Sim_run.events;
+      e_states_per_sec = per_sec r.Sim_run.events ms;
+      e_total_cycles = r.Sim_run.total_cycles;
+      e_finals_crc = finals_crc r.Sim_run.finals;
+      e_stalls_crc = stalls_crc r.Sim_run.stalls;
+    }
+  in
+  let policies = [ (Cpu.Def1, "def1"); (Cpu.Def2_rs, "def2-rs") ] in
+  List.concat_map
+    (fun (name, gen) ->
+      List.concat_map
+        (fun (policy, label) ->
+          List.map
+            (fun nprocs -> row name gen policy label ~nprocs ~naive:false)
+            [ 8; 16; 32; 64 ])
+        policies)
+    sim_workloads
+  @ List.map
+      (fun (policy, label) ->
+        row "pipeline"
+          (fun nprocs -> Workload.pipeline ~nprocs ())
+          policy (label ^ "-naive") ~nprocs:64 ~naive:true)
+      policies
+
+let write_json ?out entries =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
@@ -564,6 +618,12 @@ let run_json ?out () =
            \"states_per_sec\": %d, \"cache_hits\": %d, \"cache_misses\": %d}"
           common e.e_states e.e_outcomes e.e_states_per_sec e.e_cache_hits
           e.e_cache_misses
+    | "sim" ->
+        Printf.sprintf
+          "{%s, \"events\": %d, \"events_per_sec\": %d, \"total_cycles\": %d, \
+           \"finals_crc\": %d, \"stalls_crc\": %d}"
+          common e.e_states e.e_states_per_sec e.e_total_cycles e.e_finals_crc
+          e.e_stalls_crc
     | _ ->
         Printf.sprintf
           "{%s, \"states_expanded\": %d, \"outcomes\": %d, \
@@ -583,6 +643,35 @@ let run_json ?out () =
   Atomic_io.write_file file (Buffer.contents b);
   Fmt.pr "wrote %s (%d entries)@." file (List.length entries)
 
+let run_json ?out () =
+  (* Fleet first: it forks shard workers, and fork is only reliable
+     before the exploration rows below spawn any domain. *)
+  let fleet_entries = json_fleet_entries () in
+  let entries =
+    List.concat_map
+      (fun tname ->
+        let prog = prog_of tname in
+        List.concat_map
+          (json_machine_entries tname prog)
+          [ Machines.def2; Machines.wbuf; Machines.ooo ]
+        @ json_sc_entries tname prog)
+      json_corpus
+    @
+    let prog = prog_of "big3" in
+    List.concat_map
+      (json_machine_entries "big3" prog)
+      [ Machines.def2; Machines.wbuf; Machines.ooo ]
+    @ json_sc_entries "big3" prog @ json_sym_entries ()
+    @ json_trace_entries () @ json_checkpoint_entries ()
+    @ json_batch_entries () @ json_service_entries () @ fleet_entries
+    @ json_sim_entries ()
+  in
+  write_json ?out entries
+
+(* Only the timing-simulator rows: fast enough for a dedicated CI job
+   (`bench_gate.py --kinds sim` against the committed baseline). *)
+let run_json_sim ?out () = write_json ?out (json_sim_entries ())
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -601,9 +690,11 @@ let () =
   | [ "bechamel" ] -> run_bechamel ()
   | [ "json" ] -> run_json ()
   | [ "json"; "-o"; file ] -> run_json ~out:file ()
+  | [ "json-sim" ] -> run_json_sim ()
+  | [ "json-sim"; "-o"; file ] -> run_json_sim ~out:file ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [fig1|fig2|fig3|sec6-def1|sec6-spin|sweep|appendix|ablate|degrade|\
-         bechamel|json [-o FILE]]";
+         bechamel|json [-o FILE]|json-sim [-o FILE]]";
       exit 2

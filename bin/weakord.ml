@@ -467,15 +467,21 @@ let verify_cmd =
 
 (* --- sim -------------------------------------------------------------------- *)
 
-let workload_of_name = function
-  | "fig3" | "handoff" -> Workload.fig3_handoff ()
-  | "barrier" -> Workload.spin_barrier ()
-  | "barrier-data" -> Workload.spin_barrier ~sync_spin:false ()
-  | "locks" -> Workload.critical_sections ()
-  | "pipeline" -> Workload.pipeline ()
-  | "ticket" -> Workload.ticket_lock ()
-  | "sense-barrier" -> Workload.sense_barrier ()
-  | "sense-barrier-data" -> Workload.sense_barrier ~sync_spin:false ()
+let workload_of_name ?nprocs = function
+  | "fig3" | "handoff" ->
+      (match nprocs with
+      | Some n when n <> 2 ->
+          Fmt.failwith "fig3 is a fixed 2-processor handoff (got --nprocs %d)"
+            n
+      | _ -> ());
+      Workload.fig3_handoff ()
+  | "barrier" -> Workload.spin_barrier ?nprocs ()
+  | "barrier-data" -> Workload.spin_barrier ?nprocs ~sync_spin:false ()
+  | "locks" -> Workload.critical_sections ?nprocs ()
+  | "pipeline" -> Workload.pipeline ?nprocs ()
+  | "ticket" -> Workload.ticket_lock ?nprocs ()
+  | "sense-barrier" -> Workload.sense_barrier ?nprocs ()
+  | "sense-barrier-data" -> Workload.sense_barrier ?nprocs ~sync_spin:false ()
   | s -> Fmt.failwith "unknown workload %S" s
 
 let policy_of_name n =
@@ -523,25 +529,79 @@ let sim_cmd =
             "Print the per-category event table and the stall-attribution \
              table after each run.")
   in
-  let action workload_name policy_names net out summary =
-    let w = workload_of_name workload_name in
-    let cfg = Sim_config.make ~net () in
+  let nprocs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "nprocs" ] ~docv:"N"
+          ~doc:
+            "Run the workload at $(docv) processors (generators default to \
+             their paper-scale widths).")
+  in
+  let normalize_flag =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:
+            "Normalize the exported Chrome trace: shift timestamps to start \
+             at 0 and totally order same-cycle events — byte-stable output \
+             for golden comparisons.")
+  in
+  let golden_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's timing fingerprint (normalized Chrome trace, \
+             stall table, final memory image, total cycles) to $(docv). \
+             Requires exactly one --policy.")
+  in
+  let no_sanitize_flag =
+    Arg.(
+      value & flag
+      & info [ "no-sanitize" ]
+          ~doc:
+            "Skip the per-delivery coherence sanitizer sweep (it scans every \
+             cache line on every message — quadratic in cores; timing is \
+             unaffected either way). For throughput measurement at high \
+             core counts.")
+  in
+  let action workload_name policy_names net nprocs normalize golden
+      no_sanitize out summary =
+    let w = workload_of_name ?nprocs workload_name in
+    let cfg = Sim_config.make ~net ~sanitize:(not no_sanitize) () in
     let policies =
       match policy_names with
       | [] -> Cpu.all_policies
       | names -> List.map policy_of_name names
     in
+    if golden <> None && List.length policies <> 1 then
+      Fmt.failwith "--golden requires exactly one --policy";
     List.iter
       (fun p ->
         let obs =
-          if out <> None || summary then Obs.create () else Obs.null
+          if out <> None || golden <> None || summary then Obs.create ()
+          else Obs.null
         in
+        let t0 = Unix.gettimeofday () in
         let r = Sim_run.run ~cfg ~obs p w in
+        let wall = Unix.gettimeofday () -. t0 in
         Fmt.pr "%a@." Sim_run.pp r;
+        let per s n = if s > 0. then float_of_int n /. s else 0. in
+        Fmt.pr "%d events in %.1f ms (%.0f events/sec, %.0f cycles/sec)@."
+          r.Sim_run.events (wall *. 1000.)
+          (per wall r.Sim_run.events)
+          (per wall r.Sim_run.total_cycles);
         if summary then
           Fmt.pr "%a@."
             (Obs.pp_summary ~stalls:r.Sim_run.stalls)
             obs;
+        (match golden with
+        | None -> ()
+        | Some path ->
+            Atomic_io.write_file path (Sim_run.golden_artifact ~obs r);
+            Fmt.pr "golden written to %s@." path);
         (match out with
         | None -> ()
         | Some path ->
@@ -552,7 +612,7 @@ let sim_cmd =
                 ^ "." ^ Cpu.policy_name p
                 ^ Filename.extension path
             in
-            Obs.Chrome.write_file path obs;
+            Obs.Chrome.write_file ~normalize path obs;
             Fmt.pr "trace written to %s@." path);
         Fmt.pr "@.")
       policies
@@ -561,7 +621,8 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc)
     Term.(
-      const action $ workload_flag $ policy_flag $ net_flag $ out_flag
+      const action $ workload_flag $ policy_flag $ net_flag $ nprocs_flag
+      $ normalize_flag $ golden_flag $ no_sanitize_flag $ out_flag
       $ summary_flag)
 
 (* --- trace ------------------------------------------------------------------- *)

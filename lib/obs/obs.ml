@@ -287,8 +287,22 @@ module Chrome = struct
 
   let to_buffer ?(normalize = false) b evs =
     (* Stable sort by start time keeps simultaneous events in record
-       order, so deterministic runs export byte-identical documents. *)
-    let evs = List.stable_sort (fun a e -> compare a.ts e.ts) evs in
+       order, so deterministic runs export byte-identical documents.
+       Normalized exports (diffing, golden tests) sort by a *total* key
+       instead: the document then depends only on the multiset of events,
+       not on the order the ring received them — which is what lets
+       timing-invisible optimizations (batched delivery, spin parking)
+       reorder same-cycle recording without perturbing the goldens. *)
+    let evs =
+      if normalize then
+        List.sort
+          (fun a e ->
+            compare
+              (a.ts, a.tid, a.cat, a.name, a.dur, a.loc, a.cause, a.value, a.ph)
+              (e.ts, e.tid, e.cat, e.name, e.dur, e.loc, e.cause, e.value, e.ph))
+          evs
+      else List.stable_sort (fun a e -> compare a.ts e.ts) evs
+    in
     let shift =
       if not normalize then 0
       else List.fold_left (fun m e -> min m e.ts) max_int evs

@@ -263,6 +263,178 @@ let sync_read ctx proc loc k =
 let spin_delay ctx k =
   Engine.schedule ctx.eng ~delay:ctx.cfg.Sim_config.spin_interval k
 
+(* --- spin parking ------------------------------------------------------------
+
+   A processor spinning on a cached line runs the same deterministic
+   iteration over and over: a cache hit on a stale value, [cache_hit]
+   cycles of latency, [spin_interval] cycles of delay.  Nothing it does is
+   visible to anyone else (hits send no messages, touch no directory
+   state), and nothing can change what it observes except a foreign
+   request invalidating or downgrading its copy — the value of a valid
+   line only changes through the spinner's own miss refill.  So instead of
+   burning one engine event per iteration per core, the processor *parks*:
+   it registers a {!Proto.watch_line} wakeup and stops scheduling.  When
+   the wakeup fires (or a keepalive bounds the backlog), the skipped
+   iterations' bookkeeping — trace events, op spans, stall attribution,
+   statistics — is replayed from the closed-form per-policy iteration
+   profile, so every observable artifact is identical to the unparked run
+   (gated by the golden timing fingerprints and a park-on/off differential
+   test).
+
+   Eligibility: the next iteration must be a guaranteed pure hit — line in
+   S/M for plain-read spins, M for exclusive-acquiring spins (Def2-base
+   sync spins, lock retries), no pending global-perform on the line, and
+   the outstanding counter at zero (so Def1's pre-sync wait passes
+   immediately and Def2's re-reservation is a no-op; a spinner makes no
+   accesses, so the counter stays zero while parked).
+
+   The wake boundary: an iteration issuing exactly at the wake cycle [tw]
+   read the stale value iff its engine event was created before the
+   delivery event that mutated the line — i.e. iff [tw - spin_interval <
+   Engine.running_since]; on a creation-cycle tie the delivery is taken
+   first.  Iterations strictly before [tw] are always stale hits. *)
+
+type spin_kind = Spin_data | Spin_sync | Lock_retry
+
+(* One skipped iteration's bookkeeping, issued at [t]: exactly what the
+   live hit path records, with the clock terms evaluated in closed form
+   ([Engine.now] at issue is [t]; the check runs at [t + cache_hit]). *)
+let replay_iter ctx proc loc kind ~t =
+  let ch = ctx.cfg.Sim_config.cache_hit in
+  let st = ctx.stats.(proc) in
+  let record_at ~sync ~reads ~writes =
+    let eidx = ctx.op_seq.(proc) in
+    ctx.op_seq.(proc) <- eidx + 1;
+    let ev =
+      Sim_trace.make ~ep:proc ~eidx ~sync ~reads ~writes ~eloc:loc ~egen:t
+    in
+    ev.Sim_trace.ecommit <- t + ch;
+    ev.Sim_trace.egp <- t + ch;
+    ctx.trace <- ev :: ctx.trace
+  in
+  let span name cause =
+    Obs.span ctx.obs ~cat:"op" ~name ~tid:proc ~ts:t ~dur:ch ~loc ~cause
+  in
+  match (kind, ctx.policy) with
+  | Spin_data, _ ->
+      (* data_read: stall_read grows by the full latency even on a hit;
+         the miss residue is zero, so no stall-table row and no cause. *)
+      record_at ~sync:false ~reads:true ~writes:false;
+      st.stall_read <- st.stall_read + ch;
+      span "R" "";
+      st.spin_iters <- st.spin_iters + 1
+  | Spin_sync, (Sc | Def1 | Def2_rs) ->
+      (* plain sync read, hit: zero stalled cycles under all three. *)
+      record_at ~sync:true ~reads:true ~writes:false;
+      span "Sr" "";
+      st.spin_iters <- st.spin_iters + 1
+  | Spin_sync, (Def2 | Def2_noresv) ->
+      (* base Def2 treats the sync read as an exclusive acquire: the
+         cache-hit commit latency is charged as acquire stall. *)
+      record_at ~sync:true ~reads:true ~writes:false;
+      st.stall_acquire <- st.stall_acquire + ch;
+      stall ctx proc ~cause:cause_acquire ~loc ~cycles:ch;
+      span "Sr" (if ch > 0 then cause_acquire else "");
+      st.spin_iters <- st.spin_iters + 1
+  | Lock_retry, (Def2 | Def2_rs | Def2_noresv) ->
+      record_at ~sync:true ~reads:true ~writes:true;
+      st.stall_acquire <- st.stall_acquire + ch;
+      stall ctx proc ~cause:cause_acquire ~loc ~cycles:ch;
+      span "Srmw" (if ch > 0 then cause_acquire else "");
+      st.lock_retries <- st.lock_retries + 1
+  | Lock_retry, (Sc | Def1) ->
+      (* both charge the commit-to-continue wait as sync-gp stall. *)
+      record_at ~sync:true ~reads:true ~writes:true;
+      st.stall_sync_gp <- st.stall_sync_gp + ch;
+      stall ctx proc ~cause:cause_gp ~loc ~cycles:ch;
+      span "Srmw" cause_gp;
+      st.lock_retries <- st.lock_retries + 1
+
+let park_eligible ctx proc loc kind =
+  let cfg = ctx.cfg in
+  cfg.Sim_config.park_spins
+  && cfg.Sim_config.cache_hit + cfg.Sim_config.spin_interval > 0
+  && Proto.counter ctx.proto proc = 0
+  && (not (Proto.line_gp_pending ctx.proto proc loc))
+  &&
+  match Proto.line_state ctx.proto proc loc with
+  | Proto.M -> true
+  | Proto.S -> (
+      match kind with
+      | Spin_data -> true
+      | Spin_sync -> (
+          match ctx.policy with
+          | Sc | Def1 | Def2_rs -> true
+          | Def2 | Def2_noresv -> false)
+      | Lock_retry -> false)
+  | Proto.I -> false
+
+(* Park instead of scheduling the next iteration, when eligible; [resume]
+   is the live iteration body (the spin loop's own function).  Runs at the
+   point where the failed check would have called {!spin_delay}, so the
+   next iteration issues [spin_interval] cycles from now. *)
+let spin_or_park ctx proc loc kind resume =
+  if not (park_eligible ctx proc loc kind) then spin_delay ctx resume
+  else begin
+    let si = ctx.cfg.Sim_config.spin_interval in
+    let period = ctx.cfg.Sim_config.cache_hit + si in
+    (* issue time of the next not-yet-replayed iteration *)
+    let next = ref (Engine.now ctx.eng + si) in
+    let awake = ref false in
+    let replay () =
+      replay_iter ctx proc loc kind ~t:!next;
+      next := !next + period
+    in
+    let ka = ref None in
+    let wake () =
+      if not !awake then begin
+        awake := true;
+        Proto.unwatch_line ctx.proto ~proc ~loc;
+        (match !ka with Some h -> Engine.cancel h | None -> ());
+        let tw = Engine.now ctx.eng in
+        while !next < tw do
+          replay ()
+        done;
+        (* The boundary iteration — one issuing exactly at the wake cycle.
+           Under Def1 the sync paths bounce through a zero-delay
+           counter-drain event, so the line-state check re-enters the queue
+           at the wake cycle behind the already-scheduled invalidation
+           delivery: always a miss.  The direct-check paths read the line
+           inside the iteration event itself, which runs before the
+           delivery iff it was scheduled on an earlier cycle than the
+           delivery was (the delivery's cell is created when its network
+           arrival executes — [running_since] inside the wake); ties go to
+           the delivery. *)
+        let boundary_hit =
+          match (kind, ctx.policy) with
+          | (Spin_sync | Lock_retry), Def1 -> false
+          | _ -> tw - si < Engine.running_since ctx.eng
+        in
+        if !next = tw && boundary_hit then replay ();
+        Engine.schedule ctx.eng ~delay:(!next - tw) resume
+      end
+    in
+    (* While parked the queue must not drain silently: a keepalive tick
+       keeps simulated time advancing so a spin that is never woken (e.g.
+       under the Skip_invalidation mutation) still trips the livelock
+       watchdog, exactly like an unparked spin; it also bounds the replay
+       backlog by draining it incrementally.  Cancelled on wake so a stale
+       tick cannot outlive the real schedule and stretch [total_cycles]. *)
+    let rec keepalive () =
+      ka :=
+        Some
+          (Engine.schedule_cancellable ctx.eng
+             ~delay:ctx.cfg.Sim_config.park_keepalive (fun () ->
+               let now = Engine.now ctx.eng in
+               while !next < now do
+                 replay ()
+               done;
+               keepalive ()))
+    in
+    Proto.watch_line ctx.proto ~proc ~loc wake;
+    keepalive ()
+  end
+
 let rec exec_op ctx proc op k =
   let st = ctx.stats.(proc) in
   match op with
@@ -287,9 +459,12 @@ let rec exec_op ctx proc op k =
       sync_modify ctx proc loc ~reads:true ~writes:true (fun v -> v + n)
         (fun _ -> k ())
   | Workload.Spin_until { loc; expect; sync } ->
+      let kind = if sync then Spin_sync else Spin_data in
       let rec iter () =
         st.spin_iters <- st.spin_iters + 1;
-        let check v = if v = expect then k () else spin_delay ctx iter in
+        let check v =
+          if v = expect then k () else spin_or_park ctx proc loc kind iter
+        in
         if sync then sync_read ctx proc loc check
         else data_read ctx proc loc check
       in
@@ -302,7 +477,7 @@ let rec exec_op ctx proc op k =
             if old = 0 then k ()
             else begin
               st.lock_retries <- st.lock_retries + 1;
-              spin_delay ctx attempt
+              spin_or_park ctx proc loc Lock_retry attempt
             end)
       in
       attempt ()

@@ -3,13 +3,23 @@
     A priority queue of thunks keyed on simulated time; same-cycle events
     run in insertion order, so a run is a pure function of the scheduled
     work — the determinism every golden-trace and differential test in
-    the repository leans on. *)
+    the repository leans on.
+
+    The queue is an array-based binary min-heap of event cells.  With
+    batching on (the default), consecutive schedules targeting the same
+    cycle merge into one cell — one heap operation for a whole same-cycle
+    burst — without changing execution order.  {!Engine_ref} keeps the
+    original persistent-map implementation as the differential-test
+    reference. *)
 
 type t
 (** An event queue with a clock. *)
 
-val create : unit -> t
-(** A fresh engine at cycle 0 with an empty queue. *)
+val create : ?batch:bool -> unit -> t
+(** A fresh engine at cycle 0 with an empty queue.  [batch] (default
+    [true]) merges consecutive same-cycle schedules into one event cell;
+    execution order is identical either way, only {!executed} and
+    {!merged} accounting differs. *)
 
 val now : t -> int
 (** The current simulated cycle. *)
@@ -18,8 +28,36 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** Run the thunk [delay] cycles from now; ties run in insertion order.
     @raise Invalid_argument on negative delay. *)
 
+type handle
+(** A cancellable scheduled event. *)
+
+val schedule_cancellable : t -> delay:int -> (unit -> unit) -> handle
+(** Like {!schedule}, but returns a handle for {!cancel}.  The event never
+    merges with batched neighbours (cancellation must affect exactly one
+    thunk), so reserve it for rare control events — the spin-parking
+    keepalive — not hot-path traffic.
+    @raise Invalid_argument on negative delay. *)
+
+val cancel : handle -> unit
+(** Drop the event: when its turn comes it is discarded without running,
+    without advancing the clock, and without counting in {!executed} — as
+    if it had never been scheduled.  Idempotent; a no-op after the event
+    has already run. *)
+
 val executed : t -> int
-(** Number of events executed so far. *)
+(** Number of event cells executed so far.  With batching off, exactly
+    the number of thunks run ({!Engine_ref.executed} parity). *)
+
+val merged : t -> int
+(** Number of thunks that were batched into an already-scheduled cell
+    instead of costing their own heap operation.  Thunks run =
+    [executed + merged] once the queue drains. *)
+
+val running_since : t -> int
+(** The clock value at which the currently-executing event cell was
+    {e created} (0 before the first pop).  Lets same-cycle observers
+    order themselves against the event that scheduled them — used by the
+    spin-parking wake tie-break. *)
 
 exception Out_of_time
 (** Raised by {!run} when the clock passes its limit. *)

@@ -1,0 +1,48 @@
+(* The original Map-based event engine, kept verbatim as the reference
+   implementation for the heap engine's differential property test
+   (test/test_engine.ml).  Do not optimize this module: its value is that
+   it is obviously correct — a persistent map ordered by (time, seq) keys
+   pops in exactly (time, insertion-order) sequence. *)
+
+module Pq = Map.Make (struct
+  type t = int * int (* time, sequence *)
+
+  let compare = compare
+end)
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable queue : (unit -> unit) Pq.t;
+  mutable executed : int;
+}
+
+let create () = { now = 0; seq = 0; queue = Pq.empty; executed = 0 }
+
+let now t = t.now
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  let key = (t.now + delay, t.seq) in
+  t.seq <- t.seq + 1;
+  t.queue <- Pq.add key f t.queue
+
+let executed t = t.executed
+
+exception Out_of_time
+
+(* Run until the queue drains.  [limit] bounds simulated time as a safety
+   net against livelock bugs (spinning processors reschedule themselves
+   forever if the value they wait for never arrives). *)
+let run ?(limit = 10_000_000) t =
+  let continue = ref true in
+  while !continue do
+    match Pq.min_binding_opt t.queue with
+    | None -> continue := false
+    | Some (((time, _) as key), f) ->
+        if time > limit then raise Out_of_time;
+        t.queue <- Pq.remove key t.queue;
+        t.now <- max t.now time;
+        t.executed <- t.executed + 1;
+        f ()
+  done

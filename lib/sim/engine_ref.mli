@@ -1,0 +1,32 @@
+(** The original [Map]-based event engine, kept as the reference
+    implementation for {!Engine}'s differential property test.
+
+    Same contract as {!Engine} (minus batching): thunks keyed on
+    [(time, seq)] in a persistent map, popped in key order — same-cycle
+    events run in insertion order.  O(log n) per operation and
+    allocation-heavy, which is why {!Engine} replaced it on the hot path;
+    obviously correct, which is why it survives here. *)
+
+type t
+(** An event queue with a clock. *)
+
+val create : unit -> t
+(** A fresh engine at cycle 0 with an empty queue. *)
+
+val now : t -> int
+(** The current simulated cycle. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run the thunk [delay] cycles from now; ties run in insertion order.
+    @raise Invalid_argument on negative delay. *)
+
+val executed : t -> int
+(** Number of events executed so far. *)
+
+exception Out_of_time
+(** Raised by {!run} when the clock passes its limit. *)
+
+val run : ?limit:int -> t -> unit
+(** Drain the queue.
+    @raise Out_of_time if simulated time exceeds [limit] (default 10^7) —
+    the safety net against livelock. *)

@@ -84,8 +84,25 @@ type pstate = {
   inflight : (string, (unit -> unit) Queue.t) Hashtbl.t;
       (** lines with an outstanding transaction; queued thunks retry after
           the line arrives *)
-  mutable deferred : (string * (unit -> unit)) list;
-      (** foreign requests deferred by reserved lines, keyed by line *)
+  deferred : (string, (int * (unit -> unit)) Queue.t) Hashtbl.t;
+      (** foreign requests deferred by reserved lines, per line; the int is
+          a global arrival stamp so a drain-all services them in arrival
+          order across lines *)
+  mutable deferred_n : int;  (** total deferred requests, across lines *)
+  mutable defer_seq : int;  (** next arrival stamp *)
+  mutable open_txns : Iset.t;
+      (** this processor's in-flight transaction ids — the set a new
+          reservation depends on, maintained here so placing a reservation
+          does not scan the global transaction table *)
+  mutable reserved_lines : (string * line) list;
+      (** lines currently reserved, in reservation order — so clearing
+          reservations (per transaction close, or all at counter zero)
+          does not scan the whole cache *)
+  mutable watcher : (string * (unit -> unit)) option;
+      (** a parked spinner's wakeup: runs synchronously when a foreign
+          request changes the state of this processor's copy of the line
+          (invalidation or downgrade).  At most one — a processor spins on
+          one location at a time *)
 }
 
 (* A tracked miss: from issue until the access is globally performed.  The
@@ -152,7 +169,12 @@ let create ?(init = []) ?(obs = Obs.null) ?(stalls = Obs.Stall.create ()) cfg
             counter = 0;
             zero_waiters = [];
             inflight = Hashtbl.create 4;
-            deferred = [];
+            deferred = Hashtbl.create 4;
+            deferred_n = 0;
+            defer_seq = 0;
+            open_txns = Iset.empty;
+            reserved_lines = [];
+            watcher = None;
           });
     dir = Hashtbl.create 16;
     init = List.fold_left (fun m (l, v) -> Smap.add l v m) Smap.empty init;
@@ -171,6 +193,21 @@ let counter t p = t.procs.(p).counter
 let nprocs t = t.cfg.Sim_config.nprocs
 
 let set_monitor t f = Net.set_monitor t.net f
+
+(* --- line watchers (spin parking) ------------------------------------------ *)
+
+let watch_line t ~proc ~loc f = t.procs.(proc).watcher <- Some (loc, f)
+
+let unwatch_line t ~proc ~loc:_ = t.procs.(proc).watcher <- None
+
+(* A foreign request just changed P[proc]'s copy of [loc] (invalidation or
+   downgrade): fire the parked spinner's wakeup, synchronously — the waker
+   runs inside the delivery event, so [Engine.running_since] tells it how
+   the mutation ordered against same-cycle spin iterations. *)
+let notify_line t proc loc =
+  match t.procs.(proc).watcher with
+  | Some (l, f) when String.equal l loc -> f ()
+  | Some _ | None -> ()
 
 let line_of t p loc =
   let ps = t.procs.(p) in
@@ -266,7 +303,7 @@ let dump t =
   Array.iteri
     (fun p ps ->
       Fmt.pf ppf "  P%d: counter=%d deferred=%d zero-waiters=%d@." p ps.counter
-        (List.length ps.deferred)
+        ps.deferred_n
         (List.length ps.zero_waiters);
       let lines =
         Hashtbl.fold (fun loc l acc -> (loc, l) :: acc) ps.lines []
@@ -324,7 +361,7 @@ let cached_lines t p =
 
 let memory_value t loc = (dentry_of t loc).mem
 
-let deferred_count t p = List.length t.procs.(p).deferred
+let deferred_count t p = t.procs.(p).deferred_n
 
 let open_txns t =
   Hashtbl.fold (fun _ tx acc -> (tx.txid, tx.tproc, tx.tloc) :: acc) t.txns []
@@ -354,6 +391,7 @@ let open_txn t ~proc ~loc ~write =
     }
   in
   Hashtbl.add t.txns txid tx;
+  t.procs.(proc).open_txns <- Iset.add txid t.procs.(proc).open_txns;
   journal t "P%d %s miss on %s -> txn %d" proc
     (if write then "write" else "read")
     loc txid;
@@ -386,13 +424,18 @@ let open_txn t ~proc ~loc ~write =
 (* Release the deferred foreign requests for [loc] held at [proc]. *)
 let release_deferred t proc loc =
   let ps = t.procs.(proc) in
-  let mine, rest = List.partition (fun (l, _) -> l = loc) ps.deferred in
-  ps.deferred <- rest;
-  List.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) (List.rev mine)
+  match Hashtbl.find_opt ps.deferred loc with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove ps.deferred loc;
+      ps.deferred_n <- ps.deferred_n - Queue.length q;
+      Queue.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) q
 
 let close_txn t tx =
   tx.topen <- false;
   Hashtbl.remove t.txns tx.txid;
+  let ps = t.procs.(tx.tproc) in
+  ps.open_txns <- Iset.remove tx.txid ps.open_txns;
   Obs.span t.obs ~cat:"txn"
     ~name:(if tx.twrite then "GetX" else "GetS")
     ~tid:tx.tproc ~ts:tx.tstart
@@ -402,17 +445,22 @@ let close_txn t tx =
      seen all their previous accesses globally performed: clear them (and
      service their stalled requests) as soon as that happens, rather than
      waiting for the full counter to read zero — mutual reservations
-     between sync-heavy processors would otherwise never drain. *)
-  Hashtbl.iter
-    (fun loc l ->
-      if l.reserved && Iset.mem tx.txid l.resv_deps then begin
-        l.resv_deps <- Iset.remove tx.txid l.resv_deps;
-        if Iset.is_empty l.resv_deps then begin
-          l.reserved <- false;
-          release_deferred t tx.tproc loc
-        end
-      end)
-    t.procs.(tx.tproc).lines
+     between sync-heavy processors would otherwise never drain.  Only the
+     registered reserved lines are visited, not the whole cache. *)
+  if ps.reserved_lines <> [] then begin
+    List.iter
+      (fun (loc, l) ->
+        if l.reserved && Iset.mem tx.txid l.resv_deps then begin
+          l.resv_deps <- Iset.remove tx.txid l.resv_deps;
+          if Iset.is_empty l.resv_deps then begin
+            l.reserved <- false;
+            release_deferred t tx.tproc loc
+          end
+        end)
+      ps.reserved_lines;
+    ps.reserved_lines <-
+      List.filter (fun (_, l) -> l.reserved) ps.reserved_lines
+  end
 
 (* --- counter maintenance -------------------------------------------------- *)
 
@@ -434,19 +482,29 @@ let decr_counter t p =
   sample_counter t p;
   if ps.counter = 0 then begin
     (* All reserve bits are reset when the counter reads zero... *)
-    Hashtbl.iter
-      (fun _ l ->
+    List.iter
+      (fun (_, l) ->
         l.reserved <- false;
         l.resv_deps <- Iset.empty)
-      ps.lines;
+      ps.reserved_lines;
+    ps.reserved_lines <- [];
     (* ...pending processor stalls resume... *)
     let ws = ps.zero_waiters in
     ps.zero_waiters <- [];
     List.iter (fun k -> Engine.schedule t.eng ~delay:0 k) ws;
-    (* ...and the queue of stalled foreign requests is serviced. *)
-    let ds = List.rev ps.deferred in
-    ps.deferred <- [];
-    List.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) ds
+    (* ...and the queue of stalled foreign requests is serviced, in
+       arrival order across lines (the global stamps). *)
+    if ps.deferred_n > 0 then begin
+      let ds =
+        Hashtbl.fold
+          (fun _ q acc -> Queue.fold (fun acc d -> d :: acc) acc q)
+          ps.deferred []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Hashtbl.reset ps.deferred;
+      ps.deferred_n <- 0;
+      List.iter (fun (_, k) -> Engine.schedule t.eng ~delay:0 k) ds
+    end
   end
 
 let when_counter_zero t p k =
@@ -458,6 +516,7 @@ let reserve_if_outstanding t ~proc ~loc =
   let ps = t.procs.(proc) in
   if ps.counter > 0 then begin
     let l = line_of t proc loc in
+    if not l.reserved then ps.reserved_lines <- ps.reserved_lines @ [ (loc, l) ];
     l.reserved <- true;
     Obs.instant t.obs ~cat:"proto" ~name:"reserve" ~tid:proc
       ~ts:(Engine.now t.eng) ~loc ~cause:"";
@@ -465,10 +524,7 @@ let reserve_if_outstanding t ~proc ~loc =
        performed: exactly the processor's open transactions right now
        (later accesses have not issued yet — threads are driven by
        continuations). *)
-    l.resv_deps <-
-      Hashtbl.fold
-        (fun txid tx acc -> if tx.tproc = proc then Iset.add txid acc else acc)
-        t.txns Iset.empty
+    l.resv_deps <- ps.open_txns
   end
 
 (* Defer a foreign request for [loc] at [owner] until the reservation
@@ -479,7 +535,19 @@ let defer t owner loc k =
   journal t "foreign request for %s deferred at P%d (reserved line)" loc owner;
   let ps = t.procs.(owner) in
   if ps.counter = 0 then Engine.schedule t.eng ~delay:0 k
-  else ps.deferred <- (loc, k) :: ps.deferred
+  else begin
+    let q =
+      match Hashtbl.find_opt ps.deferred loc with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add ps.deferred loc q;
+          q
+    in
+    Queue.add (ps.defer_seq, k) q;
+    ps.defer_seq <- ps.defer_seq + 1;
+    ps.deferred_n <- ps.deferred_n + 1
+  end
 
 (* --- directory -------------------------------------------------------------- *)
 
@@ -545,6 +613,7 @@ let rec dir_gets t ~proc ~loc ~deliver =
           owner_service t ~owner ~requester:proc ~loc (fun () ->
               let l = line_of t owner loc in
               l.lstate <- S;
+              notify_line t owner loc;
               let v = l.lvalue in
               send t loc (fun () -> deliver v);
               send t loc (fun () ->
@@ -590,7 +659,8 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
                 (match t.cfg.Sim_config.mutation with
                 | Sim_config.Skip_invalidation -> ()
                 | Sim_config.No_mutation | Sim_config.Forget_ack ->
-                    l.lstate <- I);
+                    l.lstate <- I;
+                    notify_line t sh loc);
                 journal t "invalidate %s at P%d" loc sh;
                 if t.cfg.Sim_config.mutation <> Sim_config.Forget_ack then
                   (* ack back to the directory *)
@@ -615,6 +685,7 @@ and dir_getx t ~proc ~loc ~deliver ~on_gp =
               t.stats.invalidations <- t.stats.invalidations + 1;
               let l = line_of t owner loc in
               l.lstate <- I;
+              notify_line t owner loc;
               let v = l.lvalue in
               journal t "invalidate owner %s at P%d" loc owner;
               send t loc (fun () -> deliver v ~gp:false);
@@ -751,6 +822,11 @@ let line_reserved t p loc =
   match Hashtbl.find_opt t.procs.(p).lines loc with
   | None -> false
   | Some l -> l.reserved
+
+let line_gp_pending t p loc =
+  match Hashtbl.find_opt t.procs.(p).lines loc with
+  | None -> false
+  | Some l -> l.gp_waiters <> None
 
 (* The coherent value of a location at quiescence: the owner's copy if the
    line is exclusive somewhere, the directory's otherwise. *)

@@ -102,6 +102,24 @@ val line_state : t -> int -> string -> line_state
 val line_reserved : t -> int -> string -> bool
 (** Whether the processor holds a reservation on the line. *)
 
+val line_gp_pending : t -> int -> string -> bool
+(** Whether a write by this processor to this line is committed but not
+    yet globally performed ([gp] waiters outstanding). *)
+
+(** {1 Line watchers (spin parking)}
+
+    A parked spinner registers a wakeup on (processor, line); the protocol
+    fires it synchronously whenever a {e foreign} request changes that
+    processor's copy of the line — invalidation or downgrade — which is
+    the only way the value a spinning read observes can ever change.  At
+    most one watcher per processor (it spins on one location at a time). *)
+
+val watch_line : t -> proc:int -> loc:string -> (unit -> unit) -> unit
+(** Register the processor's wakeup for [loc] (replaces any previous). *)
+
+val unwatch_line : t -> proc:int -> loc:string -> unit
+(** Drop the processor's wakeup. *)
+
 val memory_value : t -> string -> int
 (** The directory's memory copy (possibly stale while Exclusive). *)
 

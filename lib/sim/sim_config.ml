@@ -46,6 +46,18 @@ type t = {
   max_txn_extensions : int;
   sanitize : bool;  (** run the coherence sanitizer after every delivery *)
   mutation : mutation;  (** deliberate protocol bug, for monitor tests *)
+  (* --- engine throughput (timing-invisible) ---------------------------- *)
+  batch_events : bool;
+      (** merge consecutive same-cycle schedules into one engine event
+          cell; execution order (and so all timing) is unchanged *)
+  park_spins : bool;
+      (** park spinning processors on a line wakeup list instead of
+          burning one event per spin interval; timing-invisible — gated
+          by the golden timing fingerprints *)
+  park_keepalive : int;
+      (** while parked, a keepalive event fires every this many cycles so
+          a never-woken spin still trips the livelock watchdog instead of
+          reading as a drained-queue deadlock *)
 }
 
 let default =
@@ -66,13 +78,17 @@ let default =
     max_txn_extensions = 8;
     sanitize = true;
     mutation = No_mutation;
+    batch_events = true;
+    park_spins = true;
+    park_keepalive = 4096;
   }
 
 let make ?(nprocs = 2) ?(cache_hit = 1) ?(net = 20) ?(net_jitter = 0)
     ?(dir_occupancy = 4) ?(spin_interval = 2) ?faults ?(fault_seed = 0)
     ?(rto = 60) ?(nack_threshold = 400) ?(nack_backoff = 40) ?(max_nacks = 4)
     ?(txn_timeout = 5000) ?(max_txn_extensions = 8) ?(sanitize = true)
-    ?(mutation = No_mutation) () =
+    ?(mutation = No_mutation) ?(batch_events = true) ?(park_spins = true)
+    ?(park_keepalive = 4096) () =
   {
     nprocs;
     cache_hit;
@@ -90,6 +106,9 @@ let make ?(nprocs = 2) ?(cache_hit = 1) ?(net = 20) ?(net_jitter = 0)
     max_txn_extensions;
     sanitize;
     mutation;
+    batch_events;
+    park_spins;
+    park_keepalive;
   }
 
 let pp ppf c =

@@ -67,7 +67,7 @@ let run ?cfg ?(limit = 10_000_000) ?(obs = Obs.null) ?(on_wedged = ignore)
     | Some c -> { c with Sim_config.nprocs }
     | None -> Sim_config.make ~nprocs ()
   in
-  let eng = Engine.create () in
+  let eng = Engine.create ~batch:cfg.Sim_config.batch_events () in
   let stalls = Obs.Stall.create () in
   let proto = Proto.create ~init:workload.Workload.init ~obs ~stalls cfg eng in
   let sanitizer =
@@ -177,6 +177,25 @@ let failure_kind = function
   | Deadlock _ -> "deadlock"
   | Livelock _ -> "livelock"
   | Invariant _ -> "invariant"
+
+(* The timing-invisibility gate artifact: everything an optimization must
+   leave untouched, in one canonical string.  The normalized Chrome trace
+   (total-sorted, so same-cycle recording order is invisible), the stall
+   table (canonically sorted rows), the settled memory image and the total
+   cycle count.  Engine event counts are deliberately excluded — they are
+   the engine's cost metric and legitimately change under batching. *)
+let golden_artifact ~obs r =
+  let buf = Buffer.create 4096 in
+  Obs.Chrome.to_buffer ~normalize:true buf (Obs.events obs);
+  Buffer.add_string buf "\n=== stalls ===\n";
+  Buffer.add_string buf (Fmt.str "%a" Obs.Stall.pp r.stalls);
+  Buffer.add_string buf "\n=== finals ===\n";
+  List.iter
+    (fun (loc, v) -> Buffer.add_string buf (Printf.sprintf "%s=%d\n" loc v))
+    r.finals;
+  Buffer.add_string buf
+    (Printf.sprintf "=== total_cycles ===\n%d\n" r.total_cycles);
+  Buffer.contents buf
 
 let observation result tag =
   List.find_opt (fun o -> String.equal o.Cpu.o_tag tag) result.observations

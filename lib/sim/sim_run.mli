@@ -74,6 +74,14 @@ val failure_kind : failure -> string
 val pp_failure : Format.formatter -> failure -> unit
 (** The failure kind and its diagnostic dump. *)
 
+val golden_artifact : obs:Obs.t -> result -> string
+(** Canonical timing-fingerprint of a run, for golden tests gating
+    timing-invisible optimizations: the normalized Chrome trace of [obs]
+    (which must have observed the run), the stall-attribution table, the
+    settled memory image and the total cycle count.  Engine event counts
+    are excluded — they are the optimization's cost metric, not part of
+    simulated time. *)
+
 val observation : result -> string -> int option
 (** Value recorded under a tag, if the tagged read executed. *)
 

@@ -22,6 +22,26 @@ type t = {
   threads : op list list;
 }
 
+(* --- generator argument validation ----------------------------------------
+
+   A zero or negative width/round count, or a width past the simulator's
+   processor limit, used to build a nonsense workload silently (an empty
+   thread list still "runs" and reports zero cycles).  Every generator now
+   validates its arguments up front and raises a located, actionable
+   [Invalid_argument] instead. *)
+
+let max_procs = 1024
+
+let check_arg ~gen name ~lo ~hi v =
+  if v < lo || v > hi then
+    invalid_arg
+      (Printf.sprintf "Workload.%s: %s must be in [%d, %d] (got %d)" gen name
+         lo hi v)
+
+let check_nprocs ~gen v = check_arg ~gen "nprocs" ~lo:1 ~hi:max_procs v
+let check_pos ~gen name v = check_arg ~gen name ~lo:1 ~hi:max_int v
+let check_nonneg ~gen name v = check_arg ~gen name ~lo:0 ~hi:max_int v
+
 let read ?tag loc = Read { loc; tag }
 let write loc value = Write { loc; value }
 let sync_read ?tag loc = Sync_read { loc; tag }
@@ -45,6 +65,10 @@ let work n = Work n
    reserved, and P1's TestAndSet is deferred until the write performs. *)
 let fig3_handoff ?(work_before = 10) ?(work_after = 200) ?(consumer_delay = 60)
     () =
+  let gen = "fig3_handoff" in
+  check_nonneg ~gen "work_before" work_before;
+  check_nonneg ~gen "work_after" work_after;
+  check_nonneg ~gen "consumer_delay" consumer_delay;
   {
     name = "fig3_handoff";
     init = [];
@@ -74,6 +98,9 @@ let fig3_handoff ?(work_before = 10) ?(work_after = 200) ?(consumer_delay = 60)
    selects sync-read spinning (serialized by the base def2 implementation)
    versus data-read spinning. *)
 let spin_barrier ?(nprocs = 4) ?(stagger = 25) ?(sync_spin = true) () =
+  let gen = "spin_barrier" in
+  check_nprocs ~gen nprocs;
+  check_nonneg ~gen "stagger" stagger;
   {
     name = "spin_barrier";
     init = [];
@@ -94,6 +121,11 @@ let spin_barrier ?(nprocs = 4) ?(stagger = 25) ?(sync_spin = true) () =
    for comparing the policies' sync costs. *)
 let critical_sections ?(nprocs = 4) ?(rounds = 4) ?(work_in = 10)
     ?(work_out = 50) () =
+  let gen = "critical_sections" in
+  check_nprocs ~gen nprocs;
+  check_pos ~gen "rounds" rounds;
+  check_nonneg ~gen "work_in" work_in;
+  check_nonneg ~gen "work_out" work_out;
   let round p =
     [
       lock "l";
@@ -119,6 +151,10 @@ let critical_sections ?(nprocs = 4) ?(rounds = 4) ?(work_in = 10)
    Exercises the transitive-handoff pattern (Section 4's hb chain) at
    timing level. *)
 let pipeline ?(nprocs = 4) ?(batch = 4) ?(work_cycles = 20) () =
+  let gen = "pipeline" in
+  check_nprocs ~gen nprocs;
+  check_pos ~gen "batch" batch;
+  check_nonneg ~gen "work_cycles" work_cycles;
   let produce p =
     List.init batch (fun j -> write (Printf.sprintf "d%d_%d" p j) (j + 1))
   in
@@ -146,6 +182,10 @@ let pipeline ?(nprocs = 4) ?(batch = 4) ?(work_cycles = 20) () =
    queue is explicit.  Because tickets are assigned dynamically, the
    critical sections use a per-round location rather than per-owner data. *)
 let ticket_lock ?(nprocs = 4) ?(work_in = 10) ?(work_out = 40) () =
+  let gen = "ticket_lock" in
+  check_nprocs ~gen nprocs;
+  check_nonneg ~gen "work_in" work_in;
+  check_nonneg ~gen "work_out" work_out;
   {
     name = "ticket_lock";
     init = [];
@@ -173,6 +213,9 @@ let ticket_lock ?(nprocs = 4) ?(work_in = 10) ?(work_out = 40) () =
    resets the count and flips the sense flag; the others spin on the sense
    flag.  [sync_spin] selects the spin flavour, as in [spin_barrier]. *)
 let sense_barrier ?(nprocs = 4) ?(rounds = 2) ?(sync_spin = true) () =
+  let gen = "sense_barrier" in
+  check_nprocs ~gen nprocs;
+  check_pos ~gen "rounds" rounds;
   let round r =
     let sense = Printf.sprintf "sense%d" r in
     [

@@ -36,7 +36,16 @@ val lock : string -> op
 val unlock : string -> op
 val work : int -> op
 
-(** {2 The paper's scenarios} *)
+(** {2 The paper's scenarios}
+
+    Every generator validates its arguments: [nprocs] must lie in
+    [\[1, max_procs\]], round/batch counts must be positive, and work/delay
+    cycle counts non-negative.  Violations raise [Invalid_argument] with a
+    message naming the generator, the argument, the accepted range, and the
+    offending value. *)
+
+val max_procs : int
+(** Upper bound on [?nprocs] accepted by the generators (1024). *)
 
 val fig3_handoff :
   ?work_before:int -> ?work_after:int -> ?consumer_delay:int -> unit -> t

@@ -21,7 +21,18 @@ as "explore", which is what every pre-kind baseline contained):
   overhead                carry payload + overhead_pct, NOT a state
                           count — wall-clock overhead pairs are reported
                           for context but never gated (CI machines are
-                          too noisy).
+                          too noisy);
+  sim                     timing-simulator rows: events is tolerance-
+                          gated like a state count, while total_cycles,
+                          finals_crc and stalls_crc are bit-exact —
+                          simulation is deterministic, so any drift in
+                          simulated time or settled memory against the
+                          baseline is a timing regression and fails
+                          hard.  The naive reference rows (machine
+                          "*-naive") must also shed at least
+                          --sim-shed-floor x the events of their parked
+                          twin, re-proving the engine-scaling claim on
+                          every run.
 
 Additionally, sym rows in the fresh run are validated on their own
 terms: every row's outcomes_equal must be true (the reduction may never
@@ -35,7 +46,8 @@ Every failure mode names the offending (name, machine) pair; a malformed
 entry is an exit-2 diagnostic, never a KeyError traceback.
 
 Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.10]
-                     [--allow-new] [--sym-floor 30]
+                     [--allow-new] [--sym-floor 30] [--sim-shed-floor 5]
+                     [--kinds sim,service]
 Exit 0 on pass, 1 on regression or unexplained entry churn, 2 on
 unusable input.
 """
@@ -54,9 +66,15 @@ KIND_FIELDS = {
             "outcomes_equal"),
     "overhead": ("payload", "overhead_pct"),
     "service": ("states_expanded", "programs", "checks", "disagreements"),
+    "sim": ("events", "total_cycles", "finals_crc", "stalls_crc"),
 }
-# Kinds whose states_expanded is deterministic and therefore gated.
-GATED_KINDS = ("explore", "cache", "sym", "service")
+# Kinds whose deterministic count is tolerance-gated against the baseline.
+GATED_KINDS = ("explore", "cache", "sym", "service", "sim")
+# The deterministic count field per kind.
+COUNT_FIELD = {"overhead": "payload", "sim": "events"}
+# sim fields that must match the baseline bit for bit: simulated time and
+# settled behaviour are deterministic, so any drift is a real regression.
+SIM_EXACT_FIELDS = ("total_cycles", "finals_crc", "stalls_crc")
 
 
 def entry_kind(e):
@@ -92,7 +110,7 @@ def load_entries(path):
             print(f"bench gate: {path}: entry #{i} ({ident}, kind {kind}) "
                   f"lacks field(s): {', '.join(missing)}", file=sys.stderr)
             sys.exit(2)
-        count_field = "payload" if kind == "overhead" else "states_expanded"
+        count_field = COUNT_FIELD.get(kind, "states_expanded")
         if not isinstance(e[count_field], int):
             print(f"bench gate: {path}: entry #{i} "
                   f"({e['name']}/{e['machine']}): {count_field} is not "
@@ -143,6 +161,46 @@ def check_sym_rows(new, floor, failures):
                   f"(floor {floor:.0f}%)")
 
 
+def check_sim_rows(old, new, shed_floor, failures):
+    """Simulator obligations: bit-exact simulated behaviour against the
+    baseline, and the naive reference rows re-proving the events-shed
+    claim against their parked twins."""
+    for key in sorted(old):
+        if key[0] != "sim" or key not in new:
+            continue
+        _, name, machine, domains = key
+        label = f"sim {name}/{machine} n={domains}"
+        for field in SIM_EXACT_FIELDS:
+            o, n = old[key][field], new[key][field]
+            if o != n:
+                failures.append(
+                    f"{label}: {field} {o} -> {n} — simulated behaviour "
+                    f"diverged from the baseline (timing regression or an "
+                    f"engine-order bug; if the change is deliberate, "
+                    f"refresh the committed baseline)")
+    naive = {k: e for k, e in new.items()
+             if k[0] == "sim" and k[2].endswith("-naive")}
+    for (kind, name, machine, domains), e in sorted(naive.items()):
+        twin = (kind, name, machine[: -len("-naive")], domains)
+        label = f"sim {name}/{machine} n={domains}"
+        if twin not in new:
+            failures.append(f"{label}: no parked twin row "
+                            f"{machine[: -len('-naive')]} to compare against")
+            continue
+        parked = new[twin]["events"]
+        ratio = e["events"] / parked if parked else float("inf")
+        if ratio < shed_floor:
+            failures.append(
+                f"{label}: parked run executes {parked} events vs {e['events']} "
+                f"naive — only {ratio:.1f}x shed, below the "
+                f"{shed_floor:.0f}x floor (spin parking or batching "
+                f"stopped firing?)")
+        else:
+            print(f"bench gate: {label}: {e['events']} naive vs {parked} "
+                  f"parked events ({ratio:.0f}x shed, floor "
+                  f"{shed_floor:.0f}x)")
+
+
 def check_service_rows(new, failures):
     """Fresh-run obligations on the differential-fuzzer rows."""
     rows = [e for key, e in new.items() if key[0] == "service"]
@@ -174,10 +232,33 @@ def main():
                     help="minimum best-machine state reduction percent "
                          "each sym-benchmarked program must reach "
                          "(default 30)")
+    ap.add_argument("--sim-shed-floor", type=float, default=5.0,
+                    help="minimum naive/parked event ratio each sim "
+                         "*-naive row must show against its parked twin "
+                         "(default 5)")
+    ap.add_argument("--kinds", default=None,
+                    help="comma-separated kinds to gate (default: all); "
+                         "e.g. --kinds sim for the dedicated sim-scale "
+                         "CI job against a full baseline")
     args = ap.parse_args()
 
     old = load_entries(args.baseline)
     new = load_entries(args.fresh)
+    if args.kinds is not None:
+        kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
+        unknown = kinds - set(KIND_FIELDS)
+        if unknown:
+            print(f"bench gate: unknown kind(s) in --kinds: "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            sys.exit(2)
+        old = {k: e for k, e in old.items() if k[0] in kinds}
+        new = {k: e for k, e in new.items() if k[0] in kinds}
+        if not old or not new:
+            print(f"bench gate: --kinds {args.kinds} leaves no entries to "
+                  f"compare", file=sys.stderr)
+            sys.exit(2)
+    else:
+        kinds = set(KIND_FIELDS)
 
     failures = []
     for key in sorted(old):
@@ -190,14 +271,15 @@ def main():
             continue
         if kind not in GATED_KINDS:
             continue
-        o, n = old[key]["states_expanded"], new[key]["states_expanded"]
+        count_field = COUNT_FIELD.get(kind, "states_expanded")
+        o, n = old[key][count_field], new[key][count_field]
         limit = o * (1.0 + args.tolerance)
         if n > limit:
             failures.append(
-                f"{label}: states_expanded {o} -> {n} "
+                f"{label}: {count_field} {o} -> {n} "
                 f"(+{(n - o) / o * 100:.1f}%, limit +{args.tolerance:.0%})")
         elif n != o:
-            print(f"bench gate: note: {label}: states {o} -> {n} "
+            print(f"bench gate: note: {label}: {count_field} {o} -> {n} "
                   f"(within tolerance)")
 
     added = sorted(set(new) - set(old))
@@ -211,8 +293,12 @@ def main():
                 f"entries not in baseline: {names} (refresh the committed "
                 f"baseline, or pass --allow-new for the introducing commit)")
 
-    check_sym_rows(new, args.sym_floor, failures)
-    check_service_rows(new, failures)
+    if "sym" in kinds:
+        check_sym_rows(new, args.sym_floor, failures)
+    if "service" in kinds:
+        check_service_rows(new, failures)
+    if "sim" in kinds:
+        check_sim_rows(old, new, args.sim_shed_floor, failures)
 
     if failures:
         print(f"bench gate: {len(failures)} failure(s):", file=sys.stderr)

@@ -11,6 +11,7 @@ let () =
       Test_axiomatic.suite;
       Test_machine.suite;
       Test_explore.suite;
+      Test_engine.suite;
       Test_sim.suite;
       Test_obs.suite;
       Test_fault.suite;

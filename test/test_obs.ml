@@ -262,6 +262,44 @@ let test_golden_trace () =
 let test_trace_deterministic () =
   check_str "two runs, one trace" (trace_dekker ()) (trace_dekker ())
 
+(* --- sim timing-fingerprint goldens ------------------------------------------ *)
+
+(* The gate for timing-invisible engine optimizations (heap queue, batched
+   delivery, spin parking): every workload's normalized trace, stall table,
+   final memory image and cycle count must stay byte-identical.  Regenerate
+   a fingerprint after an intentional timing change with:
+     weakord sim -w <name> -p <policy> --golden test/golden/sim_<name>_<policy>.golden *)
+let sim_golden_cases =
+  [
+    ("fig3", fun () -> Workload.fig3_handoff ());
+    ("barrier", fun () -> Workload.spin_barrier ());
+    ("locks", fun () -> Workload.critical_sections ());
+    ("pipeline", fun () -> Workload.pipeline ());
+    ("ticket", fun () -> Workload.ticket_lock ());
+    ("sense-barrier", fun () -> Workload.sense_barrier ());
+  ]
+
+let test_sim_goldens () =
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun policy ->
+          let obs = Obs.create () in
+          let cfg = Sim_config.make () in
+          let r = Sim_run.run ~cfg ~obs policy (gen ()) in
+          let got = Sim_run.golden_artifact ~obs r in
+          let golden =
+            read_file
+              (Printf.sprintf "golden/sim_%s_%s.golden" name
+                 (Cpu.policy_name policy))
+          in
+          check_str
+            (Printf.sprintf "%s under %s matches committed fingerprint" name
+               (Cpu.policy_name policy))
+            golden got)
+        [ Cpu.Def1; Cpu.Def2 ])
+    sim_golden_cases
+
 (* --- simulator stall attribution --------------------------------------------- *)
 
 (* The Figure 3 claim as a regression test: def1 charges P0 ordering stalls
@@ -383,6 +421,8 @@ let suite =
         test_chrome_empty;
       Alcotest.test_case "golden trace (dekker/def2)" `Quick test_golden_trace;
       Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+      Alcotest.test_case "sim timing fingerprints match goldens" `Quick
+        test_sim_goldens;
       Alcotest.test_case "fig3 stall attribution" `Quick
         test_fig3_stall_attribution;
       Alcotest.test_case "explore metrics consistent" `Quick

@@ -333,6 +333,207 @@ let test_new_workloads_def2_conditions () =
         (List.length (Sim_trace.check_all r.Sim_run.trace)))
     [ Workload.ticket_lock (); Workload.sense_barrier () ]
 
+(* --- Spin parking ------------------------------------------------------------ *)
+
+(* Parking must be invisible in every observable: the full timing
+   fingerprint (normalized trace, stall table, finals, total cycles) and
+   the per-processor statistics of a parked run are byte-for-byte those of
+   the same run with parking off. *)
+let fingerprint ~cfg policy w =
+  let obs = Obs.create () in
+  let r = Sim_run.run ~cfg ~obs policy w in
+  ( Sim_run.golden_artifact ~obs r,
+    r.Sim_run.proc_stats,
+    r.Sim_run.events,
+    r.Sim_run.finals )
+
+(* Byte-equality holds across the matrix except in the most collision-prone
+   cells: ticket16 parks 15 same-phase spinners on one line, and when two
+   of their post-invalidation reads miss on the same cycle, the resumed
+   events' within-cycle order (their tie-break seq is allocated at wake,
+   in per-line delivery order) can differ from the live chains' order
+   (inherited from spin entry, cycle by cycle, since before the park) — a
+   tie-break the wake cannot reconstruct, because the live chain may have
+   allocated it on a cycle that has already passed.  Excluded cells keep
+   the weaker guarantees: identical finals and no extra events.  See
+   DESIGN.md (event engine / spin parking) for the full analysis. *)
+let park_exact name p =
+  match (name, p) with "ticket16", (Cpu.Sc | Cpu.Def2_rs) -> false | _ -> true
+
+let park_matrix =
+  [
+    ("fig3", fun () -> Workload.fig3_handoff ());
+    ("barrier8", fun () -> Workload.spin_barrier ~nprocs:8 ~sync_spin:true ());
+    ("locks8", fun () -> Workload.critical_sections ~nprocs:8 ());
+    ("pipeline8", fun () -> Workload.pipeline ~nprocs:8 ());
+    ("ticket16", fun () -> Workload.ticket_lock ~nprocs:16 ());
+    ("sense16", fun () -> Workload.sense_barrier ~nprocs:16 ());
+  ]
+
+let test_parking_invisible () =
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun p ->
+          let on, st_on, ev_on, fin_on =
+            fingerprint ~cfg:(Sim_config.make ()) p (gen ())
+          in
+          let off, st_off, ev_off, fin_off =
+            fingerprint ~cfg:(Sim_config.make ~park_spins:false ()) p (gen ())
+          in
+          if park_exact name p then begin
+            Alcotest.(check string)
+              (Printf.sprintf "%s %s fingerprint" name (Cpu.policy_name p))
+              off on;
+            check
+              (Printf.sprintf "%s %s proc stats" name (Cpu.policy_name p))
+              true
+              (st_on = st_off)
+          end
+          else
+            check
+              (Printf.sprintf "%s %s finals" name (Cpu.policy_name p))
+              true
+              (fin_on = fin_off);
+          (* The whole point: a parked spin costs fewer engine events. *)
+          check
+            (Printf.sprintf "%s %s no extra events" name (Cpu.policy_name p))
+            true (ev_on <= ev_off))
+        Cpu.all_policies)
+    park_matrix
+
+let test_parking_invisible_under_faults () =
+  (* Fault-perturbed delivery times move the wake cycles around; the replay
+     must still reproduce the unparked run exactly.  Cells verified byte-
+     identical under chaos for every listed policy and seed; spin-collision
+     ambiguity (see [park_exact]) excludes barrier8 under def2-rs and all
+     of ticket16, which is held to the finals guarantee below. *)
+  List.iter
+    (fun (name, gen, policies) ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun seed ->
+              let go park =
+                fingerprint
+                  ~cfg:
+                    (Sim_config.make ~faults:Fault.chaos ~fault_seed:seed
+                       ~park_spins:park ())
+                  p (gen ())
+              in
+              let on, st_on, _, _ = go true in
+              let off, st_off, _, _ = go false in
+              Alcotest.(check string)
+                (Printf.sprintf "%s %s seed %d" name (Cpu.policy_name p) seed)
+                off on;
+              check
+                (Printf.sprintf "%s %s seed %d stats" name (Cpu.policy_name p)
+                   seed)
+                true
+                (st_on = st_off))
+            [ 0; 1; 2 ])
+        policies)
+    [
+      ( "barrier8",
+        (fun () -> Workload.spin_barrier ~nprocs:8 ~sync_spin:true ()),
+        [ Cpu.Def1 ] );
+      ( "locks8",
+        (fun () -> Workload.critical_sections ~nprocs:8 ()),
+        [ Cpu.Def1; Cpu.Def2_rs ] );
+      ( "pipeline16",
+        (fun () -> Workload.pipeline ~nprocs:16 ()),
+        [ Cpu.Def1; Cpu.Def2_rs ] );
+    ];
+  (* ticket16 under chaos: the weak guarantee must still hold. *)
+  List.iter
+    (fun seed ->
+      let go park =
+        fingerprint
+          ~cfg:
+            (Sim_config.make ~faults:Fault.chaos ~fault_seed:seed
+               ~park_spins:park ())
+          Cpu.Def1
+          (Workload.ticket_lock ~nprocs:16 ())
+      in
+      let _, _, _, fin_on = go true in
+      let _, _, _, fin_off = go false in
+      check
+        (Printf.sprintf "ticket16 def1 seed %d finals" seed)
+        true
+        (fin_on = fin_off))
+    [ 0; 1; 2 ]
+
+let test_parking_saves_events () =
+  (* At scale the saving is the headline: a 16-core spin-heavy run must
+     shed the bulk of its per-iteration events. *)
+  let _, _, ev_on, _ =
+    fingerprint ~cfg:(Sim_config.make ())
+      Cpu.Def1
+      (Workload.pipeline ~nprocs:16 ())
+  in
+  let _, _, ev_off, _ =
+    fingerprint
+      ~cfg:(Sim_config.make ~park_spins:false ~batch_events:false ())
+      Cpu.Def1
+      (Workload.pipeline ~nprocs:16 ())
+  in
+  check "parked run sheds most events" true (ev_on * 5 < ev_off)
+
+(* --- Fault campaign at 16 cores ---------------------------------------------- *)
+
+let test_scaled_workloads_under_faults () =
+  (* Every fault scenario, several seeds, sanitizer on: the scaled lock and
+     barrier workloads must still settle to the correct finals with no
+     sanitizer or watchdog noise. *)
+  List.iter
+    (fun (scenario, profile) ->
+      List.iter
+        (fun seed ->
+          let cfg = Sim_config.make ~faults:profile ~fault_seed:seed () in
+          let r =
+            Sim_run.run ~cfg Cpu.Def2 (Workload.ticket_lock ~nprocs:16 ())
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "ticket16 %s seed %d last writer" scenario seed)
+            (Some 16)
+            (Sim_run.final r "shared");
+          let r =
+            Sim_run.run ~cfg Cpu.Def1 (Workload.sense_barrier ~nprocs:16 ())
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "sense16 %s seed %d arrivals" scenario seed)
+            (Some 32)
+            (Sim_run.final r "count"))
+        [ 0; 1; 2 ])
+    Fault.scenarios
+
+(* --- Workload argument validation -------------------------------------------- *)
+
+let test_workload_validation () =
+  let rejects msg f =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  rejects "Workload.ticket_lock: nprocs must be in [1, 1024] (got 0)"
+    (fun () -> Workload.ticket_lock ~nprocs:0 ());
+  rejects
+    (Printf.sprintf
+       "Workload.sense_barrier: nprocs must be in [1, 1024] (got %d)"
+       (Workload.max_procs + 1))
+    (fun () -> Workload.sense_barrier ~nprocs:(Workload.max_procs + 1) ());
+  rejects "Workload.sense_barrier: rounds must be in [1, 4611686018427387903] (got 0)"
+    (fun () -> Workload.sense_barrier ~rounds:0 ());
+  rejects
+    "Workload.critical_sections: work_in must be in [0, 4611686018427387903] (got -1)"
+    (fun () -> Workload.critical_sections ~work_in:(-1) ());
+  rejects "Workload.pipeline: batch must be in [1, 4611686018427387903] (got 0)"
+    (fun () -> Workload.pipeline ~batch:0 ());
+  rejects
+    "Workload.fig3_handoff: work_before must be in [0, 4611686018427387903] (got -3)"
+    (fun () -> Workload.fig3_handoff ~work_before:(-3) ());
+  (* In-range widths construct fine. *)
+  check "wide barrier accepted" true
+    (Workload.num_threads (Workload.spin_barrier ~nprocs:64 ()) = 64)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "sim",
@@ -362,4 +563,9 @@ let suite =
       t "ticket lock FIFO" test_ticket_lock_fifo;
       t "sense barrier serialization" test_sense_barrier_serialization;
       t "new workloads meet def2 conditions" test_new_workloads_def2_conditions;
+      t "spin parking is timing-invisible" test_parking_invisible;
+      t "spin parking invisible under faults" test_parking_invisible_under_faults;
+      t "spin parking sheds events at scale" test_parking_saves_events;
+      t "scaled workloads survive fault campaign" test_scaled_workloads_under_faults;
+      t "workload argument validation" test_workload_validation;
     ] )
